@@ -1,0 +1,68 @@
+// Ablation (paper Sec. IV-D): per-layer mixed-precision weight formats vs
+// the uniform per-model format of the main experiments — "the granularity
+// of quantization can be improved by enabling per-layer quantization with
+// different formats, thereby introducing a significantly larger
+// optimization space".
+#include <cstdio>
+
+#include "common/bench_common.h"
+#include "core/mixed_precision.h"
+#include "util/string_util.h"
+
+using namespace errorflow;
+
+namespace {
+char FormatChar(quant::NumericFormat f) {
+  switch (f) {
+    case quant::NumericFormat::kFP32:
+      return '3';
+    case quant::NumericFormat::kTF32:
+      return 't';
+    case quant::NumericFormat::kFP16:
+      return 'h';
+    case quant::NumericFormat::kBF16:
+      return 'b';
+    case quant::NumericFormat::kINT8:
+      return '8';
+  }
+  return '?';
+}
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation - per-layer mixed precision vs uniform formats");
+  quant::HardwareProfile hw;
+  for (tasks::TrainedTask& task : bench::LoadAllTasks()) {
+    core::ErrorFlowAnalysis analysis(
+        core::ProfileModel(task.model, task.single_input_shape));
+    std::printf("\n[%s]  (%lld linear layers)\n",
+                tasks::TaskKindToString(task.kind),
+                static_cast<long long>(analysis.LinearLayerCount()));
+    std::printf("%-22s %14s %12s\n", "plan", "quant bound", "speedup");
+    for (quant::NumericFormat fmt : quant::ReducedFormats()) {
+      std::printf("%-22s %14.3e %11.2fx\n",
+                  (std::string("uniform ") + quant::FormatToString(fmt))
+                      .c_str(),
+                  analysis.QuantTerm(fmt), hw.Speedup(fmt));
+    }
+    for (double scale : {1.0, 2.0, 8.0}) {
+      const double budget =
+          analysis.QuantTerm(quant::NumericFormat::kFP16) * scale;
+      const core::MixedPrecisionPlan plan =
+          core::PlanMixedPrecision(analysis, budget, hw);
+      std::string formats;
+      for (quant::NumericFormat f : plan.formats) {
+        formats += FormatChar(f);
+      }
+      std::printf("%-22s %14.3e %11.2fx   [%s]\n",
+                  util::StrFormat("mixed @%gx fp16", scale).c_str(),
+                  plan.quant_bound, plan.modeled_speedup, formats.c_str());
+    }
+  }
+  std::printf(
+      "\nshape check: at the same error budget as uniform fp16, the mixed\n"
+      "plan demotes the heaviest layers further and beats fp16's 4.5x\n"
+      "speedup wherever the budget permits.\n");
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Fig. 3: compression-error bound vs achieved error distribution (L-inf).
+#include "common/figures.h"
+
+int main() {
+  errorflow::bench::RunCompressionErrorFigure(
+      errorflow::tensor::Norm::kLinf);
+  return 0;
+}

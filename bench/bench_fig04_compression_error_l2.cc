@@ -1,0 +1,7 @@
+// Fig. 4: compression-error bound vs achieved error distribution (L2).
+#include "common/figures.h"
+
+int main() {
+  errorflow::bench::RunCompressionErrorFigure(errorflow::tensor::Norm::kL2);
+  return 0;
+}

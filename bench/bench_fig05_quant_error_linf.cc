@@ -1,0 +1,7 @@
+// Fig. 5: quantization-error bound vs achieved relative QoI error (L-inf).
+#include "common/figures.h"
+
+int main() {
+  errorflow::bench::RunQuantErrorFigure(errorflow::tensor::Norm::kLinf);
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Fig. 6: quantization-error bound vs achieved relative QoI error (L2).
+#include "common/figures.h"
+
+int main() {
+  errorflow::bench::RunQuantErrorFigure(errorflow::tensor::Norm::kL2);
+  return 0;
+}

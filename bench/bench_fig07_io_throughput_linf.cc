@@ -1,0 +1,7 @@
+// Fig. 7: I/O throughput vs user QoI tolerance per backend (L-inf).
+#include "common/figures.h"
+
+int main() {
+  errorflow::bench::RunIoThroughputFigure(errorflow::tensor::Norm::kLinf);
+  return 0;
+}

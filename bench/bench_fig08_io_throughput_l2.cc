@@ -1,0 +1,8 @@
+// Fig. 8: I/O throughput vs user QoI tolerance per backend (L2; ZFP has no
+// L2 tolerance mode and is reported as unsupported).
+#include "common/figures.h"
+
+int main() {
+  errorflow::bench::RunIoThroughputFigure(errorflow::tensor::Norm::kL2);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fig. 10: coordination of data reduction and quantization on the hydrogen
+// combustion task, prioritizing quantization. Left panel: how the chosen
+// format's bound consumes part of the tolerance and compression exploits
+// the rest. Right panel: I/O vs execution throughput and the bottleneck.
+#include <cstdio>
+
+#include "common/figures.h"
+
+using namespace errorflow;
+
+int main() {
+  bench::PrintHeader(
+      "Fig. 10 - coordination of reduction & quantization (H2 combustion, "
+      "quantization prioritized)");
+  tasks::TrainedTask task =
+      tasks::GetTask(tasks::TaskKind::kH2Combustion);
+  const tensor::Tensor batch = bench::LargeInputBatch(task);
+  const tensor::Tensor ref = task.model.Predict(task.test.inputs);
+  const double out_norm =
+      bench::MaxSampleNorm(ref, tensor::Norm::kLinf);
+
+  core::PipelineConfig cfg;
+  cfg.backend = compress::Backend::kSz;
+  cfg.norm = tensor::Norm::kLinf;
+  cfg.quant_fraction = 0.9;  // Prioritize quantization.
+  core::InferencePipeline pipeline(task.model.Clone(),
+                                   task.single_input_shape, cfg);
+
+  std::printf("%-10s | %-6s %12s %12s %9s | %9s %9s %10s\n", "qoi_tol",
+              "fmt", "quant_bound", "comp_tol", "ratio", "io GB/s",
+              "ex GB/s", "bottleneck");
+  for (double tol_rel : bench::LogSweep(-5, -1, 9)) {
+    const double tol_abs = tol_rel * out_norm;
+    auto report = pipeline.Run(batch, tol_abs);
+    if (!report.ok()) {
+      std::printf("%-10.0e | failed: %s\n", tol_rel,
+                  report.status().ToString().c_str());
+      continue;
+    }
+    std::printf(
+        "%-10.0e | %-6s %12.3e %12.3e %8.1fx | %9.2f %9.2f %10s\n",
+        tol_rel, quant::FormatToString(report->format),
+        report->quant_bound / out_norm, report->input_tolerance,
+        report->compression_ratio, report->io_throughput / 1e9,
+        report->exec_throughput / 1e9,
+        report->io_throughput < report->exec_throughput ? "I/O" : "exec");
+  }
+  std::printf(
+      "\npaper shape check: quantization is applied as soon as its bound\n"
+      "fits inside the tolerance (note the comp_tol jump at the switch\n"
+      "point); compression exploits the remaining budget (Fig. 10 left).\n"
+      "Deviation: on our calibrated hardware model the tiny H2 MLP is so\n"
+      "cheap that I/O, not execution, is the bottleneck — the paper's\n"
+      "GPU-measured execution throughput was lower (see EXPERIMENTS.md).\n");
+  return 0;
+}

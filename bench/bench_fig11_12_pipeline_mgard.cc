@@ -1,0 +1,12 @@
+// Figs. 11 (L-inf) and 12 (L2): predicted bound and pipeline throughput vs
+// user tolerance with MGARD as the compression backend, quantization
+// fraction swept 10-90%.
+#include "common/figures.h"
+
+int main() {
+  errorflow::bench::RunPipelineFigure(errorflow::compress::Backend::kMgard,
+                                      errorflow::tensor::Norm::kLinf);
+  errorflow::bench::RunPipelineFigure(errorflow::compress::Backend::kMgard,
+                                      errorflow::tensor::Norm::kL2);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figs. 13 (L-inf) and 14 (L2): predicted bound and pipeline throughput vs
+// user tolerance with SZ as the compression backend.
+#include "common/figures.h"
+
+int main() {
+  errorflow::bench::RunPipelineFigure(errorflow::compress::Backend::kSz,
+                                      errorflow::tensor::Norm::kLinf);
+  errorflow::bench::RunPipelineFigure(errorflow::compress::Backend::kSz,
+                                      errorflow::tensor::Norm::kL2);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Fig. 15: predicted bound and pipeline throughput vs user tolerance with
+// ZFP as the compression backend (L-inf only; ZFP has no L2 mode).
+#include "common/figures.h"
+
+int main() {
+  errorflow::bench::RunPipelineFigure(errorflow::compress::Backend::kZfp,
+                                      errorflow::tensor::Norm::kLinf);
+  return 0;
+}

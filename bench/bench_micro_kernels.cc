@@ -1,0 +1,197 @@
+// Microbenchmarks (google-benchmark) for the library's hot kernels: GEMM,
+// convolution, power iteration, format rounding, the Huffman codec, and
+// the three compressors. Used to track substrate performance regressions;
+// the figure-level benches build on these primitives.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "compress/codec/huffman.h"
+#include "compress/compressor.h"
+#include "nn/builders.h"
+#include "nn/conv2d.h"
+#include "nn/spectral.h"
+#include "quant/format.h"
+#include "tensor/ops.h"
+#include "util/random.h"
+
+namespace errorflow {
+namespace {
+
+tensor::Tensor RandomMatrix(int64_t r, int64_t c, uint64_t seed) {
+  util::Rng rng(seed);
+  tensor::Tensor t({r, c});
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.Normal());
+  }
+  return t;
+}
+
+tensor::Tensor SmoothField(int64_t rows, int64_t cols) {
+  tensor::Tensor t({rows, cols});
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) {
+      t.at(i, j) = static_cast<float>(
+          std::sin(0.02 * static_cast<double>(i)) *
+          std::cos(0.03 * static_cast<double>(j)));
+    }
+  }
+  return t;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const tensor::Tensor a = RandomMatrix(n, n, 1);
+  const tensor::Tensor b = RandomMatrix(n, n, 2);
+  tensor::Tensor c;
+  for (auto _ : state) {
+    tensor::Gemm(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmNT(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const tensor::Tensor a = RandomMatrix(n, n, 3);
+  const tensor::Tensor b = RandomMatrix(n, n, 4);
+  tensor::Tensor c;
+  for (auto _ : state) {
+    tensor::GemmNT(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmNT)->Arg(128);
+
+void BM_PowerIteration(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const tensor::Tensor w = RandomMatrix(n, n, 5);
+  for (auto _ : state) {
+    auto est = nn::PowerIteration(w, 50);
+    benchmark::DoNotOptimize(est.sigma);
+  }
+}
+BENCHMARK(BM_PowerIteration)->Arg(64)->Arg(256);
+
+void BM_ConvForward(benchmark::State& state) {
+  nn::Conv2dLayer conv(16, 16, 3, 1, 1);
+  conv.InitHe(1);
+  util::Rng rng(6);
+  tensor::Tensor x({8, 16, 32, 32});
+  for (int64_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.Normal());
+  }
+  tensor::Tensor out;
+  for (auto _ : state) {
+    conv.Forward(x, &out, false);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ConvForward);
+
+void BM_RoundToFormat(benchmark::State& state) {
+  const auto fmt = static_cast<quant::NumericFormat>(state.range(0));
+  tensor::Tensor t = RandomMatrix(256, 256, 7);
+  for (auto _ : state) {
+    tensor::Tensor copy = t;
+    quant::RoundBufferToFormat(copy.data(), copy.size(), fmt);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_RoundToFormat)
+    ->Arg(static_cast<int>(quant::NumericFormat::kTF32))
+    ->Arg(static_cast<int>(quant::NumericFormat::kFP16))
+    ->Arg(static_cast<int>(quant::NumericFormat::kBF16));
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  util::Rng rng(8);
+  std::vector<uint32_t> syms;
+  for (int i = 0; i < 100000; ++i) {
+    uint32_t s = 0;
+    while (s < 30 && rng.UniformDouble() < 0.6) ++s;
+    syms.push_back(s);
+  }
+  for (auto _ : state) {
+    util::BitWriter w;
+    benchmark::DoNotOptimize(
+        compress::HuffmanCodec::Encode(syms, &w).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * syms.size());
+}
+BENCHMARK(BM_HuffmanEncode);
+
+void BM_HuffmanDecode(benchmark::State& state) {
+  util::Rng rng(9);
+  std::vector<uint32_t> syms;
+  for (int i = 0; i < 100000; ++i) {
+    uint32_t s = 0;
+    while (s < 30 && rng.UniformDouble() < 0.6) ++s;
+    syms.push_back(s);
+  }
+  util::BitWriter w;
+  (void)compress::HuffmanCodec::Encode(syms, &w);
+  const std::string buf = w.Finish();
+  for (auto _ : state) {
+    util::BitReader r(buf.data(), buf.size());
+    auto decoded = compress::HuffmanCodec::Decode(&r, syms.size());
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * syms.size());
+}
+BENCHMARK(BM_HuffmanDecode);
+
+void BM_Compress(benchmark::State& state) {
+  const auto backend = static_cast<compress::Backend>(state.range(0));
+  auto compressor = compress::MakeCompressor(backend);
+  const tensor::Tensor data = SmoothField(512, 512);
+  for (auto _ : state) {
+    auto c = compressor->Compress(data,
+                                  compress::ErrorBound::AbsLinf(1e-4));
+    benchmark::DoNotOptimize(c.ok());
+  }
+  state.SetBytesProcessed(state.iterations() * data.byte_size());
+}
+BENCHMARK(BM_Compress)
+    ->Arg(static_cast<int>(compress::Backend::kSz))
+    ->Arg(static_cast<int>(compress::Backend::kZfp))
+    ->Arg(static_cast<int>(compress::Backend::kMgard));
+
+void BM_Decompress(benchmark::State& state) {
+  const auto backend = static_cast<compress::Backend>(state.range(0));
+  auto compressor = compress::MakeCompressor(backend);
+  const tensor::Tensor data = SmoothField(512, 512);
+  auto c = compressor->Compress(data, compress::ErrorBound::AbsLinf(1e-4));
+  for (auto _ : state) {
+    auto d = compressor->Decompress(c->blob);
+    benchmark::DoNotOptimize(d.ok());
+  }
+  state.SetBytesProcessed(state.iterations() * data.byte_size());
+}
+BENCHMARK(BM_Decompress)
+    ->Arg(static_cast<int>(compress::Backend::kSz))
+    ->Arg(static_cast<int>(compress::Backend::kZfp))
+    ->Arg(static_cast<int>(compress::Backend::kMgard));
+
+void BM_MlpForward(benchmark::State& state) {
+  nn::MlpConfig cfg;
+  cfg.input_dim = 13;
+  cfg.hidden_dims = std::vector<int64_t>(8, 40);
+  cfg.output_dim = 3;
+  cfg.seed = 1;
+  nn::Model model = nn::BuildMlp(cfg);
+  const tensor::Tensor x = RandomMatrix(256, 13, 10);
+  for (auto _ : state) {
+    tensor::Tensor out = model.Predict(x);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_MlpForward);
+
+}  // namespace
+}  // namespace errorflow
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+#ifndef ERRORFLOW_BENCH_COMMON_FIGURES_H_
+#define ERRORFLOW_BENCH_COMMON_FIGURES_H_
+
+#include "common/bench_common.h"
+
+namespace errorflow {
+namespace bench {
+
+/// Figs. 3 (Linf) / 4 (L2): compression-error bound prediction vs achieved
+/// error distribution — three tasks, three compressors, five independent
+/// batches, PSN vs baseline vs weight-decay bounds, global + per-feature.
+void RunCompressionErrorFigure(tensor::Norm norm);
+
+/// Figs. 5 (Linf) / 6 (L2): quantization-error bound vs achieved relative
+/// QoI error across TF32/FP16/BF16/INT8 for the three tasks.
+void RunQuantErrorFigure(tensor::Norm norm);
+
+/// Figs. 7 (Linf) / 8 (L2): I/O throughput vs user QoI tolerance per
+/// compression backend (ZFP absent from the L2 variant).
+void RunIoThroughputFigure(tensor::Norm norm);
+
+/// Figs. 11/12 (MGARD), 13/14 (SZ), 15 (ZFP): predicted bound and pipeline
+/// throughput vs user tolerance, quantization fraction swept 10-90%.
+void RunPipelineFigure(compress::Backend backend, tensor::Norm norm);
+
+/// A large (~MB-scale) normalized input batch for throughput measurements.
+tensor::Tensor LargeInputBatch(const tasks::TrainedTask& task,
+                               uint64_t seed = 500);
+
+}  // namespace bench
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_BENCH_COMMON_FIGURES_H_

@@ -1,0 +1,101 @@
+// Quickstart: the full ErrorFlow workflow on the hydrogen-combustion
+// surrogate, end to end --
+//   1. generate data and train a PSN-regularized MLP,
+//   2. profile its spectral structure,
+//   3. predict QoI error bounds for compression + quantization,
+//   4. run the error-bounded inference pipeline and compare the achieved
+//      error with the prediction.
+//
+// Build: cmake -B build -G Ninja && cmake --build build
+// Run:   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "data/combustion.h"
+#include "data/dataset.h"
+#include "nn/builders.h"
+#include "nn/trainer.h"
+#include "util/string_util.h"
+
+using namespace errorflow;
+
+int main() {
+  std::printf("=== ErrorFlow quickstart: H2 combustion surrogate ===\n\n");
+
+  // ---- 1. Data: 9 species mass fractions -> 9 reaction rates. ----------
+  data::Dataset raw = data::MakeH2CombustionDataset(/*height=*/64,
+                                                    /*width=*/64,
+                                                    /*seed=*/42);
+  const data::Normalizer in_norm = data::Normalizer::Fit(raw.inputs);
+  const data::Normalizer out_norm = data::Normalizer::Fit(raw.targets);
+  data::Dataset ds = raw;
+  ds.inputs = in_norm.Apply(raw.inputs);
+  ds.targets = out_norm.Apply(raw.targets);
+  data::Dataset train, test;
+  data::SplitDataset(ds, ds.size() * 8 / 10, &train, &test);
+  std::printf("dataset: %lld train / %lld test samples, %lld -> %lld\n",
+              (long long)train.size(), (long long)test.size(),
+              (long long)ds.inputs.dim(1), (long long)ds.targets.dim(1));
+
+  // ---- 2. Model: 9 -> 50 -> 50 -> 9 MLP with parameterized spectral
+  //         normalization (the paper's H2 network shape). ----------------
+  nn::MlpConfig cfg;
+  cfg.name = "h2-mlp";
+  cfg.input_dim = 9;
+  cfg.hidden_dims = {50, 50};
+  cfg.output_dim = 9;
+  cfg.activation = nn::ActivationKind::kTanh;
+  cfg.use_psn = true;
+  nn::Model model = nn::BuildMlp(cfg);
+
+  nn::TrainConfig tc;
+  tc.epochs = 60;
+  tc.batch_size = 128;
+  tc.spectral_penalty = 1e-4;
+  tc.log_every = 20;
+  nn::SgdOptimizer sgd(/*lr=*/0.05, /*momentum=*/0.9);
+  nn::MseLoss mse;
+  nn::Trainer(tc).Fit(&model, train.inputs, train.targets, mse, &sgd);
+  std::printf("test MSE: %.3e\n\n",
+              nn::Trainer::Evaluate(&model, test.inputs, test.targets, mse));
+
+  // ---- 3. Error-flow analysis. -----------------------------------------
+  model.FoldPsn();
+  core::ErrorFlowAnalysis analysis(
+      core::ProfileModel(model, {1, 9}));
+  std::printf("network gain (sigma product): %.3f\n",
+              analysis.Gain());
+  for (quant::NumericFormat f : quant::ReducedFormats()) {
+    std::printf("  quant-only QoI bound @ %-5s : %.3e\n",
+                quant::FormatToString(f), analysis.QuantTerm(f));
+  }
+  std::printf("  bound(|dx|_inf = 1e-4, fp16)  : %.3e\n\n",
+              analysis.Bound(1e-4, tensor::Norm::kLinf,
+                             quant::NumericFormat::kFP16));
+
+  // ---- 4. Error-bounded pipeline. --------------------------------------
+  core::PipelineConfig pc;
+  pc.backend = compress::Backend::kSz;
+  pc.norm = tensor::Norm::kLinf;
+  pc.quant_fraction = 0.5;
+  core::InferencePipeline pipeline(model.Clone(), {1, 9}, pc);
+
+  for (double tol : {1e-2, 1e-3, 1e-4}) {
+    auto report_or = pipeline.Run(test.inputs, tol);
+    if (!report_or.ok()) {
+      std::printf("pipeline failed: %s\n",
+                  report_or.status().ToString().c_str());
+      return 1;
+    }
+    const core::PipelineReport& r = *report_or;
+    std::printf(
+        "QoI tol %.0e | format %-5s | ratio %5.1fx | io %s | "
+        "achieved %.2e <= bound %.2e : %s\n",
+        tol, quant::FormatToString(r.format), r.compression_ratio,
+        util::HumanThroughput(r.io_throughput).c_str(),
+        r.achieved_qoi_error, r.predicted_qoi_bound,
+        r.achieved_qoi_error <= r.predicted_qoi_bound ? "OK" : "VIOLATED");
+  }
+  return 0;
+}

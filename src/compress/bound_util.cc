@@ -1,0 +1,74 @@
+#include "compress/bound_util.h"
+
+#include <cmath>
+
+#include "tensor/stats.h"
+
+namespace errorflow {
+namespace compress {
+
+double ResolvePointwiseBound(const Tensor& data, const ErrorBound& bound) {
+  const double n = static_cast<double>(std::max<int64_t>(1, data.size()));
+  if (bound.norm == Norm::kLinf) {
+    if (!bound.relative) return bound.tolerance;
+    return bound.tolerance * tensor::ValueRange(data);
+  }
+  // L2.
+  if (!bound.relative) return bound.tolerance / std::sqrt(n);
+  return bound.tolerance * tensor::L2Norm(data) / std::sqrt(n);
+}
+
+Status ValidateBlobShape(const tensor::Shape& shape, size_t blob_bytes) {
+  constexpr int64_t kMaxDim = 1ll << 28;
+  constexpr int64_t kMaxElements = 1ll << 31;
+  // Generous plausibility cap: no real blob compresses floats beyond
+  // ~32768:1 (8192 elements per byte).
+  const int64_t plausible =
+      static_cast<int64_t>(std::min<uint64_t>(
+          static_cast<uint64_t>(kMaxElements),
+          (static_cast<uint64_t>(blob_bytes) + 64) * 8192));
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    if (d <= 0 || d > kMaxDim) {
+      return Status::Corruption("blob shape dimension out of range");
+    }
+    if (n > kMaxElements / d) {
+      return Status::Corruption("blob shape element count overflow");
+    }
+    n *= d;
+  }
+  if (n > plausible) {
+    return Status::Corruption("blob shape implausibly large for payload");
+  }
+  return Status::OK();
+}
+
+void CollapseTo3d(const tensor::Shape& shape, int64_t* slices, int64_t* rows,
+                  int64_t* cols) {
+  if (shape.empty()) {
+    *slices = 1;
+    *rows = 1;
+    *cols = 1;
+    return;
+  }
+  if (shape.size() == 1) {
+    *slices = 1;
+    *rows = 1;
+    *cols = shape[0];
+    return;
+  }
+  if (shape.size() == 2) {
+    *slices = 1;
+    *rows = shape[0];
+    *cols = shape[1];
+    return;
+  }
+  int64_t lead = 1;
+  for (size_t i = 0; i + 2 < shape.size(); ++i) lead *= shape[i];
+  *slices = lead;
+  *rows = shape[shape.size() - 2];
+  *cols = shape[shape.size() - 1];
+}
+
+}  // namespace compress
+}  // namespace errorflow

@@ -1,0 +1,38 @@
+#ifndef ERRORFLOW_COMPRESS_BOUND_UTIL_H_
+#define ERRORFLOW_COMPRESS_BOUND_UTIL_H_
+
+#include "compress/compressor.h"
+
+namespace errorflow {
+namespace compress {
+
+/// \brief Resolves an ErrorBound into an absolute per-element (pointwise)
+/// bound eb such that enforcing |recon_i - x_i| <= eb for every element
+/// satisfies the request:
+///
+///   Linf absolute: eb = tol
+///   Linf relative: eb = tol * (max - min)          (SZ convention)
+///   L2   absolute: eb = tol / sqrt(n)              (since ||d||2 <= sqrt(n)*||d||inf)
+///   L2   relative: eb = tol * ||x||2 / sqrt(n)
+///
+/// Degenerate inputs (constant field under a relative bound) resolve to 0,
+/// which backends treat as lossless.
+double ResolvePointwiseBound(const Tensor& data, const ErrorBound& bound);
+
+/// \brief Validates a tensor shape read from an untrusted blob before any
+/// allocation: positive bounded dims and a total element count plausible
+/// for `blob_bytes` of compressed payload (corrupted headers otherwise
+/// trigger multi-GB allocations). Returns Corruption on violation.
+Status ValidateBlobShape(const tensor::Shape& shape, size_t blob_bytes);
+
+/// \brief Collapses an arbitrary-rank shape into the (slices, rows, cols)
+/// 3-D view used by dimension-aware predictors: rank 1 -> (1, 1, n),
+/// rank 2 -> (1, r, c), rank 3 -> as-is, rank > 3 -> leading dims merged
+/// into slices.
+void CollapseTo3d(const tensor::Shape& shape, int64_t* slices, int64_t* rows,
+                  int64_t* cols);
+
+}  // namespace compress
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_COMPRESS_BOUND_UTIL_H_

@@ -1,0 +1,221 @@
+#include "compress/codec/huffman.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+namespace errorflow {
+namespace compress {
+
+namespace {
+
+struct Node {
+  uint64_t freq;
+  int32_t symbol_index;  // >= 0 for leaves.
+  int32_t left = -1, right = -1;
+};
+
+struct SymbolCode {
+  uint32_t symbol;
+  int length;
+  uint64_t code;  // Canonical code, assigned after lengths are known.
+};
+
+// Computes Huffman code lengths for the given frequencies.
+void ComputeLengths(std::vector<SymbolCode>* codes,
+                    const std::vector<uint64_t>& freqs) {
+  const size_t n = codes->size();
+  if (n == 1) {
+    (*codes)[0].length = 1;
+    return;
+  }
+  std::vector<Node> nodes;
+  nodes.reserve(2 * n);
+  using HeapEntry = std::pair<uint64_t, int32_t>;  // (freq, node index)
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+  for (size_t i = 0; i < n; ++i) {
+    nodes.push_back(Node{freqs[i], static_cast<int32_t>(i)});
+    heap.push({freqs[i], static_cast<int32_t>(i)});
+  }
+  while (heap.size() > 1) {
+    const auto [f1, i1] = heap.top();
+    heap.pop();
+    const auto [f2, i2] = heap.top();
+    heap.pop();
+    nodes.push_back(Node{f1 + f2, -1, i1, i2});
+    heap.push({f1 + f2, static_cast<int32_t>(nodes.size() - 1)});
+  }
+  // Depth-first traversal assigning depths to leaves.
+  std::vector<std::pair<int32_t, int>> stack = {
+      {static_cast<int32_t>(nodes.size() - 1), 0}};
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& node = nodes[static_cast<size_t>(idx)];
+    if (node.symbol_index >= 0) {
+      (*codes)[static_cast<size_t>(node.symbol_index)].length =
+          std::max(1, depth);
+    } else {
+      stack.push_back({node.left, depth + 1});
+      stack.push_back({node.right, depth + 1});
+    }
+  }
+}
+
+// Assigns canonical codes: sort by (length, symbol), then count upward.
+void AssignCanonical(std::vector<SymbolCode>* codes) {
+  std::sort(codes->begin(), codes->end(),
+            [](const SymbolCode& a, const SymbolCode& b) {
+              if (a.length != b.length) return a.length < b.length;
+              return a.symbol < b.symbol;
+            });
+  uint64_t code = 0;
+  int prev_len = 0;
+  for (SymbolCode& sc : *codes) {
+    code <<= (sc.length - prev_len);
+    sc.code = code;
+    ++code;
+    prev_len = sc.length;
+  }
+}
+
+}  // namespace
+
+Status HuffmanCodec::Encode(const std::vector<uint32_t>& symbols,
+                            util::BitWriter* writer) {
+  if (symbols.empty()) {
+    return Status::InvalidArgument("Huffman: empty symbol stream");
+  }
+  std::unordered_map<uint32_t, uint64_t> freq_map;
+  for (uint32_t s : symbols) ++freq_map[s];
+
+  std::vector<SymbolCode> codes;
+  std::vector<uint64_t> freqs;
+  codes.reserve(freq_map.size());
+  for (const auto& [sym, freq] : freq_map) {
+    codes.push_back(SymbolCode{sym, 0, 0});
+    freqs.push_back(freq);
+  }
+  ComputeLengths(&codes, freqs);
+  AssignCanonical(&codes);
+
+  // Table: count, then (symbol: 32 bits, length: 6 bits) in canonical order.
+  writer->WriteBits(codes.size(), 32);
+  for (const SymbolCode& sc : codes) {
+    writer->WriteBits(sc.symbol, 32);
+    writer->WriteBits(static_cast<uint64_t>(sc.length), 6);
+  }
+  // Payload.
+  std::unordered_map<uint32_t, const SymbolCode*> lookup;
+  lookup.reserve(codes.size());
+  for (const SymbolCode& sc : codes) lookup[sc.symbol] = &sc;
+  for (uint32_t s : symbols) {
+    const SymbolCode* sc = lookup[s];
+    writer->WriteBits(sc->code, sc->length);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint32_t>> HuffmanCodec::Decode(util::BitReader* reader,
+                                                   uint64_t count) {
+  EF_ASSIGN_OR_RETURN(uint64_t table_size, reader->ReadBits(32));
+  if (table_size == 0 || table_size > (1ull << 28)) {
+    return Status::Corruption("Huffman: bad table size");
+  }
+  std::vector<SymbolCode> codes(static_cast<size_t>(table_size));
+  for (auto& sc : codes) {
+    EF_ASSIGN_OR_RETURN(uint64_t sym, reader->ReadBits(32));
+    EF_ASSIGN_OR_RETURN(uint64_t len, reader->ReadBits(6));
+    if (len == 0 || len > 60) {
+      return Status::Corruption("Huffman: bad code length");
+    }
+    sc.symbol = static_cast<uint32_t>(sym);
+    sc.length = static_cast<int>(len);
+  }
+  // The table is stored in canonical order; reassign codes.
+  AssignCanonical(&codes);
+
+  // Validate the code book: a corrupted length table (Kraft sum > 1)
+  // yields canonical codes wider than their declared length, which would
+  // otherwise index out of bounds below.
+  for (const SymbolCode& sc : codes) {
+    if (sc.length < 64 && (sc.code >> sc.length) != 0) {
+      return Status::Corruption("Huffman: inconsistent code lengths");
+    }
+  }
+
+  // Fast path: a direct-lookup table covering codes up to kTableBits long
+  // (virtually all symbols of a skewed quantization-code distribution).
+  constexpr int kTableBits = 12;
+  struct Entry {
+    uint32_t symbol = 0;
+    uint8_t length = 0;  // 0 = not covered (long code).
+  };
+  std::vector<Entry> table(size_t{1} << kTableBits);
+  for (const SymbolCode& sc : codes) {
+    if (sc.length > kTableBits) continue;
+    const int pad = kTableBits - sc.length;
+    const uint64_t first = sc.code << pad;
+    const uint64_t span = uint64_t{1} << pad;
+    for (uint64_t i = 0; i < span; ++i) {
+      table[static_cast<size_t>(first + i)] =
+          Entry{sc.symbol, static_cast<uint8_t>(sc.length)};
+    }
+  }
+
+  // Slow path: canonical length groups for codes longer than kTableBits.
+  struct LengthGroup {
+    int length;
+    uint64_t first_code;
+    uint64_t last_code;  // inclusive
+    size_t first_index;
+  };
+  std::vector<LengthGroup> groups;
+  for (size_t i = 0; i < codes.size();) {
+    size_t j = i;
+    while (j < codes.size() && codes[j].length == codes[i].length) ++j;
+    groups.push_back(LengthGroup{codes[i].length, codes[i].code,
+                                 codes[j - 1].code, i});
+    i = j;
+  }
+
+  std::vector<uint32_t> out;
+  out.reserve(static_cast<size_t>(count));
+  for (uint64_t k = 0; k < count; ++k) {
+    const Entry e = table[static_cast<size_t>(reader->PeekBits(kTableBits))];
+    if (e.length != 0) {
+      if (reader->BitsRemaining() < e.length) {
+        return Status::Corruption("Huffman: stream exhausted");
+      }
+      reader->SkipBits(e.length);
+      out.push_back(e.symbol);
+      continue;
+    }
+    // Long code: walk the length groups bit by bit.
+    uint64_t acc = 0;
+    int len = 0;
+    size_t gi = 0;
+    bool found = false;
+    while (gi < groups.size()) {
+      const LengthGroup& g = groups[gi];
+      while (len < g.length) {
+        EF_ASSIGN_OR_RETURN(bool bit, reader->ReadBit());
+        acc = (acc << 1) | (bit ? 1u : 0u);
+        ++len;
+      }
+      if (acc >= g.first_code && acc <= g.last_code) {
+        out.push_back(codes[g.first_index + (acc - g.first_code)].symbol);
+        found = true;
+        break;
+      }
+      ++gi;
+    }
+    if (!found) return Status::Corruption("Huffman: invalid code word");
+  }
+  return out;
+}
+
+}  // namespace compress
+}  // namespace errorflow

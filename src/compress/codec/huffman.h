@@ -1,0 +1,45 @@
+#ifndef ERRORFLOW_COMPRESS_CODEC_HUFFMAN_H_
+#define ERRORFLOW_COMPRESS_CODEC_HUFFMAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitstream.h"
+#include "util/result.h"
+
+namespace errorflow {
+namespace compress {
+
+/// \brief Canonical Huffman codec over 32-bit symbols.
+///
+/// Shared entropy-coding stage of the SZ-like and MGARD-like backends. The
+/// code table is serialized as (symbol, code length) pairs and rebuilt
+/// canonically on decode, so streams are self-describing. Single-symbol
+/// alphabets are handled (length-1 codes). Symbol values are arbitrary
+/// uint32 (quantization codes are zigzag-encoded by callers first).
+class HuffmanCodec {
+ public:
+  /// Writes `symbols` to `writer` preceded by the code table.
+  /// Returns InvalidArgument on an empty input.
+  static Status Encode(const std::vector<uint32_t>& symbols,
+                       util::BitWriter* writer);
+
+  /// Reads `count` symbols from `reader` (table first).
+  static Result<std::vector<uint32_t>> Decode(util::BitReader* reader,
+                                              uint64_t count);
+};
+
+/// Maps signed to unsigned so small magnitudes get small codes.
+inline uint32_t ZigzagEncode(int32_t v) {
+  return (static_cast<uint32_t>(v) << 1) ^
+         static_cast<uint32_t>(v >> 31);
+}
+
+inline int32_t ZigzagDecode(uint32_t v) {
+  return static_cast<int32_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace compress
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_COMPRESS_CODEC_HUFFMAN_H_

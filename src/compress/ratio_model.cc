@@ -1,0 +1,65 @@
+#include "compress/ratio_model.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "compress/bound_util.h"
+#include "tensor/norms.h"
+
+namespace errorflow {
+namespace compress {
+
+Result<RatioEstimate> EstimateRatio(Compressor* compressor,
+                                    const Tensor& data,
+                                    const ErrorBound& bound,
+                                    double fraction, int64_t min_rows) {
+  if (data.size() == 0 || data.ndim() < 1) {
+    return Status::InvalidArgument("ratio model: non-empty tensor required");
+  }
+  if (fraction <= 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("ratio model: fraction in (0, 1]");
+  }
+  const int64_t rows = data.dim(0);
+  const int64_t per_row = data.size() / rows;
+  int64_t sample_rows = std::max(
+      min_rows, static_cast<int64_t>(std::ceil(rows * fraction)));
+  sample_rows = std::min(sample_rows, rows);
+
+  // Sample from the middle of the field: boundaries are atypical for
+  // prediction-based coders.
+  const int64_t start = (rows - sample_rows) / 2;
+  tensor::Shape sample_shape = data.shape();
+  sample_shape[0] = sample_rows;
+  Tensor sample(sample_shape);
+  std::memcpy(sample.data(), data.data() + start * per_row,
+              static_cast<size_t>(sample.size()) * sizeof(float));
+
+  // Resolve relative bounds against the FULL tensor so the sample is
+  // compressed at the tolerance the full compression would use.
+  ErrorBound abs_bound;
+  abs_bound.relative = false;
+  abs_bound.norm = bound.norm;
+  if (bound.norm == Norm::kLinf) {
+    abs_bound.tolerance = ResolvePointwiseBound(data, bound);
+  } else {
+    const double total = bound.relative
+                             ? bound.tolerance * tensor::L2Norm(data)
+                             : bound.tolerance;
+    // The sample gets its L2 share, as a chunk of the full compression
+    // would (see compress::ParallelCompressor).
+    abs_bound.tolerance =
+        total * std::sqrt(static_cast<double>(sample.size()) /
+                          static_cast<double>(data.size()));
+  }
+
+  EF_ASSIGN_OR_RETURN(Compressed comp,
+                      compressor->Compress(sample, abs_bound));
+  RatioEstimate est;
+  est.ratio = comp.ratio();
+  est.sampled_rows = sample_rows;
+  est.seconds = comp.seconds;
+  return est;
+}
+
+}  // namespace compress
+}  // namespace errorflow

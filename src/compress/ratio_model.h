@@ -1,0 +1,37 @@
+#ifndef ERRORFLOW_COMPRESS_RATIO_MODEL_H_
+#define ERRORFLOW_COMPRESS_RATIO_MODEL_H_
+
+#include "compress/compressor.h"
+
+namespace errorflow {
+namespace compress {
+
+/// \brief Sampled compression-ratio estimation (in the spirit of the
+/// paper's reference [28], "Compression ratio modeling and estimation
+/// across error bounds for lossy compression").
+///
+/// Planning a pipeline requires the ratio a compressor will achieve at a
+/// given tolerance *before* spending the time to compress terabytes. This
+/// estimator compresses a contiguous row sample of the data (`fraction`
+/// of the leading dimension, at least `min_rows`) and extrapolates the
+/// ratio; for the prediction- and transform-based backends here, local
+/// statistics are representative of the field, so a few percent of rows
+/// estimate the ratio within ~10-20%.
+struct RatioEstimate {
+  double ratio = 0.0;
+  /// Rows actually sampled.
+  int64_t sampled_rows = 0;
+  /// Seconds spent compressing the sample (cost of the estimate).
+  double seconds = 0.0;
+};
+
+Result<RatioEstimate> EstimateRatio(Compressor* compressor,
+                                    const Tensor& data,
+                                    const ErrorBound& bound,
+                                    double fraction = 0.05,
+                                    int64_t min_rows = 32);
+
+}  // namespace compress
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_COMPRESS_RATIO_MODEL_H_

@@ -1,0 +1,37 @@
+#ifndef ERRORFLOW_COMPRESS_SZ_H_
+#define ERRORFLOW_COMPRESS_SZ_H_
+
+#include "compress/compressor.h"
+
+namespace errorflow {
+namespace compress {
+
+/// \brief SZ-style prediction-based error-bounded compressor.
+///
+/// Algorithmic skeleton of SZ (Di & Cappello et al.): a Lorenzo predictor
+/// of order 1 over the reconstructed field (1-D/2-D/3-D, chosen from the
+/// tensor rank), linear-scaling quantization of the prediction residual
+/// with bin width 2*eb, an unpredictable-value escape path storing the raw
+/// float, and Huffman coding of the quantization codes. Guarantees
+/// |recon_i - x_i| <= eb for every element.
+///
+/// Properties preserved from production SZ (per DESIGN.md): highest
+/// compression ratios on smooth fields among the three backends, moderate
+/// decompression speed (entropy decode + prediction chain), and support
+/// for both Linf and L2 tolerances (L2 is enforced via eb = tol/sqrt(n)).
+class SzCompressor : public Compressor {
+ public:
+  std::string name() const override { return "sz"; }
+  bool SupportsNorm(Norm norm) const override {
+    (void)norm;
+    return true;
+  }
+  Result<Compressed> Compress(const Tensor& data,
+                              const ErrorBound& bound) override;
+  Result<Decompressed> Decompress(const std::string& blob) override;
+};
+
+}  // namespace compress
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_COMPRESS_SZ_H_

@@ -1,0 +1,39 @@
+#ifndef ERRORFLOW_COMPRESS_ZFP_H_
+#define ERRORFLOW_COMPRESS_ZFP_H_
+
+#include "compress/compressor.h"
+
+namespace errorflow {
+namespace compress {
+
+/// \brief ZFP-style block-transform error-bounded compressor
+/// (fixed-accuracy mode).
+///
+/// Algorithmic skeleton of ZFP (Lindstrom): the field is tiled into 4^d
+/// blocks (d = 1, 2, or 3 from the tensor rank; edge blocks are padded by
+/// replication), each block is decorrelated by a separable orthonormal
+/// 4-point transform, and the coefficients are uniformly quantized with a
+/// step derived from the requested pointwise tolerance divided by the
+/// transform's worst-case Linf amplification, then bit-packed with a
+/// per-block magnitude header — no entropy coding stage.
+///
+/// Properties preserved from production ZFP (per DESIGN.md): the fastest
+/// decompression of the three backends (pure bit-unpacking + a tiny inverse
+/// transform; no Huffman), stable throughput across tolerances, and **no L2
+/// tolerance mode** — `SupportsNorm(kL2)` is false, exactly as the paper
+/// notes in Figs. 8/15.
+class ZfpCompressor : public Compressor {
+ public:
+  std::string name() const override { return "zfp"; }
+  bool SupportsNorm(Norm norm) const override {
+    return norm == Norm::kLinf;
+  }
+  Result<Compressed> Compress(const Tensor& data,
+                              const ErrorBound& bound) override;
+  Result<Decompressed> Decompress(const std::string& blob) override;
+};
+
+}  // namespace compress
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_COMPRESS_ZFP_H_

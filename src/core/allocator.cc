@@ -1,0 +1,43 @@
+#include "core/allocator.h"
+
+#include <algorithm>
+
+namespace errorflow {
+namespace core {
+
+AllocationPlan AllocateTolerance(const ErrorFlowAnalysis& analysis,
+                                 double qoi_tolerance,
+                                 const AllocationConfig& config) {
+  AllocationPlan plan;
+  plan.qoi_tolerance = qoi_tolerance;
+  plan.format = NumericFormat::kFP32;
+  plan.quant_bound = 0.0;
+
+  if (config.allow_quantization) {
+    const double quant_budget = qoi_tolerance * config.quant_fraction;
+    // Candidates ranked by execution speedup, fastest first.
+    std::vector<NumericFormat> candidates = quant::ReducedFormats();
+    std::sort(candidates.begin(), candidates.end(),
+              [&config](NumericFormat a, NumericFormat b) {
+                return config.hardware.Speedup(a) >
+                       config.hardware.Speedup(b);
+              });
+    for (NumericFormat format : candidates) {
+      const double bound = analysis.QuantTerm(format);
+      if (bound <= quant_budget) {
+        plan.format = format;
+        plan.quant_bound = bound;
+        break;
+      }
+    }
+  }
+
+  plan.input_tolerance =
+      analysis.MaxInputError(qoi_tolerance, config.norm, plan.format);
+  plan.predicted_total_bound =
+      analysis.Bound(plan.input_tolerance, config.norm, plan.format);
+  return plan;
+}
+
+}  // namespace core
+}  // namespace errorflow

@@ -1,0 +1,53 @@
+#ifndef ERRORFLOW_CORE_ALLOCATOR_H_
+#define ERRORFLOW_CORE_ALLOCATOR_H_
+
+#include "core/error_bound.h"
+#include "quant/hardware_model.h"
+
+namespace errorflow {
+namespace core {
+
+/// \brief Configuration of the tolerance split between quantization and
+/// compression (Sec. IV-D).
+struct AllocationConfig {
+  Norm norm = Norm::kLinf;
+  /// Fraction of the total QoI tolerance offered to quantization (the
+  /// "configurable factor" of Sec. IV-D; the paper sweeps 10%-90%).
+  double quant_fraction = 0.5;
+  /// Hardware profile used to rank formats by execution speed.
+  quant::HardwareProfile hardware;
+  /// When false, quantization is disabled and the full tolerance goes to
+  /// compression.
+  bool allow_quantization = true;
+};
+
+/// \brief The allocator's decision.
+struct AllocationPlan {
+  /// Chosen weight format (kFP32 when no reduced format fits the budget).
+  NumericFormat format = NumericFormat::kFP32;
+  /// Predicted quantization-only QoI bound of the chosen format.
+  double quant_bound = 0.0;
+  /// Input-error tolerance handed to the compressor (same norm as the
+  /// request; all tolerance unused by quantization goes here).
+  double input_tolerance = 0.0;
+  /// Predicted total QoI bound at (format, input_tolerance).
+  double predicted_total_bound = 0.0;
+  /// Echo of the request.
+  double qoi_tolerance = 0.0;
+};
+
+/// \brief Picks the fastest quantization format whose predicted QoI error
+/// bound fits within `quant_fraction * qoi_tolerance`, then allocates every
+/// remaining bit of tolerance to input compression (Sec. IV-D: "once
+/// quantization is decided, all unutilized tolerance is allocated for data
+/// reduction"). Quantization tolerance is discrete (few formats), so the
+/// chosen format typically consumes less than its budget; the slack is not
+/// wasted.
+AllocationPlan AllocateTolerance(const ErrorFlowAnalysis& analysis,
+                                 double qoi_tolerance,
+                                 const AllocationConfig& config);
+
+}  // namespace core
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_CORE_ALLOCATOR_H_

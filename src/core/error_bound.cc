@@ -1,0 +1,254 @@
+#include "core/error_bound.h"
+
+#include <cmath>
+
+#include "quant/step_size.h"
+#include "util/macros.h"
+
+namespace errorflow {
+namespace core {
+
+namespace {
+
+constexpr double kInvSqrt3 = 0.5773502691896258;
+constexpr double kInv2Sqrt3 = 0.2886751345948129;
+
+}  // namespace
+
+double LayerStepSize(const LayerProfile& layer, NumericFormat format) {
+  if (format == NumericFormat::kFP32) return 0.0;
+  return quant::AverageStepSize(layer.weight, format);
+}
+
+namespace {
+
+// Fallbacks for hand-built profiles that only set dims.
+double NoiseSqrt(const LayerProfile& layer) {
+  return layer.noise_sqrt > 0.0
+             ? layer.noise_sqrt
+             : std::sqrt(static_cast<double>(layer.n_out));
+}
+
+double SigmaPertSqrt(const LayerProfile& layer) {
+  return layer.sigma_pert_sqrt > 0.0
+             ? layer.sigma_pert_sqrt
+             : std::sqrt(static_cast<double>(
+                   std::min(layer.n_in, layer.n_out)));
+}
+
+}  // namespace
+
+double QuantizedSigma(const LayerProfile& layer, NumericFormat format) {
+  const double q = LayerStepSize(layer, format);
+  return layer.sigma + q * SigmaPertSqrt(layer) * kInvSqrt3;
+}
+
+ErrorFlowAnalysis::ErrorFlowAnalysis(ModelProfile profile)
+    : profile_(std::move(profile)) {}
+
+ErrorFlowAnalysis::StepFn FormatStepFn(NumericFormat format) {
+  return [format](const LayerProfile& layer, int64_t) {
+    return LayerStepSize(layer, format);
+  };
+}
+
+ErrorFlowAnalysis::FlowState ErrorFlowAnalysis::FlowBlock(
+    const BlockProfile& block, FlowState in, const StepFn& step_fn,
+    int64_t* layer_counter, double final_sigma_override,
+    bool is_last_block, const ActInjectFn* act_inject) const {
+  auto flow_linear = [&step_fn, layer_counter](
+                         const LayerProfile& layer, FlowState s,
+                         double sigma_override,
+                         int64_t n_out_override) -> FlowState {
+    LayerProfile eff = layer;
+    if (sigma_override >= 0.0) eff.sigma = sigma_override;
+    if (n_out_override >= 0) {
+      eff.n_out = n_out_override;
+      eff.noise_sqrt = std::sqrt(static_cast<double>(n_out_override));
+    }
+    const double q = step_fn(eff, (*layer_counter)++);
+    const double sigma_t = eff.sigma + q * SigmaPertSqrt(eff) * kInvSqrt3;
+    FlowState out;
+    out.error =
+        sigma_t * s.error + q * NoiseSqrt(eff) * kInv2Sqrt3 * s.act_norm;
+    out.act_norm = sigma_t * s.act_norm;
+    out.error *= eff.activation_gain;
+    out.act_norm *= eff.activation_gain;
+    return out;
+  };
+
+  FlowState body = in;
+  for (size_t l = 0; l < block.body.size(); ++l) {
+    const bool is_final_layer =
+        is_last_block && !block.is_residual && l + 1 == block.body.size();
+    if (is_final_layer && final_sigma_override >= 0.0) {
+      body = flow_linear(block.body[l], body, final_sigma_override,
+                         /*n_out_override=*/1);
+    } else {
+      body = flow_linear(block.body[l], body, -1.0, -1);
+    }
+    if (!block.is_residual && act_inject != nullptr) {
+      body.error += (*act_inject)(body.act_norm, block.body[l].n_out);
+    }
+  }
+  if (!block.is_residual) return body;
+
+  FlowState shortcut = in;
+  if (block.has_projection) {
+    shortcut = flow_linear(block.shortcut, in, -1.0, -1);
+  }
+  FlowState out;
+  out.error = (body.error + shortcut.error) * block.post_activation_gain;
+  out.act_norm =
+      (body.act_norm + shortcut.act_norm) * block.post_activation_gain;
+  if (act_inject != nullptr && !block.body.empty()) {
+    out.error += (*act_inject)(out.act_norm, block.body.back().n_out);
+  }
+  return out;
+}
+
+ErrorFlowAnalysis::FlowState ErrorFlowAnalysis::Flow(
+    FlowState state, const StepFn& step_fn, double final_sigma_override,
+    const ActInjectFn* act_inject) const {
+  int64_t counter = 0;
+  for (size_t b = 0; b < profile_.blocks.size(); ++b) {
+    state = FlowBlock(profile_.blocks[b], state, step_fn, &counter,
+                      final_sigma_override,
+                      b + 1 == profile_.blocks.size(), act_inject);
+  }
+  return state;
+}
+
+double ErrorFlowAnalysis::QuantTermWithActivations(
+    NumericFormat weight_format, NumericFormat act_format) const {
+  const ActInjectFn inject = [act_format](double act_norm,
+                                          int64_t n_out) -> double {
+    switch (act_format) {
+      case NumericFormat::kFP32:
+        return 0.0;
+      case NumericFormat::kINT8:
+        // Max-calibrated affine over [-H, H]: step <= 2H/255, per-element
+        // error <= H/255, L2 over n elements <= H sqrt(n) / 255.
+        return act_norm * std::sqrt(static_cast<double>(n_out)) / 255.0;
+      default:
+        // Float: relative rounding 2^-(m+1); ||rounded - h||_2 <=
+        // 2^-(m+1) ||h||_2 <= 2^-(m+1) H.
+        return std::exp2(-(quant::MantissaBits(act_format) + 1)) *
+               act_norm;
+    }
+  };
+  FlowState s{0.0, std::sqrt(static_cast<double>(profile_.n0))};
+  return Flow(s, FormatStepFn(weight_format), -1.0, &inject).error;
+}
+
+int64_t ErrorFlowAnalysis::LinearLayerCount() const {
+  int64_t count = 0;
+  for (const BlockProfile& block : profile_.blocks) {
+    count += static_cast<int64_t>(block.body.size());
+    if (block.is_residual && block.has_projection) ++count;
+  }
+  return count;
+}
+
+double ErrorFlowAnalysis::Gain(NumericFormat format) const {
+  // Propagate a unit input error with H = 0 (no quantization noise
+  // injection): the resulting error is exactly the composed gain.
+  return Flow(FlowState{1.0, 0.0}, FormatStepFn(format), -1.0).error;
+}
+
+double ErrorFlowAnalysis::QuantTerm(NumericFormat format) const {
+  if (format == NumericFormat::kFP32) return 0.0;
+  return QuantTermWithSteps(FormatStepFn(format));
+}
+
+double ErrorFlowAnalysis::QuantTermWithSteps(const StepFn& step_fn) const {
+  FlowState s{0.0, std::sqrt(static_cast<double>(profile_.n0))};
+  return Flow(s, step_fn, -1.0).error;
+}
+
+double ErrorFlowAnalysis::Bound(double input_err, Norm norm,
+                                NumericFormat format) const {
+  return BoundWithSteps(input_err, norm, FormatStepFn(format));
+}
+
+double ErrorFlowAnalysis::BoundWithSteps(double input_err, Norm norm,
+                                         const StepFn& step_fn) const {
+  EF_CHECK(input_err >= 0.0);
+  double input_l2 = input_err;
+  if (norm == Norm::kLinf) {
+    input_l2 = input_err * std::sqrt(static_cast<double>(profile_.n0));
+  }
+  FlowState s{input_l2, std::sqrt(static_cast<double>(profile_.n0))};
+  // The L2 output bound is also a valid Linf bound.
+  return Flow(s, step_fn, -1.0).error;
+}
+
+double ErrorFlowAnalysis::PerFeatureBound(int64_t feature, double input_err,
+                                          Norm norm,
+                                          NumericFormat format) const {
+  EF_CHECK(feature >= 0 &&
+           feature < static_cast<int64_t>(profile_.final_row_norms.size()));
+  double input_l2 = input_err;
+  if (norm == Norm::kLinf) {
+    input_l2 = input_err * std::sqrt(static_cast<double>(profile_.n0));
+  }
+  FlowState s{input_l2, std::sqrt(static_cast<double>(profile_.n0))};
+  const double row_norm =
+      profile_.final_row_norms[static_cast<size_t>(feature)];
+  return Flow(s, FormatStepFn(format), row_norm).error;
+}
+
+double ErrorFlowAnalysis::MaxInputError(double qoi_tolerance, Norm norm,
+                                        NumericFormat format) const {
+  const double gain = Gain(format);
+  const double quant = QuantTerm(format);
+  if (gain <= 0.0) return 0.0;
+  const double slack = qoi_tolerance - quant;
+  if (slack <= 0.0) return 0.0;
+  double input_l2 = slack / gain;
+  if (norm == Norm::kLinf) {
+    input_l2 /= std::sqrt(static_cast<double>(profile_.n0));
+  }
+  return input_l2;
+}
+
+double ErrorFlowAnalysis::Eq3BoundL2(double input_l2_err,
+                                     NumericFormat format) const {
+  EF_CHECK(profile_.blocks.size() == 1 &&
+           "Eq3BoundL2 applies to a single block/MLP");
+  const BlockProfile& block = profile_.blocks[0];
+  const size_t num_layers = block.body.size();
+
+  double sigma_s = 0.0;
+  if (block.is_residual) {
+    sigma_s = block.has_projection ? block.shortcut.sigma : 1.0;
+  }
+
+  // First term: (sigma_s + prod sigma_l) * ||Delta x||.
+  double prod_sigma = 1.0;
+  for (const LayerProfile& l : block.body) {
+    prod_sigma *= l.sigma * l.activation_gain;
+  }
+  double bound = (sigma_s + prod_sigma) * input_l2_err;
+
+  // Second term: layer-by-layer quantization noise per Inequality (3).
+  const double n0 = static_cast<double>(profile_.n0);
+  for (size_t l = 0; l < num_layers; ++l) {
+    double prefix = 1.0;  // prod_{i<l} (sigma_i + q_i sqrt(min)/sqrt 3)
+    for (size_t i = 0; i < l; ++i) {
+      prefix *= QuantizedSigma(block.body[i], format) *
+                block.body[i].activation_gain;
+    }
+    double suffix = 1.0;  // prod_{j>l} sigma_j (plain, as printed).
+    for (size_t j = l + 1; j < num_layers; ++j) {
+      suffix *= block.body[j].sigma * block.body[j].activation_gain;
+    }
+    const double q = LayerStepSize(block.body[l], format);
+    bound += prefix * suffix * q * std::sqrt(n0) *
+             NoiseSqrt(block.body[l]) * kInv2Sqrt3;
+  }
+  return bound * block.post_activation_gain;
+}
+
+}  // namespace core
+}  // namespace errorflow

@@ -1,0 +1,153 @@
+#ifndef ERRORFLOW_CORE_ERROR_BOUND_H_
+#define ERRORFLOW_CORE_ERROR_BOUND_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/spectral_profile.h"
+#include "quant/format.h"
+#include "tensor/norms.h"
+
+namespace errorflow {
+namespace core {
+
+using quant::NumericFormat;
+using tensor::Norm;
+
+/// \brief The paper's error-flow analysis (Sec. III): given a model's
+/// spectral profile, predicts an upper bound on the QoI error when the
+/// input carries a compression error and the weights are quantized.
+///
+/// The bound is affine in the input error:
+///
+///     ||Delta y|| <= Gain(format) * ||Delta x|| + QuantTerm(format)
+///
+/// computed by propagating a pair (E, H) through the network, where E
+/// bounds the error norm and H bounds the activation norm of the noisy
+/// network (H_0 = sqrt(n0), inputs normalized to [-1, 1]):
+///
+///   linear layer l:  E <- sigma~_l E + q_l sqrt(n_l) / (2 sqrt(3)) * H
+///                    H <- sigma~_l H
+///   activation:      E <- C E,  H <- C H
+///   residual block:  (E, H) <- (E_body + E_shortcut, H_body + H_shortcut)
+///
+/// with sigma~_l = sigma_l + q_l sqrt(min(n_{l-1}, n_l)) / sqrt(3) the
+/// pre-quantization proxy for the quantized weight's spectral norm, and
+/// q_l the Table-I average step size. For a single residual block or MLP
+/// this telescopes to exactly Inequality (3) of the paper (with sigma~
+/// kept, conservatively, in the downstream products as well).
+///
+/// All bounds are computed in L2 and converted to Linf via the norm
+/// equivalence of Sec. III-A.
+class ErrorFlowAnalysis {
+ public:
+  explicit ErrorFlowAnalysis(ModelProfile profile);
+
+  const ModelProfile& profile() const { return profile_; }
+
+  /// Total amplification of the input error: sigma_s + prod sigma_l
+  /// composed across blocks (the Eq. 5 compression gain). Uses quantized
+  /// sigma proxies when `format != kFP32`.
+  double Gain(NumericFormat format = NumericFormat::kFP32) const;
+
+  /// The input-independent quantization term of the bound (L2, absolute,
+  /// on normalized outputs).
+  double QuantTerm(NumericFormat format) const;
+
+  /// Upper bound on ||Delta y|| given ||Delta x||, both in `norm`.
+  /// Linf input errors are converted via ||Dx||_2 <= sqrt(n0) ||Dx||_inf;
+  /// the L2 output bound is itself a valid Linf bound.
+  double Bound(double input_err, Norm norm, NumericFormat format) const;
+
+  /// Per-feature variant: bounds |Delta y_k| by replacing the final
+  /// layer's spectral norm with the L2 norm of its k-th row (requires the
+  /// profile to expose final_row_norms).
+  double PerFeatureBound(int64_t feature, double input_err, Norm norm,
+                         NumericFormat format) const;
+
+  /// Largest input error (in `norm`) whose predicted bound stays within
+  /// `qoi_tolerance`; 0 when the quantization term alone exceeds it.
+  double MaxInputError(double qoi_tolerance, Norm norm,
+                       NumericFormat format) const;
+
+  /// \name Custom per-layer quantization steps.
+  ///
+  /// Generalizes the format-based API for the paper's Sec.-VI extensions
+  /// (grouped INT8, per-layer mixed precision): `step_fn(layer, index)`
+  /// returns the average quantization step of linear layer `index` in
+  /// traversal order — plain chains in network order; residual blocks
+  /// contribute their body layers first, then the projection shortcut.
+  /// @{
+  using StepFn =
+      std::function<double(const LayerProfile& layer, int64_t index)>;
+
+  /// Number of linear layers in traversal order (shortcuts included).
+  int64_t LinearLayerCount() const;
+
+  /// Bound with custom steps; reduces to Bound() when step_fn returns the
+  /// Table-I step of a fixed format.
+  double BoundWithSteps(double input_err, Norm norm,
+                        const StepFn& step_fn) const;
+
+  /// Input-independent quantization term with custom steps.
+  double QuantTermWithSteps(const StepFn& step_fn) const;
+  /// @}
+
+  /// \brief Quantization term when *activations* are quantized too
+  /// (Sec. III-B's activation-quantization remark): weights rounded to
+  /// `weight_format`, and the output of every top-level linear layer /
+  /// residual block rounded to `act_format` (matching
+  /// quant::PredictWithQuantizedActivations). Float formats inject a
+  /// relative rounding error 2^-(m+1) * ||h||; INT8 injects
+  /// ||h|| * sqrt(n) / 255 (max calibration).
+  double QuantTermWithActivations(NumericFormat weight_format,
+                                  NumericFormat act_format) const;
+
+  /// Verbatim Inequality (3) for a model consisting of a single MLP chain
+  /// or a single residual block — the exact printed formula, with plain
+  /// sigma_j in the downstream products. Used to validate the recursion
+  /// and by the paper-figure benches on the MLP tasks.
+  /// Returns the L2 bound for an L2 input error.
+  double Eq3BoundL2(double input_l2_err, NumericFormat format) const;
+
+ private:
+  struct FlowState {
+    double error = 0.0;
+    double act_norm = 0.0;
+  };
+
+  // Activation-rounding error injected after a linear layer or block
+  // output with activation-norm bound `act_norm` and `n_out` elements.
+  using ActInjectFn = std::function<double(double act_norm, int64_t n_out)>;
+
+  // Propagates (E, H) through one block; `layer_counter` tracks the
+  // traversal index handed to `step_fn`. `act_inject`, when non-null,
+  // adds activation-rounding error after each plain-chain layer and after
+  // each residual block's output.
+  FlowState FlowBlock(const BlockProfile& block, FlowState in,
+                      const StepFn& step_fn, int64_t* layer_counter,
+                      double final_sigma_override, bool is_last_block,
+                      const ActInjectFn* act_inject = nullptr) const;
+
+  // Runs the full flow with the given initial state.
+  FlowState Flow(FlowState state, const StepFn& step_fn,
+                 double final_sigma_override,
+                 const ActInjectFn* act_inject = nullptr) const;
+
+  ModelProfile profile_;
+};
+
+/// StepFn for a fixed numerical format (the Table-I step of each layer).
+ErrorFlowAnalysis::StepFn FormatStepFn(NumericFormat format);
+
+/// Convenience: Table-I step size of a profiled layer under `format`.
+double LayerStepSize(const LayerProfile& layer, NumericFormat format);
+
+/// Quantized-spectral-norm proxy sigma~ = sigma + q sqrt(min(n_in, n_out))
+/// / sqrt(3).
+double QuantizedSigma(const LayerProfile& layer, NumericFormat format);
+
+}  // namespace core
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_CORE_ERROR_BOUND_H_

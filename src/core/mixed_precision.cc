@@ -1,0 +1,155 @@
+#include "core/mixed_precision.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/residual.h"
+#include "quant/affine.h"
+#include "quant/step_size.h"
+#include "util/macros.h"
+
+namespace errorflow {
+namespace core {
+
+namespace {
+
+void CollectFromLayerList(
+    const std::vector<std::unique_ptr<nn::Layer>>& layers,
+    std::vector<nn::Layer*>* out) {
+  for (const auto& layer : layers) {
+    switch (layer->kind()) {
+      case nn::LayerKind::kDense:
+      case nn::LayerKind::kConv2d:
+        out->push_back(layer.get());
+        break;
+      case nn::LayerKind::kResidualBlock: {
+        auto* block = static_cast<nn::ResidualBlock*>(layer.get());
+        CollectFromLayerList(block->body(), out);
+        if (block->mutable_shortcut() != nullptr) {
+          out->push_back(block->mutable_shortcut());
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+// Gathers LayerProfile pointers in the same traversal order as the bound
+// engine's StepFn indices.
+std::vector<const LayerProfile*> CollectProfiles(
+    const ModelProfile& profile) {
+  std::vector<const LayerProfile*> out;
+  for (const BlockProfile& block : profile.blocks) {
+    for (const LayerProfile& l : block.body) out.push_back(&l);
+    if (block.is_residual && block.has_projection) {
+      out.push_back(&block.shortcut);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double LayerFlops(const LayerProfile& layer) {
+  if (layer.weight.ndim() != 2 || layer.weight.size() == 0) return 0.0;
+  // Dense: one MAC per weight. Conv: each kernel weight fires once per
+  // output pixel = n_out / out_channels times.
+  const double reuse = static_cast<double>(layer.n_out) /
+                       static_cast<double>(layer.weight.dim(0));
+  return static_cast<double>(layer.weight.size()) * std::max(1.0, reuse);
+}
+
+ErrorFlowAnalysis::StepFn MixedStepFn(
+    const std::vector<NumericFormat>& formats) {
+  return [formats](const LayerProfile& layer, int64_t index) {
+    EF_CHECK(index >= 0 &&
+             index < static_cast<int64_t>(formats.size()));
+    return quant::AverageStepSize(layer.weight,
+                                  formats[static_cast<size_t>(index)]);
+  };
+}
+
+MixedPrecisionPlan PlanMixedPrecision(
+    const ErrorFlowAnalysis& analysis, double quant_budget,
+    const quant::HardwareProfile& hardware) {
+  const std::vector<const LayerProfile*> layers =
+      CollectProfiles(analysis.profile());
+  const size_t n = layers.size();
+
+  MixedPrecisionPlan plan;
+  plan.formats.assign(n, NumericFormat::kFP32);
+
+  // Candidate formats, fastest first.
+  std::vector<NumericFormat> by_speed = quant::ReducedFormats();
+  std::sort(by_speed.begin(), by_speed.end(),
+            [&hardware](NumericFormat a, NumericFormat b) {
+              return hardware.Speedup(a) > hardware.Speedup(b);
+            });
+
+  // Layers by FLOPs, heaviest first.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&layers](size_t a, size_t b) {
+    return LayerFlops(*layers[a]) > LayerFlops(*layers[b]);
+  });
+
+  for (size_t idx : order) {
+    for (NumericFormat candidate : by_speed) {
+      plan.formats[idx] = candidate;
+      const double bound =
+          analysis.QuantTermWithSteps(MixedStepFn(plan.formats));
+      if (bound <= quant_budget) break;
+      plan.formats[idx] = NumericFormat::kFP32;  // Revert; try slower.
+    }
+  }
+
+  plan.quant_bound = analysis.QuantTermWithSteps(MixedStepFn(plan.formats));
+
+  // FLOPs-weighted speedup of the assignment.
+  double fp32_time = 0.0, mixed_time = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double flops = LayerFlops(*layers[i]);
+    fp32_time += flops;
+    mixed_time += flops / hardware.Speedup(plan.formats[i]);
+  }
+  plan.modeled_speedup = mixed_time > 0.0 ? fp32_time / mixed_time : 1.0;
+  return plan;
+}
+
+std::vector<nn::Layer*> CollectLinearLayers(nn::Model* model) {
+  std::vector<nn::Layer*> out;
+  CollectFromLayerList(model->layers(), &out);
+  return out;
+}
+
+nn::Model QuantizeMixed(const nn::Model& model,
+                        const std::vector<NumericFormat>& formats) {
+  nn::Model out = model.Clone();
+  out.set_name(model.name() + ".mixed");
+  out.FoldPsn();
+  const std::vector<nn::Layer*> layers = CollectLinearLayers(&out);
+  EF_CHECK(layers.size() == formats.size());
+  for (size_t i = 0; i < layers.size(); ++i) {
+    tensor::Tensor* weight = nullptr;
+    if (auto* d = dynamic_cast<nn::DenseLayer*>(layers[i])) {
+      weight = &d->mutable_weight();
+    } else if (auto* c = dynamic_cast<nn::Conv2dLayer*>(layers[i])) {
+      weight = &c->mutable_weight();
+    }
+    EF_CHECK(weight != nullptr);
+    if (formats[i] == NumericFormat::kINT8) {
+      quant::QuantizeDequantizeInt8(weight);
+    } else {
+      quant::RoundBufferToFormat(weight->data(), weight->size(),
+                                 formats[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace errorflow

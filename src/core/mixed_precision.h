@@ -1,0 +1,55 @@
+#ifndef ERRORFLOW_CORE_MIXED_PRECISION_H_
+#define ERRORFLOW_CORE_MIXED_PRECISION_H_
+
+#include <vector>
+
+#include "core/error_bound.h"
+#include "nn/model.h"
+#include "quant/hardware_model.h"
+
+namespace errorflow {
+namespace core {
+
+/// \brief A per-layer format assignment, in error-flow traversal order
+/// (plain chains in order; residual blocks body-then-shortcut) — the
+/// "significantly larger optimization space" the paper's Sec. IV-D points
+/// at for future work.
+struct MixedPrecisionPlan {
+  std::vector<NumericFormat> formats;
+  /// Predicted quantization-only QoI bound under this assignment.
+  double quant_bound = 0.0;
+  /// FLOPs-weighted execution speedup over all-FP32 under the hardware
+  /// profile.
+  double modeled_speedup = 1.0;
+};
+
+/// Approximate multiply-accumulate count of one profiled linear layer.
+double LayerFlops(const LayerProfile& layer);
+
+/// \brief Greedy mixed-precision planner: starting from all-FP32, walks
+/// layers in decreasing FLOPs order and demotes each to the fastest format
+/// whose resulting total quantization bound still fits `quant_budget`.
+/// Heavier layers are demoted first because they buy the most speed per
+/// unit of error budget.
+MixedPrecisionPlan PlanMixedPrecision(const ErrorFlowAnalysis& analysis,
+                                      double quant_budget,
+                                      const quant::HardwareProfile& hardware);
+
+/// StepFn evaluating a mixed plan in the bound engine.
+ErrorFlowAnalysis::StepFn MixedStepFn(
+    const std::vector<NumericFormat>& formats);
+
+/// \brief Weight-only quantization with per-layer formats (same traversal
+/// order as the plan). Returns the quantized clone; `formats.size()` must
+/// equal the model's linear-layer count.
+nn::Model QuantizeMixed(const nn::Model& model,
+                        const std::vector<NumericFormat>& formats);
+
+/// Collects the model's linear layers (Dense/Conv) in error-flow
+/// traversal order. Exposed for tests.
+std::vector<nn::Layer*> CollectLinearLayers(nn::Model* model);
+
+}  // namespace core
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_CORE_MIXED_PRECISION_H_

@@ -1,0 +1,164 @@
+#include "core/pipeline.h"
+
+#include <cmath>
+
+#include "tensor/norms.h"
+#include "util/string_util.h"
+
+namespace errorflow {
+namespace core {
+
+namespace {
+
+// Max per-sample error over a batch, in the given norm. Rank-2 tensors
+// treat rows as samples; rank-4 treat the leading dim as samples.
+double MaxPerSampleError(const Tensor& ref, const Tensor& got, Norm norm) {
+  EF_CHECK(ref.size() == got.size() && ref.ndim() >= 2);
+  const int64_t n = ref.dim(0);
+  const int64_t per = ref.size() / n;
+  double worst = 0.0;
+  for (int64_t s = 0; s < n; ++s) {
+    const float* a = ref.data() + s * per;
+    const float* b = got.data() + s * per;
+    if (norm == Norm::kL2) {
+      double acc = 0.0;
+      for (int64_t i = 0; i < per; ++i) {
+        const double d = static_cast<double>(a[i]) - b[i];
+        acc += d * d;
+      }
+      worst = std::max(worst, std::sqrt(acc));
+    } else {
+      for (int64_t i = 0; i < per; ++i) {
+        worst = std::max(
+            worst, std::fabs(static_cast<double>(a[i]) - b[i]));
+      }
+    }
+  }
+  return worst;
+}
+
+// Max per-sample norm of a batch (for relative-error denominators).
+double MaxPerSampleNorm(const Tensor& t, Norm norm) {
+  const int64_t n = t.dim(0);
+  const int64_t per = t.size() / n;
+  double worst = 0.0;
+  for (int64_t s = 0; s < n; ++s) {
+    const float* a = t.data() + s * per;
+    if (norm == Norm::kL2) {
+      double acc = 0.0;
+      for (int64_t i = 0; i < per; ++i) {
+        acc += static_cast<double>(a[i]) * a[i];
+      }
+      worst = std::max(worst, std::sqrt(acc));
+    } else {
+      for (int64_t i = 0; i < per; ++i) {
+        worst = std::max(worst, std::fabs(static_cast<double>(a[i])));
+      }
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+InferencePipeline::InferencePipeline(nn::Model model,
+                                     tensor::Shape single_input_shape,
+                                     PipelineConfig config)
+    : model_(std::move(model)),
+      single_input_shape_(std::move(single_input_shape)),
+      config_(config),
+      analysis_(ProfileModel(model_, single_input_shape_)),
+      compressor_(compress::MakeCompressor(config.backend)),
+      storage_(config.storage) {
+  model_.FoldPsn();
+  flops_per_sample_ = model_.FlopsPerSample(single_input_shape_);
+  int64_t elems = 1;
+  for (size_t i = 1; i < single_input_shape_.size(); ++i) {
+    elems *= single_input_shape_[i];
+  }
+  bytes_per_sample_ = elems * static_cast<int64_t>(sizeof(float));
+}
+
+AllocationPlan InferencePipeline::Plan(double qoi_tolerance) const {
+  AllocationConfig alloc;
+  alloc.norm = config_.norm;
+  alloc.quant_fraction = config_.quant_fraction;
+  alloc.hardware = config_.hardware;
+  alloc.allow_quantization = config_.allow_quantization;
+  return AllocateTolerance(analysis_, qoi_tolerance, alloc);
+}
+
+nn::Model* InferencePipeline::QuantizedFor(NumericFormat format) {
+  auto it = quantized_cache_.find(format);
+  if (it == quantized_cache_.end()) {
+    quant::QuantizedModel qm = quant::QuantizeWeights(model_, format);
+    it = quantized_cache_.emplace(format, std::move(qm.model)).first;
+  }
+  return &it->second;
+}
+
+Result<PipelineReport> InferencePipeline::Run(const Tensor& input_batch,
+                                              double qoi_tolerance) {
+  if (input_batch.ndim() < 2) {
+    return Status::InvalidArgument("pipeline: batch tensor required");
+  }
+  const AllocationPlan plan = Plan(qoi_tolerance);
+
+  PipelineReport report;
+  report.format = plan.format;
+  report.input_tolerance = plan.input_tolerance;
+  report.predicted_qoi_bound = plan.predicted_total_bound;
+  report.quant_bound = plan.quant_bound;
+
+  // Reference output: full-precision model on pristine input.
+  const Tensor reference = model_.Predict(input_batch);
+  report.reference_qoi_norm = MaxPerSampleNorm(reference, config_.norm);
+
+  // --- Reduction + storage ---
+  compress::ErrorBound bound;
+  bound.norm = config_.norm;
+  bound.relative = false;
+  bound.tolerance = plan.input_tolerance;
+  EF_ASSIGN_OR_RETURN(compress::Compressed compressed,
+                      compressor_->Compress(input_batch, bound));
+  report.original_bytes = compressed.original_bytes;
+  report.compressed_bytes = static_cast<int64_t>(compressed.blob.size());
+  report.compression_ratio = compressed.ratio();
+  EF_RETURN_IF_ERROR(storage_.Write("batch", std::move(compressed.blob)));
+
+  // --- I/O phase: simulated transfer + real decompression ---
+  EF_ASSIGN_OR_RETURN(io::ReadResult read, storage_.Read("batch"));
+  report.read_seconds = read.simulated_seconds;
+  EF_ASSIGN_OR_RETURN(compress::Decompressed decompressed,
+                      compressor_->Decompress(read.data));
+  report.decompress_seconds =
+      decompressed.seconds /
+      std::max(1.0, config_.storage.decompress_parallelism);
+  report.io_seconds = report.read_seconds + report.decompress_seconds;
+
+  // --- Execution phase: quantized inference ---
+  nn::Model* qmodel = QuantizedFor(plan.format);
+  const Tensor output = qmodel->Predict(decompressed.data);
+  const int64_t batch = input_batch.dim(0);
+  quant::ExecutionModel exec(config_.hardware, flops_per_sample_,
+                             bytes_per_sample_);
+  report.exec_seconds =
+      exec.SecondsPerSample(plan.format) * static_cast<double>(batch);
+
+  // --- Throughput accounting ---
+  const double bytes = static_cast<double>(report.original_bytes);
+  report.io_throughput = bytes / std::max(1e-12, report.io_seconds);
+  report.exec_throughput = bytes / std::max(1e-12, report.exec_seconds);
+  report.total_throughput =
+      std::min(report.io_throughput, report.exec_throughput);
+
+  // --- Achieved errors ---
+  report.achieved_input_error =
+      MaxPerSampleError(input_batch, decompressed.data, config_.norm);
+  report.achieved_qoi_error =
+      MaxPerSampleError(reference, output, config_.norm);
+  return report;
+}
+
+}  // namespace core
+}  // namespace errorflow

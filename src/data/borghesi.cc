@@ -1,0 +1,161 @@
+#include "data/borghesi.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+#include "util/random.h"
+
+namespace errorflow {
+namespace data {
+
+namespace {
+
+// Input variable indices.
+enum Var {
+  kZ = 0,       // mixture fraction
+  kGradZ,       // |grad Z|
+  kC,           // progress variable
+  kGradC,       // |grad C|
+  kCross,       // grad Z . grad C
+  kTemp,        // temperature (nondimensional)
+  kStrain,      // strain-rate magnitude
+  kVort,        // vorticity magnitude
+  kDensity,     // density
+  kVisc,        // kinematic viscosity
+  kTke,         // turbulent kinetic energy
+  kEps,         // TKE dissipation
+  kDiff,        // scalar diffusivity
+};
+
+}  // namespace
+
+const std::vector<std::string>& BorghesiInputNames() {
+  static const std::vector<std::string> kNames = {
+      "Z",     "gradZ", "C",   "gradC", "gradZ.gradC", "T",   "strain",
+      "vort",  "rho",   "nu",  "tke",   "eps",         "D"};
+  return kNames;
+}
+
+Tensor GenerateBorghesiField(int64_t height, int64_t width, uint64_t seed) {
+  EF_CHECK(height > 0 && width > 0);
+  util::Rng rng(seed);
+  Tensor field({kBorghesiInputs, height, width});
+
+  // Broadband turbulent perturbation modes.
+  constexpr int kModes = 8;
+  double amp[kModes], kx[kModes], ky[kModes], ph[kModes];
+  for (int m = 0; m < kModes; ++m) {
+    amp[m] = rng.Uniform(0.01, 0.05) / (m + 1);
+    kx[m] = rng.UniformInt(1, 6) * 2.0 * M_PI;
+    ky[m] = rng.UniformInt(1, 6) * 2.0 * M_PI;
+    ph[m] = rng.Uniform(0.0, 2.0 * M_PI);
+  }
+  const double jet_width = rng.Uniform(0.10, 0.16);
+  const double ignition = rng.Uniform(0.4, 0.8);  // stage of auto-ignition
+
+  const double hx = 1.0 / width, hy = 1.0 / height;
+  auto z_of = [&](double x, double y) {
+    double pert = 0.0;
+    for (int m = 0; m < kModes; ++m) {
+      pert += amp[m] * std::sin(kx[m] * x + ph[m]) *
+              std::cos(ky[m] * y + 0.7 * ph[m]);
+    }
+    // Planar jet: fuel core at y = 0.5.
+    const double s = (y - 0.5) / jet_width + pert;
+    return std::exp(-0.5 * s * s);
+  };
+  auto c_of = [&](double x, double y) {
+    const double z = z_of(x, y);
+    // Progress peaks near the most-reactive mixture fraction (lean side),
+    // modulated by ignition stage.
+    const double zmr = 0.25;
+    return ignition * std::exp(-20.0 * (z - zmr) * (z - zmr)) *
+           (0.8 + 0.2 * std::sin(2.0 * M_PI * x));
+  };
+
+  for (int64_t i = 0; i < height; ++i) {
+    for (int64_t j = 0; j < width; ++j) {
+      const double x = (static_cast<double>(j) + 0.5) * hx;
+      const double y = (static_cast<double>(i) + 0.5) * hy;
+      const double z = z_of(x, y);
+      const double c = c_of(x, y);
+      // Central-difference gradients of the analytic fields.
+      const double dzdx = (z_of(x + hx, y) - z_of(x - hx, y)) / (2 * hx);
+      const double dzdy = (z_of(x, y + hy) - z_of(x, y - hy)) / (2 * hy);
+      const double dcdx = (c_of(x + hx, y) - c_of(x - hx, y)) / (2 * hx);
+      const double dcdy = (c_of(x, y + hy) - c_of(x, y - hy)) / (2 * hy);
+      const double gz = std::sqrt(dzdx * dzdx + dzdy * dzdy);
+      const double gc = std::sqrt(dcdx * dcdx + dcdy * dcdy);
+      const double cross = dzdx * dcdx + dzdy * dcdy;
+      const double temp = 0.3 + 0.7 * c + 0.1 * z;  // ~900K..3000K scaled
+      const double rho = 1.0 / (0.5 + temp);        // ideal-gas-like
+      const double nu = 0.02 * std::pow(temp + 0.5, 0.7);
+      const double strain = 0.5 * (std::fabs(dzdx) + std::fabs(dcdy)) +
+                            0.2 * gz;
+      const double vort = std::fabs(dzdy - dcdx) + 0.1 * gc;
+      const double tke = 0.5 * (strain * strain + vort * vort) * 0.01;
+      const double eps = tke * (0.5 + 2.0 * gz);
+      const double diff = nu / 0.7;  // unity-ish Lewis number
+
+      const double vars[kBorghesiInputs] = {
+          z, gz * 0.05, c, gc * 0.05, cross * 0.0025, temp, strain * 0.05,
+          vort * 0.05, rho, nu, tke, eps, diff};
+      for (int64_t v = 0; v < kBorghesiInputs; ++v) {
+        field[v * height * width + i * width + j] =
+            static_cast<float>(vars[v]);
+      }
+    }
+  }
+  return field;
+}
+
+Tensor BorghesiDissipationRates(const Tensor& states) {
+  EF_CHECK(states.ndim() == 2 && states.dim(1) == kBorghesiInputs);
+  const int64_t n = states.dim(0);
+  Tensor out({n, kBorghesiOutputs});
+  for (int64_t s = 0; s < n; ++s) {
+    const float* v = states.data() + s * kBorghesiInputs;
+    const double gz = v[kGradZ] / 0.05, gc = v[kGradC] / 0.05,
+                 cross = v[kCross] / 0.0025;
+    const double diff = std::max(1e-4, static_cast<double>(v[kDiff]));
+    const double temp = v[kTemp];
+    const double eps = std::max(0.0, static_cast<double>(v[kEps]));
+    const double tke = std::max(1e-6, static_cast<double>(v[kTke]));
+    // Filtered dissipation closures: resolved part + subgrid model scaled
+    // by eps/tke (turbulence time scale). The quadratic gradient terms and
+    // the eps/tke ratio make the outputs highly sensitive to input
+    // perturbations — the property the paper reports for this task.
+    const double turb = eps / tke;
+    const double amp = std::exp(1.5 * (temp - 0.5));
+    const double chi_z = 2.0 * diff * gz * gz * amp + 0.2 * turb * v[kZ];
+    const double chi_c = 2.0 * diff * gc * gc * amp +
+                         0.2 * turb * v[kC] * (1.0 + 2.0 * v[kC]);
+    const double chi_zc = 2.0 * diff * cross * amp +
+                          0.1 * turb * v[kZ] * v[kC];
+    out[s * kBorghesiOutputs + 0] = static_cast<float>(chi_z * 0.05);
+    out[s * kBorghesiOutputs + 1] = static_cast<float>(chi_c * 0.05);
+    out[s * kBorghesiOutputs + 2] = static_cast<float>(chi_zc * 0.05);
+  }
+  return out;
+}
+
+Dataset MakeBorghesiDataset(int64_t height, int64_t width, uint64_t seed) {
+  const Tensor field = GenerateBorghesiField(height, width, seed);
+  const int64_t pixels = height * width;
+  Tensor inputs({pixels, kBorghesiInputs});
+  for (int64_t p = 0; p < pixels; ++p) {
+    for (int64_t v = 0; v < kBorghesiInputs; ++v) {
+      inputs[p * kBorghesiInputs + v] = field[v * pixels + p];
+    }
+  }
+  Dataset ds;
+  ds.name = "borghesiflame";
+  ds.inputs = inputs;
+  ds.targets = BorghesiDissipationRates(inputs);
+  ds.input_names = BorghesiInputNames();
+  ds.target_names = {"chi_Z", "chi_C", "chi_ZC"};
+  return ds;
+}
+
+}  // namespace data
+}  // namespace errorflow

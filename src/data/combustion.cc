@@ -1,0 +1,167 @@
+#include "data/combustion.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+#include "util/random.h"
+
+namespace errorflow {
+namespace data {
+
+namespace {
+
+// Species indices.
+enum Species { kH2 = 0, kO2, kH2O, kH, kO, kOH, kHO2, kH2O2, kN2 };
+
+// Flamelet-like species profiles as functions of mixture fraction z in
+// [0, 1] and progress q in [0, 1]. Fuel-lean at z=0, fuel-rich at z=1,
+// stoichiometric near z_st.
+void SpeciesFromState(double z, double q, double out[kH2Species]) {
+  const double z_st = 0.3;
+  // Bilinear fuel/oxidizer before reaction.
+  const double y_h2_mix = 0.12 * z;
+  const double y_o2_mix = 0.23 * (1.0 - z);
+  // Reaction consumes reactants toward products proportionally to q and
+  // the local flammability (peaks at stoichiometry).
+  const double flam = std::exp(-12.0 * (z - z_st) * (z - z_st));
+  const double burn = q * flam;
+  const double y_h2 = y_h2_mix * (1.0 - 0.95 * burn);
+  const double y_o2 = y_o2_mix * (1.0 - 0.90 * burn);
+  const double y_h2o = 0.22 * burn;
+  // Radical pool: thin layers around the flame front.
+  const double rad = burn * (1.0 - burn);
+  const double y_h = 0.004 * rad;
+  const double y_o = 0.006 * rad;
+  const double y_oh = 0.015 * rad;
+  const double y_ho2 = 0.002 * rad;
+  const double y_h2o2 = 0.001 * rad;
+  double sum = y_h2 + y_o2 + y_h2o + y_h + y_o + y_oh + y_ho2 + y_h2o2;
+  out[kH2] = y_h2;
+  out[kO2] = y_o2;
+  out[kH2O] = y_h2o;
+  out[kH] = y_h;
+  out[kO] = y_o;
+  out[kOH] = y_oh;
+  out[kHO2] = y_ho2;
+  out[kH2O2] = y_h2o2;
+  out[kN2] = std::max(0.0, 1.0 - sum);  // Diluent closes the balance.
+}
+
+}  // namespace
+
+const std::vector<std::string>& H2SpeciesNames() {
+  static const std::vector<std::string> kNames = {
+      "H2", "O2", "H2O", "H", "O", "OH", "HO2", "H2O2", "N2"};
+  return kNames;
+}
+
+Tensor GenerateH2SpeciesField(int64_t height, int64_t width, uint64_t seed) {
+  EF_CHECK(height > 0 && width > 0);
+  util::Rng rng(seed);
+  Tensor field({kH2Species, height, width});
+
+  // Vortex parameters: centered, with slight random strength/extent so
+  // independent batches differ.
+  const double cx = 0.5, cy = 0.5;
+  const double strength = rng.Uniform(1.5, 2.5);
+  const double core = rng.Uniform(0.12, 0.18);
+  const double phase = rng.Uniform(0.0, 2.0 * M_PI);
+
+  for (int64_t i = 0; i < height; ++i) {
+    for (int64_t j = 0; j < width; ++j) {
+      const double x = (static_cast<double>(j) + 0.5) / width;
+      const double y = (static_cast<double>(i) + 0.5) / height;
+      const double dx = x - cx, dy = y - cy;
+      const double r = std::sqrt(dx * dx + dy * dy) + 1e-12;
+      // Lamb-Oseen-like swirl: angular displacement decaying with radius.
+      const double swirl =
+          strength * std::exp(-r * r / (2.0 * core * core));
+      const double cosw = std::cos(swirl), sinw = std::sin(swirl);
+      // Un-advect the point through the vortex to sample the initial
+      // stratification (fuel on top, oxidizer below).
+      const double ux = cx + dx * cosw - dy * sinw;
+      const double uy = cy + dx * sinw + dy * cosw;
+      const double z =
+          0.5 * (1.0 + std::tanh(6.0 * (uy - 0.5))) +
+          0.03 * std::sin(4.0 * M_PI * ux + phase);
+      const double zc = std::min(1.0, std::max(0.0, z));
+      // Progress: reaction is strongest in the vortex core where mixing
+      // happened.
+      const double q = std::exp(-r * r / (2.0 * (1.8 * core) * (1.8 * core)));
+      double y_s[kH2Species];
+      SpeciesFromState(zc, q, y_s);
+      for (int64_t s = 0; s < kH2Species; ++s) {
+        field[s * height * width + i * width + j] =
+            static_cast<float>(y_s[s]);
+      }
+    }
+  }
+  return field;
+}
+
+Tensor H2ReactionRates(const Tensor& mass_fractions) {
+  EF_CHECK(mass_fractions.ndim() == 2 &&
+           mass_fractions.dim(1) == kH2Species);
+  const int64_t n = mass_fractions.dim(0);
+  Tensor rates({n, kH2Species});
+  for (int64_t s = 0; s < n; ++s) {
+    const float* y = mass_fractions.data() + s * kH2Species;
+    // Temperature inferred from product/radical content (smooth map so the
+    // rate is a function of the mass fractions alone).
+    const double t =
+        0.15 + 0.85 * (y[kH2O] / 0.22) + 1.5 * (y[kOH] / 0.015) * 0.1;
+    const double temp = std::min(1.2, std::max(0.15, t));  // ~300K..3000K.
+    auto arrhenius = [temp](double a, double e) {
+      return a * std::exp(-e / temp);
+    };
+    // Reduced mechanism (rates nondimensionalized):
+    const double r1 = arrhenius(8.0, 2.2) * y[kH2] * y[kO2];   // H2+O2->2OH
+    const double r2 = arrhenius(30.0, 0.7) * y[kH2] * y[kOH];  // H2+OH->H2O+H
+    const double r3 = arrhenius(50.0, 1.6) * y[kH] * y[kO2];   // H+O2->OH+O
+    const double r4 = arrhenius(25.0, 1.0) * y[kO] * y[kH2];   // O+H2->OH+H
+    const double r5 = arrhenius(12.0, 0.4) * y[kH] * y[kO2];   // H+O2+M->HO2
+    const double r6 = arrhenius(6.0, 0.9) * y[kHO2] * y[kHO2]; // 2HO2->H2O2+O2
+    const double r7 = arrhenius(9.0, 1.8) * y[kH2O2];          // H2O2->2OH
+
+    double w[kH2Species] = {0};
+    w[kH2] = -r1 - r2 - r4;
+    w[kO2] = -r1 - r3 - r5 + r6;
+    w[kH2O] = r2;
+    w[kH] = r2 - r3 + r4 - r5;
+    w[kO] = r3 - r4;
+    w[kOH] = 2.0 * r1 - r2 + r3 + r4 + 2.0 * r7;
+    w[kHO2] = r5 - 2.0 * r6;
+    w[kH2O2] = r6 - r7;
+    // N2 is inert; enforce exact elemental closure on the diluent so the
+    // rate vector sums to zero like a real mechanism's mass balance.
+    double sum = 0.0;
+    for (int k = 0; k < kN2; ++k) sum += w[k];
+    w[kN2] = -sum;
+    for (int64_t k = 0; k < kH2Species; ++k) {
+      rates[s * kH2Species + k] = static_cast<float>(w[k]);
+    }
+  }
+  return rates;
+}
+
+Dataset MakeH2CombustionDataset(int64_t height, int64_t width,
+                                uint64_t seed) {
+  const Tensor field = GenerateH2SpeciesField(height, width, seed);
+  const int64_t pixels = height * width;
+  Tensor inputs({pixels, kH2Species});
+  for (int64_t p = 0; p < pixels; ++p) {
+    for (int64_t s = 0; s < kH2Species; ++s) {
+      inputs[p * kH2Species + s] = field[s * pixels + p];
+    }
+  }
+  Dataset ds;
+  ds.name = "h2combustion";
+  ds.inputs = inputs;
+  ds.targets = H2ReactionRates(inputs);
+  ds.input_names = H2SpeciesNames();
+  for (const auto& s : H2SpeciesNames()) ds.target_names.push_back("w_" + s);
+  return ds;
+}
+
+}  // namespace data
+}  // namespace errorflow

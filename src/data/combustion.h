@@ -1,0 +1,46 @@
+#ifndef ERRORFLOW_DATA_COMBUSTION_H_
+#define ERRORFLOW_DATA_COMBUSTION_H_
+
+#include "data/dataset.h"
+
+namespace errorflow {
+namespace data {
+
+/// Number of species in the simplified hydrogen mechanism:
+/// H2, O2, H2O, H, O, OH, HO2, H2O2, N2.
+inline constexpr int64_t kH2Species = 9;
+
+/// Species names in input order.
+const std::vector<std::string>& H2SpeciesNames();
+
+/// \brief Generates a (9, H, W) tensor of species mass-fraction fields for
+/// a doubly periodic domain with a single vortex at the center — the
+/// turbulence configuration of the paper's hydrogen-combustion dataset
+/// (Sec. IV-A1 / IV-D: "the turbulence is mainly concentrated around the
+/// single vortex at the center", which is why the fields compress well).
+///
+/// The mixture fraction is a smooth fuel/oxidizer stratification advected
+/// by the vortex; species profiles follow flamelet-like functions of the
+/// mixture fraction and reaction progress; mass fractions are positive and
+/// sum to one at every point.
+Tensor GenerateH2SpeciesField(int64_t height, int64_t width, uint64_t seed);
+
+/// \brief Net chemical production rates for a batch of mass-fraction
+/// states, from a reduced Arrhenius mechanism (5 reversible steps over the
+/// 9 species, temperature inferred from the water/radical content). Rates
+/// are scaled to O(1) as a solver would nondimensionalize them.
+///
+/// `mass_fractions` is (n, 9); the result is (n, 9) and conserves mass
+/// (rows sum to ~0).
+Tensor H2ReactionRates(const Tensor& mass_fractions);
+
+/// \brief Builds the supervised dataset for the H2 surrogate: every grid
+/// point of a generated field becomes a sample; inputs are the 9 mass
+/// fractions and targets the 9 reaction rates.
+Dataset MakeH2CombustionDataset(int64_t height, int64_t width,
+                                uint64_t seed);
+
+}  // namespace data
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_DATA_COMBUSTION_H_

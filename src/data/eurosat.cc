@@ -1,0 +1,161 @@
+#include "data/eurosat.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+#include "util/random.h"
+
+namespace errorflow {
+namespace data {
+
+const std::vector<std::string>& EuroSatClassNames() {
+  static const std::vector<std::string> kNames = {
+      "AnnualCrop",      "Forest",     "HerbaceousVegetation",
+      "Highway",         "Industrial", "Pasture",
+      "PermanentCrop",   "Residential", "River",
+      "SeaLake"};
+  return kNames;
+}
+
+namespace {
+
+// Per-class base reflectance by band (13 bands), loosely following real
+// spectral behaviour: vegetation high in NIR (bands 7-9), water low
+// everywhere but blue, urban flat and bright.
+void ClassSignature(int cls, double out[kEuroSatBands]) {
+  for (int b = 0; b < kEuroSatBands; ++b) {
+    const double x = static_cast<double>(b) / (kEuroSatBands - 1);
+    double v = 0.3;
+    switch (cls) {
+      case 0:  // AnnualCrop: vegetation with soil background.
+        v = 0.25 + 0.45 * std::exp(-8.0 * (x - 0.6) * (x - 0.6));
+        break;
+      case 1:  // Forest: strong NIR plateau, dark visible.
+        v = 0.12 + 0.55 * std::exp(-6.0 * (x - 0.65) * (x - 0.65));
+        break;
+      case 2:  // HerbaceousVegetation.
+        v = 0.20 + 0.40 * std::exp(-7.0 * (x - 0.62) * (x - 0.62));
+        break;
+      case 3:  // Highway: asphalt, flat and mid-dark.
+        v = 0.28 + 0.05 * x;
+        break;
+      case 4:  // Industrial: bright, slightly blue.
+        v = 0.55 - 0.10 * x;
+        break;
+      case 5:  // Pasture.
+        v = 0.22 + 0.35 * std::exp(-7.0 * (x - 0.58) * (x - 0.58));
+        break;
+      case 6:  // PermanentCrop.
+        v = 0.24 + 0.38 * std::exp(-9.0 * (x - 0.63) * (x - 0.63));
+        break;
+      case 7:  // Residential: bright, textured.
+        v = 0.45 + 0.05 * std::sin(9.0 * x);
+        break;
+      case 8:  // River: dark, blue peak.
+        v = 0.10 + 0.25 * std::exp(-20.0 * (x - 0.1) * (x - 0.1));
+        break;
+      case 9:  // SeaLake: darkest, blue.
+        v = 0.06 + 0.20 * std::exp(-25.0 * (x - 0.08) * (x - 0.08));
+        break;
+      default:
+        break;
+    }
+    out[b] = v;
+  }
+}
+
+// Class-dependent spatial texture in [-1, 1].
+double ClassTexture(int cls, double x, double y, const double params[6]) {
+  switch (cls) {
+    case 0:  // Furrowed fields: strong oriented stripes.
+    case 6:
+      return std::sin(params[0] * (x * params[2] + y * params[3]));
+    case 1:  // Forest: isotropic blobs.
+    case 2:
+    case 5:
+      return std::sin(params[0] * x + params[4]) *
+             std::cos(params[1] * y + params[5]);
+    case 3: {  // Highway: a bright diagonal band.
+      const double d = std::fabs(params[2] * (x - params[4]) +
+                                 params[3] * (y - params[5]));
+      return 2.0 * std::exp(-40.0 * d * d) - 0.3;
+    }
+    case 4:  // Industrial / residential: blocky checker pattern.
+    case 7: {
+      const double bx = std::sin(params[0] * x + params[4]);
+      const double by = std::sin(params[1] * y + params[5]);
+      return (bx > 0 ? 1.0 : -1.0) * (by > 0 ? 0.6 : -0.6);
+    }
+    case 8: {  // River: meandering dark curve on land background.
+      const double c = y - (0.5 + 0.2 * std::sin(params[0] * x + params[4]));
+      return 1.0 - 2.5 * std::exp(-60.0 * c * c);
+    }
+    case 9:  // Sea: low-frequency ripples.
+      return 0.3 * std::sin(params[0] * x + params[1] * y + params[4]);
+    default:
+      return 0.0;
+  }
+}
+
+}  // namespace
+
+Dataset GenerateEuroSat(const EuroSatConfig& config) {
+  EF_CHECK(config.n_images > 0 && config.height > 0 && config.width > 0);
+  util::Rng rng(config.seed);
+  Tensor inputs({config.n_images, kEuroSatBands, config.height,
+                 config.width});
+  Tensor targets({config.n_images});
+
+  for (int64_t img = 0; img < config.n_images; ++img) {
+    const int cls = static_cast<int>(img % kEuroSatClasses);
+    targets[img] = static_cast<float>(cls);
+    double sig[kEuroSatBands];
+    ClassSignature(cls, sig);
+    // Per-image texture parameters and illumination.
+    double params[6];
+    params[0] = rng.Uniform(8.0, 26.0);
+    params[1] = rng.Uniform(8.0, 26.0);
+    const double angle = rng.Uniform(0.0, M_PI);
+    params[2] = std::cos(angle);
+    params[3] = std::sin(angle);
+    params[4] = rng.Uniform(0.0, 2.0 * M_PI);
+    params[5] = rng.Uniform(0.0, 2.0 * M_PI);
+    const double illum = rng.Uniform(0.85, 1.15);
+    util::Rng pixel_rng = rng.Fork();
+
+    for (int64_t i = 0; i < config.height; ++i) {
+      for (int64_t j = 0; j < config.width; ++j) {
+        const double x = (static_cast<double>(j) + 0.5) / config.width;
+        const double y = (static_cast<double>(i) + 0.5) / config.height;
+        const double tex = ClassTexture(cls, x, y, params);
+        const double noise = pixel_rng.Normal(0.0, 0.02);
+        for (int64_t b = 0; b < kEuroSatBands; ++b) {
+          // Texture modulates reflectance; NIR bands see vegetation
+          // texture more strongly.
+          const double band_gain =
+              0.10 + 0.08 * std::exp(-6.0 * (static_cast<double>(b) /
+                                                 kEuroSatBands -
+                                             0.6) *
+                                     (static_cast<double>(b) /
+                                          kEuroSatBands -
+                                      0.6));
+          double v = illum * (sig[b] + band_gain * tex + noise);
+          v = std::min(1.0, std::max(0.0, v));
+          // 16-bit quantization, as in the source imagery.
+          v = std::nearbyint(v * 65535.0) / 65535.0;
+          inputs.at4(img, b, i, j) = static_cast<float>(v);
+        }
+      }
+    }
+  }
+
+  Dataset ds;
+  ds.name = "eurosat";
+  ds.inputs = std::move(inputs);
+  ds.targets = std::move(targets);
+  ds.target_names = EuroSatClassNames();
+  return ds;
+}
+
+}  // namespace data
+}  // namespace errorflow

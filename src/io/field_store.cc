@@ -1,0 +1,86 @@
+#include "io/field_store.h"
+
+#include "util/string_util.h"
+
+namespace errorflow {
+namespace io {
+
+namespace {
+std::string KeyFor(int64_t step) {
+  return util::StrFormat("step/%lld", static_cast<long long>(step));
+}
+}  // namespace
+
+FieldStore::FieldStore(compress::Backend backend, StorageConfig storage)
+    : compressor_(compress::MakeCompressor(backend)), storage_(storage) {}
+
+Status FieldStore::Put(int64_t step, const tensor::Tensor& field,
+                       const compress::ErrorBound& bound) {
+  EF_ASSIGN_OR_RETURN(compress::Compressed comp,
+                      compressor_->Compress(field, bound));
+  FieldRecord record;
+  record.step = step;
+  record.shape = field.shape();
+  record.original_bytes = comp.original_bytes;
+  record.stored_bytes = static_cast<int64_t>(comp.blob.size());
+  record.resolved_tolerance = comp.resolved_abs_tolerance;
+  record.compress_seconds = comp.seconds;
+  EF_RETURN_IF_ERROR(storage_.Write(KeyFor(step), std::move(comp.blob)));
+  records_[step] = std::move(record);
+  return Status::OK();
+}
+
+Result<FieldFetch> FieldStore::Get(int64_t step) const {
+  if (records_.count(step) == 0) {
+    return Status::NotFound(
+        util::StrFormat("no field stored for step %lld",
+                        static_cast<long long>(step)));
+  }
+  EF_ASSIGN_OR_RETURN(ReadResult read, storage_.Read(KeyFor(step)));
+  EF_ASSIGN_OR_RETURN(compress::Decompressed dec,
+                      compressor_->Decompress(read.data));
+  FieldFetch fetch;
+  fetch.data = std::move(dec.data);
+  fetch.io_seconds =
+      read.simulated_seconds +
+      dec.seconds / std::max(1.0, storage_.config().decompress_parallelism);
+  return fetch;
+}
+
+Result<FieldRecord> FieldStore::Describe(int64_t step) const {
+  auto it = records_.find(step);
+  if (it == records_.end()) {
+    return Status::NotFound("no such step");
+  }
+  return it->second;
+}
+
+std::vector<int64_t> FieldStore::Steps() const {
+  std::vector<int64_t> steps;
+  steps.reserve(records_.size());
+  for (const auto& [step, record] : records_) steps.push_back(step);
+  return steps;
+}
+
+int64_t FieldStore::TotalStoredBytes() const {
+  int64_t total = 0;
+  for (const auto& [step, record] : records_) total += record.stored_bytes;
+  return total;
+}
+
+int64_t FieldStore::TotalOriginalBytes() const {
+  int64_t total = 0;
+  for (const auto& [step, record] : records_) {
+    total += record.original_bytes;
+  }
+  return total;
+}
+
+double FieldStore::OverallRatio() const {
+  const int64_t stored = TotalStoredBytes();
+  return stored > 0 ? static_cast<double>(TotalOriginalBytes()) / stored
+                    : 0.0;
+}
+
+}  // namespace io
+}  // namespace errorflow

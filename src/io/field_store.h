@@ -1,0 +1,74 @@
+#ifndef ERRORFLOW_IO_FIELD_STORE_H_
+#define ERRORFLOW_IO_FIELD_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "compress/compressor.h"
+#include "io/sim_storage.h"
+
+namespace errorflow {
+namespace io {
+
+/// \brief Per-timestep record kept by the store.
+struct FieldRecord {
+  int64_t step = -1;
+  tensor::Shape shape;
+  int64_t original_bytes = 0;
+  int64_t stored_bytes = 0;
+  /// Absolute error bound the compressor enforced for this step.
+  double resolved_tolerance = 0.0;
+  double compress_seconds = 0.0;
+};
+
+/// \brief Outcome of fetching one timestep.
+struct FieldFetch {
+  tensor::Tensor data;
+  /// Modeled storage transfer time + measured decompression time, scaled
+  /// by the storage tier's decompression parallelism.
+  double io_seconds = 0.0;
+};
+
+/// \brief A compressed time-series store for simulation fields — the
+/// "write reduced, read verified" pattern of in-situ HPC campaigns
+/// (Sec. II, Motivation 1). Each timestep is compressed under the given
+/// error bound, staged to the simulated storage tier, and retrievable
+/// with full I/O accounting.
+class FieldStore {
+ public:
+  /// `backend` compresses every stored field; `storage` models transfer.
+  FieldStore(compress::Backend backend, StorageConfig storage = {});
+
+  /// Compresses and stores `field` as timestep `step` (overwrites).
+  Status Put(int64_t step, const tensor::Tensor& field,
+             const compress::ErrorBound& bound);
+
+  /// Fetches and reconstructs a timestep.
+  Result<FieldFetch> Get(int64_t step) const;
+
+  /// Metadata of a stored step.
+  Result<FieldRecord> Describe(int64_t step) const;
+
+  /// All stored steps in ascending order.
+  std::vector<int64_t> Steps() const;
+
+  /// Sum of stored (compressed) bytes across steps.
+  int64_t TotalStoredBytes() const;
+
+  /// Sum of original bytes across steps.
+  int64_t TotalOriginalBytes() const;
+
+  /// Aggregate compression ratio (original / stored).
+  double OverallRatio() const;
+
+ private:
+  std::unique_ptr<compress::Compressor> compressor_;
+  SimulatedStorage storage_;
+  std::map<int64_t, FieldRecord> records_;
+};
+
+}  // namespace io
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_IO_FIELD_STORE_H_

@@ -1,0 +1,158 @@
+#include "nn/activation.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace errorflow {
+namespace nn {
+
+namespace {
+
+// GeLU (tanh approximation) and its derivative.
+float Gelu(float x) {
+  const float kC = 0.7978845608f;  // sqrt(2/pi)
+  const float inner = kC * (x + 0.044715f * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+float GeluGrad(float x) {
+  const float kC = 0.7978845608f;
+  const float x3 = x * x * x;
+  const float inner = kC * (x + 0.044715f * x3);
+  const float t = std::tanh(inner);
+  const float sech2 = 1.0f - t * t;
+  return 0.5f * (1.0f + t) +
+         0.5f * x * sech2 * kC * (1.0f + 3.0f * 0.044715f * x * x);
+}
+
+}  // namespace
+
+const char* ActivationKindToString(ActivationKind kind) {
+  switch (kind) {
+    case ActivationKind::kReLU:
+      return "ReLU";
+    case ActivationKind::kLeakyReLU:
+      return "LeakyReLU";
+    case ActivationKind::kPReLU:
+      return "PReLU";
+    case ActivationKind::kTanh:
+      return "Tanh";
+    case ActivationKind::kGeLU:
+      return "GeLU";
+    case ActivationKind::kIdentity:
+      return "Identity";
+  }
+  return "Unknown";
+}
+
+double ActivationDerivativeBound(ActivationKind kind) {
+  switch (kind) {
+    case ActivationKind::kGeLU:
+      // max |GeLU'(x)| ~= 1.1289 near x ~ 1.06 (tanh approximation).
+      return 1.1290;
+    case ActivationKind::kReLU:
+    case ActivationKind::kLeakyReLU:
+    case ActivationKind::kPReLU:
+    case ActivationKind::kTanh:
+    case ActivationKind::kIdentity:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+ActivationLayer::ActivationLayer(ActivationKind kind, float leaky_slope)
+    : kind_(kind),
+      slope_({1}, {leaky_slope}),
+      slope_grad_({1}, {0.0f}) {}
+
+std::string ActivationLayer::ToString() const {
+  return util::StrFormat("Activation(%s)", ActivationKindToString(kind_));
+}
+
+void ActivationLayer::Forward(const Tensor& input, Tensor* output,
+                              bool training) {
+  if (training) cached_input_ = input;
+  if (output->shape() != input.shape()) *output = Tensor(input.shape());
+  const float a = slope_[0];
+  for (int64_t i = 0; i < input.size(); ++i) {
+    const float x = input[i];
+    float y = x;
+    switch (kind_) {
+      case ActivationKind::kReLU:
+        y = x > 0.0f ? x : 0.0f;
+        break;
+      case ActivationKind::kLeakyReLU:
+      case ActivationKind::kPReLU:
+        y = x > 0.0f ? x : a * x;
+        break;
+      case ActivationKind::kTanh:
+        y = std::tanh(x);
+        break;
+      case ActivationKind::kGeLU:
+        y = Gelu(x);
+        break;
+      case ActivationKind::kIdentity:
+        break;
+    }
+    (*output)[i] = y;
+  }
+}
+
+void ActivationLayer::Backward(const Tensor& grad_output,
+                               Tensor* grad_input) {
+  const Tensor& x = cached_input_;
+  EF_CHECK(grad_output.size() == x.size());
+  if (grad_input->shape() != x.shape()) *grad_input = Tensor(x.shape());
+  const float a = slope_[0];
+  double slope_grad = 0.0;
+  for (int64_t i = 0; i < x.size(); ++i) {
+    const float xv = x[i];
+    const float g = grad_output[i];
+    float d = 1.0f;
+    switch (kind_) {
+      case ActivationKind::kReLU:
+        d = xv > 0.0f ? 1.0f : 0.0f;
+        break;
+      case ActivationKind::kLeakyReLU:
+        d = xv > 0.0f ? 1.0f : a;
+        break;
+      case ActivationKind::kPReLU:
+        d = xv > 0.0f ? 1.0f : a;
+        if (xv <= 0.0f) slope_grad += static_cast<double>(g) * xv;
+        break;
+      case ActivationKind::kTanh: {
+        const float t = std::tanh(xv);
+        d = 1.0f - t * t;
+        break;
+      }
+      case ActivationKind::kGeLU:
+        d = GeluGrad(xv);
+        break;
+      case ActivationKind::kIdentity:
+        d = 1.0f;
+        break;
+    }
+    (*grad_input)[i] = g * d;
+  }
+  if (kind_ == ActivationKind::kPReLU) {
+    slope_grad_[0] += static_cast<float>(slope_grad);
+  }
+}
+
+std::vector<Param> ActivationLayer::Params() {
+  if (kind_ != ActivationKind::kPReLU) return {};
+  return {Param{"slope", &slope_, &slope_grad_, /*decay=*/false}};
+}
+
+std::unique_ptr<Layer> ActivationLayer::Clone() const {
+  auto copy = std::make_unique<ActivationLayer>(kind_, slope_[0]);
+  return copy;
+}
+
+void ActivationLayer::ClampSlope() {
+  slope_[0] = std::min(1.0f, std::max(0.0f, slope_[0]));
+}
+
+}  // namespace nn
+}  // namespace errorflow

@@ -1,0 +1,68 @@
+#ifndef ERRORFLOW_NN_ACTIVATION_H_
+#define ERRORFLOW_NN_ACTIVATION_H_
+
+#include <memory>
+#include <string>
+
+#include "nn/layer.h"
+
+namespace errorflow {
+namespace nn {
+
+/// \brief Supported nonlinearities.
+///
+/// All of these have first derivative globally bounded by 1 (the constant C
+/// of Sec. III-A), which the error-flow analysis relies on. PReLU keeps its
+/// learnable slope clamped to [0, 1] for the same reason.
+enum class ActivationKind {
+  kReLU,
+  kLeakyReLU,
+  kPReLU,
+  kTanh,
+  kGeLU,
+  kIdentity,
+};
+
+const char* ActivationKindToString(ActivationKind kind);
+
+/// \brief Upper bound on |phi'(z)| over all z for the given activation.
+/// Returns 1.0 for every supported kind (GeLU's derivative peaks at ~1.13;
+/// we report that exact constant so bounds remain safe).
+double ActivationDerivativeBound(ActivationKind kind);
+
+/// \brief Elementwise activation layer.
+///
+/// PReLU carries one learnable slope shared across the layer (clamped to
+/// [0,1] after each optimizer step by the trainer so that C = 1 holds).
+class ActivationLayer : public Layer {
+ public:
+  explicit ActivationLayer(ActivationKind kind, float leaky_slope = 0.01f);
+
+  LayerKind kind() const override { return LayerKind::kActivation; }
+  ActivationKind activation_kind() const { return kind_; }
+  std::string ToString() const override;
+
+  void Forward(const Tensor& input, Tensor* output, bool training) override;
+  void Backward(const Tensor& grad_output, Tensor* grad_input) override;
+  std::vector<Param> Params() override;
+  std::unique_ptr<Layer> Clone() const override;
+  Shape OutputShape(const Shape& input_shape) const override {
+    return input_shape;
+  }
+
+  /// Learnable PReLU slope (fixed slope for LeakyReLU).
+  float slope() const { return slope_[0]; }
+  /// Clamps the PReLU slope into [0, 1]; called by the trainer after steps.
+  void ClampSlope();
+
+ private:
+  ActivationKind kind_;
+  Tensor slope_;       // 1-element tensor (PReLU learnable / leaky fixed).
+  Tensor slope_grad_;  // gradient accumulator for PReLU.
+  Tensor cached_input_;
+};
+
+}  // namespace nn
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_NN_ACTIVATION_H_

@@ -1,0 +1,105 @@
+#include "nn/builders.h"
+
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/residual.h"
+#include "nn/pool.h"
+#include "util/macros.h"
+
+namespace errorflow {
+namespace nn {
+
+Model BuildMlp(const MlpConfig& config) {
+  EF_CHECK(config.input_dim > 0 && config.output_dim > 0);
+  Model model(config.name);
+  uint64_t seed = config.seed;
+  int64_t in_dim = config.input_dim;
+  for (int64_t width : config.hidden_dims) {
+    auto dense = std::make_unique<DenseLayer>(in_dim, width, config.use_psn);
+    dense->InitXavier(seed++);
+    model.Add(std::move(dense));
+    model.Add(std::make_unique<ActivationLayer>(config.activation));
+    in_dim = width;
+  }
+  auto head =
+      std::make_unique<DenseLayer>(in_dim, config.output_dim, config.use_psn);
+  head->InitXavier(seed++);
+  model.Add(std::move(head));
+  return model;
+}
+
+namespace {
+
+std::unique_ptr<ResidualBlock> MakeBasicBlock(int64_t in_ch, int64_t out_ch,
+                                              int stride,
+                                              ActivationKind activation,
+                                              bool use_psn,
+                                              double psn_branch_alpha,
+                                              uint64_t* seed) {
+  std::vector<std::unique_ptr<Layer>> body;
+  auto conv1 =
+      std::make_unique<Conv2dLayer>(in_ch, out_ch, 3, stride, 1, use_psn);
+  conv1->InitHe((*seed)++);
+  if (use_psn && psn_branch_alpha > 0.0) {
+    conv1->set_alpha(std::min(conv1->alpha(),
+                              static_cast<float>(psn_branch_alpha)));
+  }
+  body.push_back(std::move(conv1));
+  body.push_back(std::make_unique<ActivationLayer>(activation));
+  auto conv2 = std::make_unique<Conv2dLayer>(out_ch, out_ch, 3, 1, 1,
+                                             use_psn);
+  conv2->InitHe((*seed)++);
+  if (use_psn && psn_branch_alpha > 0.0) {
+    conv2->set_alpha(std::min(conv2->alpha(),
+                              static_cast<float>(psn_branch_alpha)));
+  }
+  body.push_back(std::move(conv2));
+
+  std::unique_ptr<Layer> shortcut;
+  if (stride != 1 || in_ch != out_ch) {
+    auto proj =
+        std::make_unique<Conv2dLayer>(in_ch, out_ch, 1, stride, 0, use_psn);
+    proj->InitHe((*seed)++);
+    shortcut = std::move(proj);
+  }
+  auto post = std::make_unique<ActivationLayer>(activation);
+  return std::make_unique<ResidualBlock>(std::move(body), std::move(shortcut),
+                                         std::move(post));
+}
+
+}  // namespace
+
+Model BuildResNet(const ResNetConfig& config) {
+  EF_CHECK(!config.stage_channels.empty() &&
+           config.stage_channels.size() == config.stage_blocks.size());
+  Model model(config.name);
+  uint64_t seed = config.seed;
+
+  auto stem = std::make_unique<Conv2dLayer>(
+      config.in_channels, config.stage_channels[0], 3, 1, 1, config.use_psn);
+  stem->InitHe(seed++);
+  model.Add(std::move(stem));
+  model.Add(std::make_unique<ActivationLayer>(config.activation));
+
+  int64_t in_ch = config.stage_channels[0];
+  for (size_t stage = 0; stage < config.stage_channels.size(); ++stage) {
+    const int64_t out_ch = config.stage_channels[stage];
+    for (int b = 0; b < config.stage_blocks[stage]; ++b) {
+      const int stride = (b == 0 && stage > 0) ? 2 : 1;
+      model.Add(MakeBasicBlock(in_ch, out_ch, stride, config.activation,
+                               config.use_psn, config.psn_branch_alpha,
+                               &seed));
+      in_ch = out_ch;
+    }
+  }
+
+  model.Add(std::make_unique<GlobalAvgPoolLayer>());
+  auto head =
+      std::make_unique<DenseLayer>(in_ch, config.num_classes, config.use_psn);
+  head->InitXavier(seed++);
+  model.Add(std::move(head));
+  return model;
+}
+
+}  // namespace nn
+}  // namespace errorflow

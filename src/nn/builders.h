@@ -1,0 +1,64 @@
+#ifndef ERRORFLOW_NN_BUILDERS_H_
+#define ERRORFLOW_NN_BUILDERS_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/activation.h"
+#include "nn/model.h"
+
+namespace errorflow {
+namespace nn {
+
+/// \brief Configuration for a multi-layer perceptron.
+///
+/// MLPs are the paper's combustion surrogates: H2Combustion uses two hidden
+/// layers of 50 neurons (9 -> 50 -> 50 -> 9); BorghesiFlame uses eight
+/// hidden layers (13 -> ... -> 3).
+struct MlpConfig {
+  std::string name = "mlp";
+  int64_t input_dim = 0;
+  std::vector<int64_t> hidden_dims;
+  int64_t output_dim = 0;
+  ActivationKind activation = ActivationKind::kTanh;
+  /// Enables parameterized spectral normalization on every dense layer.
+  bool use_psn = false;
+  uint64_t seed = 1;
+};
+
+/// Builds an MLP: Dense/activation pairs with a linear output layer.
+Model BuildMlp(const MlpConfig& config);
+
+/// \brief Configuration for a CIFAR-stem ResNet.
+///
+/// The default (3 stages x 2 blocks) is the scaled-down ResNet18 used for
+/// the EuroSAT-style task; see DESIGN.md for the 224^2 -> 32^2 substitution.
+struct ResNetConfig {
+  std::string name = "resnet";
+  int64_t in_channels = 3;
+  int64_t num_classes = 10;
+  /// Channels per stage; the first conv maps in_channels to
+  /// stage_channels[0].
+  std::vector<int64_t> stage_channels = {16, 32, 64};
+  /// Residual blocks per stage. {2,2,2} mirrors ResNet18's per-stage depth.
+  std::vector<int> stage_blocks = {2, 2, 2};
+  ActivationKind activation = ActivationKind::kReLU;
+  bool use_psn = false;
+  /// With PSN: initial alpha of the residual-branch convolutions
+  /// (SkipInit-style). Blocks start near-identity (branch product
+  /// alpha^2), which keeps the telescoped Eq. (3) gain small while the
+  /// trunk signal is preserved; alpha grows during training where the
+  /// task needs it. <= 0 disables the branch scaling (alpha = sigma).
+  double psn_branch_alpha = 0.6;
+  uint64_t seed = 1;
+};
+
+/// Builds a ResNet: 3x3 stem conv, stages of residual blocks (stride-2
+/// downsampling between stages, 1x1 projection shortcuts), global average
+/// pooling, and a dense classifier head.
+Model BuildResNet(const ResNetConfig& config);
+
+}  // namespace nn
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_NN_BUILDERS_H_

@@ -1,0 +1,359 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+
+#include "tensor/norms.h"
+#include "tensor/ops.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace errorflow {
+namespace nn {
+
+namespace {
+
+int64_t OutDim(int64_t in, int kernel, int stride, int padding) {
+  return (in + 2 * padding - kernel) / stride + 1;
+}
+
+// Gathers conv patches of one (C,H,W) sample into a (OH*OW, C*K*K) matrix.
+void Im2Col(const float* in, int64_t c, int64_t h, int64_t w, int k, int s,
+            int p, Tensor* cols) {
+  const int64_t oh = OutDim(h, k, s, p), ow = OutDim(w, k, s, p);
+  const int64_t ckk = c * k * k;
+  if (cols->shape() != tensor::Shape{oh * ow, ckk}) {
+    *cols = Tensor({oh * ow, ckk});
+  }
+  float* out = cols->data();
+  for (int64_t oy = 0; oy < oh; ++oy) {
+    for (int64_t ox = 0; ox < ow; ++ox) {
+      float* row = out + (oy * ow + ox) * ckk;
+      int64_t idx = 0;
+      for (int64_t ch = 0; ch < c; ++ch) {
+        const float* plane = in + ch * h * w;
+        for (int ky = 0; ky < k; ++ky) {
+          const int64_t iy = oy * s + ky - p;
+          for (int kx = 0; kx < k; ++kx) {
+            const int64_t ix = ox * s + kx - p;
+            row[idx++] = (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                             ? plane[iy * w + ix]
+                             : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Scatter-adds a (OH*OW, C*K*K) gradient matrix back into a (C,H,W) sample.
+void Col2Im(const Tensor& cols, int64_t c, int64_t h, int64_t w, int k,
+            int s, int p, float* out) {
+  const int64_t oh = OutDim(h, k, s, p), ow = OutDim(w, k, s, p);
+  const int64_t ckk = c * k * k;
+  const float* in = cols.data();
+  for (int64_t oy = 0; oy < oh; ++oy) {
+    for (int64_t ox = 0; ox < ow; ++ox) {
+      const float* row = in + (oy * ow + ox) * ckk;
+      int64_t idx = 0;
+      for (int64_t ch = 0; ch < c; ++ch) {
+        float* plane = out + ch * h * w;
+        for (int ky = 0; ky < k; ++ky) {
+          const int64_t iy = oy * s + ky - p;
+          for (int kx = 0; kx < k; ++kx) {
+            const int64_t ix = ox * s + kx - p;
+            if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
+              plane[iy * w + ix] += row[idx];
+            }
+            ++idx;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Conv2dLayer::Conv2dLayer(int64_t in_channels, int64_t out_channels,
+                         int kernel, int stride, int padding, bool use_psn)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      use_psn_(use_psn),
+      weight_({out_channels, in_channels * kernel * kernel}),
+      bias_({out_channels}),
+      weight_grad_({out_channels, in_channels * kernel * kernel}),
+      bias_grad_({out_channels}),
+      alpha_({1}, {1.0f}),
+      alpha_grad_({1}, {0.0f}) {}
+
+std::string Conv2dLayer::ToString() const {
+  return util::StrFormat(
+      "Conv2d(%lld -> %lld, k=%d, s=%d, p=%d%s)",
+      static_cast<long long>(in_channels_),
+      static_cast<long long>(out_channels_), kernel_, stride_, padding_,
+      use_psn_ ? ", psn" : "");
+}
+
+void Conv2dLayer::InitHe(uint64_t seed) {
+  util::Rng rng(seed);
+  const int64_t fan_in = in_channels_ * kernel_ * kernel_;
+  const float limit = std::sqrt(6.0f / static_cast<float>(fan_in));
+  for (int64_t i = 0; i < weight_.size(); ++i) {
+    weight_[i] = static_cast<float>(rng.Uniform(-limit, limit));
+  }
+  bias_.Fill(0.0f);
+  spec_valid_ = false;
+  op_sigma_ = 0.0;
+  if (use_psn_) {
+    // Initialize alpha to the operator norm (8x8 heuristic; refined at the
+    // first Forward) so PSN starts as a no-op.
+    RefreshOpSigma(8, 8, 80);
+    alpha_[0] = static_cast<float>(op_sigma_);
+  }
+}
+
+void Conv2dLayer::RefreshSigma(int iters) const {
+  const Tensor* warm = spec_valid_ ? &spec_.v : nullptr;
+  spec_ = PowerIteration(weight_, iters, 1e-10, /*seed=*/11, warm);
+  spec_valid_ = true;
+}
+
+namespace {
+double NormalizeUnit(Tensor* t) {
+  const double n = tensor::L2Norm(*t);
+  if (n > 0.0) {
+    const float inv = static_cast<float>(1.0 / n);
+    for (int64_t i = 0; i < t->size(); ++i) (*t)[i] *= inv;
+  }
+  return n;
+}
+}  // namespace
+
+void Conv2dLayer::RefreshOpSigma(int64_t h, int64_t w, int iters) const {
+  const int64_t n_in = in_channels_ * h * w;
+  if (op_h_ != h || op_w_ != w || op_v_.size() != n_in) {
+    util::Rng rng(13);
+    op_v_ = Tensor({n_in});
+    for (int64_t i = 0; i < n_in; ++i) {
+      op_v_[i] = static_cast<float>(rng.Normal());
+    }
+    NormalizeUnit(&op_v_);
+    op_h_ = h;
+    op_w_ = w;
+    iters = std::max(iters, 60);
+  }
+  Tensor u, back;
+  for (int it = 0; it < iters; ++it) {
+    ApplySingle(weight_, op_v_, h, w, &u);
+    NormalizeUnit(&u);
+    ApplySingleTranspose(weight_, u, h, w, &back);
+    NormalizeUnit(&back);
+    op_v_ = back;
+  }
+  ApplySingle(weight_, op_v_, h, w, &u);
+  op_sigma_ = tensor::L2Norm(u);
+}
+
+Tensor Conv2dLayer::EffectiveWeight() const {
+  if (!use_psn_) return weight_;
+  // Use the operator norm at the last-seen spatial size; before any
+  // Forward (no spatial context yet) fall back to a default square size
+  // heuristic so standalone profiling still works.
+  if (op_sigma_ <= 0.0) {
+    RefreshOpSigma(/*h=*/8, /*w=*/8, 80);
+  }
+  Tensor eff = weight_;
+  const double sigma = std::max(op_sigma_, 1e-20);
+  tensor::Scale(&eff, static_cast<float>(alpha_[0] / sigma));
+  return eff;
+}
+
+void Conv2dLayer::FoldPsn() {
+  if (!use_psn_) return;
+  weight_ = EffectiveWeight();
+  use_psn_ = false;
+  spec_valid_ = false;
+  op_sigma_ = 0.0;
+}
+
+double Conv2dLayer::MatrixSpectralNorm() const {
+  if (use_psn_) {
+    return PowerIteration(EffectiveWeight(), 300, 1e-10, 11).sigma;
+  }
+  RefreshSigma(spec_valid_ ? 8 : 300);
+  return spec_.sigma;
+}
+
+void Conv2dLayer::Forward(const Tensor& input, Tensor* output,
+                          bool training) {
+  EF_CHECK(input.ndim() == 4 && input.dim(1) == in_channels_);
+  const int64_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const int64_t oh = OutDim(h, kernel_, stride_, padding_);
+  const int64_t ow = OutDim(w, kernel_, stride_, padding_);
+  EF_CHECK(oh > 0 && ow > 0);
+  if (output->shape() != Shape{n, out_channels_, oh, ow}) {
+    *output = Tensor({n, out_channels_, oh, ow});
+  }
+  if (use_psn_) {
+    // Track the operator norm at the actual spatial size; two warm-started
+    // iterations per step keep it current as the weights move.
+    const bool warm = op_h_ == h && op_w_ == w && op_sigma_ > 0.0;
+    RefreshOpSigma(h, w, warm ? (training ? 2 : 30) : 80);
+  }
+  const Tensor eff = EffectiveWeight();
+
+  Tensor cols, out_mat;
+  for (int64_t s = 0; s < n; ++s) {
+    Im2Col(input.data() + s * in_channels_ * h * w, in_channels_, h, w,
+           kernel_, stride_, padding_, &cols);
+    tensor::GemmNT(cols, eff, &out_mat);  // (OH*OW, out_ch)
+    float* out = output->data() + s * out_channels_ * oh * ow;
+    for (int64_t pix = 0; pix < oh * ow; ++pix) {
+      for (int64_t oc = 0; oc < out_channels_; ++oc) {
+        out[oc * oh * ow + pix] = out_mat.at(pix, oc) + bias_[oc];
+      }
+    }
+  }
+  if (training) {
+    cached_input_ = input;
+    cached_eff_weight_ = eff;
+  }
+}
+
+void Conv2dLayer::Backward(const Tensor& grad_output, Tensor* grad_input) {
+  const Tensor& x = cached_input_;
+  const int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int64_t oh = grad_output.dim(2), ow = grad_output.dim(3);
+  if (grad_input->shape() != x.shape()) *grad_input = Tensor(x.shape());
+  grad_input->Fill(0.0f);
+
+  Tensor grad_eff({out_channels_, in_channels_ * kernel_ * kernel_});
+  Tensor cols, gmat({oh * ow, out_channels_}), gcols, contrib;
+  for (int64_t s = 0; s < n; ++s) {
+    // Rearrange grad_output sample into (OH*OW, out_ch).
+    const float* go = grad_output.data() + s * out_channels_ * oh * ow;
+    for (int64_t pix = 0; pix < oh * ow; ++pix) {
+      for (int64_t oc = 0; oc < out_channels_; ++oc) {
+        gmat.at(pix, oc) = go[oc * oh * ow + pix];
+      }
+    }
+    // Bias grads: sum over pixels.
+    for (int64_t oc = 0; oc < out_channels_; ++oc) {
+      double acc = 0.0;
+      for (int64_t pix = 0; pix < oh * ow; ++pix) acc += gmat.at(pix, oc);
+      bias_grad_[oc] += static_cast<float>(acc);
+    }
+    Im2Col(x.data() + s * in_channels_ * h * w, in_channels_, h, w, kernel_,
+           stride_, padding_, &cols);
+    tensor::GemmTN(gmat, cols, &contrib);  // (out_ch, C*K*K)
+    tensor::Add(grad_eff, contrib, &grad_eff);
+    // Input grads: gcols = gmat * W_eff, then scatter.
+    tensor::Gemm(gmat, cached_eff_weight_, &gcols);
+    Col2Im(gcols, in_channels_, h, w, kernel_, stride_, padding_,
+           grad_input->data() + s * in_channels_ * h * w);
+  }
+
+  if (!use_psn_) {
+    tensor::Add(weight_grad_, grad_eff, &weight_grad_);
+  } else {
+    // Operator-norm PSN: treat sigma as a constant scale in backward (the
+    // exact correction is a rank-1 term in the linearized-operator space;
+    // omitting it biases alpha slightly but keeps training stable).
+    const double sigma = std::max(op_sigma_, 1e-20);
+    const float a = alpha_[0];
+    double inner = 0.0;
+    for (int64_t i = 0; i < grad_eff.size(); ++i) {
+      inner += static_cast<double>(grad_eff[i]) *
+               (static_cast<double>(weight_[i]) / sigma);
+    }
+    alpha_grad_[0] += static_cast<float>(inner);
+    const float scale = static_cast<float>(a / sigma);
+    for (int64_t i = 0; i < weight_grad_.size(); ++i) {
+      weight_grad_[i] += scale * grad_eff[i];
+    }
+  }
+}
+
+std::vector<Param> Conv2dLayer::Params() {
+  std::vector<Param> params = {
+      Param{"weight", &weight_, &weight_grad_, /*decay=*/true},
+      Param{"bias", &bias_, &bias_grad_, /*decay=*/false},
+  };
+  if (use_psn_) {
+    params.push_back(Param{"alpha", &alpha_, &alpha_grad_, /*decay=*/false});
+  }
+  return params;
+}
+
+std::unique_ptr<Layer> Conv2dLayer::Clone() const {
+  auto copy = std::make_unique<Conv2dLayer>(
+      in_channels_, out_channels_, kernel_, stride_, padding_, use_psn_);
+  copy->weight_ = weight_;
+  copy->bias_ = bias_;
+  copy->alpha_ = alpha_;
+  return copy;
+}
+
+Shape Conv2dLayer::OutputShape(const Shape& input_shape) const {
+  EF_CHECK(input_shape.size() == 4);
+  return {input_shape[0], out_channels_,
+          OutDim(input_shape[2], kernel_, stride_, padding_),
+          OutDim(input_shape[3], kernel_, stride_, padding_)};
+}
+
+void Conv2dLayer::ApplySingle(const Tensor& weight_mat, const Tensor& in_flat,
+                              int64_t h, int64_t w, Tensor* out_flat) const {
+  const int64_t oh = OutDim(h, kernel_, stride_, padding_);
+  const int64_t ow = OutDim(w, kernel_, stride_, padding_);
+  Tensor cols, out_mat;
+  Im2Col(in_flat.data(), in_channels_, h, w, kernel_, stride_, padding_,
+         &cols);
+  tensor::GemmNT(cols, weight_mat, &out_mat);
+  if (out_flat->shape() != Shape{out_channels_ * oh * ow}) {
+    *out_flat = Tensor({out_channels_ * oh * ow});
+  }
+  for (int64_t pix = 0; pix < oh * ow; ++pix) {
+    for (int64_t oc = 0; oc < out_channels_; ++oc) {
+      (*out_flat)[oc * oh * ow + pix] = out_mat.at(pix, oc);
+    }
+  }
+}
+
+void Conv2dLayer::ApplySingleTranspose(const Tensor& weight_mat,
+                                       const Tensor& in_flat, int64_t h,
+                                       int64_t w, Tensor* out_flat) const {
+  const int64_t oh = OutDim(h, kernel_, stride_, padding_);
+  const int64_t ow = OutDim(w, kernel_, stride_, padding_);
+  Tensor gmat({oh * ow, out_channels_});
+  for (int64_t pix = 0; pix < oh * ow; ++pix) {
+    for (int64_t oc = 0; oc < out_channels_; ++oc) {
+      gmat.at(pix, oc) = in_flat[oc * oh * ow + pix];
+    }
+  }
+  Tensor gcols;
+  tensor::Gemm(gmat, weight_mat, &gcols);
+  if (out_flat->shape() != Shape{in_channels_ * h * w}) {
+    *out_flat = Tensor({in_channels_ * h * w});
+  }
+  out_flat->Fill(0.0f);
+  Col2Im(gcols, in_channels_, h, w, kernel_, stride_, padding_,
+         out_flat->data());
+}
+
+double Conv2dLayer::OperatorNorm(int64_t h, int64_t w) const {
+  const Tensor eff = EffectiveWeight();
+  const int64_t n_in = in_channels_ * h * w;
+  auto fwd = [&](const Tensor& v, Tensor* out) {
+    ApplySingle(eff, v, h, w, out);
+  };
+  auto tr = [&](const Tensor& u, Tensor* out) {
+    ApplySingleTranspose(eff, u, h, w, out);
+  };
+  return PowerIterationOp(fwd, tr, n_in, 120, 1e-8, /*seed=*/5).sigma;
+}
+
+}  // namespace nn
+}  // namespace errorflow

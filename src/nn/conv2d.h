@@ -1,0 +1,112 @@
+#ifndef ERRORFLOW_NN_CONV2D_H_
+#define ERRORFLOW_NN_CONV2D_H_
+
+#include <memory>
+#include <string>
+
+#include "nn/layer.h"
+#include "nn/spectral.h"
+
+namespace errorflow {
+namespace nn {
+
+/// \brief 2-D convolution layer (NCHW, square kernel, zero padding), built
+/// on im2col + GEMM, with full backprop and optional PSN.
+///
+/// Under PSN the kernel is normalized by the *true operator norm* of the
+/// convolution (power iteration over the actual conv / conv-transpose maps
+/// at the spatial size seen in training, warm-started across steps), so
+/// the layer's operator norm equals the learnable alpha — which is what
+/// the error-flow bound consumes. The backward pass treats the norm as a
+/// constant scale (the rank-1 Miyato correction is omitted for conv; the
+/// dense layer keeps the exact correction).
+class Conv2dLayer : public Layer {
+ public:
+  Conv2dLayer(int64_t in_channels, int64_t out_channels, int kernel,
+              int stride = 1, int padding = 0, bool use_psn = false);
+
+  LayerKind kind() const override { return LayerKind::kConv2d; }
+  std::string ToString() const override;
+
+  /// He-uniform init for the kernel; zero bias; PSN alpha set to the initial
+  /// matrix spectral norm so normalization starts as a no-op.
+  void InitHe(uint64_t seed);
+
+  void Forward(const Tensor& input, Tensor* output, bool training) override;
+  void Backward(const Tensor& grad_output, Tensor* grad_input) override;
+  std::vector<Param> Params() override;
+  std::unique_ptr<Layer> Clone() const override;
+  Shape OutputShape(const Shape& input_shape) const override;
+
+  int64_t in_channels() const { return in_channels_; }
+  int64_t out_channels() const { return out_channels_; }
+  int kernel() const { return kernel_; }
+  int stride() const { return stride_; }
+  int padding() const { return padding_; }
+  bool use_psn() const { return use_psn_; }
+  float alpha() const { return alpha_[0]; }
+  void set_alpha(float a) { alpha_[0] = a; }
+
+  /// Kernel as a matrix, shape (out_ch, in_ch * k * k).
+  const Tensor& weight() const { return weight_; }
+  Tensor& mutable_weight() { return weight_; }
+  const Tensor& bias() const { return bias_; }
+  Tensor& mutable_bias() { return bias_; }
+
+  /// Effective (PSN-normalized) kernel matrix used in the forward pass.
+  Tensor EffectiveWeight() const;
+
+  /// Bakes PSN into the stored kernel and disables it. Idempotent.
+  void FoldPsn();
+
+  /// Matrix spectral norm of the effective reshaped kernel.
+  double MatrixSpectralNorm() const;
+
+  /// True operator norm of this convolution acting on single-sample inputs
+  /// of spatial size (h, w), via power iteration on conv / conv-transpose.
+  double OperatorNorm(int64_t h, int64_t w) const;
+
+ private:
+  void RefreshSigma(int iters) const;
+  // Refreshes the operator-norm estimate at spatial size (h, w) with
+  // warm-started power iteration on the raw kernel.
+  void RefreshOpSigma(int64_t h, int64_t w, int iters) const;
+
+  // Applies the convolution to one rank-3 (C,H,W) sample (flattened 1-D in
+  // and out) with the effective weight; used by OperatorNorm.
+  void ApplySingle(const Tensor& weight_mat, const Tensor& in_flat,
+                   int64_t h, int64_t w, Tensor* out_flat) const;
+  void ApplySingleTranspose(const Tensor& weight_mat, const Tensor& in_flat,
+                            int64_t h, int64_t w, Tensor* out_flat) const;
+
+  int64_t in_channels_;
+  int64_t out_channels_;
+  int kernel_;
+  int stride_;
+  int padding_;
+  bool use_psn_;
+
+  Tensor weight_;  // (out_ch, in_ch * k * k)
+  Tensor bias_;    // (out_ch)
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  Tensor alpha_;
+  Tensor alpha_grad_;
+
+  mutable SpectralEstimate spec_;
+  mutable bool spec_valid_ = false;
+
+  // Operator-norm cache (PSN): estimate, warm-start vector, and the
+  // spatial size it was measured at.
+  mutable double op_sigma_ = 0.0;
+  mutable Tensor op_v_;
+  mutable int64_t op_h_ = 0, op_w_ = 0;
+
+  Tensor cached_input_;
+  Tensor cached_eff_weight_;
+};
+
+}  // namespace nn
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_NN_CONV2D_H_

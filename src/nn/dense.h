@@ -1,0 +1,96 @@
+#ifndef ERRORFLOW_NN_DENSE_H_
+#define ERRORFLOW_NN_DENSE_H_
+
+#include <memory>
+#include <string>
+
+#include "nn/layer.h"
+#include "nn/spectral.h"
+
+namespace errorflow {
+namespace nn {
+
+/// \brief Fully connected layer `z = x W^T + b` with optional
+/// parameterized spectral normalization (PSN, Eq. 6 of the paper).
+///
+/// With PSN enabled the effective weight is
+///   W_eff = (alpha / sigma(W)) * W
+/// so the layer's spectral norm equals the learnable scalar `alpha` exactly;
+/// the learnable shift beta of Eq. 6 is realized by the bias vector. The
+/// stored parameter W is free-scale; sigma(W) is tracked by warm-started
+/// power iteration refreshed on every training forward pass.
+///
+/// After training, `FoldPsn()` bakes the normalization into the weight so
+/// that downstream consumers (quantizer, error-flow profiler, serializer)
+/// see one plain weight matrix.
+class DenseLayer : public Layer {
+ public:
+  /// Creates a layer with uninitialized (zero) weights; call InitXavier or
+  /// load weights before use.
+  DenseLayer(int64_t in_features, int64_t out_features, bool use_psn = false);
+
+  LayerKind kind() const override { return LayerKind::kDense; }
+  std::string ToString() const override;
+
+  /// Xavier/Glorot-uniform weight init; zero bias; alpha starts at the
+  /// resulting spectral norm so PSN is initially a no-op.
+  void InitXavier(uint64_t seed);
+
+  void Forward(const Tensor& input, Tensor* output, bool training) override;
+  void Backward(const Tensor& grad_output, Tensor* grad_input) override;
+  std::vector<Param> Params() override;
+  std::unique_ptr<Layer> Clone() const override;
+  Shape OutputShape(const Shape& input_shape) const override;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  bool use_psn() const { return use_psn_; }
+
+  /// Stored (raw) weight matrix, shape (out, in).
+  const Tensor& weight() const { return weight_; }
+  Tensor& mutable_weight() { return weight_; }
+  const Tensor& bias() const { return bias_; }
+  Tensor& mutable_bias() { return bias_; }
+  /// PSN scale (meaningful only when use_psn()).
+  float alpha() const { return alpha_[0]; }
+  void set_alpha(float a) { alpha_[0] = a; }
+
+  /// The weight actually applied in the forward pass: W itself, or the
+  /// PSN-normalized (alpha/sigma) * W. Refreshes sigma exactly.
+  Tensor EffectiveWeight() const;
+
+  /// Replaces W by EffectiveWeight() and disables PSN. Idempotent.
+  void FoldPsn();
+
+  /// Spectral norm of the effective weight (== alpha under PSN).
+  double SpectralNorm() const;
+
+ private:
+  /// Refreshes sigma_ via warm-started power iteration (`iters` steps).
+  void RefreshSigma(int iters) const;
+
+  int64_t in_features_;
+  int64_t out_features_;
+  bool use_psn_;
+
+  Tensor weight_;  // (out, in)
+  Tensor bias_;    // (out)
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  Tensor alpha_;       // 1-element PSN scale.
+  Tensor alpha_grad_;  // 1-element.
+
+  // Power-iteration cache for sigma(W). Mutable: refreshed lazily from
+  // const accessors.
+  mutable SpectralEstimate spec_;
+  mutable bool spec_valid_ = false;
+
+  // Forward caches for backward.
+  Tensor cached_input_;
+  Tensor cached_eff_weight_;
+};
+
+}  // namespace nn
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_NN_DENSE_H_

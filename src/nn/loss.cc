@@ -1,0 +1,79 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace errorflow {
+namespace nn {
+
+double MseLoss::Compute(const Tensor& pred, const Tensor& target,
+                        Tensor* grad) const {
+  EF_CHECK(pred.size() == target.size());
+  const int64_t n = pred.size();
+  double acc = 0.0;
+  if (grad != nullptr && grad->shape() != pred.shape()) {
+    *grad = Tensor(pred.shape());
+  }
+  const double inv = 1.0 / static_cast<double>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(pred[i]) - target[i];
+    acc += d * d;
+    if (grad != nullptr) (*grad)[i] = static_cast<float>(2.0 * d * inv);
+  }
+  return acc * inv;
+}
+
+double SoftmaxCrossEntropyLoss::Compute(const Tensor& pred,
+                                        const Tensor& target,
+                                        Tensor* grad) const {
+  EF_CHECK(pred.ndim() == 2 && target.ndim() == 1 &&
+           pred.dim(0) == target.dim(0));
+  const int64_t batch = pred.dim(0), classes = pred.dim(1);
+  if (grad != nullptr && grad->shape() != pred.shape()) {
+    *grad = Tensor(pred.shape());
+  }
+  double loss = 0.0;
+  const double inv = 1.0 / static_cast<double>(batch);
+  for (int64_t i = 0; i < batch; ++i) {
+    // Numerically stable softmax.
+    float mx = pred.at(i, 0);
+    for (int64_t j = 1; j < classes; ++j) mx = std::max(mx, pred.at(i, j));
+    double denom = 0.0;
+    for (int64_t j = 0; j < classes; ++j) {
+      denom += std::exp(static_cast<double>(pred.at(i, j)) - mx);
+    }
+    const int64_t label = static_cast<int64_t>(target[i]);
+    EF_CHECK(label >= 0 && label < classes);
+    const double logp =
+        static_cast<double>(pred.at(i, label)) - mx - std::log(denom);
+    loss -= logp;
+    if (grad != nullptr) {
+      for (int64_t j = 0; j < classes; ++j) {
+        const double p =
+            std::exp(static_cast<double>(pred.at(i, j)) - mx) / denom;
+        const double onehot = (j == label) ? 1.0 : 0.0;
+        grad->at(i, j) = static_cast<float>((p - onehot) * inv);
+      }
+    }
+  }
+  return loss * inv;
+}
+
+double SoftmaxCrossEntropyLoss::Accuracy(const Tensor& pred,
+                                         const Tensor& target) {
+  EF_CHECK(pred.ndim() == 2 && pred.dim(0) == target.dim(0));
+  const int64_t batch = pred.dim(0), classes = pred.dim(1);
+  int64_t correct = 0;
+  for (int64_t i = 0; i < batch; ++i) {
+    int64_t best = 0;
+    for (int64_t j = 1; j < classes; ++j) {
+      if (pred.at(i, j) > pred.at(i, best)) best = j;
+    }
+    if (best == static_cast<int64_t>(target[i])) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(batch);
+}
+
+}  // namespace nn
+}  // namespace errorflow

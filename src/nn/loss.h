@@ -1,0 +1,48 @@
+#ifndef ERRORFLOW_NN_LOSS_H_
+#define ERRORFLOW_NN_LOSS_H_
+
+#include <memory>
+
+#include "tensor/tensor.h"
+
+namespace errorflow {
+namespace nn {
+
+using tensor::Tensor;
+
+/// \brief Training loss: value plus gradient w.r.t. the prediction.
+class Loss {
+ public:
+  virtual ~Loss() = default;
+
+  /// Computes the scalar loss for a batch and, when `grad` is non-null, the
+  /// gradient w.r.t. `pred` (same shape as `pred`).
+  virtual double Compute(const Tensor& pred, const Tensor& target,
+                         Tensor* grad) const = 0;
+};
+
+/// \brief Mean squared error over all elements of the batch. The regression
+/// loss used for the combustion surrogates.
+class MseLoss : public Loss {
+ public:
+  double Compute(const Tensor& pred, const Tensor& target,
+                 Tensor* grad) const override;
+};
+
+/// \brief Softmax cross-entropy for classification.
+///
+/// `target` is a rank-1 tensor of class indices (length batch). Used for
+/// the EuroSAT-style task.
+class SoftmaxCrossEntropyLoss : public Loss {
+ public:
+  double Compute(const Tensor& pred, const Tensor& target,
+                 Tensor* grad) const override;
+
+  /// Fraction of rows whose argmax matches the target index.
+  static double Accuracy(const Tensor& pred, const Tensor& target);
+};
+
+}  // namespace nn
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_NN_LOSS_H_

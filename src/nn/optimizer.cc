@@ -1,0 +1,61 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace errorflow {
+namespace nn {
+
+SgdOptimizer::SgdOptimizer(double lr, double momentum, double weight_decay)
+    : Optimizer(lr), momentum_(momentum), weight_decay_(weight_decay) {}
+
+void SgdOptimizer::Step(const std::vector<Param>& params) {
+  for (const Param& p : params) {
+    Tensor& w = *p.value;
+    const Tensor& g = *p.grad;
+    Tensor& vel = velocity_[p.value];
+    if (vel.size() != w.size()) vel = Tensor(w.shape());
+    const float lr = static_cast<float>(lr_);
+    const float mu = static_cast<float>(momentum_);
+    const float wd =
+        p.decay ? static_cast<float>(weight_decay_) : 0.0f;
+    for (int64_t i = 0; i < w.size(); ++i) {
+      const float grad = g[i] + wd * w[i];
+      vel[i] = mu * vel[i] + grad;
+      w[i] -= lr * vel[i];
+    }
+  }
+}
+
+AdamOptimizer::AdamOptimizer(double lr, double beta1, double beta2,
+                             double eps, double weight_decay)
+    : Optimizer(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {}
+
+void AdamOptimizer::Step(const std::vector<Param>& params) {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (const Param& p : params) {
+    Tensor& w = *p.value;
+    const Tensor& g = *p.grad;
+    Tensor& m = m_[p.value];
+    Tensor& v = v_[p.value];
+    if (m.size() != w.size()) m = Tensor(w.shape());
+    if (v.size() != w.size()) v = Tensor(w.shape());
+    const double wd = p.decay ? weight_decay_ : 0.0;
+    for (int64_t i = 0; i < w.size(); ++i) {
+      const double grad = static_cast<double>(g[i]) + wd * w[i];
+      m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * grad);
+      v[i] = static_cast<float>(beta2_ * v[i] + (1.0 - beta2_) * grad * grad);
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      w[i] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+}
+
+}  // namespace nn
+}  // namespace errorflow

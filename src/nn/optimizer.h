@@ -1,0 +1,63 @@
+#ifndef ERRORFLOW_NN_OPTIMIZER_H_
+#define ERRORFLOW_NN_OPTIMIZER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace errorflow {
+namespace nn {
+
+/// \brief Base class for gradient-descent optimizers. Per-parameter state
+/// (momentum, Adam moments) is keyed by the parameter tensor's address,
+/// which is stable for a model's lifetime.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update to every parameter from its accumulated gradient.
+  virtual void Step(const std::vector<Param>& params) = 0;
+
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ protected:
+  explicit Optimizer(double lr) : lr_(lr) {}
+  double lr_;
+};
+
+/// \brief Stochastic gradient descent with classical momentum and optional
+/// decoupled L2 weight decay (applied only to params with decay=true).
+/// The optimizer used for the H2-combustion and EuroSAT models in the paper.
+class SgdOptimizer : public Optimizer {
+ public:
+  SgdOptimizer(double lr, double momentum = 0.9, double weight_decay = 0.0);
+  void Step(const std::vector<Param>& params) override;
+
+ private:
+  double momentum_;
+  double weight_decay_;
+  std::unordered_map<Tensor*, Tensor> velocity_;
+};
+
+/// \brief Adam (Kingma & Ba) with optional decoupled weight decay.
+/// The optimizer used for the Borghesi-flame model in the paper.
+class AdamOptimizer : public Optimizer {
+ public:
+  AdamOptimizer(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8, double weight_decay = 0.0);
+  void Step(const std::vector<Param>& params) override;
+
+ private:
+  double beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+  std::unordered_map<Tensor*, Tensor> m_;
+  std::unordered_map<Tensor*, Tensor> v_;
+};
+
+}  // namespace nn
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_NN_OPTIMIZER_H_

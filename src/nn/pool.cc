@@ -1,0 +1,146 @@
+#include "nn/pool.h"
+
+#include "util/string_util.h"
+
+namespace errorflow {
+namespace nn {
+
+AvgPool2dLayer::AvgPool2dLayer(int window) : window_(window) {
+  EF_CHECK(window >= 1);
+}
+
+std::string AvgPool2dLayer::ToString() const {
+  return util::StrFormat("AvgPool2d(%d)", window_);
+}
+
+void AvgPool2dLayer::Forward(const Tensor& input, Tensor* output,
+                             bool training) {
+  EF_CHECK(input.ndim() == 4);
+  const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                w = input.dim(3);
+  const int64_t oh = h / window_, ow = w / window_;
+  EF_CHECK(oh > 0 && ow > 0);
+  if (output->shape() != Shape{n, c, oh, ow}) {
+    *output = Tensor({n, c, oh, ow});
+  }
+  const float inv = 1.0f / static_cast<float>(window_ * window_);
+  for (int64_t s = 0; s < n; ++s) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          float acc = 0.0f;
+          for (int ky = 0; ky < window_; ++ky) {
+            for (int kx = 0; kx < window_; ++kx) {
+              acc += input.at4(s, ch, oy * window_ + ky, ox * window_ + kx);
+            }
+          }
+          output->at4(s, ch, oy, ox) = acc * inv;
+        }
+      }
+    }
+  }
+  if (training) cached_input_shape_ = input.shape();
+}
+
+void AvgPool2dLayer::Backward(const Tensor& grad_output, Tensor* grad_input) {
+  const Shape& in_shape = cached_input_shape_;
+  if (grad_input->shape() != in_shape) *grad_input = Tensor(in_shape);
+  grad_input->Fill(0.0f);
+  const int64_t n = in_shape[0], c = in_shape[1];
+  const int64_t oh = grad_output.dim(2), ow = grad_output.dim(3);
+  const float inv = 1.0f / static_cast<float>(window_ * window_);
+  for (int64_t s = 0; s < n; ++s) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          const float g = grad_output.at4(s, ch, oy, ox) * inv;
+          for (int ky = 0; ky < window_; ++ky) {
+            for (int kx = 0; kx < window_; ++kx) {
+              grad_input->at4(s, ch, oy * window_ + ky, ox * window_ + kx) +=
+                  g;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+std::unique_ptr<Layer> AvgPool2dLayer::Clone() const {
+  return std::make_unique<AvgPool2dLayer>(window_);
+}
+
+Shape AvgPool2dLayer::OutputShape(const Shape& s) const {
+  EF_CHECK(s.size() == 4);
+  return {s[0], s[1], s[2] / window_, s[3] / window_};
+}
+
+void GlobalAvgPoolLayer::Forward(const Tensor& input, Tensor* output,
+                                 bool training) {
+  EF_CHECK(input.ndim() == 4);
+  const int64_t n = input.dim(0), c = input.dim(1),
+                hw = input.dim(2) * input.dim(3);
+  if (output->shape() != Shape{n, c}) *output = Tensor({n, c});
+  const float inv = 1.0f / static_cast<float>(hw);
+  for (int64_t s = 0; s < n; ++s) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = input.data() + (s * c + ch) * hw;
+      float acc = 0.0f;
+      for (int64_t i = 0; i < hw; ++i) acc += plane[i];
+      output->at(s, ch) = acc * inv;
+    }
+  }
+  if (training) cached_input_shape_ = input.shape();
+}
+
+void GlobalAvgPoolLayer::Backward(const Tensor& grad_output,
+                                  Tensor* grad_input) {
+  const Shape& in_shape = cached_input_shape_;
+  if (grad_input->shape() != in_shape) *grad_input = Tensor(in_shape);
+  const int64_t n = in_shape[0], c = in_shape[1],
+                hw = in_shape[2] * in_shape[3];
+  const float inv = 1.0f / static_cast<float>(hw);
+  for (int64_t s = 0; s < n; ++s) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float g = grad_output.at(s, ch) * inv;
+      float* plane = grad_input->data() + (s * c + ch) * hw;
+      for (int64_t i = 0; i < hw; ++i) plane[i] = g;
+    }
+  }
+}
+
+std::unique_ptr<Layer> GlobalAvgPoolLayer::Clone() const {
+  return std::make_unique<GlobalAvgPoolLayer>();
+}
+
+Shape GlobalAvgPoolLayer::OutputShape(const Shape& s) const {
+  EF_CHECK(s.size() == 4);
+  return {s[0], s[1]};
+}
+
+void FlattenLayer::Forward(const Tensor& input, Tensor* output,
+                           bool training) {
+  EF_CHECK(input.ndim() >= 2);
+  const int64_t n = input.dim(0);
+  const int64_t features = input.size() / n;
+  *output = Tensor({n, features}, input.values());
+  if (training) cached_input_shape_ = input.shape();
+}
+
+void FlattenLayer::Backward(const Tensor& grad_output, Tensor* grad_input) {
+  *grad_input = Tensor(cached_input_shape_, grad_output.values());
+}
+
+std::unique_ptr<Layer> FlattenLayer::Clone() const {
+  return std::make_unique<FlattenLayer>();
+}
+
+Shape FlattenLayer::OutputShape(const Shape& s) const {
+  EF_CHECK(s.size() >= 2);
+  int64_t features = 1;
+  for (size_t i = 1; i < s.size(); ++i) features *= s[i];
+  return {s[0], features};
+}
+
+}  // namespace nn
+}  // namespace errorflow

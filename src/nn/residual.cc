@@ -1,0 +1,111 @@
+#include "nn/residual.h"
+
+#include "tensor/ops.h"
+#include "util/string_util.h"
+
+namespace errorflow {
+namespace nn {
+
+ResidualBlock::ResidualBlock(std::vector<std::unique_ptr<Layer>> body,
+                             std::unique_ptr<Layer> shortcut,
+                             std::unique_ptr<Layer> post_activation)
+    : body_(std::move(body)),
+      shortcut_(std::move(shortcut)),
+      post_activation_(std::move(post_activation)) {
+  EF_CHECK(!body_.empty());
+}
+
+std::string ResidualBlock::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& l : body_) parts.push_back(l->ToString());
+  return util::StrFormat(
+      "Residual{%s | shortcut=%s}", util::Join(parts, ", ").c_str(),
+      shortcut_ ? shortcut_->ToString().c_str() : "identity");
+}
+
+void ResidualBlock::Forward(const Tensor& input, Tensor* output,
+                            bool training) {
+  if (training) acts_.assign(body_.size() + 1, Tensor());
+  Tensor cur = input;
+  if (training) acts_[0] = input;
+  Tensor next;
+  for (size_t i = 0; i < body_.size(); ++i) {
+    body_[i]->Forward(cur, &next, training);
+    cur = next;
+    if (training) acts_[i + 1] = cur;
+  }
+  if (shortcut_ != nullptr) {
+    shortcut_->Forward(input, &shortcut_out_, training);
+  } else {
+    shortcut_out_ = input;
+  }
+  EF_CHECK(cur.size() == shortcut_out_.size());
+  Tensor sum;
+  tensor::Add(cur, shortcut_out_, &sum);
+  if (post_activation_ != nullptr) {
+    if (training) sum_out_ = sum;
+    post_activation_->Forward(sum, output, training);
+  } else {
+    *output = std::move(sum);
+  }
+}
+
+void ResidualBlock::Backward(const Tensor& grad_output, Tensor* grad_input) {
+  Tensor grad_sum;
+  if (post_activation_ != nullptr) {
+    post_activation_->Backward(grad_output, &grad_sum);
+  } else {
+    grad_sum = grad_output;
+  }
+  // Body path.
+  Tensor g = grad_sum, gprev;
+  for (size_t i = body_.size(); i-- > 0;) {
+    body_[i]->Backward(g, &gprev);
+    g = gprev;
+  }
+  // Shortcut path.
+  Tensor g_short;
+  if (shortcut_ != nullptr) {
+    shortcut_->Backward(grad_sum, &g_short);
+  } else {
+    g_short = grad_sum;
+  }
+  // Reshape-safe sum: both gradients refer to the block input.
+  EF_CHECK(g.size() == g_short.size());
+  if (grad_input->shape() != g.shape()) *grad_input = Tensor(g.shape());
+  for (int64_t i = 0; i < g.size(); ++i) {
+    (*grad_input)[i] = g[i] + g_short[i];
+  }
+}
+
+std::vector<Param> ResidualBlock::Params() {
+  std::vector<Param> params;
+  for (auto& l : body_) {
+    for (Param& p : l->Params()) params.push_back(p);
+  }
+  if (shortcut_ != nullptr) {
+    for (Param& p : shortcut_->Params()) params.push_back(p);
+  }
+  if (post_activation_ != nullptr) {
+    for (Param& p : post_activation_->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+std::unique_ptr<Layer> ResidualBlock::Clone() const {
+  std::vector<std::unique_ptr<Layer>> body;
+  body.reserve(body_.size());
+  for (const auto& l : body_) body.push_back(l->Clone());
+  return std::make_unique<ResidualBlock>(
+      std::move(body), shortcut_ ? shortcut_->Clone() : nullptr,
+      post_activation_ ? post_activation_->Clone() : nullptr);
+}
+
+Shape ResidualBlock::OutputShape(const Shape& input_shape) const {
+  Shape s = input_shape;
+  for (const auto& l : body_) s = l->OutputShape(s);
+  return s;
+}
+
+}  // namespace nn
+}  // namespace errorflow

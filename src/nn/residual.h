@@ -1,0 +1,59 @@
+#ifndef ERRORFLOW_NN_RESIDUAL_H_
+#define ERRORFLOW_NN_RESIDUAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace errorflow {
+namespace nn {
+
+/// \brief ResNet building block `y = F(x, {W_l}) + W_s x` (Eq. 1).
+///
+/// The body `F` is an arbitrary sequence of layers. The shortcut is either
+/// the identity (when input/output shapes match) or a projection layer
+/// (1x1 conv or dense). An optional post-activation is applied to the sum,
+/// as in standard ResNets; activations are 1-Lipschitz, so the error-flow
+/// analysis of Eq. (3) applies unchanged.
+class ResidualBlock : public Layer {
+ public:
+  /// `shortcut` may be null for an identity skip connection.
+  ResidualBlock(std::vector<std::unique_ptr<Layer>> body,
+                std::unique_ptr<Layer> shortcut,
+                std::unique_ptr<Layer> post_activation);
+
+  LayerKind kind() const override { return LayerKind::kResidualBlock; }
+  std::string ToString() const override;
+
+  void Forward(const Tensor& input, Tensor* output, bool training) override;
+  void Backward(const Tensor& grad_output, Tensor* grad_input) override;
+  std::vector<Param> Params() override;
+  std::unique_ptr<Layer> Clone() const override;
+  Shape OutputShape(const Shape& input_shape) const override;
+
+  const std::vector<std::unique_ptr<Layer>>& body() const { return body_; }
+  std::vector<std::unique_ptr<Layer>>& mutable_body() { return body_; }
+  /// Null for identity shortcuts.
+  const Layer* shortcut() const { return shortcut_.get(); }
+  Layer* mutable_shortcut() { return shortcut_.get(); }
+  bool has_projection() const { return shortcut_ != nullptr; }
+  /// Null when the block applies no activation after the addition.
+  const Layer* post_activation() const { return post_activation_.get(); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> body_;
+  std::unique_ptr<Layer> shortcut_;
+  std::unique_ptr<Layer> post_activation_;
+
+  // Forward caches: activations between body layers.
+  std::vector<Tensor> acts_;
+  Tensor shortcut_out_;
+  Tensor sum_out_;
+};
+
+}  // namespace nn
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_NN_RESIDUAL_H_

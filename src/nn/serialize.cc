@@ -1,0 +1,345 @@
+#include "nn/serialize.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "nn/activation.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pool.h"
+#include "nn/residual.h"
+#include "util/string_util.h"
+
+namespace errorflow {
+namespace nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'E', 'F', 'M', '1'};
+
+enum LayerTag : uint8_t {
+  kTagDense = 1,
+  kTagConv2d = 2,
+  kTagActivation = 3,
+  kTagResidual = 4,
+  kTagAvgPool = 5,
+  kTagGlobalAvgPool = 6,
+  kTagFlatten = 7,
+};
+
+class Writer {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutI64(int64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutF32(float v) { PutRaw(&v, sizeof(v)); }
+  void PutString(const std::string& s) {
+    PutI64(static_cast<int64_t>(s.size()));
+    buf_.append(s);
+  }
+  void PutTensor(const Tensor& t) {
+    PutI64(t.ndim());
+    for (int64_t d : t.shape()) PutI64(d);
+    PutRaw(t.data(), static_cast<size_t>(t.size()) * sizeof(float));
+  }
+  std::string Finish() { return std::move(buf_); }
+
+ private:
+  void PutRaw(const void* p, size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+  std::string buf_;
+};
+
+// Bounds-check helper used by the Reader accessors.
+#define EF_RETURN_NEED(n)                                                   \
+  do {                                                                      \
+    if (pos_ + (n) > buf_.size())                                           \
+      return ::errorflow::Status::Corruption("model buffer truncated");     \
+  } while (0)
+
+class Reader {
+ public:
+  explicit Reader(const std::string& buf) : buf_(buf) {}
+
+  Result<uint8_t> GetU8() {
+    EF_RETURN_NEED(1);
+    return static_cast<uint8_t>(buf_[pos_++]);
+  }
+  Result<int64_t> GetI64() {
+    EF_RETURN_NEED(sizeof(int64_t));
+    int64_t v;
+    std::memcpy(&v, buf_.data() + pos_, sizeof(v));
+    pos_ += sizeof(v);
+    return v;
+  }
+  Result<float> GetF32() {
+    EF_RETURN_NEED(sizeof(float));
+    float v;
+    std::memcpy(&v, buf_.data() + pos_, sizeof(v));
+    pos_ += sizeof(v);
+    return v;
+  }
+  Result<std::string> GetString() {
+    EF_ASSIGN_OR_RETURN(int64_t n, GetI64());
+    if (n < 0) return Status::Corruption("negative string length");
+    EF_RETURN_NEED(static_cast<size_t>(n));
+    std::string s(buf_.data() + pos_, static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return s;
+  }
+  Result<Tensor> GetTensor() {
+    EF_ASSIGN_OR_RETURN(int64_t ndim, GetI64());
+    if (ndim < 0 || ndim > 8) return Status::Corruption("bad tensor rank");
+    tensor::Shape shape;
+    for (int64_t i = 0; i < ndim; ++i) {
+      EF_ASSIGN_OR_RETURN(int64_t d, GetI64());
+      if (d < 0 || d > (1 << 28)) {
+        return Status::Corruption("tensor dimension out of range");
+      }
+      shape.push_back(d);
+    }
+    const int64_t n = tensor::NumElements(shape);
+    EF_RETURN_NEED(static_cast<size_t>(n) * sizeof(float));
+    std::vector<float> values(static_cast<size_t>(n));
+    std::memcpy(values.data(), buf_.data() + pos_,
+                values.size() * sizeof(float));
+    pos_ += values.size() * sizeof(float);
+    return Tensor(std::move(shape), std::move(values));
+  }
+
+ private:
+  const std::string& buf_;
+  size_t pos_ = 0;
+};
+
+void WriteLayer(const Layer* layer, Writer* w);
+
+void WriteLayerList(const std::vector<std::unique_ptr<Layer>>& layers,
+                    Writer* w) {
+  w->PutI64(static_cast<int64_t>(layers.size()));
+  for (const auto& l : layers) WriteLayer(l.get(), w);
+}
+
+void WriteLayer(const Layer* layer, Writer* w) {
+  switch (layer->kind()) {
+    case LayerKind::kDense: {
+      const auto* d = static_cast<const DenseLayer*>(layer);
+      w->PutU8(kTagDense);
+      w->PutI64(d->in_features());
+      w->PutI64(d->out_features());
+      w->PutU8(d->use_psn() ? 1 : 0);
+      w->PutF32(d->alpha());
+      w->PutTensor(d->weight());
+      w->PutTensor(d->bias());
+      return;
+    }
+    case LayerKind::kConv2d: {
+      const auto* c = static_cast<const Conv2dLayer*>(layer);
+      w->PutU8(kTagConv2d);
+      w->PutI64(c->in_channels());
+      w->PutI64(c->out_channels());
+      w->PutI64(c->kernel());
+      w->PutI64(c->stride());
+      w->PutI64(c->padding());
+      w->PutU8(c->use_psn() ? 1 : 0);
+      w->PutF32(c->alpha());
+      w->PutTensor(c->weight());
+      w->PutTensor(c->bias());
+      return;
+    }
+    case LayerKind::kActivation: {
+      const auto* a = static_cast<const ActivationLayer*>(layer);
+      w->PutU8(kTagActivation);
+      w->PutU8(static_cast<uint8_t>(a->activation_kind()));
+      w->PutF32(a->slope());
+      return;
+    }
+    case LayerKind::kResidualBlock: {
+      const auto* b = static_cast<const ResidualBlock*>(layer);
+      w->PutU8(kTagResidual);
+      WriteLayerList(b->body(), w);
+      w->PutU8(b->shortcut() != nullptr ? 1 : 0);
+      if (b->shortcut() != nullptr) WriteLayer(b->shortcut(), w);
+      const auto* post =
+          dynamic_cast<const ActivationLayer*>(b->post_activation());
+      w->PutU8(post != nullptr ? 1 : 0);
+      w->PutU8(static_cast<uint8_t>(
+          post != nullptr ? post->activation_kind() : ActivationKind::kReLU));
+      return;
+    }
+    case LayerKind::kAvgPool2d: {
+      const auto* p = static_cast<const AvgPool2dLayer*>(layer);
+      w->PutU8(kTagAvgPool);
+      w->PutI64(p->window());
+      return;
+    }
+    case LayerKind::kGlobalAvgPool:
+      w->PutU8(kTagGlobalAvgPool);
+      return;
+    case LayerKind::kFlatten:
+      w->PutU8(kTagFlatten);
+      return;
+  }
+  EF_CHECK(false);
+}
+
+Result<std::unique_ptr<Layer>> ReadLayer(Reader* r);
+
+Result<std::vector<std::unique_ptr<Layer>>> ReadLayerList(Reader* r) {
+  EF_ASSIGN_OR_RETURN(int64_t count, r->GetI64());
+  if (count < 0 || count > 100000) {
+    return Status::Corruption("bad layer count");
+  }
+  std::vector<std::unique_ptr<Layer>> layers;
+  for (int64_t i = 0; i < count; ++i) {
+    EF_ASSIGN_OR_RETURN(auto l, ReadLayer(r));
+    layers.push_back(std::move(l));
+  }
+  return layers;
+}
+
+// Upper bound on any single layer dimension read from a (possibly
+// corrupted) buffer — prevents attacker/bitflip-controlled allocations.
+constexpr int64_t kMaxLayerDim = 1 << 24;
+
+Result<std::unique_ptr<Layer>> ReadLayer(Reader* r) {
+  EF_ASSIGN_OR_RETURN(uint8_t tag, r->GetU8());
+  switch (tag) {
+    case kTagDense: {
+      EF_ASSIGN_OR_RETURN(int64_t in, r->GetI64());
+      EF_ASSIGN_OR_RETURN(int64_t out, r->GetI64());
+      if (in <= 0 || out <= 0 || in > kMaxLayerDim || out > kMaxLayerDim) {
+        return Status::Corruption("dense dims out of range");
+      }
+      EF_ASSIGN_OR_RETURN(uint8_t psn, r->GetU8());
+      EF_ASSIGN_OR_RETURN(float alpha, r->GetF32());
+      EF_ASSIGN_OR_RETURN(Tensor weight, r->GetTensor());
+      EF_ASSIGN_OR_RETURN(Tensor bias, r->GetTensor());
+      auto d = std::make_unique<DenseLayer>(in, out, psn != 0);
+      if (weight.shape() != tensor::Shape{out, in} ||
+          bias.shape() != tensor::Shape{out}) {
+        return Status::Corruption("dense weight shape mismatch");
+      }
+      d->mutable_weight() = std::move(weight);
+      d->mutable_bias() = std::move(bias);
+      d->set_alpha(alpha);
+      return std::unique_ptr<Layer>(std::move(d));
+    }
+    case kTagConv2d: {
+      EF_ASSIGN_OR_RETURN(int64_t in, r->GetI64());
+      EF_ASSIGN_OR_RETURN(int64_t out, r->GetI64());
+      EF_ASSIGN_OR_RETURN(int64_t k, r->GetI64());
+      EF_ASSIGN_OR_RETURN(int64_t s, r->GetI64());
+      EF_ASSIGN_OR_RETURN(int64_t p, r->GetI64());
+      if (in <= 0 || out <= 0 || in > kMaxLayerDim || out > kMaxLayerDim ||
+          k <= 0 || k > 1024 || s <= 0 || s > 1024 || p < 0 || p > 1024) {
+        return Status::Corruption("conv params out of range");
+      }
+      EF_ASSIGN_OR_RETURN(uint8_t psn, r->GetU8());
+      EF_ASSIGN_OR_RETURN(float alpha, r->GetF32());
+      EF_ASSIGN_OR_RETURN(Tensor weight, r->GetTensor());
+      EF_ASSIGN_OR_RETURN(Tensor bias, r->GetTensor());
+      auto c = std::make_unique<Conv2dLayer>(in, out, static_cast<int>(k),
+                                             static_cast<int>(s),
+                                             static_cast<int>(p), psn != 0);
+      if (weight.shape() != tensor::Shape{out, in * k * k} ||
+          bias.shape() != tensor::Shape{out}) {
+        return Status::Corruption("conv weight shape mismatch");
+      }
+      c->mutable_weight() = std::move(weight);
+      c->mutable_bias() = std::move(bias);
+      c->set_alpha(alpha);
+      return std::unique_ptr<Layer>(std::move(c));
+    }
+    case kTagActivation: {
+      EF_ASSIGN_OR_RETURN(uint8_t kind, r->GetU8());
+      EF_ASSIGN_OR_RETURN(float slope, r->GetF32());
+      return std::unique_ptr<Layer>(std::make_unique<ActivationLayer>(
+          static_cast<ActivationKind>(kind), slope));
+    }
+    case kTagResidual: {
+      EF_ASSIGN_OR_RETURN(auto body, ReadLayerList(r));
+      EF_ASSIGN_OR_RETURN(uint8_t has_shortcut, r->GetU8());
+      std::unique_ptr<Layer> shortcut;
+      if (has_shortcut != 0) {
+        EF_ASSIGN_OR_RETURN(shortcut, ReadLayer(r));
+      }
+      EF_ASSIGN_OR_RETURN(uint8_t has_post, r->GetU8());
+      std::unique_ptr<Layer> post;
+      EF_ASSIGN_OR_RETURN(uint8_t post_kind, r->GetU8());
+      if (has_post != 0) {
+        post = std::make_unique<ActivationLayer>(
+            static_cast<ActivationKind>(post_kind));
+      }
+      return std::unique_ptr<Layer>(std::make_unique<ResidualBlock>(
+          std::move(body), std::move(shortcut), std::move(post)));
+    }
+    case kTagAvgPool: {
+      EF_ASSIGN_OR_RETURN(int64_t window, r->GetI64());
+      if (window < 1 || window > 1024) {
+        return Status::Corruption("pool window out of range");
+      }
+      return std::unique_ptr<Layer>(
+          std::make_unique<AvgPool2dLayer>(static_cast<int>(window)));
+    }
+    case kTagGlobalAvgPool:
+      return std::unique_ptr<Layer>(std::make_unique<GlobalAvgPoolLayer>());
+    case kTagFlatten:
+      return std::unique_ptr<Layer>(std::make_unique<FlattenLayer>());
+    default:
+      return Status::Corruption(
+          util::StrFormat("unknown layer tag %d", tag));
+  }
+}
+
+}  // namespace
+
+std::string SerializeModel(const Model& model) {
+  Writer w;
+  w.PutU8(static_cast<uint8_t>(kMagic[0]));
+  w.PutU8(static_cast<uint8_t>(kMagic[1]));
+  w.PutU8(static_cast<uint8_t>(kMagic[2]));
+  w.PutU8(static_cast<uint8_t>(kMagic[3]));
+  w.PutString(model.name());
+  WriteLayerList(model.layers(), &w);
+  return w.Finish();
+}
+
+Result<Model> DeserializeModel(const std::string& buffer) {
+  if (buffer.size() < 4 || std::memcmp(buffer.data(), kMagic, 4) != 0) {
+    return Status::Corruption("bad model magic");
+  }
+  Reader r(buffer);
+  for (int i = 0; i < 4; ++i) {
+    EF_ASSIGN_OR_RETURN(uint8_t byte, r.GetU8());
+    (void)byte;
+  }
+  EF_ASSIGN_OR_RETURN(std::string name, r.GetString());
+  EF_ASSIGN_OR_RETURN(auto layers, ReadLayerList(&r));
+  Model model(name);
+  for (auto& l : layers) model.Add(std::move(l));
+  return model;
+}
+
+Status SaveModel(const Model& model, const std::string& path) {
+  const std::string buf = SerializeModel(model);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) {
+    return Status::IOError("cannot open for write: " + path);
+  }
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  out.close();
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Model> LoadModel(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return Status::IOError("cannot open for read: " + path);
+  std::string buf((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  return DeserializeModel(buf);
+}
+
+}  // namespace nn
+}  // namespace errorflow

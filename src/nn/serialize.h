@@ -1,0 +1,30 @@
+#ifndef ERRORFLOW_NN_SERIALIZE_H_
+#define ERRORFLOW_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "nn/model.h"
+#include "util/result.h"
+
+namespace errorflow {
+namespace nn {
+
+/// \brief Serializes a model — architecture and weights — into a compact
+/// binary buffer ("EFM1" format). PSN layers are stored with their raw
+/// weights and alpha so training can resume; call Model::FoldPsn() first if
+/// you want plain inference weights on disk.
+std::string SerializeModel(const Model& model);
+
+/// \brief Reconstructs a model from a buffer produced by SerializeModel.
+Result<Model> DeserializeModel(const std::string& buffer);
+
+/// Writes SerializeModel output to `path`.
+Status SaveModel(const Model& model, const std::string& path);
+
+/// Reads a model from `path`.
+Result<Model> LoadModel(const std::string& path);
+
+}  // namespace nn
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_NN_SERIALIZE_H_

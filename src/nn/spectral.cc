@@ -1,0 +1,107 @@
+#include "nn/spectral.h"
+
+#include <cmath>
+
+#include "tensor/norms.h"
+#include "tensor/ops.h"
+#include "util/random.h"
+
+namespace errorflow {
+namespace nn {
+
+using tensor::Tensor;
+
+namespace {
+
+// Normalizes `t` to unit L2 norm in place; returns the prior norm.
+double NormalizeL2(Tensor* t) {
+  const double n = tensor::L2Norm(*t);
+  if (n > 0.0) {
+    const float inv = static_cast<float>(1.0 / n);
+    for (int64_t i = 0; i < t->size(); ++i) (*t)[i] *= inv;
+  }
+  return n;
+}
+
+void RandomUnit(Tensor* t, uint64_t seed) {
+  util::Rng rng(seed);
+  for (int64_t i = 0; i < t->size(); ++i) {
+    (*t)[i] = static_cast<float>(rng.Normal());
+  }
+  NormalizeL2(t);
+}
+
+}  // namespace
+
+SpectralEstimate PowerIteration(const Tensor& w, int max_iters, double tol,
+                                uint64_t seed, const Tensor* warm_v) {
+  EF_CHECK(w.ndim() == 2);
+  const int64_t m = w.dim(0), n = w.dim(1);
+  SpectralEstimate est;
+  est.u = Tensor({m});
+  est.v = Tensor({n});
+  if (m == 0 || n == 0) return est;
+
+  if (warm_v != nullptr && warm_v->size() == n) {
+    est.v = *warm_v;
+    if (tensor::L2Norm(est.v) <= 0.0) RandomUnit(&est.v, seed);
+  } else {
+    RandomUnit(&est.v, seed);
+  }
+
+  double sigma = 0.0, prev = -1.0;
+  Tensor tmp_u({m}), tmp_v({n});
+  for (int it = 0; it < max_iters; ++it) {
+    tensor::Gemv(w, est.v, &tmp_u);       // u <- W v
+    sigma = NormalizeL2(&tmp_u);
+    est.u = tmp_u;
+    tensor::GemvT(w, est.u, &tmp_v);      // v <- W^T u
+    NormalizeL2(&tmp_v);
+    est.v = tmp_v;
+    est.iterations = it + 1;
+    if (prev >= 0.0 && std::fabs(sigma - prev) <= tol * std::max(1.0, sigma)) {
+      break;
+    }
+    prev = sigma;
+  }
+  // One final accurate Rayleigh quotient: sigma = ||W v||.
+  tensor::Gemv(w, est.v, &tmp_u);
+  est.sigma = tensor::L2Norm(tmp_u);
+  if (est.sigma > 0.0) {
+    est.u = tmp_u;
+    NormalizeL2(&est.u);
+  }
+  return est;
+}
+
+SpectralEstimate PowerIterationOp(
+    const std::function<void(const Tensor&, Tensor*)>& fwd,
+    const std::function<void(const Tensor&, Tensor*)>& tr, int64_t n_in,
+    int max_iters, double tol, uint64_t seed) {
+  SpectralEstimate est;
+  Tensor v({n_in});
+  RandomUnit(&v, seed);
+  Tensor u, back;
+  double sigma = 0.0, prev = -1.0;
+  for (int it = 0; it < max_iters; ++it) {
+    fwd(v, &u);
+    sigma = NormalizeL2(&u);
+    tr(u, &back);
+    NormalizeL2(&back);
+    v = back;
+    est.iterations = it + 1;
+    if (prev >= 0.0 && std::fabs(sigma - prev) <= tol * std::max(1.0, sigma)) {
+      break;
+    }
+    prev = sigma;
+  }
+  fwd(v, &u);
+  est.sigma = tensor::L2Norm(u);
+  NormalizeL2(&u);
+  est.u = u;
+  est.v = v;
+  return est;
+}
+
+}  // namespace nn
+}  // namespace errorflow

@@ -1,0 +1,47 @@
+#ifndef ERRORFLOW_NN_SPECTRAL_H_
+#define ERRORFLOW_NN_SPECTRAL_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "tensor/tensor.h"
+
+namespace errorflow {
+namespace nn {
+
+/// \brief Result of a power-iteration spectral-norm estimate (Eq. 2).
+struct SpectralEstimate {
+  /// Largest singular value estimate.
+  double sigma = 0.0;
+  /// Left singular vector (length m).
+  tensor::Tensor u;
+  /// Right singular vector (length n).
+  tensor::Tensor v;
+  /// Iterations actually performed.
+  int iterations = 0;
+};
+
+/// \brief Estimates the spectral norm (largest singular value) of a rank-2
+/// matrix via power iteration on W^T W.
+///
+/// `warm_v`, if non-null and correctly sized, seeds the iteration (used by
+/// PSN layers to warm-start across training steps, after which one or two
+/// iterations suffice).
+SpectralEstimate PowerIteration(const tensor::Tensor& w, int max_iters = 200,
+                                double tol = 1e-9, uint64_t seed = 42,
+                                const tensor::Tensor* warm_v = nullptr);
+
+/// \brief Power iteration over an arbitrary linear operator given as a
+/// forward map (R^n -> R^m) and its transpose (R^m -> R^n).
+///
+/// Used to measure the true operator norm of convolution layers, where the
+/// linearized matrix is too large to materialize.
+SpectralEstimate PowerIterationOp(
+    const std::function<void(const tensor::Tensor&, tensor::Tensor*)>& fwd,
+    const std::function<void(const tensor::Tensor&, tensor::Tensor*)>& tr,
+    int64_t n_in, int max_iters = 100, double tol = 1e-7, uint64_t seed = 42);
+
+}  // namespace nn
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_NN_SPECTRAL_H_

@@ -1,0 +1,113 @@
+#include "nn/trainer.h"
+
+#include <cstdio>
+#include <numeric>
+
+#include "nn/activation.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "util/random.h"
+
+namespace errorflow {
+namespace nn {
+
+namespace {
+
+// Copies `indices` rows/samples of `src` into a batch tensor.
+Tensor GatherBatch(const Tensor& src, const std::vector<int64_t>& indices,
+                   size_t begin, size_t end) {
+  const int64_t total = src.dim(0);
+  EF_CHECK(total > 0);
+  const int64_t per_sample = src.size() / total;
+  const int64_t batch = static_cast<int64_t>(end - begin);
+  tensor::Shape shape = src.shape();
+  shape[0] = batch;
+  Tensor out(shape);
+  for (int64_t b = 0; b < batch; ++b) {
+    const int64_t s = indices[begin + static_cast<size_t>(b)];
+    const float* from = src.data() + s * per_sample;
+    float* to = out.data() + b * per_sample;
+    std::copy(from, from + per_sample, to);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<EpochStats> Trainer::Fit(Model* model, const Tensor& inputs,
+                                     const Tensor& targets, const Loss& loss,
+                                     Optimizer* opt) {
+  const int64_t n = inputs.dim(0);
+  EF_CHECK(n == targets.dim(0));
+  util::Rng rng(config_.seed);
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<EpochStats> history;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    // Fisher-Yates shuffle with our deterministic RNG.
+    for (size_t i = order.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(rng.UniformU64(i));
+      std::swap(order[i - 1], order[j]);
+    }
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    for (int64_t start = 0; start < n; start += config_.batch_size) {
+      const int64_t stop = std::min(n, start + config_.batch_size);
+      const Tensor bx = GatherBatch(inputs, order,
+                                    static_cast<size_t>(start),
+                                    static_cast<size_t>(stop));
+      const Tensor by = GatherBatch(targets, order,
+                                    static_cast<size_t>(start),
+                                    static_cast<size_t>(stop));
+      model->ZeroGrads();
+      Tensor pred;
+      model->Forward(bx, &pred, /*training=*/true);
+      Tensor grad;
+      epoch_loss += loss.Compute(pred, by, &grad);
+      model->Backward(grad);
+
+      if (config_.spectral_penalty > 0.0) {
+        // d/d_alpha (lambda * alpha^2) = 2 * lambda * alpha.
+        const float lam = static_cast<float>(config_.spectral_penalty);
+        model->VisitLayers([lam](Layer* layer) {
+          for (Param& p : layer->Params()) {
+            if (p.name == "alpha") {
+              (*p.grad)[0] += 2.0f * lam * (*p.value)[0];
+            }
+          }
+        });
+      }
+
+      opt->Step(model->Params());
+
+      // Keep PReLU slopes within [0, 1] so the activation derivative bound
+      // C = 1 of the error analysis holds.
+      model->VisitLayers([](Layer* layer) {
+        if (auto* act = dynamic_cast<ActivationLayer*>(layer)) {
+          act->ClampSlope();
+        }
+      });
+      ++batches;
+    }
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = epoch_loss / static_cast<double>(batches);
+    history.push_back(stats);
+    if (config_.log_every > 0 && epoch % config_.log_every == 0) {
+      std::printf("[train %s] epoch %3d loss %.6g\n", model->name().c_str(),
+                  epoch, stats.train_loss);
+    }
+  }
+  return history;
+}
+
+double Trainer::Evaluate(Model* model, const Tensor& inputs,
+                         const Tensor& targets, const Loss& loss) {
+  Tensor pred;
+  model->Forward(inputs, &pred, /*training=*/false);
+  return loss.Compute(pred, targets, nullptr);
+}
+
+}  // namespace nn
+}  // namespace errorflow

@@ -1,0 +1,60 @@
+#ifndef ERRORFLOW_NN_TRAINER_H_
+#define ERRORFLOW_NN_TRAINER_H_
+
+#include <vector>
+
+#include "nn/loss.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+
+namespace errorflow {
+namespace nn {
+
+/// \brief Training hyperparameters.
+struct TrainConfig {
+  int epochs = 50;
+  int64_t batch_size = 64;
+  uint64_t seed = 1;
+  /// Coefficient of the spectral-norm penalty sum_l sigma_l^2 added to the
+  /// loss (Sec. III-C). Under PSN, sigma_l == alpha_l, so the penalty
+  /// gradient is 2 * lambda * alpha_l on each PSN scale. Zero disables it.
+  double spectral_penalty = 0.0;
+  /// Print progress every N epochs; 0 silences output.
+  int log_every = 0;
+};
+
+/// \brief Per-epoch record returned by Fit.
+struct EpochStats {
+  int epoch = 0;
+  double train_loss = 0.0;
+};
+
+/// \brief Minibatch trainer with deterministic shuffling.
+///
+/// Handles the PSN-specific bookkeeping: spectral penalty gradients and
+/// clamping PReLU slopes to [0, 1] after each step (so the activation
+/// derivative bound C = 1 holds, Sec. III-A).
+class Trainer {
+ public:
+  explicit Trainer(TrainConfig config) : config_(config) {}
+
+  /// Trains `model` on (inputs, targets) minimizing `loss` with `opt`.
+  /// Inputs are rank-2 (samples, features) or rank-4 (samples, C, H, W);
+  /// targets rank-2 (samples, outputs) for regression or rank-1 class
+  /// indices for classification.
+  std::vector<EpochStats> Fit(Model* model, const Tensor& inputs,
+                              const Tensor& targets, const Loss& loss,
+                              Optimizer* opt);
+
+  /// Mean loss of `model` on a dataset (no gradient).
+  static double Evaluate(Model* model, const Tensor& inputs,
+                         const Tensor& targets, const Loss& loss);
+
+ private:
+  TrainConfig config_;
+};
+
+}  // namespace nn
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_NN_TRAINER_H_

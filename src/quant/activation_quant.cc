@@ -1,0 +1,32 @@
+#include "quant/activation_quant.h"
+
+#include "quant/affine.h"
+
+namespace errorflow {
+namespace quant {
+
+tensor::Tensor PredictWithQuantizedActivations(nn::Model* model,
+                                               const tensor::Tensor& input,
+                                               NumericFormat format) {
+  tensor::Tensor cur = input;
+  tensor::Tensor next;
+  for (auto& layer : model->mutable_layers()) {
+    layer->Forward(cur, &next, /*training=*/false);
+    const nn::LayerKind kind = layer->kind();
+    if (format != NumericFormat::kFP32 &&
+        (kind == nn::LayerKind::kDense || kind == nn::LayerKind::kConv2d ||
+         kind == nn::LayerKind::kResidualBlock)) {
+      if (format == NumericFormat::kINT8) {
+        QuantizeDequantizeInt8(&next);
+      } else {
+        RoundBufferToFormat(next.data(), next.size(), format);
+      }
+    }
+    cur = std::move(next);
+    next = tensor::Tensor();
+  }
+  return cur;
+}
+
+}  // namespace quant
+}  // namespace errorflow

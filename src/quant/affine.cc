@@ -1,0 +1,60 @@
+#include "quant/affine.h"
+
+#include <cmath>
+
+#include "tensor/stats.h"
+#include "util/macros.h"
+
+namespace errorflow {
+namespace quant {
+
+AffineParams CalibrateMax(const Tensor& t) {
+  AffineParams p;
+  if (t.size() == 0) return p;
+  const tensor::Summary s = tensor::Summarize(t);
+  const double range = s.max - s.min;
+  if (range <= 0.0) {
+    // Constant tensor: any scale reproduces it exactly via the zero point.
+    p.scale = 1.0f;
+    p.zero_point =
+        static_cast<int32_t>(std::lround(std::min(127.0, std::max(
+            -128.0, -s.min))));
+    return p;
+  }
+  p.scale = static_cast<float>(range / 255.0);
+  // zero_point chosen so that min maps to -128.
+  p.zero_point =
+      static_cast<int32_t>(std::lround(-128.0 - s.min / p.scale));
+  return p;
+}
+
+std::vector<int8_t> QuantizeAffine(const Tensor& t, const AffineParams& p) {
+  std::vector<int8_t> codes(static_cast<size_t>(t.size()));
+  const double inv_scale = 1.0 / p.scale;
+  for (int64_t i = 0; i < t.size(); ++i) {
+    double q = std::nearbyint(t[i] * inv_scale) + p.zero_point;
+    q = std::min(127.0, std::max(-128.0, q));
+    codes[static_cast<size_t>(i)] = static_cast<int8_t>(q);
+  }
+  return codes;
+}
+
+Tensor DequantizeAffine(const std::vector<int8_t>& codes,
+                        const tensor::Shape& shape, const AffineParams& p) {
+  EF_CHECK(static_cast<int64_t>(codes.size()) == tensor::NumElements(shape));
+  Tensor out(shape);
+  for (size_t i = 0; i < codes.size(); ++i) {
+    out[static_cast<int64_t>(i)] =
+        p.scale * static_cast<float>(codes[i] - p.zero_point);
+  }
+  return out;
+}
+
+void QuantizeDequantizeInt8(Tensor* t) {
+  const AffineParams p = CalibrateMax(*t);
+  const std::vector<int8_t> codes = QuantizeAffine(*t, p);
+  *t = DequantizeAffine(codes, t->shape(), p);
+}
+
+}  // namespace quant
+}  // namespace errorflow

@@ -1,0 +1,117 @@
+#include "quant/grouped.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace errorflow {
+namespace quant {
+
+namespace {
+
+using tensor::Tensor;
+
+// Applies `fn(row_begin, row_end, col_begin, col_end)` over the group grid
+// of a (rows x cols) matrix under `config`; returns the group count.
+template <typename Fn>
+int64_t ForEachGroup(int64_t rows, int64_t cols, const GroupedConfig& config,
+                     Fn&& fn) {
+  int64_t gr = rows, gc = cols;  // Group extent.
+  switch (config.scheme) {
+    case GroupScheme::kPerTensor:
+      gr = rows;
+      gc = cols;
+      break;
+    case GroupScheme::kPerRow:
+      gr = 1;
+      gc = cols;
+      break;
+    case GroupScheme::kPerColumn:
+      gr = rows;
+      gc = 1;
+      break;
+    case GroupScheme::kBlock:
+      gr = std::max<int64_t>(1, std::min(config.block_rows, rows));
+      gc = std::max<int64_t>(1, std::min(config.block_cols, cols));
+      break;
+  }
+  int64_t count = 0;
+  for (int64_t r = 0; r < rows; r += gr) {
+    for (int64_t c = 0; c < cols; c += gc) {
+      fn(r, std::min(rows, r + gr), c, std::min(cols, c + gc));
+      ++count;
+    }
+  }
+  return count;
+}
+
+// Min/max of a sub-rectangle.
+void GroupRange(const Tensor& w, int64_t r0, int64_t r1, int64_t c0,
+                int64_t c1, float* mn, float* mx) {
+  *mn = w.at(r0, c0);
+  *mx = w.at(r0, c0);
+  for (int64_t r = r0; r < r1; ++r) {
+    for (int64_t c = c0; c < c1; ++c) {
+      *mn = std::min(*mn, w.at(r, c));
+      *mx = std::max(*mx, w.at(r, c));
+    }
+  }
+}
+
+}  // namespace
+
+const char* GroupSchemeToString(GroupScheme scheme) {
+  switch (scheme) {
+    case GroupScheme::kPerTensor:
+      return "per-tensor";
+    case GroupScheme::kPerRow:
+      return "per-row";
+    case GroupScheme::kPerColumn:
+      return "per-column";
+    case GroupScheme::kBlock:
+      return "block";
+  }
+  return "unknown";
+}
+
+int64_t QuantizeDequantizeInt8Grouped(Tensor* w,
+                                      const GroupedConfig& config) {
+  EF_CHECK(w->ndim() == 2);
+  const int64_t rows = w->dim(0), cols = w->dim(1);
+  return ForEachGroup(
+      rows, cols, config,
+      [w](int64_t r0, int64_t r1, int64_t c0, int64_t c1) {
+        float mn, mx;
+        GroupRange(*w, r0, r1, c0, c1, &mn, &mx);
+        const double range = static_cast<double>(mx) - mn;
+        if (range <= 0.0) return;  // Constant group reconstructs exactly.
+        const double scale = range / 255.0;
+        for (int64_t r = r0; r < r1; ++r) {
+          for (int64_t c = c0; c < c1; ++c) {
+            const double q =
+                std::nearbyint((w->at(r, c) - mn) / scale);
+            w->at(r, c) = static_cast<float>(mn + q * scale);
+          }
+        }
+      });
+}
+
+double GroupedInt8StepSize(const Tensor& w, const GroupedConfig& config) {
+  EF_CHECK(w.ndim() == 2);
+  const int64_t rows = w.dim(0), cols = w.dim(1);
+  if (w.size() == 0) return 0.0;
+  double acc = 0.0;
+  ForEachGroup(rows, cols, config,
+               [&w, &acc](int64_t r0, int64_t r1, int64_t c0, int64_t c1) {
+                 float mn, mx;
+                 GroupRange(w, r0, r1, c0, c1, &mn, &mx);
+                 const double q =
+                     (static_cast<double>(mx) - mn) / 256.0;
+                 acc += q * q *
+                        static_cast<double>((r1 - r0) * (c1 - c0));
+               });
+  return std::sqrt(acc / static_cast<double>(w.size()));
+}
+
+}  // namespace quant
+}  // namespace errorflow

@@ -1,0 +1,55 @@
+#ifndef ERRORFLOW_QUANT_GROUPED_H_
+#define ERRORFLOW_QUANT_GROUPED_H_
+
+#include <string>
+
+#include "quant/affine.h"
+#include "tensor/tensor.h"
+
+namespace errorflow {
+namespace quant {
+
+/// \brief Granularity of INT8 affine quantization (the paper's Sec. VI
+/// future work: "block-wise, column-wise, or row-wise schemes ... can
+/// offer tighter quantization and reduced accuracy loss compared to
+/// uniform per-layer quantization").
+///
+/// Each group gets its own max-calibrated (scale, zero point), capturing
+/// the local weight range. Finer groups mean smaller local ranges, hence
+/// smaller steps and smaller error — at the cost of more metadata and more
+/// complex kernels (which is why the paper's main experiments stay
+/// per-tensor).
+enum class GroupScheme {
+  kPerTensor,
+  kPerRow,
+  kPerColumn,
+  kBlock,
+};
+
+const char* GroupSchemeToString(GroupScheme scheme);
+
+/// \brief Grouped-quantization configuration.
+struct GroupedConfig {
+  GroupScheme scheme = GroupScheme::kPerTensor;
+  /// Block dims for kBlock (clamped to the matrix extent).
+  int64_t block_rows = 32;
+  int64_t block_cols = 32;
+};
+
+/// \brief Quantize-dequantize a rank-2 weight matrix to INT8 with the
+/// given grouping; the tensor holds the reconstructed values afterwards.
+/// Returns the number of groups used.
+int64_t QuantizeDequantizeInt8Grouped(tensor::Tensor* w,
+                                      const GroupedConfig& config);
+
+/// \brief Effective Table-I-style average step size of grouped INT8 on
+/// `w`: the RMS over elements of their group's step (range_g / 2^8).
+/// Feeding this into the error-flow analysis in place of the per-tensor q
+/// yields the (tighter) grouped bound.
+double GroupedInt8StepSize(const tensor::Tensor& w,
+                           const GroupedConfig& config);
+
+}  // namespace quant
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_QUANT_GROUPED_H_

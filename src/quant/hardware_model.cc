@@ -1,0 +1,47 @@
+#include "quant/hardware_model.h"
+
+#include "util/macros.h"
+
+namespace errorflow {
+namespace quant {
+
+double HardwareProfile::Speedup(NumericFormat format) const {
+  switch (format) {
+    case NumericFormat::kFP32:
+      return 1.0;
+    case NumericFormat::kTF32:
+      return speedup_tf32;
+    case NumericFormat::kFP16:
+      return speedup_fp16;
+    case NumericFormat::kBF16:
+      return speedup_bf16;
+    case NumericFormat::kINT8:
+      return speedup_int8;
+  }
+  return 1.0;
+}
+
+ExecutionModel::ExecutionModel(const HardwareProfile& profile,
+                               int64_t flops_per_sample,
+                               int64_t bytes_per_sample)
+    : profile_(profile),
+      flops_per_sample_(flops_per_sample),
+      bytes_per_sample_(bytes_per_sample) {
+  EF_CHECK(flops_per_sample > 0 && bytes_per_sample > 0);
+}
+
+double ExecutionModel::SecondsPerSample(NumericFormat format) const {
+  return static_cast<double>(flops_per_sample_) /
+         (profile_.fp32_flops_per_sec * profile_.Speedup(format));
+}
+
+double ExecutionModel::SamplesPerSecond(NumericFormat format) const {
+  return 1.0 / SecondsPerSample(format);
+}
+
+double ExecutionModel::IngestBytesPerSecond(NumericFormat format) const {
+  return SamplesPerSecond(format) * static_cast<double>(bytes_per_sample_);
+}
+
+}  // namespace quant
+}  // namespace errorflow

@@ -1,0 +1,60 @@
+#include "quant/quantize_model.h"
+
+#include <cmath>
+
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "quant/affine.h"
+#include "quant/step_size.h"
+
+namespace errorflow {
+namespace quant {
+
+namespace {
+
+using tensor::Tensor;
+
+LayerQuantRecord QuantizeTensor(const std::string& name, Tensor* w,
+                                NumericFormat format) {
+  LayerQuantRecord rec;
+  rec.layer = name;
+  rec.format = format;
+  rec.step_size = AverageStepSize(*w, format);
+  const Tensor original = *w;
+  if (format == NumericFormat::kINT8) {
+    QuantizeDequantizeInt8(w);
+  } else {
+    RoundBufferToFormat(w->data(), w->size(), format);
+  }
+  double max_delta = 0.0;
+  for (int64_t i = 0; i < w->size(); ++i) {
+    max_delta = std::max(
+        max_delta, std::fabs(static_cast<double>((*w)[i]) - original[i]));
+  }
+  rec.max_abs_delta = max_delta;
+  return rec;
+}
+
+}  // namespace
+
+QuantizedModel QuantizeWeights(const nn::Model& model, NumericFormat format) {
+  QuantizedModel out;
+  out.model = model.Clone();
+  out.model.set_name(model.name() + "." + FormatToString(format));
+  out.format = format;
+  out.model.FoldPsn();
+  if (format == NumericFormat::kFP32) return out;
+  out.model.VisitLayers([&out, format](nn::Layer* layer) {
+    if (auto* d = dynamic_cast<nn::DenseLayer*>(layer)) {
+      out.layers.push_back(
+          QuantizeTensor(d->ToString(), &d->mutable_weight(), format));
+    } else if (auto* c = dynamic_cast<nn::Conv2dLayer*>(layer)) {
+      out.layers.push_back(
+          QuantizeTensor(c->ToString(), &c->mutable_weight(), format));
+    }
+  });
+  return out;
+}
+
+}  // namespace quant
+}  // namespace errorflow

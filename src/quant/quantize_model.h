@@ -1,0 +1,43 @@
+#ifndef ERRORFLOW_QUANT_QUANTIZE_MODEL_H_
+#define ERRORFLOW_QUANT_QUANTIZE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+#include "quant/format.h"
+
+namespace errorflow {
+namespace quant {
+
+/// \brief Per-layer record of a weight-only post-training quantization.
+struct LayerQuantRecord {
+  std::string layer;
+  NumericFormat format = NumericFormat::kFP32;
+  /// Table-I average step size of the layer's weight tensor.
+  double step_size = 0.0;
+  /// Largest per-element weight perturbation introduced.
+  double max_abs_delta = 0.0;
+};
+
+/// \brief Result of quantizing a model: the quantized clone plus the
+/// per-layer report used by the error-flow analysis and benchmarks.
+struct QuantizedModel {
+  nn::Model model;
+  NumericFormat format = NumericFormat::kFP32;
+  std::vector<LayerQuantRecord> layers;
+};
+
+/// \brief Weight-only post-training quantization (Sec. III-A).
+///
+/// Deep-copies `model` and rounds every Dense/Conv weight tensor (biases are
+/// kept in FP32, as is standard; bias error is zero under weight-only
+/// quantization) to `format`: bit-exact mantissa rounding for TF32/FP16/
+/// BF16, per-tensor affine with max calibration for INT8. PSN must already
+/// be folded (the function folds it defensively).
+QuantizedModel QuantizeWeights(const nn::Model& model, NumericFormat format);
+
+}  // namespace quant
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_QUANT_QUANTIZE_MODEL_H_

@@ -1,0 +1,46 @@
+#include "quant/step_size.h"
+
+#include <cmath>
+
+#include "tensor/stats.h"
+
+namespace errorflow {
+namespace quant {
+
+namespace {
+
+// RMS of 2^floor(log2 |w|) over elements, with optional exponent floor
+// (FP16 subnormal clamp). Zeros contribute zero.
+double RmsExponentStep(const tensor::Tensor& w, bool clamp_fp16) {
+  if (w.size() == 0) return 0.0;
+  double acc = 0.0;
+  for (int64_t i = 0; i < w.size(); ++i) {
+    const double a = std::fabs(static_cast<double>(w[i]));
+    if (a == 0.0) continue;
+    double e = std::floor(std::log2(a));
+    if (clamp_fp16) e = std::max(-14.0, e);
+    acc += std::exp2(2.0 * e);
+  }
+  return std::sqrt(acc / static_cast<double>(w.size()));
+}
+
+}  // namespace
+
+double AverageStepSize(const tensor::Tensor& w, NumericFormat format) {
+  switch (format) {
+    case NumericFormat::kFP32:
+      return std::exp2(-23.0) * RmsExponentStep(w, /*clamp_fp16=*/false);
+    case NumericFormat::kTF32:
+      return std::exp2(-10.0) * RmsExponentStep(w, /*clamp_fp16=*/false);
+    case NumericFormat::kFP16:
+      return std::exp2(-10.0) * RmsExponentStep(w, /*clamp_fp16=*/true);
+    case NumericFormat::kBF16:
+      return std::exp2(-7.0) * RmsExponentStep(w, /*clamp_fp16=*/false);
+    case NumericFormat::kINT8:
+      return std::exp2(-8.0) * tensor::ValueRange(w);
+  }
+  return 0.0;
+}
+
+}  // namespace quant
+}  // namespace errorflow

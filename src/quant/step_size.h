@@ -1,0 +1,28 @@
+#ifndef ERRORFLOW_QUANT_STEP_SIZE_H_
+#define ERRORFLOW_QUANT_STEP_SIZE_H_
+
+#include "quant/format.h"
+#include "tensor/tensor.h"
+
+namespace errorflow {
+namespace quant {
+
+/// \brief Average quantization step size q(W) of a weight tensor for a
+/// numerical format, per Table I of the paper:
+///
+///   TF32: q = 2^-10 * sqrt( E[ 2^(2*floor(log2 |W_ij|)) ] )
+///   FP16: q = 2^-10 * sqrt( E[ 2^(2*max(-14, floor(log2 |W_ij|))) ] )
+///   BF16: q = 2^-7  * sqrt( E[ 2^(2*floor(log2 |W_ij|)) ] )
+///   INT8: q = 2^-8  * (max(W_ij) - min(W_ij))
+///
+/// The square root of the mean of squared per-element steps (an RMS
+/// average) matches the role q plays in the variance s_l^2 = q^2/12 * ||h||^2
+/// of the quantization-noise inner product (Sec. III-B). Zero-valued
+/// weights contribute zero step. FP32 returns the machine-epsilon-scaled
+/// RMS step (2^-23 multiplier) for completeness.
+double AverageStepSize(const tensor::Tensor& w, NumericFormat format);
+
+}  // namespace quant
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_QUANT_STEP_SIZE_H_

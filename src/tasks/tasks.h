@@ -1,0 +1,73 @@
+#ifndef ERRORFLOW_TASKS_TASKS_H_
+#define ERRORFLOW_TASKS_TASKS_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "nn/model.h"
+
+namespace errorflow {
+namespace tasks {
+
+/// \brief Training-time regularization variants compared in Figs. 3/4.
+enum class Regularization {
+  /// Parameterized spectral normalization (the paper's method, Sec. III-C).
+  kPsn,
+  /// No spectral control at all ("baseline" in the figures).
+  kBaseline,
+  /// Standard L2 weight decay in place of PSN ("baseline w. weight decay").
+  kWeightDecay,
+};
+
+const char* RegularizationToString(Regularization reg);
+
+/// \brief The three scientific tasks of the paper's evaluation.
+enum class TaskKind {
+  /// 9-species hydrogen mechanism: mass fractions -> reaction rates,
+  /// 2 hidden layers x 50 neurons, Tanh, SGD.
+  kH2Combustion,
+  /// Borghesi flame dissipation-rate profiling: 13 -> 3, 8 hidden layers,
+  /// PReLU, Adam.
+  kBorghesiFlame,
+  /// EuroSAT-style LULC classification: multispectral imagery -> 10
+  /// classes, scaled ResNet18, ReLU, SGD.
+  kEuroSat,
+};
+
+const char* TaskKindToString(TaskKind kind);
+
+/// \brief A trained task: the model plus its normalized train/test splits.
+struct TrainedTask {
+  std::string name;
+  TaskKind kind = TaskKind::kH2Combustion;
+  Regularization regularization = Regularization::kPsn;
+  nn::Model model;  // Trained; PSN folded.
+  data::Dataset train;
+  data::Dataset test;
+  data::Normalizer input_norm;
+  data::Normalizer output_norm;  // Regression tasks only.
+  tensor::Shape single_input_shape;
+  bool classification = false;
+};
+
+/// \brief Trains (or loads from the on-disk cache) one task variant.
+///
+/// Models are cached under `cache_dir` keyed by (task, regularization,
+/// seed); delete the directory to force retraining. Training is fully
+/// deterministic for a given seed.
+TrainedTask GetTask(TaskKind kind, Regularization reg = Regularization::kPsn,
+                    uint64_t seed = 1,
+                    const std::string& cache_dir = "ef_model_cache");
+
+/// \brief Generates `count` fresh, independent normalized input batches
+/// for a task (the "five independently sampled batches" of Figs. 3/4).
+/// Batch b uses seed `base_seed + b`. Rows: (samples, features) for the
+/// MLP tasks, (n, C, H, W) for EuroSAT.
+std::vector<tensor::Tensor> FreshInputBatches(const TrainedTask& task,
+                                              int count,
+                                              uint64_t base_seed = 100);
+
+}  // namespace tasks
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_TASKS_TASKS_H_

@@ -1,0 +1,69 @@
+#include "tensor/norms.h"
+
+#include <cmath>
+
+namespace errorflow {
+namespace tensor {
+
+const char* NormToString(Norm norm) {
+  return norm == Norm::kL2 ? "L2" : "Linf";
+}
+
+double L2Norm(const Tensor& t) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < t.size(); ++i) {
+    const double v = t[i];
+    acc += v * v;
+  }
+  return std::sqrt(acc);
+}
+
+double LinfNorm(const Tensor& t) {
+  double best = 0.0;
+  for (int64_t i = 0; i < t.size(); ++i) {
+    best = std::max(best, std::fabs(static_cast<double>(t[i])));
+  }
+  return best;
+}
+
+double VectorNorm(const Tensor& t, Norm norm) {
+  return norm == Norm::kL2 ? L2Norm(t) : LinfNorm(t);
+}
+
+double DiffNorm(const Tensor& a, const Tensor& b, Norm norm) {
+  EF_CHECK(a.size() == b.size());
+  if (norm == Norm::kL2) {
+    double acc = 0.0;
+    for (int64_t i = 0; i < a.size(); ++i) {
+      const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+      acc += d * d;
+    }
+    return std::sqrt(acc);
+  }
+  double best = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    best = std::max(
+        best, std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i])));
+  }
+  return best;
+}
+
+double RelativeError(const Tensor& reference, const Tensor& approx,
+                     Norm norm) {
+  const double denom = VectorNorm(reference, norm);
+  const double err = DiffNorm(reference, approx, norm);
+  if (denom <= 0.0) return err;
+  return err / denom;
+}
+
+double ConvertNormBound(double bound, Norm from, Norm to, int64_t n) {
+  if (from == to) return bound;
+  if (from == Norm::kL2 && to == Norm::kLinf) {
+    return bound;  // ||v||_inf <= ||v||_2.
+  }
+  // Linf -> L2: ||v||_2 <= sqrt(n) * ||v||_inf.
+  return bound * std::sqrt(static_cast<double>(n));
+}
+
+}  // namespace tensor
+}  // namespace errorflow

@@ -1,0 +1,47 @@
+#ifndef ERRORFLOW_TENSOR_OPS_H_
+#define ERRORFLOW_TENSOR_OPS_H_
+
+#include "tensor/tensor.h"
+
+namespace errorflow {
+namespace tensor {
+
+/// C = A(m x k) * B(k x n). Blocked triple loop tuned for the model sizes
+/// used in the paper (hidden widths up to a few hundred; conv via im2col).
+void Gemm(const Tensor& a, const Tensor& b, Tensor* c);
+
+/// C = A(m x k) * B^T where B is (n x k). Weight matrices are stored as
+/// (out x in), so the forward pass of a dense layer is `GemmNT(x, W, &z)`.
+void GemmNT(const Tensor& a, const Tensor& b, Tensor* c);
+
+/// C = A^T(k x m) * B(k x n); used by backprop for weight gradients.
+void GemmTN(const Tensor& a, const Tensor& b, Tensor* c);
+
+/// y = W(m x n) * x(n); single-vector projection used by power iteration.
+void Gemv(const Tensor& w, const Tensor& x, Tensor* y);
+
+/// y = W^T(m x n) * x(m).
+void GemvT(const Tensor& w, const Tensor& x, Tensor* y);
+
+/// out = a + b (elementwise; shapes must match).
+void Add(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// out = a - b (elementwise; shapes must match).
+void Sub(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// t *= s in place.
+void Scale(Tensor* t, float s);
+
+/// Adds a length-n bias to every row of a (m x n) matrix.
+void AddRowBias(Tensor* mat, const Tensor& bias);
+
+/// Returns the transpose of a rank-2 tensor.
+Tensor Transpose(const Tensor& mat);
+
+/// Dot product of two equal-length 1-D tensors.
+double Dot(const Tensor& a, const Tensor& b);
+
+}  // namespace tensor
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_TENSOR_OPS_H_

@@ -1,0 +1,49 @@
+#include "tensor/stats.h"
+
+#include <cmath>
+
+namespace errorflow {
+namespace tensor {
+
+Summary Summarize(const Tensor& t) {
+  Summary s;
+  s.count = t.size();
+  if (t.size() == 0) return s;
+  double mn = t[0], mx = t[0], sum = 0.0, sum2 = 0.0;
+  for (int64_t i = 0; i < t.size(); ++i) {
+    const double v = t[i];
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+    sum += v;
+    sum2 += v * v;
+  }
+  s.min = mn;
+  s.max = mx;
+  s.mean = sum / static_cast<double>(t.size());
+  const double var =
+      std::max(0.0, sum2 / static_cast<double>(t.size()) - s.mean * s.mean);
+  s.stddev = std::sqrt(var);
+  return s;
+}
+
+double ValueRange(const Tensor& t) {
+  if (t.size() == 0) return 0.0;
+  const Summary s = Summarize(t);
+  return s.max - s.min;
+}
+
+double GeometricMean(const std::vector<double>& values) {
+  double log_sum = 0.0;
+  int64_t n = 0;
+  for (double v : values) {
+    if (v > 0.0) {
+      log_sum += std::log(v);
+      ++n;
+    }
+  }
+  if (n == 0) return 0.0;
+  return std::exp(log_sum / static_cast<double>(n));
+}
+
+}  // namespace tensor
+}  // namespace errorflow

@@ -1,0 +1,32 @@
+#ifndef ERRORFLOW_TENSOR_STATS_H_
+#define ERRORFLOW_TENSOR_STATS_H_
+
+#include "tensor/tensor.h"
+
+namespace errorflow {
+namespace tensor {
+
+/// \brief Summary statistics of a tensor's values; one pass.
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  int64_t count = 0;
+};
+
+/// Computes min/max/mean/stddev of `t` in one pass. Empty tensors yield a
+/// zeroed summary.
+Summary Summarize(const Tensor& t);
+
+/// Value range max - min (0 for empty tensors).
+double ValueRange(const Tensor& t);
+
+/// Geometric mean of strictly positive values; values <= 0 are skipped.
+/// Used for plotting achieved-error distributions as in the paper's figures.
+double GeometricMean(const std::vector<double>& values);
+
+}  // namespace tensor
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_TENSOR_STATS_H_

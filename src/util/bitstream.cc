@@ -1,0 +1,105 @@
+#include "util/bitstream.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace errorflow {
+namespace util {
+
+void BitWriter::WriteBits(uint64_t value, int nbits) {
+  EF_CHECK(nbits >= 0 && nbits <= 64);
+  int left = nbits;
+  while (left > 0) {
+    const int space = 8 - bits_in_current_;
+    const int take = std::min(space, left);  // take <= 8 always.
+    const uint64_t chunk =
+        (value >> (left - take)) & ((1ull << take) - 1ull);
+    current_ = static_cast<uint8_t>((current_ << take) | chunk);
+    bits_in_current_ += take;
+    bit_count_ += static_cast<size_t>(take);
+    left -= take;
+    if (bits_in_current_ == 8) {
+      bytes_.push_back(static_cast<char>(current_));
+      current_ = 0;
+      bits_in_current_ = 0;
+    }
+  }
+}
+
+void BitWriter::WriteBit(bool bit) {
+  current_ = static_cast<uint8_t>((current_ << 1) | (bit ? 1 : 0));
+  ++bits_in_current_;
+  ++bit_count_;
+  if (bits_in_current_ == 8) {
+    bytes_.push_back(static_cast<char>(current_));
+    current_ = 0;
+    bits_in_current_ = 0;
+  }
+}
+
+void BitWriter::AlignToByte() {
+  while (bits_in_current_ != 0) WriteBit(false);
+}
+
+std::string BitWriter::Finish() {
+  AlignToByte();
+  return std::move(bytes_);
+}
+
+BitReader::BitReader(const void* data, size_t size_bytes)
+    : data_(static_cast<const uint8_t*>(data)), total_bits_(size_bytes * 8) {}
+
+Result<uint64_t> BitReader::ReadBits(int nbits) {
+  EF_CHECK(nbits >= 0 && nbits <= 64);
+  if (BitsRemaining() < static_cast<size_t>(nbits)) {
+    return Status::OutOfRange("BitReader: stream exhausted");
+  }
+  uint64_t value = 0;
+  int left = nbits;
+  while (left > 0) {
+    const size_t byte = bit_pos_ >> 3;
+    const int off = static_cast<int>(bit_pos_ & 7);
+    const int avail = 8 - off;
+    const int take = std::min(avail, left);
+    const uint8_t chunk = static_cast<uint8_t>(
+        (data_[byte] >> (avail - take)) & ((1u << take) - 1u));
+    value = (value << take) | chunk;
+    bit_pos_ += static_cast<size_t>(take);
+    left -= take;
+  }
+  return value;
+}
+
+Result<bool> BitReader::ReadBit() {
+  EF_ASSIGN_OR_RETURN(uint64_t v, ReadBits(1));
+  return v != 0;
+}
+
+uint64_t BitReader::PeekBits(int nbits) const {
+  EF_CHECK(nbits >= 0 && nbits <= 57);
+  // Load up to 8 bytes starting at the current byte, MSB-first.
+  const size_t byte = bit_pos_ >> 3;
+  const int off = static_cast<int>(bit_pos_ & 7);
+  const size_t total_bytes = (total_bits_ + 7) / 8;
+  uint64_t window = 0;
+  for (int i = 0; i < 8; ++i) {
+    const size_t b = byte + static_cast<size_t>(i);
+    window = (window << 8) | (b < total_bytes ? data_[b] : 0u);
+  }
+  // Drop the `off` already-consumed bits, keep the top nbits.
+  window <<= off;
+  return nbits == 0 ? 0 : window >> (64 - nbits);
+}
+
+void BitReader::SkipBits(int nbits) {
+  bit_pos_ = std::min(total_bits_, bit_pos_ + static_cast<size_t>(nbits));
+}
+
+void BitReader::AlignToByte() {
+  bit_pos_ = (bit_pos_ + 7) & ~size_t{7};
+  if (bit_pos_ > total_bits_) bit_pos_ = total_bits_;
+}
+
+}  // namespace util
+}  // namespace errorflow

@@ -1,0 +1,128 @@
+#ifndef ERRORFLOW_UTIL_BYTES_H_
+#define ERRORFLOW_UTIL_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace errorflow {
+namespace util {
+
+/// \brief Append-only little-endian byte buffer used for blob headers and
+/// model serialization.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { Raw(&v, 1); }
+  void PutU32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void PutI64(int64_t v) { Raw(&v, sizeof(v)); }
+  void PutF32(float v) { Raw(&v, sizeof(v)); }
+  void PutF64(double v) { Raw(&v, sizeof(v)); }
+  void PutBytes(const std::string& s) {
+    PutU64(s.size());
+    buf_.append(s);
+  }
+  /// LEB128 variable-length unsigned integer.
+  void PutVarint64(uint64_t v) {
+    while (v >= 0x80) {
+      PutU8(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    PutU8(static_cast<uint8_t>(v));
+  }
+  void PutShape(const std::vector<int64_t>& shape) {
+    PutU32(static_cast<uint32_t>(shape.size()));
+    for (int64_t d : shape) PutI64(d);
+  }
+  void Raw(const void* p, size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+  const std::string& buffer() const { return buf_; }
+  std::string Finish() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// \brief Bounds-checked reader over a byte buffer; every accessor returns
+/// Corruption on truncation.
+class ByteReader {
+ public:
+  ByteReader(const void* data, size_t size)
+      : data_(static_cast<const char*>(data)), size_(size) {}
+  explicit ByteReader(const std::string& s) : ByteReader(s.data(), s.size()) {}
+
+  Result<uint8_t> GetU8() { return Get<uint8_t>(); }
+  Result<uint32_t> GetU32() { return Get<uint32_t>(); }
+  Result<uint64_t> GetU64() { return Get<uint64_t>(); }
+  Result<int64_t> GetI64() { return Get<int64_t>(); }
+  Result<float> GetF32() { return Get<float>(); }
+  Result<double> GetF64() { return Get<double>(); }
+
+  Result<std::string> GetBytes() {
+    EF_ASSIGN_OR_RETURN(uint64_t n, GetU64());
+    if (pos_ + n > size_) return Status::Corruption("buffer truncated");
+    std::string out(data_ + pos_, static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return out;
+  }
+
+  Result<uint64_t> GetVarint64() {
+    uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      EF_ASSIGN_OR_RETURN(uint8_t byte, GetU8());
+      v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+      if (shift >= 64) return Status::Corruption("varint too long");
+    }
+    return v;
+  }
+
+  Result<std::vector<int64_t>> GetShape() {
+    EF_ASSIGN_OR_RETURN(uint32_t rank, GetU32());
+    if (rank > 8) return Status::Corruption("bad shape rank");
+    std::vector<int64_t> shape;
+    for (uint32_t i = 0; i < rank; ++i) {
+      EF_ASSIGN_OR_RETURN(int64_t d, GetI64());
+      if (d < 0) return Status::Corruption("negative dimension");
+      shape.push_back(d);
+    }
+    return shape;
+  }
+
+  /// Remaining unread bytes (pointer + size), consuming them.
+  Result<std::pair<const char*, size_t>> Rest() {
+    std::pair<const char*, size_t> out{data_ + pos_, size_ - pos_};
+    pos_ = size_;
+    return out;
+  }
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  template <typename T>
+  Result<T> Get() {
+    if (pos_ + sizeof(T) > size_) {
+      return Status::Corruption("buffer truncated");
+    }
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace util
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_UTIL_BYTES_H_

@@ -1,0 +1,52 @@
+#ifndef ERRORFLOW_UTIL_MACROS_H_
+#define ERRORFLOW_UTIL_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/status.h"
+
+/// Propagates a non-OK Status to the caller (Arrow/RocksDB idiom).
+#define EF_RETURN_IF_ERROR(expr)                    \
+  do {                                              \
+    ::errorflow::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+#define EF_CONCAT_IMPL(x, y) x##y
+#define EF_CONCAT(x, y) EF_CONCAT_IMPL(x, y)
+
+/// Evaluates `rexpr` (a Result<T>), propagating the error or binding the
+/// value to `lhs`. `lhs` may include a declaration, e.g.
+///   EF_ASSIGN_OR_RETURN(auto t, MakeTensor(...));
+#define EF_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  auto EF_CONCAT(_ef_result_, __LINE__) = (rexpr);            \
+  if (!EF_CONCAT(_ef_result_, __LINE__).ok())                 \
+    return EF_CONCAT(_ef_result_, __LINE__).status();         \
+  lhs = std::move(EF_CONCAT(_ef_result_, __LINE__)).value()
+
+/// Internal invariant check: aborts with a message on violation. Used for
+/// programmer errors (out-of-contract calls), never for data-dependent
+/// failures, which return Status instead.
+#define EF_CHECK(cond)                                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "EF_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Aborts if `expr` returns a non-OK status. For tests and examples where an
+/// error is unrecoverable.
+#define EF_CHECK_OK(expr)                                                  \
+  do {                                                                     \
+    ::errorflow::Status _st = (expr);                                      \
+    if (!_st.ok()) {                                                       \
+      std::fprintf(stderr, "EF_CHECK_OK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, _st.ToString().c_str());                      \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#endif  // ERRORFLOW_UTIL_MACROS_H_

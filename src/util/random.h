@@ -1,0 +1,54 @@
+#ifndef ERRORFLOW_UTIL_RANDOM_H_
+#define ERRORFLOW_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace errorflow {
+namespace util {
+
+/// \brief Deterministic, fast PRNG (xoshiro256**).
+///
+/// Every stochastic component in the library (weight init, synthetic data
+/// generation, batch sampling, power-iteration start vectors) takes an
+/// explicit seed and draws from this generator so that experiments are
+/// bit-reproducible across runs and platforms.
+class Rng {
+ public:
+  /// Seeds the generator; the seed is expanded with splitmix64 so that
+  /// small consecutive seeds yield uncorrelated streams.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform in [0, n). `n` must be > 0.
+  uint64_t UniformU64(uint64_t n);
+
+  /// Uniform in [0, 1).
+  double UniformDouble();
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double Normal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int UniformInt(int lo, int hi);
+
+  /// Forks an independent stream (for parallel deterministic generation).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace util
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_UTIL_RANDOM_H_

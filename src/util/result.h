@@ -1,0 +1,77 @@
+#ifndef ERRORFLOW_UTIL_RESULT_H_
+#define ERRORFLOW_UTIL_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace errorflow {
+
+/// \brief Either a value of type `T` or a non-OK `Status`.
+///
+/// Analogous to `arrow::Result` / `absl::StatusOr`. A `Result` constructed
+/// from an OK status is a programming error and is normalized to an
+/// Internal error instead of being allowed to hold "OK but no value".
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// \name Value accessors. Aborts if `!ok()` — callers must check first
+  /// or use ASSIGN_OR_RETURN.
+  /// @{
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+  /// @}
+
+  /// Returns the value or `fallback` when this result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckHasValue() const {
+    if (!value_.has_value()) {
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_UTIL_RESULT_H_

@@ -1,0 +1,116 @@
+#ifndef ERRORFLOW_UTIL_STATUS_H_
+#define ERRORFLOW_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace errorflow {
+
+/// \brief Machine-readable category for a failed operation.
+///
+/// The set mirrors the error taxonomy used by Arrow/RocksDB-style storage
+/// libraries: a small, stable enum that callers can branch on, with the
+/// human-readable detail carried in the message string.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kIoError = 5,
+  kCorruption = 6,
+  kNotImplemented = 7,
+  kInternal = 8,
+  kResourceExhausted = 9,
+  kFailedPrecondition = 10,
+};
+
+/// \brief Returns the canonical name of a status code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of an operation that can fail without a value.
+///
+/// `Status` is cheap to copy in the success case (a single pointer compare
+/// against null) and carries a heap-allocated (code, message) pair only on
+/// failure. The library does not throw exceptions across public API
+/// boundaries; every fallible operation returns `Status` or `Result<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given non-OK code and message.
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+
+  /// \name Factory helpers for each error category.
+  /// @{
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  /// @}
+
+  /// True iff the operation succeeded.
+  bool ok() const { return state_ == nullptr; }
+
+  /// The status code (kOk when `ok()`).
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+
+  /// The error message (empty when `ok()`).
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->msg;
+  }
+
+  /// Returns "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_UTIL_STATUS_H_

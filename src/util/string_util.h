@@ -1,0 +1,27 @@
+#ifndef ERRORFLOW_UTIL_STRING_UTIL_H_
+#define ERRORFLOW_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace errorflow {
+namespace util {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a byte count as a human-readable size, e.g. "3.20 MB".
+std::string HumanBytes(double bytes);
+
+/// Formats a throughput value as "X.XX GB/s".
+std::string HumanThroughput(double bytes_per_second);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+}  // namespace util
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_UTIL_STRING_UTIL_H_

@@ -1,0 +1,66 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace errorflow {
+namespace util {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EF_CHECK(!shutdown_);
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t)>& fn) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    futures.push_back(Submit([&fn, i] { fn(i); }));
+  }
+  for (auto& f : futures) f.get();  // Rethrows worker exceptions.
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shutdown with drained queue.
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+}  // namespace util
+}  // namespace errorflow

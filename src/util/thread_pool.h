@@ -1,0 +1,53 @@
+#ifndef ERRORFLOW_UTIL_THREAD_POOL_H_
+#define ERRORFLOW_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace errorflow {
+namespace util {
+
+/// \brief Fixed-size worker pool for data-parallel compression and
+/// benchmarking. Tasks are arbitrary void() callables; Submit returns a
+/// future for completion/exception propagation.
+///
+/// The pool is intentionally simple (single locked queue): tasks here are
+/// chunk-sized (milliseconds), so queue contention is negligible.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1; defaults to hardware concurrency).
+  explicit ThreadPool(int num_threads = 0);
+
+  /// Drains outstanding tasks and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the returned future completes when it finishes.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for all.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+};
+
+}  // namespace util
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_UTIL_THREAD_POOL_H_

@@ -1,0 +1,33 @@
+#ifndef ERRORFLOW_UTIL_TIMER_H_
+#define ERRORFLOW_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace errorflow {
+namespace util {
+
+/// \brief Monotonic wall-clock stopwatch used for throughput accounting.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Microseconds elapsed since construction or the last Restart().
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace util
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_UTIL_TIMER_H_

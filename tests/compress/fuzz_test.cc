@@ -1,0 +1,99 @@
+// Robustness tests: decompressors and the model deserializer must return
+// Status errors (never crash, hang, or over-allocate) on corrupt input —
+// random garbage, truncations at every offset, and single-bit flips.
+#include <string>
+
+#include "compress/compressor.h"
+#include "gtest/gtest.h"
+#include "nn/builders.h"
+#include "nn/serialize.h"
+#include "testing/test_util.h"
+#include "util/random.h"
+
+namespace errorflow {
+namespace {
+
+using compress::Backend;
+using tensor::Tensor;
+
+class DecompressFuzzTest : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(DecompressFuzzTest, RandomGarbageNeverCrashes) {
+  auto compressor = compress::MakeCompressor(GetParam());
+  util::Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t len = static_cast<size_t>(rng.UniformU64(300));
+    std::string blob(len, '\0');
+    for (char& c : blob) {
+      c = static_cast<char>(rng.UniformU64(256));
+    }
+    auto result = compressor->Decompress(blob);
+    // Either an error, or (vanishingly unlikely) a valid decode; both are
+    // fine — the requirement is no crash.
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+TEST_P(DecompressFuzzTest, EveryTruncationIsHandled) {
+  auto compressor = compress::MakeCompressor(GetParam());
+  const Tensor data = testing::SmoothField2d(16, 16, 2);
+  auto comp = compressor->Compress(data, compress::ErrorBound::AbsLinf(1e-3));
+  ASSERT_TRUE(comp.ok());
+  // Every prefix of the blob must decode to an error (or, for prefixes
+  // that happen to be self-consistent, a tensor) without crashing.
+  for (size_t len = 0; len < comp->blob.size(); len += 7) {
+    auto result = compressor->Decompress(comp->blob.substr(0, len));
+    (void)result;
+  }
+}
+
+TEST_P(DecompressFuzzTest, BitFlipsAreHandled) {
+  auto compressor = compress::MakeCompressor(GetParam());
+  const Tensor data = testing::SmoothField2d(12, 12, 3);
+  auto comp = compressor->Compress(data, compress::ErrorBound::AbsLinf(1e-3));
+  ASSERT_TRUE(comp.ok());
+  util::Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string blob = comp->blob;
+    const size_t pos = static_cast<size_t>(rng.UniformU64(blob.size()));
+    blob[pos] = static_cast<char>(blob[pos] ^
+                                  (1 << rng.UniformU64(8)));
+    auto result = compressor->Decompress(blob);
+    (void)result;  // No crash is the assertion.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, DecompressFuzzTest,
+    ::testing::Values(Backend::kSz, Backend::kZfp, Backend::kMgard),
+    [](const ::testing::TestParamInfo<Backend>& info) {
+      return std::string(compress::BackendToString(info.param));
+    });
+
+TEST(DeserializeFuzzTest, TruncationsAndFlipsHandled) {
+  nn::MlpConfig cfg;
+  cfg.input_dim = 4;
+  cfg.hidden_dims = {6};
+  cfg.output_dim = 2;
+  cfg.seed = 5;
+  nn::Model m = nn::BuildMlp(cfg);
+  const std::string buf = nn::SerializeModel(m);
+  for (size_t len = 0; len < buf.size(); len += 11) {
+    auto result = nn::DeserializeModel(buf.substr(0, len));
+    EXPECT_FALSE(result.ok());
+  }
+  util::Rng rng(6);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string corrupted = buf;
+    const size_t pos = static_cast<size_t>(rng.UniformU64(buf.size()));
+    corrupted[pos] =
+        static_cast<char>(corrupted[pos] ^ (1 << rng.UniformU64(8)));
+    auto result = nn::DeserializeModel(corrupted);
+    (void)result;  // No crash; flips in weight bytes may still parse.
+  }
+}
+
+}  // namespace
+}  // namespace errorflow

@@ -1,0 +1,110 @@
+#include "compress/codec/huffman.h"
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace errorflow {
+namespace compress {
+namespace {
+
+std::vector<uint32_t> RoundTrip(const std::vector<uint32_t>& symbols) {
+  util::BitWriter w;
+  EXPECT_TRUE(HuffmanCodec::Encode(symbols, &w).ok());
+  const std::string buf = w.Finish();
+  util::BitReader r(buf.data(), buf.size());
+  auto decoded = HuffmanCodec::Decode(&r, symbols.size());
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  return decoded.ok() ? *decoded : std::vector<uint32_t>{};
+}
+
+TEST(HuffmanTest, SimpleRoundTrip) {
+  const std::vector<uint32_t> syms = {1, 2, 2, 3, 3, 3, 3, 1};
+  EXPECT_EQ(RoundTrip(syms), syms);
+}
+
+TEST(HuffmanTest, SingleSymbolAlphabet) {
+  const std::vector<uint32_t> syms(100, 42);
+  EXPECT_EQ(RoundTrip(syms), syms);
+}
+
+TEST(HuffmanTest, SingleElementStream) {
+  const std::vector<uint32_t> syms = {7};
+  EXPECT_EQ(RoundTrip(syms), syms);
+}
+
+TEST(HuffmanTest, LargeSymbolValues) {
+  const std::vector<uint32_t> syms = {0xFFFFFFFFu, 0, 0xFFFFFFFFu,
+                                      0x80000000u};
+  EXPECT_EQ(RoundTrip(syms), syms);
+}
+
+TEST(HuffmanTest, EmptyStreamRejected) {
+  util::BitWriter w;
+  EXPECT_FALSE(HuffmanCodec::Encode({}, &w).ok());
+}
+
+TEST(HuffmanTest, SkewedDistributionCompresses) {
+  // 95% zeros should code to far fewer than 32 bits/symbol.
+  util::Rng rng(1);
+  std::vector<uint32_t> syms;
+  for (int i = 0; i < 10000; ++i) {
+    syms.push_back(rng.UniformDouble() < 0.95
+                       ? 0
+                       : static_cast<uint32_t>(rng.UniformU64(16)));
+  }
+  util::BitWriter w;
+  ASSERT_TRUE(HuffmanCodec::Encode(syms, &w).ok());
+  EXPECT_LT(w.bit_count(), syms.size() * 2 + 20 * 38 + 64);
+  util::BitReader r(nullptr, 0);
+  const std::string buf = w.Finish();
+  util::BitReader r2(buf.data(), buf.size());
+  EXPECT_EQ(*HuffmanCodec::Decode(&r2, syms.size()), syms);
+}
+
+TEST(HuffmanTest, RandomizedRoundTrips) {
+  util::Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int alphabet = rng.UniformInt(1, 300);
+    const int length = rng.UniformInt(1, 3000);
+    std::vector<uint32_t> syms;
+    syms.reserve(static_cast<size_t>(length));
+    for (int i = 0; i < length; ++i) {
+      // Geometric-ish skew so code lengths differ.
+      uint32_t s = 0;
+      while (s + 1 < static_cast<uint32_t>(alphabet) &&
+             rng.UniformDouble() < 0.5) {
+        ++s;
+      }
+      syms.push_back(s);
+    }
+    EXPECT_EQ(RoundTrip(syms), syms) << "trial " << trial;
+  }
+}
+
+TEST(HuffmanTest, TruncatedStreamIsError) {
+  const std::vector<uint32_t> syms = {1, 2, 3, 4, 5, 6, 7, 8};
+  util::BitWriter w;
+  ASSERT_TRUE(HuffmanCodec::Encode(syms, &w).ok());
+  std::string buf = w.Finish();
+  buf.resize(buf.size() / 2);
+  util::BitReader r(buf.data(), buf.size());
+  EXPECT_FALSE(HuffmanCodec::Decode(&r, syms.size()).ok());
+}
+
+TEST(ZigzagTest, RoundTripsAllSigns) {
+  for (int32_t v : {0, 1, -1, 2, -2, 1000000, -1000000, INT32_MAX,
+                    INT32_MIN + 1}) {
+    EXPECT_EQ(ZigzagDecode(ZigzagEncode(v)), v);
+  }
+}
+
+TEST(ZigzagTest, SmallMagnitudesGetSmallCodes) {
+  EXPECT_EQ(ZigzagEncode(0), 0u);
+  EXPECT_EQ(ZigzagEncode(-1), 1u);
+  EXPECT_EQ(ZigzagEncode(1), 2u);
+  EXPECT_EQ(ZigzagEncode(-2), 3u);
+}
+
+}  // namespace
+}  // namespace compress
+}  // namespace errorflow

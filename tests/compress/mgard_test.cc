@@ -1,0 +1,110 @@
+#include "compress/mgard.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tensor/norms.h"
+#include "testing/test_util.h"
+
+namespace errorflow {
+namespace compress {
+namespace {
+
+using tensor::Norm;
+using tensor::Tensor;
+
+TEST(MgardTest, LinfBoundHoldsAnalytically) {
+  MgardCompressor mgard;
+  const Tensor data = testing::SmoothField2d(90, 70, 1);
+  const double eb = 1e-3;
+  auto c = mgard.Compress(data, ErrorBound::AbsLinf(eb));
+  ASSERT_TRUE(c.ok());
+  auto d = mgard.Decompress(c->blob);
+  ASSERT_TRUE(d.ok());
+  for (int64_t i = 0; i < data.size(); ++i) {
+    EXPECT_LE(std::fabs(static_cast<double>(d->data[i]) - data[i]), eb);
+  }
+}
+
+TEST(MgardTest, NativeL2ModeBoundHolds) {
+  MgardCompressor mgard;
+  const Tensor data = testing::SmoothField2d(64, 64, 2);
+  for (double tol : {1e-1, 1e-2, 1e-3}) {
+    auto c = mgard.Compress(data, ErrorBound::AbsL2(tol));
+    ASSERT_TRUE(c.ok());
+    auto d = mgard.Decompress(c->blob);
+    ASSERT_TRUE(d.ok());
+    EXPECT_LE(tensor::DiffNorm(data, d->data, Norm::kL2), tol)
+        << "tol " << tol;
+  }
+}
+
+TEST(MgardTest, L2ModeIsLessConservativeThanPointwiseSplit) {
+  // MGARD's native L2 control should compress better than treating the L2
+  // budget as a uniform pointwise bound (the naive tol/sqrt(n) split),
+  // because the verify loop stops shrinking once the measured error fits.
+  MgardCompressor mgard;
+  const Tensor data = testing::SmoothField2d(128, 128, 3);
+  const double tol_l2 = 1e-2;
+  auto native = mgard.Compress(data, ErrorBound::AbsL2(tol_l2));
+  const double pointwise =
+      tol_l2 / std::sqrt(static_cast<double>(data.size()));
+  auto split = mgard.Compress(data, ErrorBound::AbsLinf(pointwise));
+  ASSERT_TRUE(native.ok() && split.ok());
+  EXPECT_GE(native->ratio(), split->ratio() * 0.9);
+}
+
+TEST(MgardTest, MultilevelExploitsSmoothness) {
+  // Piecewise-linear data is captured almost entirely by the coarse
+  // levels; details quantize to zero.
+  Tensor data({4096});
+  for (int64_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(i) * 1e-3f;
+  }
+  MgardCompressor mgard;
+  auto c = mgard.Compress(data, ErrorBound::AbsLinf(1e-4));
+  ASSERT_TRUE(c.ok());
+  EXPECT_GT(c->ratio(), 15.0);
+}
+
+TEST(MgardTest, HugeOutliersEscapeExactly) {
+  Tensor data = testing::SmoothField2d(32, 32, 4);
+  data[100] = 1e20f;
+  MgardCompressor mgard;
+  auto c = mgard.Compress(data, ErrorBound::AbsLinf(1e-6));
+  ASSERT_TRUE(c.ok());
+  auto d = mgard.Decompress(c->blob);
+  ASSERT_TRUE(d.ok());
+  // All points, including the spike's neighborhood, stay bounded.
+  for (int64_t i = 0; i < data.size(); ++i) {
+    EXPECT_LE(std::fabs(static_cast<double>(d->data[i]) - data[i]),
+              1e-6 + std::fabs(static_cast<double>(data[i])) * 1e-7)
+        << i;
+  }
+}
+
+TEST(MgardTest, ShortSignalsSkipDecomposition) {
+  Tensor data({8});
+  for (int64_t i = 0; i < 8; ++i) data[i] = static_cast<float>(i * i);
+  MgardCompressor mgard;
+  auto c = mgard.Compress(data, ErrorBound::AbsLinf(1e-3));
+  ASSERT_TRUE(c.ok());
+  auto d = mgard.Decompress(c->blob);
+  ASSERT_TRUE(d.ok());
+  EXPECT_LE(tensor::DiffNorm(data, d->data, Norm::kLinf), 1e-3);
+}
+
+TEST(MgardTest, RelativeL2Bound) {
+  MgardCompressor mgard;
+  const Tensor data = testing::SmoothField2d(48, 48, 5);
+  auto c = mgard.Compress(data, ErrorBound::RelL2(1e-3));
+  ASSERT_TRUE(c.ok());
+  auto d = mgard.Decompress(c->blob);
+  ASSERT_TRUE(d.ok());
+  EXPECT_LE(tensor::DiffNorm(data, d->data, Norm::kL2),
+            1e-3 * tensor::L2Norm(data) * (1 + 1e-9));
+}
+
+}  // namespace
+}  // namespace compress
+}  // namespace errorflow

@@ -1,0 +1,119 @@
+#include "compress/parallel.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tensor/norms.h"
+#include "tensor/stats.h"
+#include "testing/test_util.h"
+
+namespace errorflow {
+namespace compress {
+namespace {
+
+using tensor::Norm;
+using tensor::Tensor;
+
+class ParallelContractTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  util::ThreadPool pool_{4};
+};
+
+TEST_P(ParallelContractTest, LinfBoundHolds) {
+  ParallelCompressor comp(GetParam(), &pool_, /*min_chunk_rows=*/16);
+  const Tensor data = testing::SmoothField2d(256, 64, 1);
+  const double eb = 1e-3;
+  auto c = comp.Compress(data, ErrorBound::AbsLinf(eb));
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  auto d = comp.Decompress(c->blob);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  ASSERT_EQ(d->data.shape(), data.shape());
+  EXPECT_LE(tensor::DiffNorm(data, d->data, Norm::kLinf), eb * (1 + 1e-9));
+}
+
+TEST_P(ParallelContractTest, RelativeLinfResolvedGlobally) {
+  ParallelCompressor comp(GetParam(), &pool_, 16);
+  const Tensor data = testing::SmoothField2d(200, 50, 2);
+  auto c = comp.Compress(data, ErrorBound::RelLinf(1e-4));
+  ASSERT_TRUE(c.ok());
+  auto d = comp.Decompress(c->blob);
+  ASSERT_TRUE(d.ok());
+  EXPECT_LE(tensor::DiffNorm(data, d->data, Norm::kLinf),
+            1e-4 * tensor::ValueRange(data) * (1 + 1e-9));
+}
+
+TEST_P(ParallelContractTest, L2BoundComposesAcrossChunks) {
+  ParallelCompressor comp(GetParam(), &pool_, 16);
+  if (!comp.SupportsNorm(Norm::kL2)) {
+    GTEST_SKIP() << "inner backend has no L2 mode";
+  }
+  const Tensor data = testing::SmoothField2d(256, 40, 3);
+  const double tol = 1e-2;
+  auto c = comp.Compress(data, ErrorBound::AbsL2(tol));
+  ASSERT_TRUE(c.ok());
+  auto d = comp.Decompress(c->blob);
+  ASSERT_TRUE(d.ok());
+  EXPECT_LE(tensor::DiffNorm(data, d->data, Norm::kL2), tol * (1 + 1e-9));
+}
+
+TEST_P(ParallelContractTest, MatchesSerialReconstructionQuality) {
+  // Chunked compression may differ bit-wise from serial, but both respect
+  // the same bound and comparable ratios. MGARD pays the most for
+  // chunking (each chunk gets a shallower multilevel hierarchy), hence
+  // the generous factor; SZ/ZFP lose only boundary prediction context.
+  ParallelCompressor parallel(GetParam(), &pool_, 32);
+  auto serial = MakeCompressor(GetParam());
+  const Tensor data = testing::SmoothField2d(128, 128, 4);
+  auto cp = parallel.Compress(data, ErrorBound::AbsLinf(1e-4));
+  auto cs = serial->Compress(data, ErrorBound::AbsLinf(1e-4));
+  ASSERT_TRUE(cp.ok() && cs.ok());
+  EXPECT_GT(cp->ratio(), cs->ratio() * 0.4);
+}
+
+TEST_P(ParallelContractTest, SingleRowTensorStillWorks) {
+  ParallelCompressor comp(GetParam(), &pool_, 16);
+  Tensor data({1, 100});
+  for (int64_t i = 0; i < 100; ++i) {
+    data[i] = static_cast<float>(std::sin(0.1 * static_cast<double>(i)));
+  }
+  auto c = comp.Compress(data, ErrorBound::AbsLinf(1e-4));
+  ASSERT_TRUE(c.ok());
+  auto d = comp.Decompress(c->blob);
+  ASSERT_TRUE(d.ok());
+  EXPECT_LE(tensor::DiffNorm(data, d->data, Norm::kLinf), 1e-4);
+}
+
+TEST_P(ParallelContractTest, CorruptContainerRejected) {
+  ParallelCompressor comp(GetParam(), &pool_, 16);
+  EXPECT_FALSE(comp.Decompress("garbage").ok());
+  const Tensor data = testing::SmoothField2d(64, 32, 5);
+  auto c = comp.Compress(data, ErrorBound::AbsLinf(1e-3));
+  ASSERT_TRUE(c.ok());
+  std::string blob = c->blob;
+  blob.resize(blob.size() / 2);
+  EXPECT_FALSE(comp.Decompress(blob).ok());
+}
+
+TEST_P(ParallelContractTest, NameAdvertisesParallelism) {
+  ParallelCompressor comp(GetParam(), &pool_, 16);
+  EXPECT_NE(comp.name().find("-parallel"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, ParallelContractTest,
+    ::testing::Values(Backend::kSz, Backend::kZfp, Backend::kMgard),
+    [](const ::testing::TestParamInfo<Backend>& info) {
+      return std::string(BackendToString(info.param));
+    });
+
+TEST(ParallelCompressorTest, ZfpStillRejectsL2) {
+  util::ThreadPool pool(2);
+  ParallelCompressor comp(Backend::kZfp, &pool, 16);
+  EXPECT_FALSE(comp.SupportsNorm(Norm::kL2));
+  const Tensor data = testing::SmoothField2d(32, 32, 6);
+  EXPECT_FALSE(comp.Compress(data, ErrorBound::AbsL2(1e-3)).ok());
+}
+
+}  // namespace
+}  // namespace compress
+}  // namespace errorflow

@@ -1,0 +1,80 @@
+#include "compress/ratio_model.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "testing/test_util.h"
+
+namespace errorflow {
+namespace compress {
+namespace {
+
+using tensor::Tensor;
+
+class RatioModelTest : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(RatioModelTest, EstimateWithinFactorOfTrueRatio) {
+  auto compressor = MakeCompressor(GetParam());
+  const Tensor data = testing::SmoothField2d(512, 128, 1);
+  const ErrorBound bound = ErrorBound::AbsLinf(1e-3);
+  auto est = EstimateRatio(compressor.get(), data, bound, 0.05, 32);
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  auto full = compressor->Compress(data, bound);
+  ASSERT_TRUE(full.ok());
+  EXPECT_GT(est->ratio, full->ratio() * 0.5)
+      << "estimate " << est->ratio << " true " << full->ratio();
+  EXPECT_LT(est->ratio, full->ratio() * 2.0);
+}
+
+TEST_P(RatioModelTest, SamplingIsMuchCheaperThanFullCompression) {
+  auto compressor = MakeCompressor(GetParam());
+  const Tensor data = testing::SmoothField2d(1024, 128, 2);
+  auto est = EstimateRatio(compressor.get(), data,
+                           ErrorBound::AbsLinf(1e-3), 0.05, 32);
+  ASSERT_TRUE(est.ok());
+  EXPECT_LE(est->sampled_rows, 64);
+}
+
+TEST_P(RatioModelTest, RelativeBoundResolvedAgainstFullData) {
+  auto compressor = MakeCompressor(GetParam());
+  // A field whose sampled middle slice has a much smaller local range
+  // than the whole: the estimator must still use the global range.
+  Tensor data = testing::SmoothField2d(256, 64, 3);
+  for (int64_t j = 0; j < 64; ++j) data.at(0, j) = 100.0f;  // Outlier row.
+  auto est = EstimateRatio(compressor.get(), data,
+                           ErrorBound::RelLinf(1e-4), 0.1, 16);
+  ASSERT_TRUE(est.ok());
+  EXPECT_GT(est->ratio, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, RatioModelTest,
+    ::testing::Values(Backend::kSz, Backend::kZfp, Backend::kMgard),
+    [](const ::testing::TestParamInfo<Backend>& info) {
+      return std::string(BackendToString(info.param));
+    });
+
+TEST(RatioModelTest, BadArgumentsRejected) {
+  auto sz = MakeCompressor(Backend::kSz);
+  const Tensor data = testing::SmoothField2d(32, 32, 4);
+  EXPECT_FALSE(
+      EstimateRatio(sz.get(), Tensor(), ErrorBound::AbsLinf(1e-3)).ok());
+  EXPECT_FALSE(
+      EstimateRatio(sz.get(), data, ErrorBound::AbsLinf(1e-3), 0.0).ok());
+  EXPECT_FALSE(
+      EstimateRatio(sz.get(), data, ErrorBound::AbsLinf(1e-3), 1.5).ok());
+}
+
+TEST(RatioModelTest, FullFractionMatchesExactly) {
+  auto sz = MakeCompressor(Backend::kSz);
+  const Tensor data = testing::SmoothField2d(128, 64, 5);
+  const ErrorBound bound = ErrorBound::AbsLinf(1e-4);
+  auto est = EstimateRatio(sz.get(), data, bound, 1.0, 1);
+  auto full = sz->Compress(data, bound);
+  ASSERT_TRUE(est.ok() && full.ok());
+  EXPECT_NEAR(est->ratio, full->ratio(), 1e-9);
+}
+
+}  // namespace
+}  // namespace compress
+}  // namespace errorflow

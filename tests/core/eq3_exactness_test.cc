@@ -1,0 +1,95 @@
+// Hand-computed exactness checks of the printed Inequality (3): a network
+// with diagonal weights whose spectral norms, step sizes, and bound terms
+// are all known in closed form.
+#include <cmath>
+
+#include "core/error_bound.h"
+#include "gtest/gtest.h"
+#include "nn/dense.h"
+#include "nn/model.h"
+
+namespace errorflow {
+namespace core {
+namespace {
+
+using quant::NumericFormat;
+using tensor::Norm;
+using tensor::Tensor;
+
+// Builds a two-layer linear model with constant-magnitude weights:
+//   W1 = a * I (3x3), W2 = b * I (3x3)
+// so sigma_1 = a, sigma_2 = b, and every Table-I float step is
+// q = 2^-m * 2^floor(log2 w) exactly.
+nn::Model DiagonalModel(float a, float b) {
+  nn::Model m("diag");
+  auto d1 = std::make_unique<nn::DenseLayer>(3, 3);
+  d1->mutable_weight() = Tensor({3, 3}, {a, 0, 0, 0, a, 0, 0, 0, a});
+  auto d2 = std::make_unique<nn::DenseLayer>(3, 3);
+  d2->mutable_weight() = Tensor({3, 3}, {b, 0, 0, 0, b, 0, 0, 0, b});
+  m.Add(std::move(d1));
+  m.Add(std::move(d2));
+  return m;
+}
+
+TEST(Eq3ExactnessTest, CompressionTermIsSigmaProduct) {
+  nn::Model m = DiagonalModel(2.0f, 0.5f);
+  ErrorFlowAnalysis analysis(ProfileModel(m, {1, 3}));
+  // MLP: sigma_s = 0; gain = 2.0 * 0.5 = 1.
+  EXPECT_NEAR(analysis.Gain(), 1.0, 1e-9);
+  EXPECT_NEAR(analysis.Eq3BoundL2(1e-3, NumericFormat::kFP32), 1e-3,
+              1e-12);
+}
+
+TEST(Eq3ExactnessTest, QuantTermMatchesHandComputation) {
+  // Weights exactly 1.0 and 2.0: zero entries contribute no step, so the
+  // RMS step of a diagonal 3x3 with value w is
+  //   q = 2^-10 * sqrt(3 * (2^floor(log2 w))^2 / 9) = 2^-10 * w' / sqrt 3
+  // with w' = 2^floor(log2 w).
+  const float a = 1.0f, b = 2.0f;
+  nn::Model m = DiagonalModel(a, b);
+  ErrorFlowAnalysis analysis(ProfileModel(m, {1, 3}));
+
+  const double q1 = std::exp2(-10.0) * 1.0 / std::sqrt(3.0);
+  const double q2 = std::exp2(-10.0) * 2.0 / std::sqrt(3.0);
+  // Eq. (3), n0 = n1 = n2 = 3, sigma_1 = 1, sigma_2 = 2, C = 1 (no acts):
+  //   term(l=1) = sigma_2 * q1 * sqrt(3*3)/(2 sqrt 3)
+  //   term(l=2) = (sigma_1 + q1*sqrt(3)/sqrt(3)) * q2 * sqrt(9)/(2 sqrt 3)
+  const double t1 = 2.0 * q1 * 3.0 / (2.0 * std::sqrt(3.0));
+  const double t2 = (1.0 + q1) * q2 * 3.0 / (2.0 * std::sqrt(3.0));
+  EXPECT_NEAR(analysis.Eq3BoundL2(0.0, NumericFormat::kFP16), t1 + t2,
+              1e-12);
+}
+
+TEST(Eq3ExactnessTest, InputTermAndQuantTermCompose) {
+  nn::Model m = DiagonalModel(1.0f, 1.0f);
+  ErrorFlowAnalysis analysis(ProfileModel(m, {1, 3}));
+  const double quant_only = analysis.Eq3BoundL2(0.0, NumericFormat::kBF16);
+  const double with_input =
+      analysis.Eq3BoundL2(1e-2, NumericFormat::kBF16);
+  // Gain is 1 (printed Eq. 3 uses plain sigma in the input term)...
+  // our Eq3BoundL2 uses sigma for the first term: expect exactly +1e-2.
+  EXPECT_NEAR(with_input - quant_only, 1e-2, 1e-12);
+}
+
+TEST(Eq3ExactnessTest, RecursionEqualsEq3ForSingleLayer) {
+  nn::Model m("single");
+  auto d = std::make_unique<nn::DenseLayer>(3, 3);
+  d->mutable_weight() =
+      Tensor({3, 3}, {1.5f, 0, 0, 0, 1.5f, 0, 0, 0, 1.5f});
+  m.Add(std::move(d));
+  ErrorFlowAnalysis analysis(ProfileModel(m, {1, 3}));
+  for (NumericFormat fmt :
+       {NumericFormat::kFP32, NumericFormat::kFP16, NumericFormat::kINT8}) {
+    for (double e : {0.0, 1e-4, 1e-1}) {
+      // With one layer there are no downstream products, so the
+      // conservative recursion and the printed formula coincide.
+      EXPECT_NEAR(analysis.Bound(e, Norm::kL2, fmt),
+                  analysis.Eq3BoundL2(e, fmt), 1e-12)
+          << quant::FormatToString(fmt) << " e=" << e;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace errorflow

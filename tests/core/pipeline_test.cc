@@ -1,0 +1,147 @@
+#include "core/pipeline.h"
+
+#include "gtest/gtest.h"
+#include "nn/builders.h"
+#include "testing/test_util.h"
+
+namespace errorflow {
+namespace core {
+namespace {
+
+using quant::NumericFormat;
+using tensor::Norm;
+using tensor::Tensor;
+
+nn::Model PipelineMlp(uint64_t seed = 21) {
+  nn::MlpConfig cfg;
+  cfg.name = "pipe";
+  cfg.input_dim = 8;
+  cfg.hidden_dims = {12, 12};
+  cfg.output_dim = 4;
+  cfg.activation = nn::ActivationKind::kTanh;
+  cfg.seed = seed;
+  return nn::BuildMlp(cfg);
+}
+
+// Smooth, correlated batch in [-1, 1] (compressible, normalized).
+Tensor SmoothBatch(int64_t n, int64_t features, uint64_t seed) {
+  Tensor batch({n, features});
+  util::Rng rng(seed);
+  const double phase = rng.Uniform(0, 6.28);
+  for (int64_t s = 0; s < n; ++s) {
+    for (int64_t f = 0; f < features; ++f) {
+      batch.at(s, f) = static_cast<float>(
+          0.8 * std::sin(0.01 * static_cast<double>(s) +
+                         0.7 * static_cast<double>(f) + phase));
+    }
+  }
+  return batch;
+}
+
+TEST(PipelineTest, AchievedErrorWithinPredictedBound) {
+  for (compress::Backend backend :
+       {compress::Backend::kSz, compress::Backend::kZfp,
+        compress::Backend::kMgard}) {
+    PipelineConfig cfg;
+    cfg.backend = backend;
+    cfg.norm = Norm::kLinf;
+    cfg.quant_fraction = 0.5;
+    InferencePipeline pipeline(PipelineMlp(), {1, 8}, cfg);
+    const Tensor batch = SmoothBatch(256, 8, 1);
+    for (double tol : {1e-1, 1e-2, 1e-3}) {
+      auto report = pipeline.Run(batch, tol);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      EXPECT_LE(report->achieved_qoi_error, report->predicted_qoi_bound)
+          << compress::BackendToString(backend) << " tol " << tol;
+      EXPECT_LE(report->predicted_qoi_bound, tol * (1 + 1e-9));
+      EXPECT_LE(report->achieved_input_error,
+                report->input_tolerance * (1 + 1e-5));
+    }
+  }
+}
+
+TEST(PipelineTest, L2NormPipeline) {
+  PipelineConfig cfg;
+  cfg.backend = compress::Backend::kMgard;
+  cfg.norm = Norm::kL2;
+  InferencePipeline pipeline(PipelineMlp(), {1, 8}, cfg);
+  const Tensor batch = SmoothBatch(128, 8, 2);
+  auto report = pipeline.Run(batch, 1e-2);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LE(report->achieved_qoi_error, report->predicted_qoi_bound);
+}
+
+TEST(PipelineTest, ThroughputAccountingConsistent) {
+  PipelineConfig cfg;
+  cfg.backend = compress::Backend::kSz;
+  InferencePipeline pipeline(PipelineMlp(), {1, 8}, cfg);
+  const Tensor batch = SmoothBatch(512, 8, 3);
+  auto report = pipeline.Run(batch, 1e-2);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->original_bytes, batch.size() * 4);
+  EXPECT_GT(report->compressed_bytes, 0);
+  EXPECT_NEAR(report->compression_ratio,
+              static_cast<double>(report->original_bytes) /
+                  report->compressed_bytes,
+              1e-9);
+  EXPECT_NEAR(report->io_seconds,
+              report->read_seconds + report->decompress_seconds, 1e-12);
+  EXPECT_NEAR(report->total_throughput,
+              std::min(report->io_throughput, report->exec_throughput),
+              1e-6);
+}
+
+TEST(PipelineTest, LooserToleranceNeverSlower) {
+  PipelineConfig cfg;
+  cfg.backend = compress::Backend::kSz;
+  InferencePipeline pipeline(PipelineMlp(), {1, 8}, cfg);
+  const Tensor batch = SmoothBatch(512, 8, 4);
+  auto tight = pipeline.Run(batch, 1e-4);
+  auto loose = pipeline.Run(batch, 1e-1);
+  ASSERT_TRUE(tight.ok() && loose.ok());
+  EXPECT_GE(loose->compression_ratio, tight->compression_ratio);
+  EXPECT_GE(loose->exec_throughput, tight->exec_throughput * (1 - 1e-9));
+}
+
+TEST(PipelineTest, PlanMatchesRunDecision) {
+  PipelineConfig cfg;
+  cfg.backend = compress::Backend::kSz;
+  InferencePipeline pipeline(PipelineMlp(), {1, 8}, cfg);
+  const Tensor batch = SmoothBatch(64, 8, 5);
+  const double tol = 0.05;
+  const AllocationPlan plan = pipeline.Plan(tol);
+  auto report = pipeline.Run(batch, tol);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->format, plan.format);
+  EXPECT_DOUBLE_EQ(report->input_tolerance, plan.input_tolerance);
+}
+
+TEST(PipelineTest, QuantizationKicksInAtLooseTolerance) {
+  PipelineConfig cfg;
+  cfg.backend = compress::Backend::kSz;
+  cfg.quant_fraction = 0.9;
+  InferencePipeline pipeline(PipelineMlp(), {1, 8}, cfg);
+  const AllocationPlan tight = pipeline.Plan(1e-5);
+  EXPECT_EQ(tight.format, NumericFormat::kFP32);
+  const AllocationPlan loose = pipeline.Plan(10.0);
+  EXPECT_NE(loose.format, NumericFormat::kFP32);
+}
+
+TEST(PipelineTest, RejectsNonBatchInput) {
+  PipelineConfig cfg;
+  InferencePipeline pipeline(PipelineMlp(), {1, 8}, cfg);
+  EXPECT_FALSE(pipeline.Run(Tensor({8}), 1e-2).ok());
+}
+
+TEST(PipelineTest, ReferenceNormReported) {
+  PipelineConfig cfg;
+  InferencePipeline pipeline(PipelineMlp(), {1, 8}, cfg);
+  const Tensor batch = SmoothBatch(32, 8, 6);
+  auto report = pipeline.Run(batch, 1e-2);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->reference_qoi_norm, 0.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace errorflow

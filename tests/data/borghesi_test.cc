@@ -1,0 +1,80 @@
+#include "data/borghesi.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tensor/norms.h"
+
+namespace errorflow {
+namespace data {
+namespace {
+
+using tensor::Tensor;
+
+TEST(BorghesiTest, ShapesAndNames) {
+  const Tensor field = GenerateBorghesiField(16, 20, 1);
+  EXPECT_EQ(field.shape(), (tensor::Shape{kBorghesiInputs, 16, 20}));
+  EXPECT_EQ(BorghesiInputNames().size(),
+            static_cast<size_t>(kBorghesiInputs));
+  Dataset ds = MakeBorghesiDataset(8, 8, 2);
+  EXPECT_EQ(ds.inputs.shape(), (tensor::Shape{64, kBorghesiInputs}));
+  EXPECT_EQ(ds.targets.shape(), (tensor::Shape{64, kBorghesiOutputs}));
+  EXPECT_EQ(ds.target_names.size(), 3u);
+}
+
+TEST(BorghesiTest, MixtureFractionInUnitInterval) {
+  const Tensor field = GenerateBorghesiField(32, 32, 3);
+  const int64_t pixels = 32 * 32;
+  for (int64_t p = 0; p < pixels; ++p) {
+    const float z = field[p];  // Variable 0 is Z.
+    EXPECT_GE(z, 0.0f);
+    EXPECT_LE(z, 1.0f + 1e-5f);
+  }
+}
+
+TEST(BorghesiTest, DissipationRatesNonNegativeForPrimary) {
+  Dataset ds = MakeBorghesiDataset(16, 16, 4);
+  for (int64_t s = 0; s < ds.size(); ++s) {
+    // chi_Z and chi_C are squared-gradient quantities: nonnegative.
+    EXPECT_GE(ds.targets.at(s, 0), 0.0f);
+    EXPECT_GE(ds.targets.at(s, 1), 0.0f);
+  }
+}
+
+TEST(BorghesiTest, DeterministicForSeed) {
+  const Tensor a = GenerateBorghesiField(8, 8, 5);
+  const Tensor b = GenerateBorghesiField(8, 8, 5);
+  EXPECT_EQ(tensor::DiffNorm(a, b, tensor::Norm::kLinf), 0.0);
+}
+
+TEST(BorghesiTest, JetConcentratedNearCenterline) {
+  const Tensor field = GenerateBorghesiField(64, 16, 6);
+  // Mean Z near the centerline (rows ~32) should exceed mean Z at the
+  // edges (rows 0, 63).
+  auto mean_z_row = [&](int64_t row) {
+    double acc = 0.0;
+    for (int64_t j = 0; j < 16; ++j) acc += field[row * 16 + j];
+    return acc / 16.0;
+  };
+  const double center = mean_z_row(32);
+  const double edge = 0.5 * (mean_z_row(0) + mean_z_row(63));
+  EXPECT_GT(center, edge + 0.3);
+}
+
+TEST(BorghesiTest, HigherSensitivityThanH2Closure) {
+  // The paper: Borghesi QoIs are ~10x more sensitive to input
+  // perturbations than H2. Verify the closure amplifies perturbations.
+  Dataset ds = MakeBorghesiDataset(16, 16, 7);
+  Tensor perturbed = ds.inputs;
+  for (int64_t i = 0; i < perturbed.size(); ++i) {
+    perturbed[i] += 1e-4f;
+  }
+  const Tensor r1 = BorghesiDissipationRates(ds.inputs);
+  const Tensor r2 = BorghesiDissipationRates(perturbed);
+  const double out_change = tensor::DiffNorm(r1, r2, tensor::Norm::kLinf);
+  EXPECT_GT(out_change, 1e-5);  // Amplified, not damped to zero.
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace errorflow

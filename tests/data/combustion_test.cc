@@ -1,0 +1,116 @@
+#include "data/combustion.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tensor/norms.h"
+#include "tensor/stats.h"
+
+namespace errorflow {
+namespace data {
+namespace {
+
+using tensor::Tensor;
+
+TEST(H2FieldTest, ShapeAndNames) {
+  const Tensor field = GenerateH2SpeciesField(16, 24, 1);
+  EXPECT_EQ(field.shape(), (tensor::Shape{kH2Species, 16, 24}));
+  EXPECT_EQ(H2SpeciesNames().size(), static_cast<size_t>(kH2Species));
+  EXPECT_EQ(H2SpeciesNames()[0], "H2");
+  EXPECT_EQ(H2SpeciesNames()[8], "N2");
+}
+
+TEST(H2FieldTest, MassFractionsValidAndSumToOne) {
+  const Tensor field = GenerateH2SpeciesField(32, 32, 2);
+  const int64_t pixels = 32 * 32;
+  for (int64_t p = 0; p < pixels; ++p) {
+    double sum = 0.0;
+    for (int64_t s = 0; s < kH2Species; ++s) {
+      const float y = field[s * pixels + p];
+      EXPECT_GE(y, 0.0f);
+      EXPECT_LE(y, 1.0f);
+      sum += y;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(H2FieldTest, DifferentSeedsDifferentFields) {
+  const Tensor a = GenerateH2SpeciesField(16, 16, 1);
+  const Tensor b = GenerateH2SpeciesField(16, 16, 99);
+  EXPECT_GT(tensor::DiffNorm(a, b, tensor::Norm::kLinf), 1e-4);
+}
+
+TEST(H2FieldTest, DeterministicForSeed) {
+  const Tensor a = GenerateH2SpeciesField(16, 16, 5);
+  const Tensor b = GenerateH2SpeciesField(16, 16, 5);
+  EXPECT_EQ(tensor::DiffNorm(a, b, tensor::Norm::kLinf), 0.0);
+}
+
+TEST(H2FieldTest, FieldIsSpatiallySmooth) {
+  // Vortex-advected fields must be smooth: neighbor differences should be
+  // far smaller than the value range (this is what makes them
+  // compressible, as the paper notes in Sec. IV-D).
+  const Tensor field = GenerateH2SpeciesField(64, 64, 3);
+  const int64_t pixels = 64 * 64;
+  for (int64_t s = 0; s < kH2Species; ++s) {
+    double max_jump = 0.0;
+    double range = 0.0;
+    float mn = 1e9f, mx = -1e9f;
+    for (int64_t i = 0; i < 64; ++i) {
+      for (int64_t j = 0; j + 1 < 64; ++j) {
+        const float a = field[s * pixels + i * 64 + j];
+        const float b = field[s * pixels + i * 64 + j + 1];
+        max_jump = std::max(max_jump, std::fabs(static_cast<double>(a - b)));
+        mn = std::min(mn, a);
+        mx = std::max(mx, a);
+      }
+    }
+    range = mx - mn;
+    if (range > 1e-6) {
+      EXPECT_LT(max_jump, 0.5 * range) << "species " << s;
+    }
+  }
+}
+
+TEST(H2RatesTest, MassConservation) {
+  Dataset ds = MakeH2CombustionDataset(16, 16, 4);
+  const Tensor rates = ds.targets;
+  for (int64_t s = 0; s < rates.dim(0); ++s) {
+    double sum = 0.0;
+    for (int64_t k = 0; k < kH2Species; ++k) sum += rates.at(s, k);
+    EXPECT_NEAR(sum, 0.0, 1e-5) << "sample " << s;
+  }
+}
+
+TEST(H2RatesTest, FuelConsumedWhereRadicalsPresent) {
+  // In reacting regions H2 production rate must be negative (consumption).
+  Dataset ds = MakeH2CombustionDataset(32, 32, 5);
+  for (int64_t s = 0; s < ds.size(); ++s) {
+    const float oh = ds.inputs.at(s, 5);
+    if (oh > 1e-3f) {
+      EXPECT_LE(ds.targets.at(s, 0), 0.0f) << "sample " << s;
+    }
+  }
+}
+
+TEST(H2RatesTest, SmoothUnderSmallPerturbation) {
+  Dataset ds = MakeH2CombustionDataset(8, 8, 6);
+  Tensor perturbed = ds.inputs;
+  for (int64_t i = 0; i < perturbed.size(); ++i) perturbed[i] += 1e-5f;
+  const Tensor r1 = H2ReactionRates(ds.inputs);
+  const Tensor r2 = H2ReactionRates(perturbed);
+  EXPECT_LT(tensor::DiffNorm(r1, r2, tensor::Norm::kLinf), 1e-2);
+}
+
+TEST(H2DatasetTest, InputsMatchFieldPixels) {
+  Dataset ds = MakeH2CombustionDataset(8, 12, 7);
+  EXPECT_EQ(ds.inputs.shape(), (tensor::Shape{96, kH2Species}));
+  EXPECT_EQ(ds.targets.shape(), (tensor::Shape{96, kH2Species}));
+  EXPECT_EQ(ds.name, "h2combustion");
+  EXPECT_EQ(ds.target_names[0], "w_H2");
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace errorflow

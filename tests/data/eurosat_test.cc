@@ -1,0 +1,109 @@
+#include "data/eurosat.h"
+
+#include <cmath>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "tensor/norms.h"
+
+namespace errorflow {
+namespace data {
+namespace {
+
+TEST(EuroSatTest, ShapesAndClasses) {
+  EuroSatConfig cfg;
+  cfg.n_images = 20;
+  cfg.height = 16;
+  cfg.width = 16;
+  Dataset ds = GenerateEuroSat(cfg);
+  EXPECT_EQ(ds.inputs.shape(),
+            (tensor::Shape{20, kEuroSatBands, 16, 16}));
+  EXPECT_EQ(ds.targets.shape(), (tensor::Shape{20}));
+  EXPECT_EQ(EuroSatClassNames().size(),
+            static_cast<size_t>(kEuroSatClasses));
+}
+
+TEST(EuroSatTest, AllClassesRepresented) {
+  EuroSatConfig cfg;
+  cfg.n_images = 30;
+  Dataset ds = GenerateEuroSat(cfg);
+  std::set<int> classes;
+  for (int64_t i = 0; i < ds.size(); ++i) {
+    classes.insert(static_cast<int>(ds.targets[i]));
+  }
+  EXPECT_EQ(classes.size(), static_cast<size_t>(kEuroSatClasses));
+}
+
+TEST(EuroSatTest, PixelsAre16BitQuantized) {
+  EuroSatConfig cfg;
+  cfg.n_images = 4;
+  cfg.height = 8;
+  cfg.width = 8;
+  Dataset ds = GenerateEuroSat(cfg);
+  for (int64_t i = 0; i < ds.inputs.size(); ++i) {
+    const double v = ds.inputs[i];
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    const double levels = v * 65535.0;
+    EXPECT_NEAR(levels, std::nearbyint(levels), 1e-2);
+  }
+}
+
+TEST(EuroSatTest, ClassesSpectrallySeparable) {
+  // Mean spectra of Forest (1) and SeaLake (9) must differ clearly —
+  // otherwise the classification task is unlearnable.
+  EuroSatConfig cfg;
+  cfg.n_images = 40;
+  cfg.height = 8;
+  cfg.width = 8;
+  Dataset ds = GenerateEuroSat(cfg);
+  std::vector<double> forest(kEuroSatBands, 0.0), sea(kEuroSatBands, 0.0);
+  int n_forest = 0, n_sea = 0;
+  const int64_t hw = 64;
+  for (int64_t i = 0; i < ds.size(); ++i) {
+    const int cls = static_cast<int>(ds.targets[i]);
+    if (cls != 1 && cls != 9) continue;
+    for (int64_t b = 0; b < kEuroSatBands; ++b) {
+      double mean = 0.0;
+      for (int64_t p = 0; p < hw; ++p) {
+        mean += ds.inputs[(i * kEuroSatBands + b) * hw + p];
+      }
+      mean /= hw;
+      (cls == 1 ? forest : sea)[static_cast<size_t>(b)] += mean;
+    }
+    (cls == 1 ? n_forest : n_sea) += 1;
+  }
+  ASSERT_GT(n_forest, 0);
+  ASSERT_GT(n_sea, 0);
+  double diff = 0.0;
+  for (int64_t b = 0; b < kEuroSatBands; ++b) {
+    diff += std::fabs(forest[static_cast<size_t>(b)] / n_forest -
+                      sea[static_cast<size_t>(b)] / n_sea);
+  }
+  EXPECT_GT(diff, 0.5);
+}
+
+TEST(EuroSatTest, DeterministicForSeed) {
+  EuroSatConfig cfg;
+  cfg.n_images = 4;
+  cfg.height = 8;
+  cfg.width = 8;
+  Dataset a = GenerateEuroSat(cfg);
+  Dataset b = GenerateEuroSat(cfg);
+  EXPECT_EQ(tensor::DiffNorm(a.inputs, b.inputs, tensor::Norm::kLinf), 0.0);
+}
+
+TEST(EuroSatTest, DifferentSeedsDifferentImagery) {
+  EuroSatConfig a_cfg;
+  a_cfg.n_images = 4;
+  a_cfg.seed = 1;
+  EuroSatConfig b_cfg = a_cfg;
+  b_cfg.seed = 2;
+  Dataset a = GenerateEuroSat(a_cfg);
+  Dataset b = GenerateEuroSat(b_cfg);
+  EXPECT_GT(tensor::DiffNorm(a.inputs, b.inputs, tensor::Norm::kLinf), 0.01);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace errorflow

@@ -1,0 +1,82 @@
+#include "io/field_store.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tensor/norms.h"
+#include "testing/test_util.h"
+
+namespace errorflow {
+namespace io {
+namespace {
+
+using tensor::Tensor;
+
+TEST(FieldStoreTest, PutGetRoundTripWithinBound) {
+  FieldStore store(compress::Backend::kSz);
+  const Tensor field = testing::SmoothField2d(64, 64, 1);
+  const double eb = 1e-4;
+  ASSERT_TRUE(store.Put(0, field, compress::ErrorBound::AbsLinf(eb)).ok());
+  auto fetch = store.Get(0);
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_EQ(fetch->data.shape(), field.shape());
+  EXPECT_LE(tensor::DiffNorm(field, fetch->data, tensor::Norm::kLinf), eb);
+  EXPECT_GT(fetch->io_seconds, 0.0);
+}
+
+TEST(FieldStoreTest, MissingStepIsNotFound) {
+  FieldStore store(compress::Backend::kZfp);
+  EXPECT_EQ(store.Get(7).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Describe(7).status().code(), StatusCode::kNotFound);
+}
+
+TEST(FieldStoreTest, StepsTrackInsertionsSorted) {
+  FieldStore store(compress::Backend::kZfp);
+  const Tensor field = testing::SmoothField2d(16, 16, 2);
+  for (int64_t step : {5, 1, 9}) {
+    ASSERT_TRUE(
+        store.Put(step, field, compress::ErrorBound::RelLinf(1e-3)).ok());
+  }
+  EXPECT_EQ(store.Steps(), (std::vector<int64_t>{1, 5, 9}));
+}
+
+TEST(FieldStoreTest, OverwriteReplacesRecord) {
+  FieldStore store(compress::Backend::kSz);
+  const Tensor a = testing::SmoothField2d(32, 32, 3);
+  const Tensor b = testing::SmoothField2d(32, 32, 4);
+  ASSERT_TRUE(store.Put(0, a, compress::ErrorBound::AbsLinf(1e-3)).ok());
+  ASSERT_TRUE(store.Put(0, b, compress::ErrorBound::AbsLinf(1e-3)).ok());
+  auto fetch = store.Get(0);
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_LE(tensor::DiffNorm(b, fetch->data, tensor::Norm::kLinf), 1e-3);
+  EXPECT_EQ(store.Steps().size(), 1u);
+}
+
+TEST(FieldStoreTest, AccountingAggregates) {
+  FieldStore store(compress::Backend::kSz);
+  const Tensor field = testing::SmoothField2d(64, 64, 5);
+  for (int64_t step = 0; step < 4; ++step) {
+    ASSERT_TRUE(
+        store.Put(step, field, compress::ErrorBound::RelLinf(1e-3)).ok());
+  }
+  EXPECT_EQ(store.TotalOriginalBytes(), 4 * field.byte_size());
+  EXPECT_GT(store.TotalStoredBytes(), 0);
+  EXPECT_GT(store.OverallRatio(), 2.0);
+  auto record = store.Describe(2);
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->original_bytes, field.byte_size());
+  EXPECT_GT(record->resolved_tolerance, 0.0);
+}
+
+TEST(FieldStoreTest, TighterBoundsStoreMoreBytes) {
+  FieldStore store(compress::Backend::kSz);
+  const Tensor field = testing::SmoothField2d(64, 64, 6);
+  ASSERT_TRUE(store.Put(0, field, compress::ErrorBound::AbsLinf(1e-2)).ok());
+  ASSERT_TRUE(store.Put(1, field, compress::ErrorBound::AbsLinf(1e-6)).ok());
+  EXPECT_LT(store.Describe(0)->stored_bytes,
+            store.Describe(1)->stored_bytes);
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace errorflow

@@ -1,0 +1,161 @@
+#include "nn/activation.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "testing/test_util.h"
+
+namespace errorflow {
+namespace nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(ActivationTest, ReluForward) {
+  ActivationLayer relu(ActivationKind::kReLU);
+  Tensor in({1, 4}, {-2, -0.5, 0, 3});
+  Tensor out;
+  relu.Forward(in, &out, false);
+  EXPECT_EQ(out[0], 0.0f);
+  EXPECT_EQ(out[1], 0.0f);
+  EXPECT_EQ(out[2], 0.0f);
+  EXPECT_EQ(out[3], 3.0f);
+}
+
+TEST(ActivationTest, LeakyReluForward) {
+  ActivationLayer leaky(ActivationKind::kLeakyReLU, 0.1f);
+  Tensor in({1, 2}, {-2, 3});
+  Tensor out;
+  leaky.Forward(in, &out, false);
+  EXPECT_FLOAT_EQ(out[0], -0.2f);
+  EXPECT_FLOAT_EQ(out[1], 3.0f);
+}
+
+TEST(ActivationTest, TanhForward) {
+  ActivationLayer tanh_layer(ActivationKind::kTanh);
+  Tensor in({1, 2}, {0, 1});
+  Tensor out;
+  tanh_layer.Forward(in, &out, false);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_NEAR(out[1], std::tanh(1.0f), 1e-6);
+}
+
+TEST(ActivationTest, IdentityForward) {
+  ActivationLayer id(ActivationKind::kIdentity);
+  Tensor in({1, 3}, {-1, 0, 2});
+  Tensor out;
+  id.Forward(in, &out, false);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(out[i], in[i]);
+}
+
+TEST(ActivationTest, GeluKnownValues) {
+  ActivationLayer gelu(ActivationKind::kGeLU);
+  Tensor in({1, 2}, {0, 10});
+  Tensor out;
+  gelu.Forward(in, &out, false);
+  EXPECT_NEAR(out[0], 0.0f, 1e-6);
+  EXPECT_NEAR(out[1], 10.0f, 1e-3);  // Saturates to identity.
+}
+
+// Every activation's sampled derivative stays within its declared bound.
+class DerivativeBoundTest
+    : public ::testing::TestWithParam<ActivationKind> {};
+
+TEST_P(DerivativeBoundTest, SampledSlopeWithinBound) {
+  const ActivationKind kind = GetParam();
+  ActivationLayer layer(kind, 0.2f);
+  const double bound = ActivationDerivativeBound(kind);
+  const double eps = 1e-4;
+  for (double x = -6.0; x <= 6.0; x += 0.037) {
+    Tensor a({1, 1}, {static_cast<float>(x - eps)});
+    Tensor b({1, 1}, {static_cast<float>(x + eps)});
+    Tensor ya, yb;
+    layer.Forward(a, &ya, false);
+    layer.Forward(b, &yb, false);
+    const double slope = (yb[0] - ya[0]) / (2 * eps);
+    // 5e-3 headroom absorbs float32 finite-difference noise.
+    EXPECT_LE(std::fabs(slope), bound + 5e-3) << "at x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, DerivativeBoundTest,
+    ::testing::Values(ActivationKind::kReLU, ActivationKind::kLeakyReLU,
+                      ActivationKind::kPReLU, ActivationKind::kTanh,
+                      ActivationKind::kGeLU, ActivationKind::kIdentity),
+    [](const ::testing::TestParamInfo<ActivationKind>& info) {
+      return ActivationKindToString(info.param);
+    });
+
+// Backward pass is the analytic derivative of forward.
+class ActivationGradTest : public ::testing::TestWithParam<ActivationKind> {};
+
+TEST_P(ActivationGradTest, BackwardMatchesFiniteDifference) {
+  ActivationLayer layer(GetParam(), 0.25f);
+  const Tensor x = testing::RandomTensor({2, 5}, 42);
+  // Loss: sum of outputs weighted by fixed coefficients.
+  const Tensor w = testing::RandomTensor({2, 5}, 43);
+  auto f = [&](const Tensor& in) {
+    ActivationLayer fresh(GetParam(), 0.25f);
+    Tensor out;
+    fresh.Forward(in, &out, false);
+    double acc = 0.0;
+    for (int64_t i = 0; i < out.size(); ++i) acc += out[i] * w[i];
+    return acc;
+  };
+  Tensor out, grad_in;
+  layer.Forward(x, &out, true);
+  layer.Backward(w, &grad_in);
+  testing::ExpectGradientsClose(f, x, grad_in, 1e-2, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Smooth, ActivationGradTest,
+    ::testing::Values(ActivationKind::kLeakyReLU, ActivationKind::kTanh,
+                      ActivationKind::kGeLU, ActivationKind::kIdentity),
+    [](const ::testing::TestParamInfo<ActivationKind>& info) {
+      return ActivationKindToString(info.param);
+    });
+
+TEST(ActivationTest, PReluSlopeGradientAccumulates) {
+  ActivationLayer prelu(ActivationKind::kPReLU, 0.5f);
+  Tensor in({1, 2}, {-2, 3});
+  Tensor out, grad_in;
+  prelu.Forward(in, &out, true);
+  Tensor grad_out({1, 2}, {1, 1});
+  prelu.Backward(grad_out, &grad_in);
+  auto params = prelu.Params();
+  ASSERT_EQ(params.size(), 1u);
+  EXPECT_EQ(params[0].name, "slope");
+  // d out / d slope = x for x < 0; here only -2 contributes.
+  EXPECT_FLOAT_EQ((*params[0].grad)[0], -2.0f);
+  EXPECT_FALSE(params[0].decay);
+}
+
+TEST(ActivationTest, ClampSlopeEnforcesUnitInterval) {
+  ActivationLayer prelu(ActivationKind::kPReLU, 0.5f);
+  auto params = prelu.Params();
+  (*params[0].value)[0] = 1.7f;
+  prelu.ClampSlope();
+  EXPECT_FLOAT_EQ(prelu.slope(), 1.0f);
+  (*params[0].value)[0] = -0.3f;
+  prelu.ClampSlope();
+  EXPECT_FLOAT_EQ(prelu.slope(), 0.0f);
+}
+
+TEST(ActivationTest, NonPReluHasNoParams) {
+  EXPECT_TRUE(ActivationLayer(ActivationKind::kReLU).Params().empty());
+  EXPECT_TRUE(ActivationLayer(ActivationKind::kTanh).Params().empty());
+}
+
+TEST(ActivationTest, CloneKeepsSlope) {
+  ActivationLayer prelu(ActivationKind::kPReLU, 0.33f);
+  auto clone = prelu.Clone();
+  auto* cast = dynamic_cast<ActivationLayer*>(clone.get());
+  ASSERT_NE(cast, nullptr);
+  EXPECT_FLOAT_EQ(cast->slope(), 0.33f);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace errorflow

@@ -1,0 +1,189 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "nn/spectral.h"
+#include "tensor/norms.h"
+#include "testing/test_util.h"
+
+namespace errorflow {
+namespace nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+// Naive direct convolution for reference.
+Tensor NaiveConv(const Tensor& in, const Tensor& wmat, const Tensor& bias,
+                 int64_t out_ch, int k, int s, int p) {
+  const int64_t n = in.dim(0), c = in.dim(1), h = in.dim(2), w = in.dim(3);
+  const int64_t oh = (h + 2 * p - k) / s + 1, ow = (w + 2 * p - k) / s + 1;
+  Tensor out({n, out_ch, oh, ow});
+  for (int64_t img = 0; img < n; ++img) {
+    for (int64_t oc = 0; oc < out_ch; ++oc) {
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          double acc = bias[oc];
+          for (int64_t ic = 0; ic < c; ++ic) {
+            for (int ky = 0; ky < k; ++ky) {
+              for (int kx = 0; kx < k; ++kx) {
+                const int64_t iy = oy * s + ky - p;
+                const int64_t ix = ox * s + kx - p;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= w) continue;
+                acc += static_cast<double>(in.at4(img, ic, iy, ix)) *
+                       wmat.at(oc, (ic * k + ky) * k + kx);
+              }
+            }
+          }
+          out.at4(img, oc, oy, ox) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TEST(Conv2dTest, ForwardMatchesNaive) {
+  for (const auto& [stride, pad] : std::vector<std::pair<int, int>>{
+           {1, 0}, {1, 1}, {2, 1}}) {
+    Conv2dLayer conv(3, 4, 3, stride, pad);
+    conv.InitHe(1);
+    const Tensor x = testing::RandomTensor({2, 3, 8, 8}, 2);
+    Tensor out;
+    conv.Forward(x, &out, false);
+    const Tensor ref =
+        NaiveConv(x, conv.weight(), conv.bias(), 4, 3, stride, pad);
+    ASSERT_EQ(out.shape(), ref.shape());
+    for (int64_t i = 0; i < out.size(); ++i) {
+      EXPECT_NEAR(out[i], ref[i], 1e-4) << "stride=" << stride;
+    }
+  }
+}
+
+TEST(Conv2dTest, OneByOneConvIsPixelwiseLinear) {
+  Conv2dLayer conv(2, 2, 1, 1, 0);
+  conv.mutable_weight() = Tensor({2, 2}, {1, 0, 0, 2});  // diag(1,2)
+  const Tensor x = testing::RandomTensor({1, 2, 4, 4}, 3);
+  Tensor out;
+  conv.Forward(x, &out, false);
+  for (int64_t i = 0; i < 16; ++i) {
+    EXPECT_FLOAT_EQ(out[i], x[i]);            // Channel 0 copied.
+    EXPECT_FLOAT_EQ(out[16 + i], 2 * x[16 + i]);  // Channel 1 doubled.
+  }
+}
+
+TEST(Conv2dTest, OutputShape) {
+  Conv2dLayer conv(3, 8, 3, 2, 1);
+  EXPECT_EQ(conv.OutputShape({4, 3, 32, 32}), (Shape{4, 8, 16, 16}));
+}
+
+TEST(Conv2dTest, InputGradientMatchesFiniteDifference) {
+  Conv2dLayer conv(2, 3, 3, 1, 1);
+  conv.InitHe(4);
+  const Tensor x = testing::RandomTensor({1, 2, 5, 5}, 5);
+  const Tensor coeff = testing::RandomTensor({1, 3, 5, 5}, 6);
+  auto f = [&](const Tensor& in) {
+    Conv2dLayer copy(2, 3, 3, 1, 1);
+    copy.mutable_weight() = conv.weight();
+    copy.mutable_bias() = conv.bias();
+    Tensor out;
+    copy.Forward(in, &out, false);
+    double acc = 0.0;
+    for (int64_t i = 0; i < out.size(); ++i) acc += out[i] * coeff[i];
+    return acc;
+  };
+  Tensor out, grad_in;
+  conv.Forward(x, &out, true);
+  conv.Backward(coeff, &grad_in);
+  testing::ExpectGradientsClose(f, x, grad_in);
+}
+
+TEST(Conv2dTest, WeightGradientMatchesFiniteDifference) {
+  Conv2dLayer conv(1, 2, 3, 2, 1);
+  conv.InitHe(7);
+  const Tensor x = testing::RandomTensor({2, 1, 6, 6}, 8);
+  const Tensor coeff = testing::RandomTensor({2, 2, 3, 3}, 9);
+  auto f = [&](const Tensor& weights) {
+    Conv2dLayer copy(1, 2, 3, 2, 1);
+    copy.mutable_weight() = weights;
+    copy.mutable_bias() = conv.bias();
+    Tensor out;
+    copy.Forward(x, &out, false);
+    double acc = 0.0;
+    for (int64_t i = 0; i < out.size(); ++i) acc += out[i] * coeff[i];
+    return acc;
+  };
+  conv.ZeroGrads();
+  Tensor out, grad_in;
+  conv.Forward(x, &out, true);
+  conv.Backward(coeff, &grad_in);
+  const Tensor* wgrad = nullptr;
+  for (const Param& p : conv.Params()) {
+    if (p.name == "weight") wgrad = p.grad;
+  }
+  ASSERT_NE(wgrad, nullptr);
+  testing::ExpectGradientsClose(f, conv.weight(), *wgrad);
+}
+
+TEST(Conv2dTest, OperatorNormBoundsActualAmplification) {
+  Conv2dLayer conv(2, 3, 3, 1, 1);
+  conv.InitHe(10);
+  const double op_norm = conv.OperatorNorm(6, 6);
+  // Try random inputs; none may be amplified beyond the operator norm.
+  for (uint64_t seed = 20; seed < 30; ++seed) {
+    Tensor v = testing::RandomTensor({1, 2, 6, 6}, seed);
+    Tensor zero_bias_out;
+    Conv2dLayer copy(2, 3, 3, 1, 1);
+    copy.mutable_weight() = conv.weight();  // Bias stays zero.
+    copy.Forward(v, &zero_bias_out, false);
+    EXPECT_LE(tensor::L2Norm(zero_bias_out),
+              op_norm * tensor::L2Norm(v) * (1 + 1e-4));
+  }
+}
+
+TEST(Conv2dTest, OperatorNormOfIdentityKernel) {
+  // 1x1 conv with identity weight has operator norm 1.
+  Conv2dLayer conv(2, 2, 1, 1, 0);
+  conv.mutable_weight() = Tensor({2, 2}, {1, 0, 0, 1});
+  EXPECT_NEAR(conv.OperatorNorm(4, 4), 1.0, 1e-6);
+}
+
+TEST(Conv2dPsnTest, EffectiveOperatorNormEqualsAlpha) {
+  Conv2dLayer conv(3, 5, 3, 1, 1, /*use_psn=*/true);
+  conv.InitHe(11);
+  conv.set_alpha(0.9f);
+  // Run a forward pass so the operator norm is measured at 8x8.
+  Tensor x = testing::RandomTensor({1, 3, 8, 8}, 99);
+  Tensor out;
+  conv.Forward(x, &out, false);
+  EXPECT_NEAR(conv.OperatorNorm(8, 8), 0.9, 5e-3);
+}
+
+TEST(Conv2dPsnTest, FoldPreservesOutputs) {
+  Conv2dLayer conv(2, 2, 3, 1, 1, /*use_psn=*/true);
+  conv.InitHe(12);
+  conv.set_alpha(1.3f);
+  const Tensor x = testing::RandomTensor({1, 2, 5, 5}, 13);
+  Tensor before, after;
+  conv.Forward(x, &before, false);
+  conv.FoldPsn();
+  conv.Forward(x, &after, false);
+  for (int64_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(before[i], after[i], 1e-5);
+  }
+}
+
+TEST(Conv2dTest, CloneIsDeep) {
+  Conv2dLayer conv(1, 1, 3, 1, 1);
+  conv.InitHe(14);
+  auto clone = conv.Clone();
+  auto* cast = dynamic_cast<Conv2dLayer*>(clone.get());
+  ASSERT_NE(cast, nullptr);
+  cast->mutable_weight()[0] += 5.0f;
+  EXPECT_NE(cast->weight()[0], conv.weight()[0]);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace errorflow

@@ -1,0 +1,206 @@
+#include "nn/dense.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tensor/norms.h"
+#include "tensor/ops.h"
+#include "testing/test_util.h"
+
+namespace errorflow {
+namespace nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(DenseTest, ForwardMatchesManualGemm) {
+  DenseLayer layer(3, 2);
+  layer.mutable_weight() = Tensor({2, 3}, {1, 2, 3, 4, 5, 6});
+  layer.mutable_bias() = Tensor({2}, {0.5, -0.5});
+  Tensor x({1, 3}, {1, 0, -1});
+  Tensor out;
+  layer.Forward(x, &out, false);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 1 - 3 + 0.5f);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 4 - 6 - 0.5f);
+}
+
+TEST(DenseTest, BatchForward) {
+  DenseLayer layer(2, 2);
+  layer.mutable_weight() = Tensor({2, 2}, {1, 0, 0, 1});
+  Tensor x({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor out;
+  layer.Forward(x, &out, false);
+  for (int64_t i = 0; i < x.size(); ++i) EXPECT_EQ(out[i], x[i]);
+}
+
+TEST(DenseTest, InputGradientMatchesFiniteDifference) {
+  DenseLayer layer(4, 3);
+  layer.InitXavier(1);
+  const Tensor x = testing::RandomTensor({2, 4}, 2);
+  const Tensor w = testing::RandomTensor({2, 3}, 3);  // Loss coefficients.
+  auto f = [&](const Tensor& in) {
+    DenseLayer copy(4, 3);
+    copy.mutable_weight() = layer.weight();
+    copy.mutable_bias() = layer.bias();
+    Tensor out;
+    copy.Forward(in, &out, false);
+    double acc = 0.0;
+    for (int64_t i = 0; i < out.size(); ++i) acc += out[i] * w[i];
+    return acc;
+  };
+  Tensor out, grad_in;
+  layer.Forward(x, &out, true);
+  layer.Backward(w, &grad_in);
+  testing::ExpectGradientsClose(f, x, grad_in);
+}
+
+TEST(DenseTest, WeightGradientMatchesFiniteDifference) {
+  DenseLayer layer(3, 2);
+  layer.InitXavier(4);
+  const Tensor x = testing::RandomTensor({2, 3}, 5);
+  const Tensor coeff = testing::RandomTensor({2, 2}, 6);
+  auto f = [&](const Tensor& weights) {
+    DenseLayer copy(3, 2);
+    copy.mutable_weight() = weights;
+    copy.mutable_bias() = layer.bias();
+    Tensor out;
+    copy.Forward(x, &out, false);
+    double acc = 0.0;
+    for (int64_t i = 0; i < out.size(); ++i) acc += out[i] * coeff[i];
+    return acc;
+  };
+  layer.ZeroGrads();
+  Tensor out, grad_in;
+  layer.Forward(x, &out, true);
+  layer.Backward(coeff, &grad_in);
+  const Tensor* weight_grad = nullptr;
+  for (const Param& p : layer.Params()) {
+    if (p.name == "weight") weight_grad = p.grad;
+  }
+  ASSERT_NE(weight_grad, nullptr);
+  testing::ExpectGradientsClose(f, layer.weight(), *weight_grad);
+}
+
+TEST(DenseTest, BiasGradientIsColumnSum) {
+  DenseLayer layer(2, 2);
+  layer.InitXavier(7);
+  layer.ZeroGrads();
+  Tensor x({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor grad_out({3, 2}, {1, 10, 2, 20, 3, 30});
+  Tensor out, grad_in;
+  layer.Forward(x, &out, true);
+  layer.Backward(grad_out, &grad_in);
+  const Tensor* bias_grad = nullptr;
+  for (const Param& p : layer.Params()) {
+    if (p.name == "bias") bias_grad = p.grad;
+  }
+  ASSERT_NE(bias_grad, nullptr);
+  EXPECT_FLOAT_EQ((*bias_grad)[0], 6.0f);
+  EXPECT_FLOAT_EQ((*bias_grad)[1], 60.0f);
+}
+
+TEST(DensePsnTest, SpectralNormEqualsAlpha) {
+  DenseLayer layer(20, 30, /*use_psn=*/true);
+  layer.InitXavier(8);
+  layer.set_alpha(1.7f);
+  const Tensor eff = layer.EffectiveWeight();
+  EXPECT_NEAR(PowerIteration(eff).sigma, 1.7, 1e-4);
+  EXPECT_NEAR(layer.SpectralNorm(), 1.7, 1e-6);
+}
+
+TEST(DensePsnTest, InitAlphaMakesPsnNoOp) {
+  DenseLayer psn(10, 10, /*use_psn=*/true);
+  psn.InitXavier(9);
+  DenseLayer plain(10, 10, /*use_psn=*/false);
+  plain.InitXavier(9);  // Same seed -> same raw weights.
+  const Tensor we = psn.EffectiveWeight();
+  for (int64_t i = 0; i < we.size(); ++i) {
+    EXPECT_NEAR(we[i], plain.weight()[i], 1e-5);
+  }
+}
+
+TEST(DensePsnTest, FoldPreservesOutputs) {
+  DenseLayer layer(6, 5, /*use_psn=*/true);
+  layer.InitXavier(10);
+  layer.set_alpha(0.8f);
+  const Tensor x = testing::RandomTensor({3, 6}, 11);
+  Tensor before, after;
+  layer.Forward(x, &before, false);
+  layer.FoldPsn();
+  EXPECT_FALSE(layer.use_psn());
+  layer.Forward(x, &after, false);
+  for (int64_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(before[i], after[i], 1e-5);
+  }
+}
+
+TEST(DensePsnTest, FoldIsIdempotent) {
+  DenseLayer layer(4, 4, true);
+  layer.InitXavier(12);
+  layer.FoldPsn();
+  const Tensor w1 = layer.weight();
+  layer.FoldPsn();
+  for (int64_t i = 0; i < w1.size(); ++i) EXPECT_EQ(w1[i], layer.weight()[i]);
+}
+
+TEST(DensePsnTest, AlphaGradientMatchesFiniteDifference) {
+  DenseLayer layer(5, 4, /*use_psn=*/true);
+  layer.InitXavier(13);
+  const Tensor x = testing::RandomTensor({2, 5}, 14);
+  const Tensor coeff = testing::RandomTensor({2, 4}, 15);
+  auto f_alpha = [&](float alpha) {
+    DenseLayer copy(5, 4, true);
+    copy.mutable_weight() = layer.weight();
+    copy.mutable_bias() = layer.bias();
+    copy.set_alpha(alpha);
+    Tensor out;
+    copy.Forward(x, &out, false);
+    double acc = 0.0;
+    for (int64_t i = 0; i < out.size(); ++i) acc += out[i] * coeff[i];
+    return acc;
+  };
+  layer.ZeroGrads();
+  Tensor out, grad_in;
+  layer.Forward(x, &out, true);
+  layer.Backward(coeff, &grad_in);
+  float alpha_grad = 0.0f;
+  for (const Param& p : layer.Params()) {
+    if (p.name == "alpha") alpha_grad = (*p.grad)[0];
+  }
+  const float a = layer.alpha();
+  const double numeric =
+      (f_alpha(a + 1e-3f) - f_alpha(a - 1e-3f)) / 2e-3;
+  EXPECT_NEAR(alpha_grad, numeric, 5e-3 * std::max(1.0, std::fabs(numeric)));
+}
+
+TEST(DenseTest, CloneIsDeep) {
+  DenseLayer layer(3, 3);
+  layer.InitXavier(16);
+  auto clone = layer.Clone();
+  auto* cast = dynamic_cast<DenseLayer*>(clone.get());
+  ASSERT_NE(cast, nullptr);
+  cast->mutable_weight()[0] += 1.0f;
+  EXPECT_NE(cast->weight()[0], layer.weight()[0]);
+}
+
+TEST(DenseTest, OutputShape) {
+  DenseLayer layer(7, 3);
+  EXPECT_EQ(layer.OutputShape({5, 7}), (tensor::Shape{5, 3}));
+}
+
+TEST(DenseTest, ParamsExposeDecayFlags) {
+  DenseLayer layer(2, 2, true);
+  bool weight_decays = false, bias_decays = true, alpha_decays = true;
+  for (const Param& p : layer.Params()) {
+    if (p.name == "weight") weight_decays = p.decay;
+    if (p.name == "bias") bias_decays = p.decay;
+    if (p.name == "alpha") alpha_decays = p.decay;
+  }
+  EXPECT_TRUE(weight_decays);
+  EXPECT_FALSE(bias_decays);
+  EXPECT_FALSE(alpha_decays);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace errorflow

@@ -1,0 +1,92 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "testing/test_util.h"
+
+namespace errorflow {
+namespace nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(MseLossTest, KnownValue) {
+  MseLoss loss;
+  Tensor pred({1, 2}, {1, 3});
+  Tensor target({1, 2}, {0, 0});
+  EXPECT_DOUBLE_EQ(loss.Compute(pred, target, nullptr), 5.0);
+}
+
+TEST(MseLossTest, ZeroAtPerfectPrediction) {
+  MseLoss loss;
+  const Tensor pred = testing::RandomTensor({4, 3}, 1);
+  EXPECT_DOUBLE_EQ(loss.Compute(pred, pred, nullptr), 0.0);
+}
+
+TEST(MseLossTest, GradientMatchesFiniteDifference) {
+  MseLoss loss;
+  const Tensor pred = testing::RandomTensor({3, 4}, 2);
+  const Tensor target = testing::RandomTensor({3, 4}, 3);
+  Tensor grad;
+  loss.Compute(pred, target, &grad);
+  auto f = [&](const Tensor& p) { return loss.Compute(p, target, nullptr); };
+  testing::ExpectGradientsClose(f, pred, grad);
+}
+
+TEST(CrossEntropyTest, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropyLoss loss;
+  Tensor pred({2, 10});
+  Tensor target({2}, {3, 7});
+  EXPECT_NEAR(loss.Compute(pred, target, nullptr), std::log(10.0), 1e-6);
+}
+
+TEST(CrossEntropyTest, ConfidentCorrectPredictionLowLoss) {
+  SoftmaxCrossEntropyLoss loss;
+  Tensor pred({1, 3}, {10, 0, 0});
+  Tensor target({1}, {0.0f});
+  EXPECT_LT(loss.Compute(pred, target, nullptr), 1e-3);
+}
+
+TEST(CrossEntropyTest, GradientMatchesFiniteDifference) {
+  SoftmaxCrossEntropyLoss loss;
+  const Tensor pred = testing::RandomTensor({3, 5}, 4);
+  Tensor target({3}, {0, 2, 4});
+  Tensor grad;
+  loss.Compute(pred, target, &grad);
+  auto f = [&](const Tensor& p) { return loss.Compute(p, target, nullptr); };
+  testing::ExpectGradientsClose(f, pred, grad);
+}
+
+TEST(CrossEntropyTest, GradientRowsSumToZero) {
+  SoftmaxCrossEntropyLoss loss;
+  const Tensor pred = testing::RandomTensor({4, 6}, 5);
+  Tensor target({4}, {1, 2, 3, 4});
+  Tensor grad;
+  loss.Compute(pred, target, &grad);
+  for (int64_t i = 0; i < 4; ++i) {
+    double row = 0.0;
+    for (int64_t j = 0; j < 6; ++j) row += grad.at(i, j);
+    EXPECT_NEAR(row, 0.0, 1e-6);
+  }
+}
+
+TEST(CrossEntropyTest, NumericallyStableForLargeLogits) {
+  SoftmaxCrossEntropyLoss loss;
+  Tensor pred({1, 3}, {1000, 999, 998});
+  Tensor target({1}, {0.0f});
+  const double v = loss.Compute(pred, target, nullptr);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_LT(v, 1.0);
+}
+
+TEST(AccuracyTest, CountsArgmaxMatches) {
+  Tensor pred({3, 3}, {1, 0, 0, 0, 5, 0, 0, 0, 2});
+  Tensor target({3}, {0, 1, 0});
+  EXPECT_NEAR(SoftmaxCrossEntropyLoss::Accuracy(pred, target), 2.0 / 3.0,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace errorflow

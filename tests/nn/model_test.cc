@@ -1,0 +1,176 @@
+#include "nn/model.h"
+
+#include "gtest/gtest.h"
+#include "nn/activation.h"
+#include "nn/builders.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pool.h"
+#include "nn/residual.h"
+#include "testing/test_util.h"
+
+namespace errorflow {
+namespace nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Model TinyMlp(bool psn = false) {
+  MlpConfig cfg;
+  cfg.name = "tiny";
+  cfg.input_dim = 4;
+  cfg.hidden_dims = {6};
+  cfg.output_dim = 3;
+  cfg.use_psn = psn;
+  cfg.seed = 1;
+  return BuildMlp(cfg);
+}
+
+TEST(ModelTest, ForwardChainsLayers) {
+  Model m("chain");
+  auto d1 = std::make_unique<DenseLayer>(2, 2);
+  d1->mutable_weight() = Tensor({2, 2}, {2, 0, 0, 2});
+  auto d2 = std::make_unique<DenseLayer>(2, 2);
+  d2->mutable_weight() = Tensor({2, 2}, {0, 1, 1, 0});
+  m.Add(std::move(d1));
+  m.Add(std::move(d2));
+  Tensor x({1, 2}, {1, 3});
+  Tensor out = m.Predict(x);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 6.0f);  // swap(2x)
+  EXPECT_FLOAT_EQ(out.at(0, 1), 2.0f);
+}
+
+TEST(ModelTest, ParameterCount) {
+  Model m = TinyMlp();
+  // 4*6 + 6 + 6*3 + 3 = 51.
+  EXPECT_EQ(m.ParameterCount(), 51);
+}
+
+TEST(ModelTest, PsnAddsAlphaParams) {
+  Model m = TinyMlp(true);
+  EXPECT_EQ(m.ParameterCount(), 53);  // +2 alphas.
+}
+
+TEST(ModelTest, CloneIsDeepAndEquivalent) {
+  Model m = TinyMlp();
+  Model c = m.Clone();
+  const Tensor x = testing::RandomTensor({3, 4}, 2);
+  Tensor a = m.Predict(x), b = c.Predict(x);
+  for (int64_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  // Mutating the clone leaves the original untouched.
+  for (Param& p : c.Params()) p.value->Fill(0.0f);
+  Tensor a2 = m.Predict(x);
+  for (int64_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], a2[i]);
+}
+
+TEST(ModelTest, ZeroGradsClearsAll) {
+  Model m = TinyMlp();
+  Tensor out, grad_in;
+  const Tensor x = testing::RandomTensor({2, 4}, 3);
+  m.Forward(x, &out, true);
+  m.Backward(testing::RandomTensor({2, 3}, 4));
+  bool any_nonzero = false;
+  for (Param& p : m.Params()) {
+    for (int64_t i = 0; i < p.grad->size(); ++i) {
+      any_nonzero |= (*p.grad)[i] != 0.0f;
+    }
+  }
+  EXPECT_TRUE(any_nonzero);
+  m.ZeroGrads();
+  for (Param& p : m.Params()) {
+    for (int64_t i = 0; i < p.grad->size(); ++i) {
+      EXPECT_EQ((*p.grad)[i], 0.0f);
+    }
+  }
+}
+
+TEST(ModelTest, FoldPsnPreservesPredictions) {
+  Model m = TinyMlp(true);
+  const Tensor x = testing::RandomTensor({4, 4}, 5);
+  const Tensor before = m.Predict(x);
+  m.FoldPsn();
+  const Tensor after = m.Predict(x);
+  for (int64_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(before[i], after[i], 1e-5);
+  }
+  // All PSN flags cleared.
+  m.VisitLayers([](Layer* l) {
+    if (auto* d = dynamic_cast<DenseLayer*>(l)) {
+      EXPECT_FALSE(d->use_psn());
+    }
+  });
+}
+
+TEST(ModelTest, VisitLayersRecursesIntoResidualBlocks) {
+  ResNetConfig cfg;
+  cfg.in_channels = 2;
+  cfg.num_classes = 3;
+  cfg.stage_channels = {4, 8};
+  cfg.stage_blocks = {1, 1};
+  cfg.seed = 1;
+  Model m = BuildResNet(cfg);
+  int conv_count = 0, dense_count = 0;
+  m.VisitLayers([&](Layer* l) {
+    if (l->kind() == LayerKind::kConv2d) ++conv_count;
+    if (l->kind() == LayerKind::kDense) ++dense_count;
+  });
+  // Stem + 2 blocks x 2 convs + 1 projection shortcut = 6 convs.
+  EXPECT_EQ(conv_count, 6);
+  EXPECT_EQ(dense_count, 1);
+}
+
+TEST(ModelTest, FlopsPerSampleDense) {
+  Model m = TinyMlp();
+  // Dense flops 4*6 + 6*3 = 42, plus elementwise terms for activations
+  // and outputs; must be at least the matmul count.
+  EXPECT_GE(m.FlopsPerSample({1, 4}), 42);
+  EXPECT_LE(m.FlopsPerSample({1, 4}), 42 + 64);
+}
+
+TEST(ModelTest, FlopsScaleWithResolution) {
+  ResNetConfig cfg;
+  cfg.in_channels = 3;
+  cfg.num_classes = 10;
+  cfg.stage_channels = {4};
+  cfg.stage_blocks = {1};
+  Model m = BuildResNet(cfg);
+  const int64_t f32 = m.FlopsPerSample({1, 3, 32, 32});
+  const int64_t f64 = m.FlopsPerSample({1, 3, 64, 64});
+  EXPECT_NEAR(static_cast<double>(f64) / f32, 4.0, 0.2);
+}
+
+TEST(ModelTest, OutputShape) {
+  Model m = TinyMlp();
+  EXPECT_EQ(m.OutputShape({7, 4}), (Shape{7, 3}));
+}
+
+TEST(ModelTest, SummaryListsLayers) {
+  Model m = TinyMlp();
+  const std::string s = m.Summary();
+  EXPECT_NE(s.find("Dense(4 -> 6"), std::string::npos);
+  EXPECT_NE(s.find("tiny"), std::string::npos);
+}
+
+TEST(ModelTest, TrainingGradientsFlowThroughWholeModel) {
+  Model m = TinyMlp();
+  const Tensor x = testing::RandomTensor({2, 4}, 6);
+  const Tensor coeff = testing::RandomTensor({2, 3}, 7);
+  Tensor out;
+  m.Forward(x, &out, true);
+  Tensor grad_in;
+  m.Backward(coeff, &grad_in);
+  ASSERT_EQ(grad_in.shape(), x.shape());
+  auto f = [&](const Tensor& in) {
+    Model c = m.Clone();
+    Tensor o = c.Predict(in);
+    double acc = 0.0;
+    for (int64_t i = 0; i < o.size(); ++i) acc += o[i] * coeff[i];
+    return acc;
+  };
+  testing::ExpectGradientsClose(f, x, grad_in);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace errorflow

@@ -1,0 +1,91 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace errorflow {
+namespace nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(SgdTest, PlainStep) {
+  Tensor w({2}, {1.0f, 2.0f});
+  Tensor g({2}, {0.5f, -0.5f});
+  SgdOptimizer opt(0.1, /*momentum=*/0.0);
+  opt.Step({Param{"w", &w, &g, true}});
+  EXPECT_FLOAT_EQ(w[0], 0.95f);
+  EXPECT_FLOAT_EQ(w[1], 2.05f);
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+  Tensor w({1}, {0.0f});
+  Tensor g({1}, {1.0f});
+  SgdOptimizer opt(1.0, /*momentum=*/0.5);
+  opt.Step({Param{"w", &w, &g, true}});  // v=1, w=-1
+  opt.Step({Param{"w", &w, &g, true}});  // v=1.5, w=-2.5
+  EXPECT_FLOAT_EQ(w[0], -2.5f);
+}
+
+TEST(SgdTest, WeightDecayOnlyOnDecayParams) {
+  Tensor w({1}, {10.0f});
+  Tensor b({1}, {10.0f});
+  Tensor zero({1}, {0.0f});
+  Tensor zero2({1}, {0.0f});
+  SgdOptimizer opt(0.1, 0.0, /*weight_decay=*/1.0);
+  opt.Step({Param{"w", &w, &zero, true}, Param{"b", &b, &zero2, false}});
+  EXPECT_FLOAT_EQ(w[0], 9.0f);   // Decayed.
+  EXPECT_FLOAT_EQ(b[0], 10.0f);  // Not decayed.
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize f(w) = (w - 3)^2.
+  Tensor w({1}, {0.0f});
+  Tensor g({1});
+  AdamOptimizer opt(0.1);
+  for (int i = 0; i < 300; ++i) {
+    g[0] = 2.0f * (w[0] - 3.0f);
+    opt.Step({Param{"w", &w, &g, true}});
+  }
+  EXPECT_NEAR(w[0], 3.0f, 1e-2);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Tensor w({1}, {0.0f});
+  Tensor g({1});
+  SgdOptimizer opt(0.1, 0.9);
+  for (int i = 0; i < 200; ++i) {
+    g[0] = 2.0f * (w[0] - 3.0f);
+    opt.Step({Param{"w", &w, &g, true}});
+  }
+  EXPECT_NEAR(w[0], 3.0f, 1e-3);
+}
+
+TEST(AdamTest, FirstStepIsLearningRateSized) {
+  Tensor w({1}, {0.0f});
+  Tensor g({1}, {123.0f});
+  AdamOptimizer opt(0.01);
+  opt.Step({Param{"w", &w, &g, true}});
+  // Bias-corrected Adam's first step is ~lr regardless of gradient scale.
+  EXPECT_NEAR(w[0], -0.01f, 1e-4);
+}
+
+TEST(AdamTest, StatePerParameterIsIndependent) {
+  Tensor w1({1}, {0.0f}), w2({1}, {0.0f});
+  Tensor g1({1}, {1.0f}), g2({1}, {-1.0f});
+  AdamOptimizer opt(0.1);
+  opt.Step({Param{"a", &w1, &g1, true}, Param{"b", &w2, &g2, true}});
+  EXPECT_LT(w1[0], 0.0f);
+  EXPECT_GT(w2[0], 0.0f);
+}
+
+TEST(OptimizerTest, LearningRateMutable) {
+  SgdOptimizer opt(0.1);
+  opt.set_learning_rate(0.5);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.5);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace errorflow

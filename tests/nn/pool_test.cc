@@ -1,0 +1,100 @@
+#include "nn/pool.h"
+
+#include "gtest/gtest.h"
+#include "tensor/norms.h"
+#include "testing/test_util.h"
+
+namespace errorflow {
+namespace nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(AvgPoolTest, ForwardAverages) {
+  AvgPool2dLayer pool(2);
+  Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor out;
+  pool.Forward(x, &out, false);
+  ASSERT_EQ(out.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(out[0], 2.5f);
+}
+
+TEST(AvgPoolTest, OutputShapeTruncates) {
+  AvgPool2dLayer pool(2);
+  EXPECT_EQ(pool.OutputShape({1, 3, 5, 7}), (Shape{1, 3, 2, 3}));
+}
+
+TEST(AvgPoolTest, BackwardDistributesEvenly) {
+  AvgPool2dLayer pool(2);
+  Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor out, grad_in;
+  pool.Forward(x, &out, true);
+  Tensor grad_out({1, 1, 1, 1}, {4.0f});
+  pool.Backward(grad_out, &grad_in);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(grad_in[i], 1.0f);
+}
+
+TEST(AvgPoolTest, IsContraction) {
+  AvgPool2dLayer pool(2);
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Tensor x = testing::RandomTensor({2, 3, 8, 8}, seed);
+    Tensor out;
+    pool.Forward(x, &out, false);
+    EXPECT_LE(tensor::L2Norm(out), tensor::L2Norm(x) * (1 + 1e-6));
+  }
+}
+
+TEST(GlobalAvgPoolTest, Forward) {
+  GlobalAvgPoolLayer gap;
+  Tensor x({2, 2, 2, 2});
+  for (int64_t i = 0; i < 8; ++i) x[i] = static_cast<float>(i);
+  for (int64_t i = 8; i < 16; ++i) x[i] = 1.0f;
+  Tensor out;
+  gap.Forward(x, &out, false);
+  ASSERT_EQ(out.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(out.at(0, 0), 1.5f);   // mean(0,1,2,3)
+  EXPECT_FLOAT_EQ(out.at(0, 1), 5.5f);   // mean(4,5,6,7)
+  EXPECT_FLOAT_EQ(out.at(1, 0), 1.0f);
+}
+
+TEST(GlobalAvgPoolTest, BackwardSpreadsGradient) {
+  GlobalAvgPoolLayer gap;
+  Tensor x = testing::RandomTensor({1, 2, 2, 2}, 3);
+  Tensor out, grad_in;
+  gap.Forward(x, &out, true);
+  Tensor grad_out({1, 2}, {4.0f, 8.0f});
+  gap.Backward(grad_out, &grad_in);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(grad_in[i], 1.0f);
+  for (int64_t i = 4; i < 8; ++i) EXPECT_FLOAT_EQ(grad_in[i], 2.0f);
+}
+
+TEST(FlattenTest, RoundTripThroughBackward) {
+  FlattenLayer flatten;
+  const Tensor x = testing::RandomTensor({2, 3, 4, 5}, 4);
+  Tensor out;
+  flatten.Forward(x, &out, true);
+  ASSERT_EQ(out.shape(), (Shape{2, 60}));
+  Tensor grad_in;
+  flatten.Backward(out, &grad_in);
+  ASSERT_EQ(grad_in.shape(), x.shape());
+  for (int64_t i = 0; i < x.size(); ++i) EXPECT_EQ(grad_in[i], x[i]);
+}
+
+TEST(FlattenTest, OutputShape) {
+  FlattenLayer flatten;
+  EXPECT_EQ(flatten.OutputShape({7, 2, 3, 4}), (Shape{7, 24}));
+  EXPECT_EQ(flatten.OutputShape({7, 9}), (Shape{7, 9}));
+}
+
+TEST(PoolTest, Clones) {
+  AvgPool2dLayer pool(3);
+  auto c = pool.Clone();
+  EXPECT_EQ(dynamic_cast<AvgPool2dLayer*>(c.get())->window(), 3);
+  EXPECT_NE(GlobalAvgPoolLayer().Clone(), nullptr);
+  EXPECT_NE(FlattenLayer().Clone(), nullptr);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace errorflow

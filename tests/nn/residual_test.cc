@@ -1,0 +1,123 @@
+#include "nn/residual.h"
+
+#include "gtest/gtest.h"
+#include "nn/activation.h"
+#include "nn/dense.h"
+#include "testing/test_util.h"
+
+namespace errorflow {
+namespace nn {
+namespace {
+
+using tensor::Tensor;
+
+std::unique_ptr<DenseLayer> MakeDense(int64_t in, int64_t out,
+                                      uint64_t seed) {
+  auto d = std::make_unique<DenseLayer>(in, out);
+  d->InitXavier(seed);
+  return d;
+}
+
+TEST(ResidualTest, IdentityShortcutAddsInput) {
+  std::vector<std::unique_ptr<Layer>> body;
+  auto dense = std::make_unique<DenseLayer>(3, 3);
+  dense->mutable_weight() = Tensor({3, 3});  // Zero weights: F(x) = 0.
+  body.push_back(std::move(dense));
+  ResidualBlock block(std::move(body), nullptr, nullptr);
+  const Tensor x = testing::RandomTensor({2, 3}, 1);
+  Tensor out;
+  block.Forward(x, &out, false);
+  for (int64_t i = 0; i < x.size(); ++i) EXPECT_FLOAT_EQ(out[i], x[i]);
+}
+
+TEST(ResidualTest, ProjectionShortcut) {
+  std::vector<std::unique_ptr<Layer>> body;
+  auto dense = std::make_unique<DenseLayer>(2, 4);
+  dense->mutable_weight() = Tensor({4, 2});  // F(x) = 0.
+  body.push_back(std::move(dense));
+  auto proj = std::make_unique<DenseLayer>(2, 4);
+  proj->mutable_weight() = Tensor({4, 2}, {1, 0, 0, 1, 1, 1, 0, 0});
+  ResidualBlock block(std::move(body), std::move(proj), nullptr);
+  Tensor x({1, 2}, {3, 5});
+  Tensor out;
+  block.Forward(x, &out, false);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 5.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 2), 8.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 3), 0.0f);
+}
+
+TEST(ResidualTest, PostActivationApplied) {
+  std::vector<std::unique_ptr<Layer>> body;
+  auto dense = std::make_unique<DenseLayer>(1, 1);
+  dense->mutable_weight() = Tensor({1, 1}, {-10.0f});
+  body.push_back(std::move(dense));
+  ResidualBlock block(std::move(body), nullptr,
+                      std::make_unique<ActivationLayer>(
+                          ActivationKind::kReLU));
+  Tensor x({1, 1}, {1.0f});
+  Tensor out;
+  block.Forward(x, &out, false);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);  // relu(-10 + 1)
+}
+
+TEST(ResidualTest, GradientMatchesFiniteDifference) {
+  auto make_block = [](uint64_t seed) {
+    std::vector<std::unique_ptr<Layer>> body;
+    body.push_back(MakeDense(3, 5, seed));
+    body.push_back(
+        std::make_unique<ActivationLayer>(ActivationKind::kTanh));
+    body.push_back(MakeDense(5, 3, seed + 1));
+    return std::make_unique<ResidualBlock>(
+        std::move(body), nullptr,
+        std::make_unique<ActivationLayer>(ActivationKind::kTanh));
+  };
+  auto block = make_block(2);
+  const Tensor x = testing::RandomTensor({2, 3}, 3);
+  const Tensor coeff = testing::RandomTensor({2, 3}, 4);
+  auto f = [&](const Tensor& in) {
+    auto fresh = make_block(2);
+    Tensor out;
+    fresh->Forward(in, &out, false);
+    double acc = 0.0;
+    for (int64_t i = 0; i < out.size(); ++i) acc += out[i] * coeff[i];
+    return acc;
+  };
+  Tensor out, grad_in;
+  block->Forward(x, &out, true);
+  block->Backward(coeff, &grad_in);
+  testing::ExpectGradientsClose(f, x, grad_in);
+}
+
+TEST(ResidualTest, ParamsAggregateBodyAndShortcut) {
+  std::vector<std::unique_ptr<Layer>> body;
+  body.push_back(MakeDense(2, 3, 5));
+  body.push_back(MakeDense(3, 4, 6));
+  ResidualBlock block(std::move(body), MakeDense(2, 4, 7), nullptr);
+  EXPECT_EQ(block.Params().size(), 6u);  // 3 layers x (weight, bias).
+}
+
+TEST(ResidualTest, CloneIsDeepAndEquivalent) {
+  std::vector<std::unique_ptr<Layer>> body;
+  body.push_back(MakeDense(3, 3, 8));
+  ResidualBlock block(std::move(body), nullptr,
+                      std::make_unique<ActivationLayer>(
+                          ActivationKind::kReLU));
+  auto clone = block.Clone();
+  const Tensor x = testing::RandomTensor({1, 3}, 9);
+  Tensor a, b;
+  block.Forward(x, &a, false);
+  clone->Forward(x, &b, false);
+  for (int64_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(ResidualTest, OutputShapeFollowsBody) {
+  std::vector<std::unique_ptr<Layer>> body;
+  body.push_back(MakeDense(4, 9, 10));
+  ResidualBlock block(std::move(body), MakeDense(4, 9, 11), nullptr);
+  EXPECT_EQ(block.OutputShape({5, 4}), (tensor::Shape{5, 9}));
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace errorflow

@@ -1,0 +1,94 @@
+#include "nn/spectral.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tensor/norms.h"
+#include "tensor/ops.h"
+#include "testing/test_util.h"
+
+namespace errorflow {
+namespace nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(PowerIterationTest, DiagonalMatrix) {
+  Tensor w({3, 3}, {5, 0, 0, 0, 2, 0, 0, 0, 1});
+  const SpectralEstimate est = PowerIteration(w);
+  EXPECT_NEAR(est.sigma, 5.0, 1e-6);
+}
+
+TEST(PowerIterationTest, RectangularKnownSingularValue) {
+  // W = [[3, 0], [0, 4], [0, 0]] has singular values {4, 3}.
+  Tensor w({3, 2}, {3, 0, 0, 4, 0, 0});
+  EXPECT_NEAR(PowerIteration(w).sigma, 4.0, 1e-6);
+}
+
+TEST(PowerIterationTest, Rank1Matrix) {
+  // W = u v^T with ||u|| ||v|| = sigma.
+  Tensor w({2, 2}, {2, 4, 1, 2});  // u=(2,1), v=(1,2): sigma=sqrt(5)*sqrt(5)
+  EXPECT_NEAR(PowerIteration(w).sigma, 5.0, 1e-6);
+}
+
+TEST(PowerIterationTest, SigmaIsOperatorNormProperty) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const Tensor w = testing::RandomTensor({12, 7}, seed);
+    const double sigma = PowerIteration(w).sigma;
+    // No unit vector maps to something longer than sigma.
+    util::Rng rng(seed + 50);
+    for (int trial = 0; trial < 20; ++trial) {
+      Tensor v({7});
+      for (int64_t i = 0; i < 7; ++i) {
+        v[i] = static_cast<float>(rng.Normal());
+      }
+      const double vn = tensor::L2Norm(v);
+      Tensor out;
+      tensor::Gemv(w, v, &out);
+      EXPECT_LE(tensor::L2Norm(out), sigma * vn * (1.0 + 1e-4));
+    }
+  }
+}
+
+TEST(PowerIterationTest, SingularVectorsConsistent) {
+  const Tensor w = testing::RandomTensor({9, 6}, 3);
+  const SpectralEstimate est = PowerIteration(w);
+  // W v = sigma u.
+  Tensor wv;
+  tensor::Gemv(w, est.v, &wv);
+  for (int64_t i = 0; i < 9; ++i) {
+    EXPECT_NEAR(wv[i], est.sigma * est.u[i], 1e-4);
+  }
+}
+
+TEST(PowerIterationTest, WarmStartConvergesFaster) {
+  const Tensor w = testing::RandomTensor({30, 30}, 4);
+  const SpectralEstimate cold = PowerIteration(w, 500, 1e-12);
+  const SpectralEstimate warm = PowerIteration(w, 5, 1e-12, 42, &cold.v);
+  EXPECT_NEAR(warm.sigma, cold.sigma, 1e-6 * cold.sigma);
+}
+
+TEST(PowerIterationTest, ZeroMatrix) {
+  Tensor w({4, 4});
+  EXPECT_DOUBLE_EQ(PowerIteration(w).sigma, 0.0);
+}
+
+TEST(PowerIterationOpTest, MatchesMatrixVersion) {
+  const Tensor w = testing::RandomTensor({10, 8}, 5);
+  auto fwd = [&w](const Tensor& v, Tensor* out) { tensor::Gemv(w, v, out); };
+  auto tr = [&w](const Tensor& u, Tensor* out) { tensor::GemvT(w, u, out); };
+  const double op_sigma = PowerIterationOp(fwd, tr, 8, 400, 1e-10).sigma;
+  EXPECT_NEAR(op_sigma, PowerIteration(w).sigma, 1e-4);
+}
+
+TEST(PowerIterationOpTest, ScaledIdentityOperator) {
+  auto fwd = [](const Tensor& v, Tensor* out) {
+    *out = v;
+    tensor::Scale(out, 2.5f);
+  };
+  EXPECT_NEAR(PowerIterationOp(fwd, fwd, 6).sigma, 2.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace errorflow

@@ -1,0 +1,196 @@
+#include "nn/trainer.h"
+
+#include "gtest/gtest.h"
+#include "nn/activation.h"
+#include "nn/builders.h"
+#include "nn/dense.h"
+#include "testing/test_util.h"
+#include "util/random.h"
+
+namespace errorflow {
+namespace nn {
+namespace {
+
+using tensor::Tensor;
+
+// y = A x + b with a fixed random A: learnable by a linear model.
+void MakeLinearProblem(int64_t n, Tensor* x, Tensor* y) {
+  util::Rng rng(11);
+  Tensor a({3, 5});
+  for (int64_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>(rng.Uniform(-1, 1));
+  }
+  *x = testing::RandomUniformTensor({n, 5}, 12);
+  *y = Tensor({n, 3});
+  for (int64_t s = 0; s < n; ++s) {
+    for (int64_t i = 0; i < 3; ++i) {
+      float acc = 0.1f * static_cast<float>(i);
+      for (int64_t j = 0; j < 5; ++j) acc += a.at(i, j) * x->at(s, j);
+      y->at(s, i) = acc;
+    }
+  }
+}
+
+TEST(TrainerTest, FitsLinearRegression) {
+  Tensor x, y;
+  MakeLinearProblem(256, &x, &y);
+  MlpConfig cfg;
+  cfg.input_dim = 5;
+  cfg.hidden_dims = {};
+  cfg.output_dim = 3;
+  cfg.seed = 1;
+  Model m = BuildMlp(cfg);
+  TrainConfig tc;
+  tc.epochs = 120;
+  tc.batch_size = 64;
+  SgdOptimizer opt(0.1, 0.9);
+  MseLoss loss;
+  auto history = Trainer(tc).Fit(&m, x, y, loss, &opt);
+  ASSERT_EQ(history.size(), 120u);
+  EXPECT_LT(history.back().train_loss, 1e-5);
+  EXPECT_LT(history.back().train_loss, history.front().train_loss);
+}
+
+TEST(TrainerTest, FitsNonlinearWithHiddenLayer) {
+  // y = sin(x0) * x1.
+  util::Rng rng(13);
+  Tensor x = testing::RandomUniformTensor({512, 2}, 14);
+  Tensor y({512, 1});
+  for (int64_t s = 0; s < 512; ++s) {
+    y[s] = std::sin(x.at(s, 0) * 2.0f) * x.at(s, 1);
+  }
+  MlpConfig cfg;
+  cfg.input_dim = 2;
+  cfg.hidden_dims = {32};
+  cfg.output_dim = 1;
+  cfg.activation = ActivationKind::kTanh;
+  cfg.seed = 2;
+  Model m = BuildMlp(cfg);
+  TrainConfig tc;
+  tc.epochs = 150;
+  tc.batch_size = 64;
+  SgdOptimizer opt(0.05, 0.9);
+  MseLoss loss;
+  auto history = Trainer(tc).Fit(&m, x, y, loss, &opt);
+  EXPECT_LT(history.back().train_loss, 5e-3);
+}
+
+TEST(TrainerTest, DeterministicForSameSeed) {
+  Tensor x, y;
+  MakeLinearProblem(64, &x, &y);
+  auto run = [&]() {
+    MlpConfig cfg;
+    cfg.input_dim = 5;
+    cfg.hidden_dims = {8};
+    cfg.output_dim = 3;
+    cfg.seed = 3;
+    Model m = BuildMlp(cfg);
+    TrainConfig tc;
+    tc.epochs = 5;
+    tc.seed = 99;
+    SgdOptimizer opt(0.05, 0.9);
+    MseLoss loss;
+    Trainer(tc).Fit(&m, x, y, loss, &opt);
+    return m.Predict(x);
+  };
+  Tensor a = run(), b = run();
+  for (int64_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(TrainerTest, SpectralPenaltyShrinksAlpha) {
+  Tensor x, y;
+  MakeLinearProblem(128, &x, &y);
+  auto final_alpha = [&](double penalty) {
+    MlpConfig cfg;
+    cfg.input_dim = 5;
+    cfg.hidden_dims = {8};
+    cfg.output_dim = 3;
+    cfg.use_psn = true;
+    cfg.seed = 4;
+    Model m = BuildMlp(cfg);
+    TrainConfig tc;
+    tc.epochs = 40;
+    tc.spectral_penalty = penalty;
+    SgdOptimizer opt(0.05, 0.9);
+    MseLoss loss;
+    Trainer(tc).Fit(&m, x, y, loss, &opt);
+    double sum = 0.0;
+    m.VisitLayers([&sum](Layer* l) {
+      if (auto* d = dynamic_cast<DenseLayer*>(l)) {
+        if (d->use_psn()) sum += d->alpha();
+      }
+    });
+    return sum;
+  };
+  EXPECT_LT(final_alpha(1e-2), final_alpha(0.0));
+}
+
+TEST(TrainerTest, PReluSlopeStaysClamped) {
+  Tensor x, y;
+  MakeLinearProblem(128, &x, &y);
+  MlpConfig cfg;
+  cfg.input_dim = 5;
+  cfg.hidden_dims = {8};
+  cfg.output_dim = 3;
+  cfg.activation = ActivationKind::kPReLU;
+  cfg.seed = 5;
+  Model m = BuildMlp(cfg);
+  TrainConfig tc;
+  tc.epochs = 30;
+  SgdOptimizer opt(0.1, 0.9);
+  MseLoss loss;
+  Trainer(tc).Fit(&m, x, y, loss, &opt);
+  m.VisitLayers([](Layer* l) {
+    if (auto* act = dynamic_cast<ActivationLayer*>(l)) {
+      if (act->activation_kind() == ActivationKind::kPReLU) {
+        EXPECT_GE(act->slope(), 0.0f);
+        EXPECT_LE(act->slope(), 1.0f);
+      }
+    }
+  });
+}
+
+TEST(TrainerTest, EvaluateMatchesLossOnFullSet) {
+  Tensor x, y;
+  MakeLinearProblem(32, &x, &y);
+  MlpConfig cfg;
+  cfg.input_dim = 5;
+  cfg.hidden_dims = {};
+  cfg.output_dim = 3;
+  cfg.seed = 6;
+  Model m = BuildMlp(cfg);
+  MseLoss loss;
+  const Tensor pred = m.Predict(x);
+  EXPECT_DOUBLE_EQ(Trainer::Evaluate(&m, x, y, loss),
+                   loss.Compute(pred, y, nullptr));
+}
+
+TEST(TrainerTest, ClassificationToyProblem) {
+  // Two Gaussian blobs.
+  util::Rng rng(15);
+  Tensor x({200, 2});
+  Tensor y({200});
+  for (int64_t s = 0; s < 200; ++s) {
+    const int cls = static_cast<int>(s % 2);
+    x.at(s, 0) = static_cast<float>(rng.Normal(cls == 0 ? -1.0 : 1.0, 0.3));
+    x.at(s, 1) = static_cast<float>(rng.Normal(cls == 0 ? 1.0 : -1.0, 0.3));
+    y[s] = static_cast<float>(cls);
+  }
+  MlpConfig cfg;
+  cfg.input_dim = 2;
+  cfg.hidden_dims = {8};
+  cfg.output_dim = 2;
+  cfg.activation = ActivationKind::kReLU;
+  cfg.seed = 7;
+  Model m = BuildMlp(cfg);
+  TrainConfig tc;
+  tc.epochs = 60;
+  SgdOptimizer opt(0.1, 0.9);
+  SoftmaxCrossEntropyLoss loss;
+  Trainer(tc).Fit(&m, x, y, loss, &opt);
+  EXPECT_GT(SoftmaxCrossEntropyLoss::Accuracy(m.Predict(x), y), 0.97);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace errorflow

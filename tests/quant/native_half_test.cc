@@ -1,0 +1,71 @@
+// Cross-validation of the software FP16/BF16 rounding against the
+// compiler's native types where available (GCC/Clang on x86-64 provide
+// _Float16 and __bf16 with IEEE semantics). Guarded so the suite still
+// builds on toolchains without them.
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "quant/format.h"
+#include "util/random.h"
+
+namespace errorflow {
+namespace quant {
+namespace {
+
+#ifdef __FLT16_MANT_DIG__
+
+TEST(NativeHalfTest, MatchesCompilerFloat16Conversion) {
+  util::Rng rng(1);
+  int checked = 0;
+  for (int i = 0; i < 20000; ++i) {
+    // Mix of magnitudes, including subnormal-range and near-overflow.
+    const double mag = std::pow(10.0, rng.Uniform(-8.0, 4.0));
+    const float v = static_cast<float>(rng.Normal() * mag);
+    const float native = static_cast<float>(static_cast<_Float16>(v));
+    if (!std::isfinite(native)) continue;  // We saturate; skip inf cases.
+    const float ours = RoundToFormat(v, NumericFormat::kFP16);
+    EXPECT_EQ(ours, native) << "v=" << v;
+    ++checked;
+  }
+  EXPECT_GT(checked, 15000);
+}
+
+TEST(NativeHalfTest, SubnormalsMatch) {
+  util::Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const float v = static_cast<float>(rng.Normal() *
+                                       std::exp2(rng.Uniform(-26.0, -14.0)));
+    const float native = static_cast<float>(static_cast<_Float16>(v));
+    EXPECT_EQ(RoundToFormat(v, NumericFormat::kFP16), native) << v;
+  }
+}
+
+#endif  // __FLT16_MANT_DIG__
+
+#ifdef __BF16_MANT_DIG__
+
+TEST(NativeBf16Test, MatchesCompilerBf16Conversion) {
+  util::Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const double mag = std::pow(10.0, rng.Uniform(-20.0, 20.0));
+    const float v = static_cast<float>(rng.Normal() * mag);
+    const float native = static_cast<float>(static_cast<__bf16>(v));
+    if (!std::isfinite(native)) continue;
+    EXPECT_EQ(RoundToFormat(v, NumericFormat::kBF16), native) << v;
+  }
+}
+
+#endif  // __BF16_MANT_DIG__
+
+TEST(NativeHalfTest, AtLeastOneGuardCompiled) {
+  // Documents whether this build cross-checked against native types.
+#if defined(__FLT16_MANT_DIG__) || defined(__BF16_MANT_DIG__)
+  SUCCEED() << "native reduced-precision types available";
+#else
+  GTEST_SKIP() << "no native _Float16/__bf16 on this toolchain";
+#endif
+}
+
+}  // namespace
+}  // namespace quant
+}  // namespace errorflow

@@ -1,0 +1,116 @@
+#include "quant/quantize_model.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "nn/builders.h"
+#include "nn/dense.h"
+#include "testing/test_util.h"
+
+namespace errorflow {
+namespace quant {
+namespace {
+
+using tensor::Tensor;
+
+nn::Model SampleModel(bool psn = false) {
+  nn::MlpConfig cfg;
+  cfg.name = "m";
+  cfg.input_dim = 6;
+  cfg.hidden_dims = {10, 10};
+  cfg.output_dim = 4;
+  cfg.use_psn = psn;
+  cfg.seed = 31;
+  return nn::BuildMlp(cfg);
+}
+
+TEST(QuantizeModelTest, Fp32IsExactCopy) {
+  nn::Model m = SampleModel();
+  QuantizedModel q = QuantizeWeights(m, NumericFormat::kFP32);
+  const Tensor x = testing::RandomTensor({3, 6}, 1);
+  const Tensor a = m.Predict(x), b = q.model.Predict(x);
+  for (int64_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  EXPECT_TRUE(q.layers.empty());
+}
+
+TEST(QuantizeModelTest, OriginalModelUntouched) {
+  nn::Model m = SampleModel();
+  const Tensor x = testing::RandomTensor({2, 6}, 2);
+  const Tensor before = m.Predict(x);
+  QuantizeWeights(m, NumericFormat::kINT8);
+  const Tensor after = m.Predict(x);
+  for (int64_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i], after[i]);
+  }
+}
+
+TEST(QuantizeModelTest, RecordsAllLinearLayers) {
+  nn::Model m = SampleModel();
+  QuantizedModel q = QuantizeWeights(m, NumericFormat::kFP16);
+  EXPECT_EQ(q.layers.size(), 3u);
+  for (const LayerQuantRecord& rec : q.layers) {
+    EXPECT_GT(rec.step_size, 0.0);
+    EXPECT_GE(rec.max_abs_delta, 0.0);
+    // Weight perturbation cannot exceed ~a few steps.
+    EXPECT_LE(rec.max_abs_delta, rec.step_size * 4);
+  }
+}
+
+TEST(QuantizeModelTest, WeightsActuallyRounded) {
+  nn::Model m = SampleModel();
+  QuantizedModel q = QuantizeWeights(m, NumericFormat::kBF16);
+  q.model.VisitLayers([](nn::Layer* l) {
+    if (auto* d = dynamic_cast<nn::DenseLayer*>(l)) {
+      for (int64_t i = 0; i < d->weight().size(); ++i) {
+        const float w = d->weight()[i];
+        EXPECT_EQ(RoundToFormat(w, NumericFormat::kBF16), w);
+      }
+    }
+  });
+}
+
+TEST(QuantizeModelTest, LowerPrecisionLargerOutputDeviation) {
+  nn::Model m = SampleModel();
+  const Tensor x = testing::RandomUniformTensor({16, 6}, 3);
+  const Tensor ref = m.Predict(x);
+  auto deviation = [&](NumericFormat fmt) {
+    QuantizedModel q = QuantizeWeights(m, fmt);
+    const Tensor out = q.model.Predict(x);
+    double max_err = 0.0;
+    for (int64_t i = 0; i < ref.size(); ++i) {
+      max_err = std::max(
+          max_err, std::fabs(static_cast<double>(out[i]) - ref[i]));
+    }
+    return max_err;
+  };
+  const double fp16 = deviation(NumericFormat::kFP16);
+  const double bf16 = deviation(NumericFormat::kBF16);
+  const double int8 = deviation(NumericFormat::kINT8);
+  EXPECT_LT(fp16, bf16);
+  EXPECT_LT(bf16, int8);
+}
+
+TEST(QuantizeModelTest, FoldsPsnBeforeQuantizing) {
+  nn::Model m = SampleModel(/*psn=*/true);
+  QuantizedModel q = QuantizeWeights(m, NumericFormat::kFP16);
+  q.model.VisitLayers([](nn::Layer* l) {
+    if (auto* d = dynamic_cast<nn::DenseLayer*>(l)) {
+      EXPECT_FALSE(d->use_psn());
+    }
+  });
+  // Outputs close to the folded original.
+  nn::Model folded = m.Clone();
+  folded.FoldPsn();
+  const Tensor x = testing::RandomUniformTensor({4, 6}, 4);
+  const Tensor a = folded.Predict(x), b = q.model.Predict(x);
+  for (int64_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 0.05);
+}
+
+TEST(QuantizeModelTest, NameCarriesFormat) {
+  nn::Model m = SampleModel();
+  EXPECT_EQ(QuantizeWeights(m, NumericFormat::kINT8).model.name(), "m.int8");
+}
+
+}  // namespace
+}  // namespace quant
+}  // namespace errorflow

@@ -1,0 +1,88 @@
+#include "tasks/tasks.h"
+
+#include <filesystem>
+
+#include "gtest/gtest.h"
+#include "nn/loss.h"
+#include "nn/trainer.h"
+#include "tensor/norms.h"
+
+namespace errorflow {
+namespace tasks {
+namespace {
+
+std::string CacheDir() {
+  return ::testing::TempDir() + "ef_tasks_test_cache";
+}
+
+TEST(TasksTest, NamesAndEnums) {
+  EXPECT_STREQ(TaskKindToString(TaskKind::kH2Combustion), "h2combustion");
+  EXPECT_STREQ(TaskKindToString(TaskKind::kBorghesiFlame), "borghesiflame");
+  EXPECT_STREQ(TaskKindToString(TaskKind::kEuroSat), "eurosat");
+  EXPECT_STREQ(RegularizationToString(Regularization::kPsn), "psn");
+  EXPECT_STREQ(RegularizationToString(Regularization::kBaseline),
+               "baseline");
+  EXPECT_STREQ(RegularizationToString(Regularization::kWeightDecay), "wd");
+}
+
+TEST(TasksTest, H2TaskTrainsAndFits) {
+  TrainedTask task =
+      GetTask(TaskKind::kH2Combustion, Regularization::kPsn, 1, CacheDir());
+  EXPECT_EQ(task.single_input_shape, (tensor::Shape{1, 9}));
+  EXPECT_FALSE(task.classification);
+  EXPECT_GT(task.train.size(), task.test.size());
+  const double mse = nn::Trainer::Evaluate(&task.model, task.test.inputs,
+                                           task.test.targets, nn::MseLoss());
+  EXPECT_LT(mse, 5e-3);  // Normalized targets: must clearly beat variance.
+}
+
+TEST(TasksTest, CacheRoundTripsExactly) {
+  TrainedTask first =
+      GetTask(TaskKind::kH2Combustion, Regularization::kPsn, 1, CacheDir());
+  // Second call must load from cache and predict identically.
+  TrainedTask second =
+      GetTask(TaskKind::kH2Combustion, Regularization::kPsn, 1, CacheDir());
+  const tensor::Tensor a = first.model.Predict(first.test.inputs);
+  const tensor::Tensor b = second.model.Predict(second.test.inputs);
+  EXPECT_EQ(tensor::DiffNorm(a, b, tensor::Norm::kLinf), 0.0);
+}
+
+TEST(TasksTest, InputsNormalizedToUnitRange) {
+  TrainedTask task =
+      GetTask(TaskKind::kH2Combustion, Regularization::kPsn, 1, CacheDir());
+  for (int64_t i = 0; i < task.train.inputs.size(); ++i) {
+    EXPECT_GE(task.train.inputs[i], -1.0f - 1e-6f);
+    EXPECT_LE(task.train.inputs[i], 1.0f + 1e-6f);
+  }
+}
+
+TEST(TasksTest, FreshBatchesAreIndependentAndNormalized) {
+  TrainedTask task =
+      GetTask(TaskKind::kH2Combustion, Regularization::kPsn, 1, CacheDir());
+  const auto batches = FreshInputBatches(task, 3);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_GT(tensor::DiffNorm(batches[0], batches[1], tensor::Norm::kLinf),
+            1e-6);
+  for (const auto& batch : batches) {
+    EXPECT_EQ(batch.dim(1), 9);
+    // Fresh fields may exceed the training range slightly, but stay close.
+    for (int64_t i = 0; i < batch.size(); ++i) {
+      EXPECT_GE(batch[i], -1.5f);
+      EXPECT_LE(batch[i], 1.5f);
+    }
+  }
+}
+
+TEST(TasksTest, RegularizationVariantsDiffer) {
+  TrainedTask psn =
+      GetTask(TaskKind::kH2Combustion, Regularization::kPsn, 1, CacheDir());
+  TrainedTask base = GetTask(TaskKind::kH2Combustion,
+                             Regularization::kBaseline, 1, CacheDir());
+  const tensor::Tensor a = psn.model.Predict(psn.test.inputs);
+  const tensor::Tensor b = base.model.Predict(base.test.inputs);
+  EXPECT_GT(tensor::DiffNorm(a, b, tensor::Norm::kLinf), 1e-6);
+}
+
+}  // namespace
+}  // namespace tasks
+}  // namespace errorflow

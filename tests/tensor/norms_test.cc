@@ -1,0 +1,86 @@
+#include "tensor/norms.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "testing/test_util.h"
+
+namespace errorflow {
+namespace tensor {
+namespace {
+
+TEST(NormsTest, L2KnownValue) {
+  EXPECT_DOUBLE_EQ(L2Norm(Tensor::FromValues({3, 4})), 5.0);
+  EXPECT_DOUBLE_EQ(L2Norm(Tensor::FromValues({0, 0, 0})), 0.0);
+}
+
+TEST(NormsTest, LinfKnownValue) {
+  EXPECT_DOUBLE_EQ(LinfNorm(Tensor::FromValues({1, -7, 3})), 7.0);
+}
+
+TEST(NormsTest, VectorNormDispatch) {
+  Tensor t = Tensor::FromValues({3, 4});
+  EXPECT_DOUBLE_EQ(VectorNorm(t, Norm::kL2), 5.0);
+  EXPECT_DOUBLE_EQ(VectorNorm(t, Norm::kLinf), 4.0);
+}
+
+TEST(NormsTest, DiffNorm) {
+  Tensor a = Tensor::FromValues({1, 2, 3});
+  Tensor b = Tensor::FromValues({1, 4, 3});
+  EXPECT_DOUBLE_EQ(DiffNorm(a, b, Norm::kL2), 2.0);
+  EXPECT_DOUBLE_EQ(DiffNorm(a, b, Norm::kLinf), 2.0);
+}
+
+TEST(NormsTest, RelativeError) {
+  Tensor ref = Tensor::FromValues({3, 4});
+  Tensor approx = Tensor::FromValues({3, 4.5});
+  EXPECT_DOUBLE_EQ(RelativeError(ref, approx, Norm::kL2), 0.1);
+}
+
+TEST(NormsTest, RelativeErrorZeroReferenceFallsBackToAbsolute) {
+  Tensor ref = Tensor::FromValues({0, 0});
+  Tensor approx = Tensor::FromValues({0, 0.5});
+  EXPECT_DOUBLE_EQ(RelativeError(ref, approx, Norm::kLinf), 0.5);
+}
+
+// Property (Sec. III-A): (1/sqrt(n)) ||v||_2 <= ||v||_inf <= ||v||_2.
+TEST(NormsTest, NormEquivalenceProperty) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const Tensor v = testing::RandomTensor({97}, seed);
+    const double l2 = L2Norm(v), linf = LinfNorm(v);
+    EXPECT_LE(linf, l2 + 1e-9);
+    EXPECT_GE(linf, l2 / std::sqrt(97.0) - 1e-9);
+  }
+}
+
+TEST(NormsTest, ConvertNormBoundSameNormIsIdentity) {
+  EXPECT_DOUBLE_EQ(ConvertNormBound(0.5, Norm::kL2, Norm::kL2, 10), 0.5);
+}
+
+TEST(NormsTest, ConvertL2ToLinfKeepsValue) {
+  EXPECT_DOUBLE_EQ(ConvertNormBound(0.5, Norm::kL2, Norm::kLinf, 10), 0.5);
+}
+
+TEST(NormsTest, ConvertLinfToL2ScalesBySqrtN) {
+  EXPECT_DOUBLE_EQ(ConvertNormBound(0.5, Norm::kLinf, Norm::kL2, 16), 2.0);
+}
+
+// Converted bounds must remain valid bounds.
+TEST(NormsTest, ConvertedBoundsAreValid) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const Tensor v = testing::RandomTensor({64}, seed);
+    const double linf = LinfNorm(v);
+    const double l2_bound =
+        ConvertNormBound(linf, Norm::kLinf, Norm::kL2, 64);
+    EXPECT_GE(l2_bound + 1e-9, L2Norm(v));
+  }
+}
+
+TEST(NormsTest, NormToString) {
+  EXPECT_STREQ(NormToString(Norm::kL2), "L2");
+  EXPECT_STREQ(NormToString(Norm::kLinf), "Linf");
+}
+
+}  // namespace
+}  // namespace tensor
+}  // namespace errorflow

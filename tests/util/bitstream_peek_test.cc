@@ -1,0 +1,68 @@
+#include "gtest/gtest.h"
+#include "util/bitstream.h"
+#include "util/random.h"
+
+namespace errorflow {
+namespace util {
+namespace {
+
+TEST(PeekBitsTest, PeekDoesNotConsume) {
+  BitWriter w;
+  w.WriteBits(0xABC, 12);
+  const std::string buf = w.Finish();
+  BitReader r(buf.data(), buf.size());
+  EXPECT_EQ(r.PeekBits(12), 0xABCu);
+  EXPECT_EQ(r.PeekBits(12), 0xABCu);  // Still there.
+  EXPECT_EQ(*r.ReadBits(12), 0xABCu);
+}
+
+TEST(PeekBitsTest, PeekMatchesReadAtEveryOffset) {
+  Rng rng(1);
+  BitWriter w;
+  for (int i = 0; i < 500; ++i) w.WriteBits(rng.NextU64() & 0x1F, 5);
+  const std::string buf = w.Finish();
+  BitReader peeker(buf.data(), buf.size());
+  BitReader reader(buf.data(), buf.size());
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t peeked = peeker.PeekBits(5);
+    peeker.SkipBits(5);
+    EXPECT_EQ(peeked, *reader.ReadBits(5)) << "symbol " << i;
+  }
+}
+
+TEST(PeekBitsTest, ZeroPaddedPastEnd) {
+  BitWriter w;
+  w.WriteBits(0b1111, 4);
+  const std::string buf = w.Finish();  // One byte: 11110000.
+  BitReader r(buf.data(), buf.size());
+  // Peeking 16 bits over an 8-bit stream zero-pads.
+  EXPECT_EQ(r.PeekBits(16), 0b1111000000000000u);
+}
+
+TEST(PeekBitsTest, PeekOnEmptyStreamIsZero) {
+  BitReader r(nullptr, 0);
+  EXPECT_EQ(r.PeekBits(32), 0u);
+}
+
+TEST(SkipBitsTest, ClampsAtEnd) {
+  BitWriter w;
+  w.WriteBits(0xFF, 8);
+  const std::string buf = w.Finish();
+  BitReader r(buf.data(), buf.size());
+  r.SkipBits(1000);
+  EXPECT_EQ(r.BitsRemaining(), 0u);
+  EXPECT_FALSE(r.ReadBits(1).ok());
+}
+
+TEST(SkipBitsTest, PartialSkipLeavesCursorCorrect) {
+  BitWriter w;
+  w.WriteBits(0b10110011, 8);
+  const std::string buf = w.Finish();
+  BitReader r(buf.data(), buf.size());
+  r.SkipBits(3);
+  EXPECT_EQ(*r.ReadBits(5), 0b10011u);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace errorflow

@@ -1,0 +1,103 @@
+#include "util/bitstream.h"
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace errorflow {
+namespace util {
+namespace {
+
+TEST(BitStreamTest, SingleBitsRoundTrip) {
+  BitWriter w;
+  const bool pattern[] = {true, false, true, true, false, false, true};
+  for (bool b : pattern) w.WriteBit(b);
+  const std::string buf = w.Finish();
+  BitReader r(buf.data(), buf.size());
+  for (bool b : pattern) {
+    auto bit = r.ReadBit();
+    ASSERT_TRUE(bit.ok());
+    EXPECT_EQ(*bit, b);
+  }
+}
+
+TEST(BitStreamTest, MultiBitValuesRoundTrip) {
+  BitWriter w;
+  w.WriteBits(0x5, 3);
+  w.WriteBits(0xDEADBEEF, 32);
+  w.WriteBits(0x1FFFFFFFFFFFFFFull, 57);
+  w.WriteBits(0, 1);
+  const std::string buf = w.Finish();
+  BitReader r(buf.data(), buf.size());
+  EXPECT_EQ(*r.ReadBits(3), 0x5u);
+  EXPECT_EQ(*r.ReadBits(32), 0xDEADBEEFull);
+  EXPECT_EQ(*r.ReadBits(57), 0x1FFFFFFFFFFFFFFull);
+  EXPECT_EQ(*r.ReadBits(1), 0u);
+}
+
+TEST(BitStreamTest, ZeroBitWriteIsNoop) {
+  BitWriter w;
+  w.WriteBits(0xFF, 0);
+  EXPECT_EQ(w.bit_count(), 0u);
+}
+
+TEST(BitStreamTest, ExhaustionReturnsOutOfRange) {
+  BitWriter w;
+  w.WriteBits(0xA, 4);
+  const std::string buf = w.Finish();  // Padded to 8 bits.
+  BitReader r(buf.data(), buf.size());
+  EXPECT_TRUE(r.ReadBits(8).ok());
+  auto more = r.ReadBits(1);
+  EXPECT_FALSE(more.ok());
+  EXPECT_EQ(more.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BitStreamTest, AlignToByteSkipsToBoundary) {
+  BitWriter w;
+  w.WriteBits(0x3, 2);
+  w.AlignToByte();
+  w.WriteBits(0xAB, 8);
+  const std::string buf = w.Finish();
+  ASSERT_EQ(buf.size(), 2u);
+  BitReader r(buf.data(), buf.size());
+  EXPECT_EQ(*r.ReadBits(2), 0x3u);
+  r.AlignToByte();
+  EXPECT_EQ(*r.ReadBits(8), 0xABu);
+}
+
+TEST(BitStreamTest, RandomizedRoundTrip) {
+  Rng rng(99);
+  std::vector<std::pair<uint64_t, int>> values;
+  BitWriter w;
+  for (int i = 0; i < 2000; ++i) {
+    const int nbits = rng.UniformInt(1, 64);
+    const uint64_t v =
+        nbits == 64 ? rng.NextU64() : rng.NextU64() & ((1ull << nbits) - 1);
+    values.push_back({v, nbits});
+    w.WriteBits(v, nbits);
+  }
+  const std::string buf = w.Finish();
+  BitReader r(buf.data(), buf.size());
+  for (const auto& [v, nbits] : values) {
+    auto got = r.ReadBits(nbits);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST(BitStreamTest, BitCountTracksWrites) {
+  BitWriter w;
+  w.WriteBits(1, 5);
+  w.WriteBit(true);
+  EXPECT_EQ(w.bit_count(), 6u);
+}
+
+TEST(BitStreamTest, MsbFirstLayout) {
+  BitWriter w;
+  w.WriteBits(0b10110000, 8);
+  const std::string buf = w.Finish();
+  EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0b10110000);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace errorflow

@@ -1,0 +1,85 @@
+#include "util/bytes.h"
+
+#include "gtest/gtest.h"
+
+namespace errorflow {
+namespace util {
+namespace {
+
+TEST(BytesTest, ScalarsRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xAB);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x123456789ABCDEF0ull);
+  w.PutI64(-42);
+  w.PutF32(3.25f);
+  w.PutF64(-1e100);
+  const std::string buf = w.Finish();
+
+  ByteReader r(buf);
+  EXPECT_EQ(*r.GetU8(), 0xAB);
+  EXPECT_EQ(*r.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*r.GetU64(), 0x123456789ABCDEF0ull);
+  EXPECT_EQ(*r.GetI64(), -42);
+  EXPECT_EQ(*r.GetF32(), 3.25f);
+  EXPECT_EQ(*r.GetF64(), -1e100);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BytesTest, BytesAndShapeRoundTrip) {
+  ByteWriter w;
+  w.PutBytes("payload");
+  w.PutShape({2, 3, 4});
+  const std::string buf = w.Finish();
+
+  ByteReader r(buf);
+  EXPECT_EQ(*r.GetBytes(), "payload");
+  auto shape = r.GetShape();
+  ASSERT_TRUE(shape.ok());
+  EXPECT_EQ(*shape, (std::vector<int64_t>{2, 3, 4}));
+}
+
+TEST(BytesTest, TruncationIsCorruption) {
+  ByteWriter w;
+  w.PutU64(1);
+  std::string buf = w.Finish();
+  buf.resize(4);
+  ByteReader r(buf);
+  auto v = r.GetU64();
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kCorruption);
+}
+
+TEST(BytesTest, NegativeDimensionRejected) {
+  ByteWriter w;
+  w.PutU32(1);
+  w.PutI64(-5);
+  const std::string buf = w.Finish();
+  ByteReader r(buf);
+  EXPECT_FALSE(r.GetShape().ok());
+}
+
+TEST(BytesTest, ExcessiveRankRejected) {
+  ByteWriter w;
+  w.PutU32(100);
+  const std::string buf = w.Finish();
+  ByteReader r(buf);
+  EXPECT_FALSE(r.GetShape().ok());
+}
+
+TEST(BytesTest, RestConsumesRemainder) {
+  ByteWriter w;
+  w.PutU8(1);
+  w.Raw("tail", 4);
+  const std::string buf = w.Finish();
+  ByteReader r(buf);
+  ASSERT_TRUE(r.GetU8().ok());
+  auto rest = r.Rest();
+  ASSERT_TRUE(rest.ok());
+  EXPECT_EQ(std::string(rest->first, rest->second), "tail");
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace errorflow

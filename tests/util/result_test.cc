@@ -1,0 +1,53 @@
+#include "util/result.h"
+
+#include <memory>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace errorflow {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<std::string> r(std::string("hello"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "hello");
+  EXPECT_EQ(r->size(), 5u);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "missing");
+}
+
+TEST(ResultTest, OkStatusIsNormalizedToInternalError) {
+  Result<int> r(Status::OK());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, ValueOrReturnsFallbackOnError) {
+  Result<int> bad(Status::Internal("x"));
+  EXPECT_EQ(bad.ValueOr(42), 42);
+  Result<int> good(3);
+  EXPECT_EQ(good.ValueOr(42), 3);
+}
+
+TEST(ResultTest, MoveOnlyValueSupported) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::string> r(std::string("a"));
+  r.value() += "b";
+  EXPECT_EQ(*r, "ab");
+}
+
+}  // namespace
+}  // namespace errorflow

@@ -1,0 +1,97 @@
+#include "util/status.h"
+
+#include "gtest/gtest.h"
+#include "util/macros.h"
+#include "util/result.h"
+
+namespace errorflow {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryHelpersSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IOError("y").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Corruption("z").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::NotImplemented("n").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("i").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::OutOfRange("o").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::AlreadyExists("a").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::ResourceExhausted("r").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::FailedPrecondition("f").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
+  EXPECT_FALSE(Status::InvalidArgument("bad").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::Corruption("blob truncated").ToString(),
+            "Corruption: blob truncated");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::IOError("disk gone");
+  Status t = s;
+  EXPECT_EQ(t.code(), StatusCode::kIoError);
+  EXPECT_EQ(t.message(), "disk gone");
+  EXPECT_EQ(s, t);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+}
+
+TEST(StatusCodeTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotImplemented),
+               "NotImplemented");
+}
+
+Status FailingOp() { return Status::InvalidArgument("nope"); }
+Status PassthroughOk() {
+  EF_RETURN_IF_ERROR(Status::OK());
+  return Status::OK();
+}
+Status PassthroughFail() {
+  EF_RETURN_IF_ERROR(FailingOp());
+  return Status::Internal("unreachable");
+}
+
+TEST(MacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(PassthroughOk().ok());
+  EXPECT_EQ(PassthroughFail().code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> MakeInt(bool fail) {
+  if (fail) return Status::OutOfRange("no int");
+  return 7;
+}
+
+Result<int> UseAssignOrReturn(bool fail) {
+  EF_ASSIGN_OR_RETURN(int v, MakeInt(fail));
+  return v * 2;
+}
+
+TEST(MacrosTest, AssignOrReturnBindsValueOrPropagates) {
+  auto ok = UseAssignOrReturn(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 14);
+  auto bad = UseAssignOrReturn(true);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace errorflow

@@ -1,0 +1,39 @@
+#include "util/string_util.h"
+
+#include "gtest/gtest.h"
+
+namespace errorflow {
+namespace util {
+namespace {
+
+TEST(StringUtilTest, StrFormatBasics) {
+  EXPECT_EQ(StrFormat("x=%d y=%.2f", 3, 1.5), "x=3 y=1.50");
+  EXPECT_EQ(StrFormat("%s", "hello"), "hello");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringUtilTest, StrFormatLongOutput) {
+  std::string big(500, 'a');
+  EXPECT_EQ(StrFormat("%s", big.c_str()).size(), 500u);
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512.00 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KB");
+  EXPECT_EQ(HumanBytes(3.5 * 1024 * 1024), "3.50 MB");
+  EXPECT_EQ(HumanBytes(1024.0 * 1024 * 1024), "1.00 GB");
+}
+
+TEST(StringUtilTest, HumanThroughput) {
+  EXPECT_EQ(HumanThroughput(2.8e9), "2.80 GB/s");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"solo"}, "-"), "solo");
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace errorflow

@@ -1,0 +1,301 @@
+// errorflow — command-line front end for the ErrorFlow library.
+//
+//   errorflow inspect   <model.efm> --input-shape 1,9
+//   errorflow bound     <model.efm> --input-shape 1,9 --input-err 1e-4
+//                       [--norm linf|l2] [--format fp16] [--per-feature]
+//   errorflow plan      <model.efm> --input-shape 1,9 --tol 1e-3
+//                       [--frac 0.5] [--norm linf|l2]
+//   errorflow compress  --backend sz|zfp|mgard --tol 1e-3
+//                       [--norm linf|l2] [--rel] [--size 512x512]
+//   errorflow demo-train <out.efm> [--task h2|borghesi|eurosat]
+//
+// Exit code 0 on success; 1 on user error; 2 on internal failure.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compress/compressor.h"
+#include "core/allocator.h"
+#include "core/report.h"
+#include "data/combustion.h"
+#include "nn/serialize.h"
+#include "tasks/tasks.h"
+#include "tensor/stats.h"
+#include "util/string_util.h"
+
+using namespace errorflow;
+
+namespace {
+
+// ----- minimal flag parsing -------------------------------------------
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  bool Has(const std::string& name) const { return flags.count(name) != 0; }
+  std::string Get(const std::string& name,
+                  const std::string& fallback = "") const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+};
+
+Args ParseArgs(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (tok.rfind("--", 0) == 0) {
+      const std::string name = tok.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args.flags[name] = argv[++i];
+      } else {
+        args.flags[name] = "true";
+      }
+    } else {
+      args.positional.push_back(tok);
+    }
+  }
+  return args;
+}
+
+int Fail(const char* msg) {
+  std::fprintf(stderr, "error: %s\n", msg);
+  return 1;
+}
+
+// ----- shared helpers ---------------------------------------------------
+
+Result<tensor::Shape> ParseShape(const std::string& spec) {
+  tensor::Shape shape;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t next = spec.find(',', pos);
+    if (next == std::string::npos) next = spec.size();
+    const std::string part = spec.substr(pos, next - pos);
+    const int64_t dim = std::atoll(part.c_str());
+    if (dim <= 0) {
+      return Status::InvalidArgument("bad shape component: " + part);
+    }
+    shape.push_back(dim);
+    pos = next + 1;
+  }
+  if (shape.empty()) return Status::InvalidArgument("empty shape");
+  return shape;
+}
+
+Result<tensor::Norm> ParseNorm(const std::string& name) {
+  if (name == "linf" || name == "Linf") return tensor::Norm::kLinf;
+  if (name == "l2" || name == "L2") return tensor::Norm::kL2;
+  return Status::InvalidArgument("unknown norm: " + name +
+                                 " (use linf or l2)");
+}
+
+Result<quant::NumericFormat> ParseFormat(const std::string& name) {
+  for (quant::NumericFormat f :
+       {quant::NumericFormat::kFP32, quant::NumericFormat::kTF32,
+        quant::NumericFormat::kFP16, quant::NumericFormat::kBF16,
+        quant::NumericFormat::kINT8}) {
+    if (name == quant::FormatToString(f)) return f;
+  }
+  return Status::InvalidArgument("unknown format: " + name);
+}
+
+Result<compress::Backend> ParseBackend(const std::string& name) {
+  for (compress::Backend b : compress::AllBackends()) {
+    if (name == compress::BackendToString(b)) return b;
+  }
+  return Status::InvalidArgument("unknown backend: " + name);
+}
+
+Result<core::ErrorFlowAnalysis> LoadAnalysis(const std::string& path,
+                                             const std::string& shape_spec) {
+  EF_ASSIGN_OR_RETURN(nn::Model model, nn::LoadModel(path));
+  EF_ASSIGN_OR_RETURN(tensor::Shape shape, ParseShape(shape_spec));
+  return core::ErrorFlowAnalysis(core::ProfileModel(model, shape));
+}
+
+// ----- subcommands -------------------------------------------------------
+
+int CmdInspect(const Args& args) {
+  if (args.positional.empty()) return Fail("inspect: model path required");
+  auto analysis =
+      LoadAnalysis(args.positional[0], args.Get("input-shape", "1,9"));
+  if (!analysis.ok()) return Fail(analysis.status().ToString().c_str());
+  std::printf("%s", core::ProfileReport(*analysis).c_str());
+  std::printf("\n  fp16 quantization-term breakdown (marginal):\n");
+  for (const core::LayerContribution& c : core::QuantTermBreakdown(
+           *analysis, quant::NumericFormat::kFP16)) {
+    std::printf("    %-30s q=%.3e  contributes %.3e\n",
+                c.layer.substr(0, 30).c_str(), c.step_size, c.contribution);
+  }
+  return 0;
+}
+
+int CmdBound(const Args& args) {
+  if (args.positional.empty()) return Fail("bound: model path required");
+  auto analysis =
+      LoadAnalysis(args.positional[0], args.Get("input-shape", "1,9"));
+  if (!analysis.ok()) return Fail(analysis.status().ToString().c_str());
+  auto norm = ParseNorm(args.Get("norm", "linf"));
+  if (!norm.ok()) return Fail(norm.status().ToString().c_str());
+  auto format = ParseFormat(args.Get("format", "fp32"));
+  if (!format.ok()) return Fail(format.status().ToString().c_str());
+  const double input_err = args.GetDouble("input-err", 0.0);
+
+  std::printf("bound(|dx|_%s = %.3e, %s) = %.6e\n",
+              args.Get("norm", "linf").c_str(), input_err,
+              quant::FormatToString(*format),
+              analysis->Bound(input_err, *norm, *format));
+  if (args.Has("per-feature")) {
+    const size_t n = analysis->profile().final_row_norms.size();
+    for (size_t k = 0; k < n; ++k) {
+      std::printf("  feature %2zu: %.6e\n", k,
+                  analysis->PerFeatureBound(static_cast<int64_t>(k),
+                                            input_err, *norm, *format));
+    }
+  }
+  return 0;
+}
+
+int CmdPlan(const Args& args) {
+  if (args.positional.empty()) return Fail("plan: model path required");
+  auto analysis =
+      LoadAnalysis(args.positional[0], args.Get("input-shape", "1,9"));
+  if (!analysis.ok()) return Fail(analysis.status().ToString().c_str());
+  auto norm = ParseNorm(args.Get("norm", "linf"));
+  if (!norm.ok()) return Fail(norm.status().ToString().c_str());
+  const double tol = args.GetDouble("tol", 1e-3);
+
+  core::AllocationConfig cfg;
+  cfg.norm = *norm;
+  cfg.quant_fraction = args.GetDouble("frac", 0.5);
+  const core::AllocationPlan plan =
+      core::AllocateTolerance(*analysis, tol, cfg);
+  std::printf("QoI tolerance          : %.3e (%s)\n", tol,
+              args.Get("norm", "linf").c_str());
+  std::printf("chosen weight format   : %s\n",
+              quant::FormatToString(plan.format));
+  std::printf("quantization bound     : %.3e\n", plan.quant_bound);
+  std::printf("compression tolerance  : %.3e\n", plan.input_tolerance);
+  std::printf("predicted total bound  : %.3e\n", plan.predicted_total_bound);
+  return 0;
+}
+
+int CmdCompress(const Args& args) {
+  auto backend = ParseBackend(args.Get("backend", "sz"));
+  if (!backend.ok()) return Fail(backend.status().ToString().c_str());
+  auto norm = ParseNorm(args.Get("norm", "linf"));
+  if (!norm.ok()) return Fail(norm.status().ToString().c_str());
+
+  int64_t rows = 512, cols = 512;
+  const std::string size = args.Get("size", "512x512");
+  if (std::sscanf(size.c_str(), "%lldx%lld",
+                  reinterpret_cast<long long*>(&rows),
+                  reinterpret_cast<long long*>(&cols)) != 2 || rows <= 0 ||
+      cols <= 0) {
+    return Fail("bad --size (use e.g. 512x512)");
+  }
+  // Demo field: one H2 species slice (smooth, vortex-structured).
+  const tensor::Tensor field =
+      data::GenerateH2SpeciesField(rows, cols, /*seed=*/7);
+  tensor::Tensor slice({rows, cols});
+  std::copy(field.data(), field.data() + rows * cols, slice.data());
+
+  compress::ErrorBound eb;
+  eb.norm = *norm;
+  eb.relative = args.Has("rel");
+  eb.tolerance = args.GetDouble("tol", 1e-3);
+  auto compressor = compress::MakeCompressor(*backend);
+  auto comp = compressor->Compress(slice, eb);
+  if (!comp.ok()) return Fail(comp.status().ToString().c_str());
+  auto dec = compressor->Decompress(comp->blob);
+  if (!dec.ok()) return Fail(dec.status().ToString().c_str());
+
+  std::printf("backend      : %s\n", compressor->name().c_str());
+  std::printf("field        : %lld x %lld (%s)\n",
+              static_cast<long long>(rows), static_cast<long long>(cols),
+              util::HumanBytes(static_cast<double>(slice.byte_size()))
+                  .c_str());
+  std::printf("ratio        : %.2fx\n", comp->ratio());
+  std::printf("compress     : %s\n",
+              util::HumanThroughput(slice.byte_size() / comp->seconds)
+                  .c_str());
+  std::printf("decompress   : %s\n",
+              util::HumanThroughput(slice.byte_size() / dec->seconds)
+                  .c_str());
+  std::printf("achieved err : %.3e (%s)\n",
+              tensor::DiffNorm(slice, dec->data, *norm),
+              args.Get("norm", "linf").c_str());
+  return 0;
+}
+
+int CmdDemoTrain(const Args& args) {
+  if (args.positional.empty()) {
+    return Fail("demo-train: output path required");
+  }
+  const std::string name = args.Get("task", "h2");
+  tasks::TaskKind kind;
+  if (name == "h2") {
+    kind = tasks::TaskKind::kH2Combustion;
+  } else if (name == "borghesi") {
+    kind = tasks::TaskKind::kBorghesiFlame;
+  } else if (name == "eurosat") {
+    kind = tasks::TaskKind::kEuroSat;
+  } else {
+    return Fail("unknown task (use h2|borghesi|eurosat)");
+  }
+  tasks::TrainedTask task = tasks::GetTask(kind);
+  const Status st = nn::SaveModel(task.model, args.positional[0]);
+  if (!st.ok()) return Fail(st.ToString().c_str());
+  std::printf("trained '%s' saved to %s\n", task.name.c_str(),
+              args.positional[0].c_str());
+  std::printf("input shape for inspect/bound/plan: %s\n",
+              tensor::ShapeToString(task.single_input_shape).c_str());
+  return 0;
+}
+
+void PrintUsage() {
+  std::printf(
+      "errorflow — error-bounded scientific inference toolkit\n\n"
+      "usage:\n"
+      "  errorflow inspect    <model.efm> --input-shape 1,9\n"
+      "  errorflow bound      <model.efm> --input-shape 1,9 --input-err "
+      "1e-4 [--norm linf|l2] [--format fp16] [--per-feature]\n"
+      "  errorflow plan       <model.efm> --input-shape 1,9 --tol 1e-3 "
+      "[--frac 0.5] [--norm linf|l2]\n"
+      "  errorflow compress   --backend sz|zfp|mgard --tol 1e-3 [--norm "
+      "linf|l2] [--rel] [--size 512x512]\n"
+      "  errorflow demo-train <out.efm> [--task h2|borghesi|eurosat]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  const Args args = ParseArgs(argc, argv, 2);
+  if (cmd == "inspect") return CmdInspect(args);
+  if (cmd == "bound") return CmdBound(args);
+  if (cmd == "plan") return CmdPlan(args);
+  if (cmd == "compress") return CmdCompress(args);
+  if (cmd == "demo-train") return CmdDemoTrain(args);
+  if (cmd == "help" || cmd == "--help") {
+    PrintUsage();
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  PrintUsage();
+  return 1;
+}
