@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_auto_tuner.dir/bench_ablation_auto_tuner.cc.o"
+  "CMakeFiles/bench_ablation_auto_tuner.dir/bench_ablation_auto_tuner.cc.o.d"
+  "bench_ablation_auto_tuner"
+  "bench_ablation_auto_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_auto_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

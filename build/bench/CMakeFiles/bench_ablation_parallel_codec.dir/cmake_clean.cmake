@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_parallel_codec.dir/bench_ablation_parallel_codec.cc.o"
+  "CMakeFiles/bench_ablation_parallel_codec.dir/bench_ablation_parallel_codec.cc.o.d"
+  "bench_ablation_parallel_codec"
+  "bench_ablation_parallel_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_parallel_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

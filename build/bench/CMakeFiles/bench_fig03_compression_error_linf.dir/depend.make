@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig03_compression_error_linf.
+# This may be replaced when dependencies are built.

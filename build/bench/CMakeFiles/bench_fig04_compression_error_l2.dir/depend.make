@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig04_compression_error_l2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_quant_error_linf.dir/bench_fig05_quant_error_linf.cc.o"
+  "CMakeFiles/bench_fig05_quant_error_linf.dir/bench_fig05_quant_error_linf.cc.o.d"
+  "bench_fig05_quant_error_linf"
+  "bench_fig05_quant_error_linf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_quant_error_linf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_io_throughput_linf.dir/bench_fig07_io_throughput_linf.cc.o"
+  "CMakeFiles/bench_fig07_io_throughput_linf.dir/bench_fig07_io_throughput_linf.cc.o.d"
+  "bench_fig07_io_throughput_linf"
+  "bench_fig07_io_throughput_linf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_io_throughput_linf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig07_io_throughput_linf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_coordination.dir/bench_fig10_coordination.cc.o"
+  "CMakeFiles/bench_fig10_coordination.dir/bench_fig10_coordination.cc.o.d"
+  "bench_fig10_coordination"
+  "bench_fig10_coordination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_coordination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

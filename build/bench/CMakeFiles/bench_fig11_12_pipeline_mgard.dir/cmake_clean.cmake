@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_12_pipeline_mgard.dir/bench_fig11_12_pipeline_mgard.cc.o"
+  "CMakeFiles/bench_fig11_12_pipeline_mgard.dir/bench_fig11_12_pipeline_mgard.cc.o.d"
+  "bench_fig11_12_pipeline_mgard"
+  "bench_fig11_12_pipeline_mgard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_12_pipeline_mgard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

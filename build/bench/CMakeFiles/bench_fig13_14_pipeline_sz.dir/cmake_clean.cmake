@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_14_pipeline_sz.dir/bench_fig13_14_pipeline_sz.cc.o"
+  "CMakeFiles/bench_fig13_14_pipeline_sz.dir/bench_fig13_14_pipeline_sz.cc.o.d"
+  "bench_fig13_14_pipeline_sz"
+  "bench_fig13_14_pipeline_sz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_14_pipeline_sz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

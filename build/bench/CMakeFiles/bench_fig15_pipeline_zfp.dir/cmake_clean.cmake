@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_pipeline_zfp.dir/bench_fig15_pipeline_zfp.cc.o"
+  "CMakeFiles/bench_fig15_pipeline_zfp.dir/bench_fig15_pipeline_zfp.cc.o.d"
+  "bench_fig15_pipeline_zfp"
+  "bench_fig15_pipeline_zfp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_pipeline_zfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab01_step_sizes.dir/bench_tab01_step_sizes.cc.o"
+  "CMakeFiles/bench_tab01_step_sizes.dir/bench_tab01_step_sizes.cc.o.d"
+  "bench_tab01_step_sizes"
+  "bench_tab01_step_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab01_step_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

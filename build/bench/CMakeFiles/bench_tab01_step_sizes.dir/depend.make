@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab01_step_sizes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_bench_common.dir/common/bench_common.cc.o"
+  "CMakeFiles/ef_bench_common.dir/common/bench_common.cc.o.d"
+  "CMakeFiles/ef_bench_common.dir/common/figures.cc.o"
+  "CMakeFiles/ef_bench_common.dir/common/figures.cc.o.d"
+  "libef_bench_common.a"
+  "libef_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

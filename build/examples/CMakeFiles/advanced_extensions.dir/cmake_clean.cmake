@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advanced_extensions.dir/advanced_extensions.cpp.o"
+  "CMakeFiles/advanced_extensions.dir/advanced_extensions.cpp.o.d"
+  "advanced_extensions"
+  "advanced_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advanced_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combustion_insitu.dir/combustion_insitu.cpp.o"
+  "CMakeFiles/combustion_insitu.dir/combustion_insitu.cpp.o.d"
+  "combustion_insitu"
+  "combustion_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combustion_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

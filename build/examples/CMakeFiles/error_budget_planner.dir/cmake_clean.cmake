@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_budget_planner.dir/error_budget_planner.cpp.o"
+  "CMakeFiles/error_budget_planner.dir/error_budget_planner.cpp.o.d"
+  "error_budget_planner"
+  "error_budget_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_budget_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

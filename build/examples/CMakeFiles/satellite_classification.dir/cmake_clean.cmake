@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satellite_classification.dir/satellite_classification.cpp.o"
+  "CMakeFiles/satellite_classification.dir/satellite_classification.cpp.o.d"
+  "satellite_classification"
+  "satellite_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satellite_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/bound_util.cc" "src/compress/CMakeFiles/ef_compress.dir/bound_util.cc.o" "gcc" "src/compress/CMakeFiles/ef_compress.dir/bound_util.cc.o.d"
+  "/root/repo/src/compress/codec/huffman.cc" "src/compress/CMakeFiles/ef_compress.dir/codec/huffman.cc.o" "gcc" "src/compress/CMakeFiles/ef_compress.dir/codec/huffman.cc.o.d"
+  "/root/repo/src/compress/compressor.cc" "src/compress/CMakeFiles/ef_compress.dir/compressor.cc.o" "gcc" "src/compress/CMakeFiles/ef_compress.dir/compressor.cc.o.d"
+  "/root/repo/src/compress/mgard.cc" "src/compress/CMakeFiles/ef_compress.dir/mgard.cc.o" "gcc" "src/compress/CMakeFiles/ef_compress.dir/mgard.cc.o.d"
+  "/root/repo/src/compress/parallel.cc" "src/compress/CMakeFiles/ef_compress.dir/parallel.cc.o" "gcc" "src/compress/CMakeFiles/ef_compress.dir/parallel.cc.o.d"
+  "/root/repo/src/compress/ratio_model.cc" "src/compress/CMakeFiles/ef_compress.dir/ratio_model.cc.o" "gcc" "src/compress/CMakeFiles/ef_compress.dir/ratio_model.cc.o.d"
+  "/root/repo/src/compress/sz.cc" "src/compress/CMakeFiles/ef_compress.dir/sz.cc.o" "gcc" "src/compress/CMakeFiles/ef_compress.dir/sz.cc.o.d"
+  "/root/repo/src/compress/zfp.cc" "src/compress/CMakeFiles/ef_compress.dir/zfp.cc.o" "gcc" "src/compress/CMakeFiles/ef_compress.dir/zfp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/ef_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ef_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_compress.dir/bound_util.cc.o"
+  "CMakeFiles/ef_compress.dir/bound_util.cc.o.d"
+  "CMakeFiles/ef_compress.dir/codec/huffman.cc.o"
+  "CMakeFiles/ef_compress.dir/codec/huffman.cc.o.d"
+  "CMakeFiles/ef_compress.dir/compressor.cc.o"
+  "CMakeFiles/ef_compress.dir/compressor.cc.o.d"
+  "CMakeFiles/ef_compress.dir/mgard.cc.o"
+  "CMakeFiles/ef_compress.dir/mgard.cc.o.d"
+  "CMakeFiles/ef_compress.dir/parallel.cc.o"
+  "CMakeFiles/ef_compress.dir/parallel.cc.o.d"
+  "CMakeFiles/ef_compress.dir/ratio_model.cc.o"
+  "CMakeFiles/ef_compress.dir/ratio_model.cc.o.d"
+  "CMakeFiles/ef_compress.dir/sz.cc.o"
+  "CMakeFiles/ef_compress.dir/sz.cc.o.d"
+  "CMakeFiles/ef_compress.dir/zfp.cc.o"
+  "CMakeFiles/ef_compress.dir/zfp.cc.o.d"
+  "libef_compress.a"
+  "libef_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocator.cc" "src/core/CMakeFiles/ef_core.dir/allocator.cc.o" "gcc" "src/core/CMakeFiles/ef_core.dir/allocator.cc.o.d"
+  "/root/repo/src/core/auto_tuner.cc" "src/core/CMakeFiles/ef_core.dir/auto_tuner.cc.o" "gcc" "src/core/CMakeFiles/ef_core.dir/auto_tuner.cc.o.d"
+  "/root/repo/src/core/error_bound.cc" "src/core/CMakeFiles/ef_core.dir/error_bound.cc.o" "gcc" "src/core/CMakeFiles/ef_core.dir/error_bound.cc.o.d"
+  "/root/repo/src/core/mixed_precision.cc" "src/core/CMakeFiles/ef_core.dir/mixed_precision.cc.o" "gcc" "src/core/CMakeFiles/ef_core.dir/mixed_precision.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/ef_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/ef_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/ef_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/ef_core.dir/report.cc.o.d"
+  "/root/repo/src/core/spectral_profile.cc" "src/core/CMakeFiles/ef_core.dir/spectral_profile.cc.o" "gcc" "src/core/CMakeFiles/ef_core.dir/spectral_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/ef_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/ef_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/ef_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/ef_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ef_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ef_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

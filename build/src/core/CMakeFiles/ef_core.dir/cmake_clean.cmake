@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_core.dir/allocator.cc.o"
+  "CMakeFiles/ef_core.dir/allocator.cc.o.d"
+  "CMakeFiles/ef_core.dir/auto_tuner.cc.o"
+  "CMakeFiles/ef_core.dir/auto_tuner.cc.o.d"
+  "CMakeFiles/ef_core.dir/error_bound.cc.o"
+  "CMakeFiles/ef_core.dir/error_bound.cc.o.d"
+  "CMakeFiles/ef_core.dir/mixed_precision.cc.o"
+  "CMakeFiles/ef_core.dir/mixed_precision.cc.o.d"
+  "CMakeFiles/ef_core.dir/pipeline.cc.o"
+  "CMakeFiles/ef_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/ef_core.dir/report.cc.o"
+  "CMakeFiles/ef_core.dir/report.cc.o.d"
+  "CMakeFiles/ef_core.dir/spectral_profile.cc.o"
+  "CMakeFiles/ef_core.dir/spectral_profile.cc.o.d"
+  "libef_core.a"
+  "libef_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libef_core.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_data.dir/borghesi.cc.o"
+  "CMakeFiles/ef_data.dir/borghesi.cc.o.d"
+  "CMakeFiles/ef_data.dir/combustion.cc.o"
+  "CMakeFiles/ef_data.dir/combustion.cc.o.d"
+  "CMakeFiles/ef_data.dir/dataset.cc.o"
+  "CMakeFiles/ef_data.dir/dataset.cc.o.d"
+  "CMakeFiles/ef_data.dir/eurosat.cc.o"
+  "CMakeFiles/ef_data.dir/eurosat.cc.o.d"
+  "libef_data.a"
+  "libef_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_io.dir/field_store.cc.o"
+  "CMakeFiles/ef_io.dir/field_store.cc.o.d"
+  "CMakeFiles/ef_io.dir/sim_storage.cc.o"
+  "CMakeFiles/ef_io.dir/sim_storage.cc.o.d"
+  "libef_io.a"
+  "libef_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cc" "src/nn/CMakeFiles/ef_nn.dir/activation.cc.o" "gcc" "src/nn/CMakeFiles/ef_nn.dir/activation.cc.o.d"
+  "/root/repo/src/nn/builders.cc" "src/nn/CMakeFiles/ef_nn.dir/builders.cc.o" "gcc" "src/nn/CMakeFiles/ef_nn.dir/builders.cc.o.d"
+  "/root/repo/src/nn/conv2d.cc" "src/nn/CMakeFiles/ef_nn.dir/conv2d.cc.o" "gcc" "src/nn/CMakeFiles/ef_nn.dir/conv2d.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "src/nn/CMakeFiles/ef_nn.dir/dense.cc.o" "gcc" "src/nn/CMakeFiles/ef_nn.dir/dense.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/ef_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/ef_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/model.cc" "src/nn/CMakeFiles/ef_nn.dir/model.cc.o" "gcc" "src/nn/CMakeFiles/ef_nn.dir/model.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/ef_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/ef_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/pool.cc" "src/nn/CMakeFiles/ef_nn.dir/pool.cc.o" "gcc" "src/nn/CMakeFiles/ef_nn.dir/pool.cc.o.d"
+  "/root/repo/src/nn/residual.cc" "src/nn/CMakeFiles/ef_nn.dir/residual.cc.o" "gcc" "src/nn/CMakeFiles/ef_nn.dir/residual.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/ef_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/ef_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/spectral.cc" "src/nn/CMakeFiles/ef_nn.dir/spectral.cc.o" "gcc" "src/nn/CMakeFiles/ef_nn.dir/spectral.cc.o.d"
+  "/root/repo/src/nn/trainer.cc" "src/nn/CMakeFiles/ef_nn.dir/trainer.cc.o" "gcc" "src/nn/CMakeFiles/ef_nn.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/ef_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ef_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

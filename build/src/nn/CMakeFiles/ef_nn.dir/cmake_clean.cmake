@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_nn.dir/activation.cc.o"
+  "CMakeFiles/ef_nn.dir/activation.cc.o.d"
+  "CMakeFiles/ef_nn.dir/builders.cc.o"
+  "CMakeFiles/ef_nn.dir/builders.cc.o.d"
+  "CMakeFiles/ef_nn.dir/conv2d.cc.o"
+  "CMakeFiles/ef_nn.dir/conv2d.cc.o.d"
+  "CMakeFiles/ef_nn.dir/dense.cc.o"
+  "CMakeFiles/ef_nn.dir/dense.cc.o.d"
+  "CMakeFiles/ef_nn.dir/loss.cc.o"
+  "CMakeFiles/ef_nn.dir/loss.cc.o.d"
+  "CMakeFiles/ef_nn.dir/model.cc.o"
+  "CMakeFiles/ef_nn.dir/model.cc.o.d"
+  "CMakeFiles/ef_nn.dir/optimizer.cc.o"
+  "CMakeFiles/ef_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/ef_nn.dir/pool.cc.o"
+  "CMakeFiles/ef_nn.dir/pool.cc.o.d"
+  "CMakeFiles/ef_nn.dir/residual.cc.o"
+  "CMakeFiles/ef_nn.dir/residual.cc.o.d"
+  "CMakeFiles/ef_nn.dir/serialize.cc.o"
+  "CMakeFiles/ef_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/ef_nn.dir/spectral.cc.o"
+  "CMakeFiles/ef_nn.dir/spectral.cc.o.d"
+  "CMakeFiles/ef_nn.dir/trainer.cc.o"
+  "CMakeFiles/ef_nn.dir/trainer.cc.o.d"
+  "libef_nn.a"
+  "libef_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/activation_quant.cc" "src/quant/CMakeFiles/ef_quant.dir/activation_quant.cc.o" "gcc" "src/quant/CMakeFiles/ef_quant.dir/activation_quant.cc.o.d"
+  "/root/repo/src/quant/affine.cc" "src/quant/CMakeFiles/ef_quant.dir/affine.cc.o" "gcc" "src/quant/CMakeFiles/ef_quant.dir/affine.cc.o.d"
+  "/root/repo/src/quant/format.cc" "src/quant/CMakeFiles/ef_quant.dir/format.cc.o" "gcc" "src/quant/CMakeFiles/ef_quant.dir/format.cc.o.d"
+  "/root/repo/src/quant/grouped.cc" "src/quant/CMakeFiles/ef_quant.dir/grouped.cc.o" "gcc" "src/quant/CMakeFiles/ef_quant.dir/grouped.cc.o.d"
+  "/root/repo/src/quant/hardware_model.cc" "src/quant/CMakeFiles/ef_quant.dir/hardware_model.cc.o" "gcc" "src/quant/CMakeFiles/ef_quant.dir/hardware_model.cc.o.d"
+  "/root/repo/src/quant/quantize_model.cc" "src/quant/CMakeFiles/ef_quant.dir/quantize_model.cc.o" "gcc" "src/quant/CMakeFiles/ef_quant.dir/quantize_model.cc.o.d"
+  "/root/repo/src/quant/step_size.cc" "src/quant/CMakeFiles/ef_quant.dir/step_size.cc.o" "gcc" "src/quant/CMakeFiles/ef_quant.dir/step_size.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/ef_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ef_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ef_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

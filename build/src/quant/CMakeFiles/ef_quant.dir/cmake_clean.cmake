@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_quant.dir/activation_quant.cc.o"
+  "CMakeFiles/ef_quant.dir/activation_quant.cc.o.d"
+  "CMakeFiles/ef_quant.dir/affine.cc.o"
+  "CMakeFiles/ef_quant.dir/affine.cc.o.d"
+  "CMakeFiles/ef_quant.dir/format.cc.o"
+  "CMakeFiles/ef_quant.dir/format.cc.o.d"
+  "CMakeFiles/ef_quant.dir/grouped.cc.o"
+  "CMakeFiles/ef_quant.dir/grouped.cc.o.d"
+  "CMakeFiles/ef_quant.dir/hardware_model.cc.o"
+  "CMakeFiles/ef_quant.dir/hardware_model.cc.o.d"
+  "CMakeFiles/ef_quant.dir/quantize_model.cc.o"
+  "CMakeFiles/ef_quant.dir/quantize_model.cc.o.d"
+  "CMakeFiles/ef_quant.dir/step_size.cc.o"
+  "CMakeFiles/ef_quant.dir/step_size.cc.o.d"
+  "libef_quant.a"
+  "libef_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

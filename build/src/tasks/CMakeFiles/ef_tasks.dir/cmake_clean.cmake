@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_tasks.dir/tasks.cc.o"
+  "CMakeFiles/ef_tasks.dir/tasks.cc.o.d"
+  "libef_tasks.a"
+  "libef_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

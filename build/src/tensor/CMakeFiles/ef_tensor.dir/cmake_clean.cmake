@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_tensor.dir/norms.cc.o"
+  "CMakeFiles/ef_tensor.dir/norms.cc.o.d"
+  "CMakeFiles/ef_tensor.dir/ops.cc.o"
+  "CMakeFiles/ef_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/ef_tensor.dir/stats.cc.o"
+  "CMakeFiles/ef_tensor.dir/stats.cc.o.d"
+  "CMakeFiles/ef_tensor.dir/tensor.cc.o"
+  "CMakeFiles/ef_tensor.dir/tensor.cc.o.d"
+  "libef_tensor.a"
+  "libef_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_util.dir/bitstream.cc.o"
+  "CMakeFiles/ef_util.dir/bitstream.cc.o.d"
+  "CMakeFiles/ef_util.dir/random.cc.o"
+  "CMakeFiles/ef_util.dir/random.cc.o.d"
+  "CMakeFiles/ef_util.dir/status.cc.o"
+  "CMakeFiles/ef_util.dir/status.cc.o.d"
+  "CMakeFiles/ef_util.dir/string_util.cc.o"
+  "CMakeFiles/ef_util.dir/string_util.cc.o.d"
+  "CMakeFiles/ef_util.dir/thread_pool.cc.o"
+  "CMakeFiles/ef_util.dir/thread_pool.cc.o.d"
+  "libef_util.a"
+  "libef_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

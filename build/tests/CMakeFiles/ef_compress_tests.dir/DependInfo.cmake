@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/compress/compressor_test.cc" "tests/CMakeFiles/ef_compress_tests.dir/compress/compressor_test.cc.o" "gcc" "tests/CMakeFiles/ef_compress_tests.dir/compress/compressor_test.cc.o.d"
+  "/root/repo/tests/compress/fuzz_test.cc" "tests/CMakeFiles/ef_compress_tests.dir/compress/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/ef_compress_tests.dir/compress/fuzz_test.cc.o.d"
+  "/root/repo/tests/compress/huffman_long_codes_test.cc" "tests/CMakeFiles/ef_compress_tests.dir/compress/huffman_long_codes_test.cc.o" "gcc" "tests/CMakeFiles/ef_compress_tests.dir/compress/huffman_long_codes_test.cc.o.d"
+  "/root/repo/tests/compress/huffman_test.cc" "tests/CMakeFiles/ef_compress_tests.dir/compress/huffman_test.cc.o" "gcc" "tests/CMakeFiles/ef_compress_tests.dir/compress/huffman_test.cc.o.d"
+  "/root/repo/tests/compress/mgard_test.cc" "tests/CMakeFiles/ef_compress_tests.dir/compress/mgard_test.cc.o" "gcc" "tests/CMakeFiles/ef_compress_tests.dir/compress/mgard_test.cc.o.d"
+  "/root/repo/tests/compress/parallel_test.cc" "tests/CMakeFiles/ef_compress_tests.dir/compress/parallel_test.cc.o" "gcc" "tests/CMakeFiles/ef_compress_tests.dir/compress/parallel_test.cc.o.d"
+  "/root/repo/tests/compress/ratio_model_test.cc" "tests/CMakeFiles/ef_compress_tests.dir/compress/ratio_model_test.cc.o" "gcc" "tests/CMakeFiles/ef_compress_tests.dir/compress/ratio_model_test.cc.o.d"
+  "/root/repo/tests/compress/sz_test.cc" "tests/CMakeFiles/ef_compress_tests.dir/compress/sz_test.cc.o" "gcc" "tests/CMakeFiles/ef_compress_tests.dir/compress/sz_test.cc.o.d"
+  "/root/repo/tests/compress/zfp_test.cc" "tests/CMakeFiles/ef_compress_tests.dir/compress/zfp_test.cc.o" "gcc" "tests/CMakeFiles/ef_compress_tests.dir/compress/zfp_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compress/CMakeFiles/ef_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ef_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ef_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ef_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

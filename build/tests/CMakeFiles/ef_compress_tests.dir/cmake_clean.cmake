@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_compress_tests.dir/compress/compressor_test.cc.o"
+  "CMakeFiles/ef_compress_tests.dir/compress/compressor_test.cc.o.d"
+  "CMakeFiles/ef_compress_tests.dir/compress/fuzz_test.cc.o"
+  "CMakeFiles/ef_compress_tests.dir/compress/fuzz_test.cc.o.d"
+  "CMakeFiles/ef_compress_tests.dir/compress/huffman_long_codes_test.cc.o"
+  "CMakeFiles/ef_compress_tests.dir/compress/huffman_long_codes_test.cc.o.d"
+  "CMakeFiles/ef_compress_tests.dir/compress/huffman_test.cc.o"
+  "CMakeFiles/ef_compress_tests.dir/compress/huffman_test.cc.o.d"
+  "CMakeFiles/ef_compress_tests.dir/compress/mgard_test.cc.o"
+  "CMakeFiles/ef_compress_tests.dir/compress/mgard_test.cc.o.d"
+  "CMakeFiles/ef_compress_tests.dir/compress/parallel_test.cc.o"
+  "CMakeFiles/ef_compress_tests.dir/compress/parallel_test.cc.o.d"
+  "CMakeFiles/ef_compress_tests.dir/compress/ratio_model_test.cc.o"
+  "CMakeFiles/ef_compress_tests.dir/compress/ratio_model_test.cc.o.d"
+  "CMakeFiles/ef_compress_tests.dir/compress/sz_test.cc.o"
+  "CMakeFiles/ef_compress_tests.dir/compress/sz_test.cc.o.d"
+  "CMakeFiles/ef_compress_tests.dir/compress/zfp_test.cc.o"
+  "CMakeFiles/ef_compress_tests.dir/compress/zfp_test.cc.o.d"
+  "ef_compress_tests"
+  "ef_compress_tests.pdb"
+  "ef_compress_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_compress_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

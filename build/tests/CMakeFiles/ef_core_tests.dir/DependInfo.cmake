@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/allocator_test.cc" "tests/CMakeFiles/ef_core_tests.dir/core/allocator_test.cc.o" "gcc" "tests/CMakeFiles/ef_core_tests.dir/core/allocator_test.cc.o.d"
+  "/root/repo/tests/core/auto_tuner_test.cc" "tests/CMakeFiles/ef_core_tests.dir/core/auto_tuner_test.cc.o" "gcc" "tests/CMakeFiles/ef_core_tests.dir/core/auto_tuner_test.cc.o.d"
+  "/root/repo/tests/core/error_bound_test.cc" "tests/CMakeFiles/ef_core_tests.dir/core/error_bound_test.cc.o" "gcc" "tests/CMakeFiles/ef_core_tests.dir/core/error_bound_test.cc.o.d"
+  "/root/repo/tests/core/mixed_precision_test.cc" "tests/CMakeFiles/ef_core_tests.dir/core/mixed_precision_test.cc.o" "gcc" "tests/CMakeFiles/ef_core_tests.dir/core/mixed_precision_test.cc.o.d"
+  "/root/repo/tests/core/pipeline_edge_test.cc" "tests/CMakeFiles/ef_core_tests.dir/core/pipeline_edge_test.cc.o" "gcc" "tests/CMakeFiles/ef_core_tests.dir/core/pipeline_edge_test.cc.o.d"
+  "/root/repo/tests/core/pipeline_test.cc" "tests/CMakeFiles/ef_core_tests.dir/core/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/ef_core_tests.dir/core/pipeline_test.cc.o.d"
+  "/root/repo/tests/core/report_test.cc" "tests/CMakeFiles/ef_core_tests.dir/core/report_test.cc.o" "gcc" "tests/CMakeFiles/ef_core_tests.dir/core/report_test.cc.o.d"
+  "/root/repo/tests/core/spectral_profile_test.cc" "tests/CMakeFiles/ef_core_tests.dir/core/spectral_profile_test.cc.o" "gcc" "tests/CMakeFiles/ef_core_tests.dir/core/spectral_profile_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ef_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/ef_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ef_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/ef_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/ef_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ef_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ef_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_core_tests.dir/core/allocator_test.cc.o"
+  "CMakeFiles/ef_core_tests.dir/core/allocator_test.cc.o.d"
+  "CMakeFiles/ef_core_tests.dir/core/auto_tuner_test.cc.o"
+  "CMakeFiles/ef_core_tests.dir/core/auto_tuner_test.cc.o.d"
+  "CMakeFiles/ef_core_tests.dir/core/error_bound_test.cc.o"
+  "CMakeFiles/ef_core_tests.dir/core/error_bound_test.cc.o.d"
+  "CMakeFiles/ef_core_tests.dir/core/mixed_precision_test.cc.o"
+  "CMakeFiles/ef_core_tests.dir/core/mixed_precision_test.cc.o.d"
+  "CMakeFiles/ef_core_tests.dir/core/pipeline_edge_test.cc.o"
+  "CMakeFiles/ef_core_tests.dir/core/pipeline_edge_test.cc.o.d"
+  "CMakeFiles/ef_core_tests.dir/core/pipeline_test.cc.o"
+  "CMakeFiles/ef_core_tests.dir/core/pipeline_test.cc.o.d"
+  "CMakeFiles/ef_core_tests.dir/core/report_test.cc.o"
+  "CMakeFiles/ef_core_tests.dir/core/report_test.cc.o.d"
+  "CMakeFiles/ef_core_tests.dir/core/spectral_profile_test.cc.o"
+  "CMakeFiles/ef_core_tests.dir/core/spectral_profile_test.cc.o.d"
+  "ef_core_tests"
+  "ef_core_tests.pdb"
+  "ef_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_integration_tests.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/ef_integration_tests.dir/integration/end_to_end_test.cc.o.d"
+  "CMakeFiles/ef_integration_tests.dir/integration/extensions_test.cc.o"
+  "CMakeFiles/ef_integration_tests.dir/integration/extensions_test.cc.o.d"
+  "ef_integration_tests"
+  "ef_integration_tests.pdb"
+  "ef_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data/borghesi_test.cc" "tests/CMakeFiles/ef_io_data_tests.dir/data/borghesi_test.cc.o" "gcc" "tests/CMakeFiles/ef_io_data_tests.dir/data/borghesi_test.cc.o.d"
+  "/root/repo/tests/data/combustion_test.cc" "tests/CMakeFiles/ef_io_data_tests.dir/data/combustion_test.cc.o" "gcc" "tests/CMakeFiles/ef_io_data_tests.dir/data/combustion_test.cc.o.d"
+  "/root/repo/tests/data/compressibility_test.cc" "tests/CMakeFiles/ef_io_data_tests.dir/data/compressibility_test.cc.o" "gcc" "tests/CMakeFiles/ef_io_data_tests.dir/data/compressibility_test.cc.o.d"
+  "/root/repo/tests/data/dataset_test.cc" "tests/CMakeFiles/ef_io_data_tests.dir/data/dataset_test.cc.o" "gcc" "tests/CMakeFiles/ef_io_data_tests.dir/data/dataset_test.cc.o.d"
+  "/root/repo/tests/data/eurosat_test.cc" "tests/CMakeFiles/ef_io_data_tests.dir/data/eurosat_test.cc.o" "gcc" "tests/CMakeFiles/ef_io_data_tests.dir/data/eurosat_test.cc.o.d"
+  "/root/repo/tests/io/field_store_test.cc" "tests/CMakeFiles/ef_io_data_tests.dir/io/field_store_test.cc.o" "gcc" "tests/CMakeFiles/ef_io_data_tests.dir/io/field_store_test.cc.o.d"
+  "/root/repo/tests/io/sim_storage_test.cc" "tests/CMakeFiles/ef_io_data_tests.dir/io/sim_storage_test.cc.o" "gcc" "tests/CMakeFiles/ef_io_data_tests.dir/io/sim_storage_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/ef_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ef_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/ef_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ef_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ef_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_io_data_tests.dir/data/borghesi_test.cc.o"
+  "CMakeFiles/ef_io_data_tests.dir/data/borghesi_test.cc.o.d"
+  "CMakeFiles/ef_io_data_tests.dir/data/combustion_test.cc.o"
+  "CMakeFiles/ef_io_data_tests.dir/data/combustion_test.cc.o.d"
+  "CMakeFiles/ef_io_data_tests.dir/data/compressibility_test.cc.o"
+  "CMakeFiles/ef_io_data_tests.dir/data/compressibility_test.cc.o.d"
+  "CMakeFiles/ef_io_data_tests.dir/data/dataset_test.cc.o"
+  "CMakeFiles/ef_io_data_tests.dir/data/dataset_test.cc.o.d"
+  "CMakeFiles/ef_io_data_tests.dir/data/eurosat_test.cc.o"
+  "CMakeFiles/ef_io_data_tests.dir/data/eurosat_test.cc.o.d"
+  "CMakeFiles/ef_io_data_tests.dir/io/field_store_test.cc.o"
+  "CMakeFiles/ef_io_data_tests.dir/io/field_store_test.cc.o.d"
+  "CMakeFiles/ef_io_data_tests.dir/io/sim_storage_test.cc.o"
+  "CMakeFiles/ef_io_data_tests.dir/io/sim_storage_test.cc.o.d"
+  "ef_io_data_tests"
+  "ef_io_data_tests.pdb"
+  "ef_io_data_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_io_data_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

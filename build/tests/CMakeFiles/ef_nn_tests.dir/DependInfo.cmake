@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/activation_test.cc" "tests/CMakeFiles/ef_nn_tests.dir/nn/activation_test.cc.o" "gcc" "tests/CMakeFiles/ef_nn_tests.dir/nn/activation_test.cc.o.d"
+  "/root/repo/tests/nn/builders_test.cc" "tests/CMakeFiles/ef_nn_tests.dir/nn/builders_test.cc.o" "gcc" "tests/CMakeFiles/ef_nn_tests.dir/nn/builders_test.cc.o.d"
+  "/root/repo/tests/nn/conv2d_test.cc" "tests/CMakeFiles/ef_nn_tests.dir/nn/conv2d_test.cc.o" "gcc" "tests/CMakeFiles/ef_nn_tests.dir/nn/conv2d_test.cc.o.d"
+  "/root/repo/tests/nn/dense_test.cc" "tests/CMakeFiles/ef_nn_tests.dir/nn/dense_test.cc.o" "gcc" "tests/CMakeFiles/ef_nn_tests.dir/nn/dense_test.cc.o.d"
+  "/root/repo/tests/nn/loss_test.cc" "tests/CMakeFiles/ef_nn_tests.dir/nn/loss_test.cc.o" "gcc" "tests/CMakeFiles/ef_nn_tests.dir/nn/loss_test.cc.o.d"
+  "/root/repo/tests/nn/model_test.cc" "tests/CMakeFiles/ef_nn_tests.dir/nn/model_test.cc.o" "gcc" "tests/CMakeFiles/ef_nn_tests.dir/nn/model_test.cc.o.d"
+  "/root/repo/tests/nn/optimizer_test.cc" "tests/CMakeFiles/ef_nn_tests.dir/nn/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/ef_nn_tests.dir/nn/optimizer_test.cc.o.d"
+  "/root/repo/tests/nn/pool_test.cc" "tests/CMakeFiles/ef_nn_tests.dir/nn/pool_test.cc.o" "gcc" "tests/CMakeFiles/ef_nn_tests.dir/nn/pool_test.cc.o.d"
+  "/root/repo/tests/nn/residual_test.cc" "tests/CMakeFiles/ef_nn_tests.dir/nn/residual_test.cc.o" "gcc" "tests/CMakeFiles/ef_nn_tests.dir/nn/residual_test.cc.o.d"
+  "/root/repo/tests/nn/serialize_test.cc" "tests/CMakeFiles/ef_nn_tests.dir/nn/serialize_test.cc.o" "gcc" "tests/CMakeFiles/ef_nn_tests.dir/nn/serialize_test.cc.o.d"
+  "/root/repo/tests/nn/spectral_test.cc" "tests/CMakeFiles/ef_nn_tests.dir/nn/spectral_test.cc.o" "gcc" "tests/CMakeFiles/ef_nn_tests.dir/nn/spectral_test.cc.o.d"
+  "/root/repo/tests/nn/trainer_test.cc" "tests/CMakeFiles/ef_nn_tests.dir/nn/trainer_test.cc.o" "gcc" "tests/CMakeFiles/ef_nn_tests.dir/nn/trainer_test.cc.o.d"
+  "/root/repo/tests/nn/training_sweep_test.cc" "tests/CMakeFiles/ef_nn_tests.dir/nn/training_sweep_test.cc.o" "gcc" "tests/CMakeFiles/ef_nn_tests.dir/nn/training_sweep_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/ef_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ef_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ef_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_nn_tests.dir/nn/activation_test.cc.o"
+  "CMakeFiles/ef_nn_tests.dir/nn/activation_test.cc.o.d"
+  "CMakeFiles/ef_nn_tests.dir/nn/builders_test.cc.o"
+  "CMakeFiles/ef_nn_tests.dir/nn/builders_test.cc.o.d"
+  "CMakeFiles/ef_nn_tests.dir/nn/conv2d_test.cc.o"
+  "CMakeFiles/ef_nn_tests.dir/nn/conv2d_test.cc.o.d"
+  "CMakeFiles/ef_nn_tests.dir/nn/dense_test.cc.o"
+  "CMakeFiles/ef_nn_tests.dir/nn/dense_test.cc.o.d"
+  "CMakeFiles/ef_nn_tests.dir/nn/loss_test.cc.o"
+  "CMakeFiles/ef_nn_tests.dir/nn/loss_test.cc.o.d"
+  "CMakeFiles/ef_nn_tests.dir/nn/model_test.cc.o"
+  "CMakeFiles/ef_nn_tests.dir/nn/model_test.cc.o.d"
+  "CMakeFiles/ef_nn_tests.dir/nn/optimizer_test.cc.o"
+  "CMakeFiles/ef_nn_tests.dir/nn/optimizer_test.cc.o.d"
+  "CMakeFiles/ef_nn_tests.dir/nn/pool_test.cc.o"
+  "CMakeFiles/ef_nn_tests.dir/nn/pool_test.cc.o.d"
+  "CMakeFiles/ef_nn_tests.dir/nn/residual_test.cc.o"
+  "CMakeFiles/ef_nn_tests.dir/nn/residual_test.cc.o.d"
+  "CMakeFiles/ef_nn_tests.dir/nn/serialize_test.cc.o"
+  "CMakeFiles/ef_nn_tests.dir/nn/serialize_test.cc.o.d"
+  "CMakeFiles/ef_nn_tests.dir/nn/spectral_test.cc.o"
+  "CMakeFiles/ef_nn_tests.dir/nn/spectral_test.cc.o.d"
+  "CMakeFiles/ef_nn_tests.dir/nn/trainer_test.cc.o"
+  "CMakeFiles/ef_nn_tests.dir/nn/trainer_test.cc.o.d"
+  "CMakeFiles/ef_nn_tests.dir/nn/training_sweep_test.cc.o"
+  "CMakeFiles/ef_nn_tests.dir/nn/training_sweep_test.cc.o.d"
+  "ef_nn_tests"
+  "ef_nn_tests.pdb"
+  "ef_nn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_nn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

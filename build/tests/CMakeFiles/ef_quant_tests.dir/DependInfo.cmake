@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/quant/activation_quant_test.cc" "tests/CMakeFiles/ef_quant_tests.dir/quant/activation_quant_test.cc.o" "gcc" "tests/CMakeFiles/ef_quant_tests.dir/quant/activation_quant_test.cc.o.d"
+  "/root/repo/tests/quant/affine_test.cc" "tests/CMakeFiles/ef_quant_tests.dir/quant/affine_test.cc.o" "gcc" "tests/CMakeFiles/ef_quant_tests.dir/quant/affine_test.cc.o.d"
+  "/root/repo/tests/quant/format_test.cc" "tests/CMakeFiles/ef_quant_tests.dir/quant/format_test.cc.o" "gcc" "tests/CMakeFiles/ef_quant_tests.dir/quant/format_test.cc.o.d"
+  "/root/repo/tests/quant/grouped_test.cc" "tests/CMakeFiles/ef_quant_tests.dir/quant/grouped_test.cc.o" "gcc" "tests/CMakeFiles/ef_quant_tests.dir/quant/grouped_test.cc.o.d"
+  "/root/repo/tests/quant/hardware_model_test.cc" "tests/CMakeFiles/ef_quant_tests.dir/quant/hardware_model_test.cc.o" "gcc" "tests/CMakeFiles/ef_quant_tests.dir/quant/hardware_model_test.cc.o.d"
+  "/root/repo/tests/quant/native_half_test.cc" "tests/CMakeFiles/ef_quant_tests.dir/quant/native_half_test.cc.o" "gcc" "tests/CMakeFiles/ef_quant_tests.dir/quant/native_half_test.cc.o.d"
+  "/root/repo/tests/quant/quantize_model_test.cc" "tests/CMakeFiles/ef_quant_tests.dir/quant/quantize_model_test.cc.o" "gcc" "tests/CMakeFiles/ef_quant_tests.dir/quant/quantize_model_test.cc.o.d"
+  "/root/repo/tests/quant/step_size_test.cc" "tests/CMakeFiles/ef_quant_tests.dir/quant/step_size_test.cc.o" "gcc" "tests/CMakeFiles/ef_quant_tests.dir/quant/step_size_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quant/CMakeFiles/ef_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ef_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ef_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ef_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

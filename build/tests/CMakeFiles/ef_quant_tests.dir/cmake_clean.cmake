@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_quant_tests.dir/quant/activation_quant_test.cc.o"
+  "CMakeFiles/ef_quant_tests.dir/quant/activation_quant_test.cc.o.d"
+  "CMakeFiles/ef_quant_tests.dir/quant/affine_test.cc.o"
+  "CMakeFiles/ef_quant_tests.dir/quant/affine_test.cc.o.d"
+  "CMakeFiles/ef_quant_tests.dir/quant/format_test.cc.o"
+  "CMakeFiles/ef_quant_tests.dir/quant/format_test.cc.o.d"
+  "CMakeFiles/ef_quant_tests.dir/quant/grouped_test.cc.o"
+  "CMakeFiles/ef_quant_tests.dir/quant/grouped_test.cc.o.d"
+  "CMakeFiles/ef_quant_tests.dir/quant/hardware_model_test.cc.o"
+  "CMakeFiles/ef_quant_tests.dir/quant/hardware_model_test.cc.o.d"
+  "CMakeFiles/ef_quant_tests.dir/quant/native_half_test.cc.o"
+  "CMakeFiles/ef_quant_tests.dir/quant/native_half_test.cc.o.d"
+  "CMakeFiles/ef_quant_tests.dir/quant/quantize_model_test.cc.o"
+  "CMakeFiles/ef_quant_tests.dir/quant/quantize_model_test.cc.o.d"
+  "CMakeFiles/ef_quant_tests.dir/quant/step_size_test.cc.o"
+  "CMakeFiles/ef_quant_tests.dir/quant/step_size_test.cc.o.d"
+  "ef_quant_tests"
+  "ef_quant_tests.pdb"
+  "ef_quant_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_quant_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_tasks_tests.dir/tasks/tasks_test.cc.o"
+  "CMakeFiles/ef_tasks_tests.dir/tasks/tasks_test.cc.o.d"
+  "ef_tasks_tests"
+  "ef_tasks_tests.pdb"
+  "ef_tasks_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_tasks_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

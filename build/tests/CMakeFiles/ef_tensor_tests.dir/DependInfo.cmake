@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tensor/norms_test.cc" "tests/CMakeFiles/ef_tensor_tests.dir/tensor/norms_test.cc.o" "gcc" "tests/CMakeFiles/ef_tensor_tests.dir/tensor/norms_test.cc.o.d"
+  "/root/repo/tests/tensor/ops_test.cc" "tests/CMakeFiles/ef_tensor_tests.dir/tensor/ops_test.cc.o" "gcc" "tests/CMakeFiles/ef_tensor_tests.dir/tensor/ops_test.cc.o.d"
+  "/root/repo/tests/tensor/stats_test.cc" "tests/CMakeFiles/ef_tensor_tests.dir/tensor/stats_test.cc.o" "gcc" "tests/CMakeFiles/ef_tensor_tests.dir/tensor/stats_test.cc.o.d"
+  "/root/repo/tests/tensor/tensor_test.cc" "tests/CMakeFiles/ef_tensor_tests.dir/tensor/tensor_test.cc.o" "gcc" "tests/CMakeFiles/ef_tensor_tests.dir/tensor/tensor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/ef_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ef_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

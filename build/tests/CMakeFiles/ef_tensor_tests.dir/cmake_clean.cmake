@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_tensor_tests.dir/tensor/norms_test.cc.o"
+  "CMakeFiles/ef_tensor_tests.dir/tensor/norms_test.cc.o.d"
+  "CMakeFiles/ef_tensor_tests.dir/tensor/ops_test.cc.o"
+  "CMakeFiles/ef_tensor_tests.dir/tensor/ops_test.cc.o.d"
+  "CMakeFiles/ef_tensor_tests.dir/tensor/stats_test.cc.o"
+  "CMakeFiles/ef_tensor_tests.dir/tensor/stats_test.cc.o.d"
+  "CMakeFiles/ef_tensor_tests.dir/tensor/tensor_test.cc.o"
+  "CMakeFiles/ef_tensor_tests.dir/tensor/tensor_test.cc.o.d"
+  "ef_tensor_tests"
+  "ef_tensor_tests.pdb"
+  "ef_tensor_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_tensor_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

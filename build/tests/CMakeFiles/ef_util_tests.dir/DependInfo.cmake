@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/bitstream_peek_test.cc" "tests/CMakeFiles/ef_util_tests.dir/util/bitstream_peek_test.cc.o" "gcc" "tests/CMakeFiles/ef_util_tests.dir/util/bitstream_peek_test.cc.o.d"
+  "/root/repo/tests/util/bitstream_test.cc" "tests/CMakeFiles/ef_util_tests.dir/util/bitstream_test.cc.o" "gcc" "tests/CMakeFiles/ef_util_tests.dir/util/bitstream_test.cc.o.d"
+  "/root/repo/tests/util/bytes_test.cc" "tests/CMakeFiles/ef_util_tests.dir/util/bytes_test.cc.o" "gcc" "tests/CMakeFiles/ef_util_tests.dir/util/bytes_test.cc.o.d"
+  "/root/repo/tests/util/random_test.cc" "tests/CMakeFiles/ef_util_tests.dir/util/random_test.cc.o" "gcc" "tests/CMakeFiles/ef_util_tests.dir/util/random_test.cc.o.d"
+  "/root/repo/tests/util/result_test.cc" "tests/CMakeFiles/ef_util_tests.dir/util/result_test.cc.o" "gcc" "tests/CMakeFiles/ef_util_tests.dir/util/result_test.cc.o.d"
+  "/root/repo/tests/util/status_test.cc" "tests/CMakeFiles/ef_util_tests.dir/util/status_test.cc.o" "gcc" "tests/CMakeFiles/ef_util_tests.dir/util/status_test.cc.o.d"
+  "/root/repo/tests/util/string_util_test.cc" "tests/CMakeFiles/ef_util_tests.dir/util/string_util_test.cc.o" "gcc" "tests/CMakeFiles/ef_util_tests.dir/util/string_util_test.cc.o.d"
+  "/root/repo/tests/util/thread_pool_test.cc" "tests/CMakeFiles/ef_util_tests.dir/util/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/ef_util_tests.dir/util/thread_pool_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ef_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_util_tests.dir/util/bitstream_peek_test.cc.o"
+  "CMakeFiles/ef_util_tests.dir/util/bitstream_peek_test.cc.o.d"
+  "CMakeFiles/ef_util_tests.dir/util/bitstream_test.cc.o"
+  "CMakeFiles/ef_util_tests.dir/util/bitstream_test.cc.o.d"
+  "CMakeFiles/ef_util_tests.dir/util/bytes_test.cc.o"
+  "CMakeFiles/ef_util_tests.dir/util/bytes_test.cc.o.d"
+  "CMakeFiles/ef_util_tests.dir/util/random_test.cc.o"
+  "CMakeFiles/ef_util_tests.dir/util/random_test.cc.o.d"
+  "CMakeFiles/ef_util_tests.dir/util/result_test.cc.o"
+  "CMakeFiles/ef_util_tests.dir/util/result_test.cc.o.d"
+  "CMakeFiles/ef_util_tests.dir/util/status_test.cc.o"
+  "CMakeFiles/ef_util_tests.dir/util/status_test.cc.o.d"
+  "CMakeFiles/ef_util_tests.dir/util/string_util_test.cc.o"
+  "CMakeFiles/ef_util_tests.dir/util/string_util_test.cc.o.d"
+  "CMakeFiles/ef_util_tests.dir/util/thread_pool_test.cc.o"
+  "CMakeFiles/ef_util_tests.dir/util/thread_pool_test.cc.o.d"
+  "ef_util_tests"
+  "ef_util_tests.pdb"
+  "ef_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

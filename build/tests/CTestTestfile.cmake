@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ef_util_tests[1]_include.cmake")
+include("/root/repo/build/tests/ef_tensor_tests[1]_include.cmake")
+include("/root/repo/build/tests/ef_nn_tests[1]_include.cmake")
+include("/root/repo/build/tests/ef_quant_tests[1]_include.cmake")
+include("/root/repo/build/tests/ef_compress_tests[1]_include.cmake")
+include("/root/repo/build/tests/ef_io_data_tests[1]_include.cmake")
+include("/root/repo/build/tests/ef_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/ef_integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/ef_tasks_tests[1]_include.cmake")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/errorflow_cli.cc" "tools/CMakeFiles/errorflow.dir/errorflow_cli.cc.o" "gcc" "tools/CMakeFiles/errorflow.dir/errorflow_cli.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ef_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ef_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/ef_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/ef_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/ef_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/ef_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ef_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ef_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ef_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

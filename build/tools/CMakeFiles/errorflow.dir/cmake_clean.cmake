@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/errorflow.dir/errorflow_cli.cc.o"
+  "CMakeFiles/errorflow.dir/errorflow_cli.cc.o.d"
+  "errorflow"
+  "errorflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/errorflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
