@@ -4,6 +4,8 @@
 #include <cstdio>
 
 #include "nn/builders.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/norms.h"
 #include "tensor/stats.h"
 
@@ -146,6 +148,19 @@ std::vector<ZooEntry> BuildModelZoo() {
   zoo.push_back(MakeMlpEntry("mlp_m", 256, {1400, 1400, 1400}));
   zoo.push_back(MakeMlpEntry("mlp_l", 512, {4000, 4000, 4000}));
   return zoo;
+}
+
+void PrintObservabilitySummary() {
+  const core::PipelineReport total =
+      core::PipelineReport::AggregateFromRegistry();
+  const unsigned long long runs = static_cast<unsigned long long>(
+      obs::MetricsRegistry::Global().CounterValue(
+          "errorflow.pipeline.runs"));
+  if (runs == 0) return;
+  std::printf("\n--- observability: aggregate over %llu pipeline run(s) ---\n%s",
+              runs, total.Summary().c_str());
+  std::printf("--- trace span totals ---\n%s",
+              obs::TraceBuffer::Global().Summary().c_str());
 }
 
 }  // namespace bench

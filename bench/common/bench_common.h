@@ -52,6 +52,12 @@ struct ZooEntry {
 /// bottleneck) blocks at matched FLOPs — documented in DESIGN.md.
 std::vector<ZooEntry> BuildModelZoo();
 
+/// Prints the aggregate pipeline phase/throughput view rebuilt from the
+/// process-global metrics registry (PipelineReport::AggregateFromRegistry)
+/// plus the per-span trace summary. Pipeline bench binaries call this at
+/// the end instead of re-deriving timing arithmetic per run.
+void PrintObservabilitySummary();
+
 }  // namespace bench
 }  // namespace errorflow
 

@@ -323,6 +323,7 @@ void RunPipelineFigure(compress::Backend backend, Norm norm) {
       "\npaper shape check: throughput accelerates once FP16 becomes\n"
       "admissible (the ~1e-3 knee); lower quantization fractions shift\n"
       "that knee to looser tolerances (Figs. 11-15).\n");
+  PrintObservabilitySummary();
 }
 
 }  // namespace bench

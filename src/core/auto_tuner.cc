@@ -1,6 +1,10 @@
 #include "core/auto_tuner.h"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace errorflow {
 namespace core {
@@ -28,7 +32,11 @@ Result<AutoTuneResult> AutoTune(const ErrorFlowAnalysis& analysis,
   std::vector<NumericFormat> formats = {NumericFormat::kFP32};
   for (NumericFormat f : quant::ReducedFormats()) formats.push_back(f);
 
+  obs::Counter* evaluations = obs::MetricsRegistry::Global().GetCounter(
+      "errorflow.autotune.evaluations");
   for (NumericFormat format : formats) {
+    obs::TraceSpan span(std::string("autotune.candidate.") +
+                        quant::FormatToString(format));
     AutoTuneCandidate cand;
     cand.format = format;
     const double quant = analysis.QuantTerm(format);
@@ -36,6 +44,7 @@ Result<AutoTuneResult> AutoTune(const ErrorFlowAnalysis& analysis,
       result.candidates.push_back(cand);  // Infeasible.
       continue;
     }
+    evaluations->Increment();
     cand.feasible = true;
     cand.input_tolerance =
         analysis.MaxInputError(qoi_tolerance, config.norm, format);

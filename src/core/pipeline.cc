@@ -2,13 +2,28 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
 #include "tensor/norms.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace errorflow {
 namespace core {
 
 namespace {
+
+// Metric names; conventions in docs/OBSERVABILITY.md.
+constexpr char kRuns[] = "errorflow.pipeline.runs";
+constexpr char kBytesIn[] = "errorflow.pipeline.bytes_in";
+constexpr char kBytesOut[] = "errorflow.pipeline.bytes_out";
+constexpr char kFormatGauge[] = "errorflow.pipeline.format";
+constexpr char kInputToleranceGauge[] = "errorflow.pipeline.input_tolerance";
+constexpr char kQuantBoundGauge[] = "errorflow.pipeline.quant_bound";
+constexpr char kCompressHist[] = "errorflow.pipeline.compress_seconds";
+constexpr char kWriteHist[] = "errorflow.pipeline.write_seconds";
+constexpr char kReadHist[] = "errorflow.pipeline.read_seconds";
+constexpr char kDecompressHist[] = "errorflow.pipeline.decompress_seconds";
+constexpr char kExecHist[] = "errorflow.pipeline.exec_seconds";
 
 // Max per-sample error over a batch, in the given norm. Rank-2 tensors
 // treat rows as samples; rank-4 treat the leading dim as samples.
@@ -102,6 +117,8 @@ Result<PipelineReport> InferencePipeline::Run(const Tensor& input_batch,
   if (input_batch.ndim() < 2) {
     return Status::InvalidArgument("pipeline: batch tensor required");
   }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::TraceSpan run_span("pipeline.run");
   const AllocationPlan plan = Plan(qoi_tolerance);
 
   PipelineReport report;
@@ -111,26 +128,47 @@ Result<PipelineReport> InferencePipeline::Run(const Tensor& input_batch,
   report.quant_bound = plan.quant_bound;
 
   // Reference output: full-precision model on pristine input.
-  const Tensor reference = model_.Predict(input_batch);
+  Tensor reference;
+  {
+    obs::TraceSpan span("pipeline.reference");
+    reference = model_.Predict(input_batch);
+  }
   report.reference_qoi_norm = MaxPerSampleNorm(reference, config_.norm);
 
   // --- Reduction + storage ---
+  util::Stopwatch phases;
   compress::ErrorBound bound;
   bound.norm = config_.norm;
   bound.relative = false;
   bound.tolerance = plan.input_tolerance;
-  EF_ASSIGN_OR_RETURN(compress::Compressed compressed,
-                      compressor_->Compress(input_batch, bound));
+  compress::Compressed compressed;
+  {
+    obs::TraceSpan span("pipeline.compress");
+    EF_ASSIGN_OR_RETURN(compressed,
+                        compressor_->Compress(input_batch, bound));
+  }
+  report.compress_seconds = phases.LapSeconds();
   report.original_bytes = compressed.original_bytes;
   report.compressed_bytes = static_cast<int64_t>(compressed.blob.size());
   report.compression_ratio = compressed.ratio();
-  EF_RETURN_IF_ERROR(storage_.Write("batch", std::move(compressed.blob)));
+  {
+    obs::TraceSpan span("pipeline.write");
+    EF_RETURN_IF_ERROR(storage_.Write("batch", std::move(compressed.blob)));
+  }
+  report.write_seconds = phases.LapSeconds();
 
   // --- I/O phase: simulated transfer + real decompression ---
-  EF_ASSIGN_OR_RETURN(io::ReadResult read, storage_.Read("batch"));
+  io::ReadResult read;
+  {
+    obs::TraceSpan span("pipeline.read");
+    EF_ASSIGN_OR_RETURN(read, storage_.Read("batch"));
+  }
   report.read_seconds = read.simulated_seconds;
-  EF_ASSIGN_OR_RETURN(compress::Decompressed decompressed,
-                      compressor_->Decompress(read.data));
+  compress::Decompressed decompressed;
+  {
+    obs::TraceSpan span("pipeline.decompress");
+    EF_ASSIGN_OR_RETURN(decompressed, compressor_->Decompress(read.data));
+  }
   report.decompress_seconds =
       decompressed.seconds /
       std::max(1.0, config_.storage.decompress_parallelism);
@@ -138,7 +176,11 @@ Result<PipelineReport> InferencePipeline::Run(const Tensor& input_batch,
 
   // --- Execution phase: quantized inference ---
   nn::Model* qmodel = QuantizedFor(plan.format);
-  const Tensor output = qmodel->Predict(decompressed.data);
+  Tensor output;
+  {
+    obs::TraceSpan span("pipeline.exec");
+    output = qmodel->Predict(decompressed.data);
+  }
   const int64_t batch = input_batch.dim(0);
   quant::ExecutionModel exec(config_.hardware, flops_per_sample_,
                              bytes_per_sample_);
@@ -157,7 +199,83 @@ Result<PipelineReport> InferencePipeline::Run(const Tensor& input_batch,
       MaxPerSampleError(input_batch, decompressed.data, config_.norm);
   report.achieved_qoi_error =
       MaxPerSampleError(reference, output, config_.norm);
+
+  // --- Metrics: the histograms mirror the report's phase values (some
+  // measured, some modeled) so aggregate sums reconcile with the reports.
+  registry.GetCounter(kRuns)->Increment();
+  registry.GetCounter(kBytesIn)->Increment(
+      static_cast<uint64_t>(report.original_bytes));
+  registry.GetCounter(kBytesOut)->Increment(
+      static_cast<uint64_t>(report.compressed_bytes));
+  registry.GetGauge(kFormatGauge)
+      ->Set(static_cast<double>(static_cast<int>(report.format)));
+  registry.GetGauge(kInputToleranceGauge)->Set(report.input_tolerance);
+  registry.GetGauge(kQuantBoundGauge)->Set(report.quant_bound);
+  registry.GetHistogram(kCompressHist)->Record(report.compress_seconds);
+  registry.GetHistogram(kWriteHist)->Record(report.write_seconds);
+  registry.GetHistogram(kReadHist)->Record(report.read_seconds);
+  registry.GetHistogram(kDecompressHist)->Record(report.decompress_seconds);
+  registry.GetHistogram(kExecHist)->Record(report.exec_seconds);
   return report;
+}
+
+PipelineReport PipelineReport::AggregateFromRegistry(
+    const obs::MetricsRegistry& registry) {
+  PipelineReport report;
+  report.format = static_cast<NumericFormat>(
+      static_cast<int>(registry.GaugeValue(kFormatGauge)));
+  report.input_tolerance = registry.GaugeValue(kInputToleranceGauge);
+  report.quant_bound = registry.GaugeValue(kQuantBoundGauge);
+  report.original_bytes =
+      static_cast<int64_t>(registry.CounterValue(kBytesIn));
+  report.compressed_bytes =
+      static_cast<int64_t>(registry.CounterValue(kBytesOut));
+  if (report.compressed_bytes > 0) {
+    report.compression_ratio = static_cast<double>(report.original_bytes) /
+                               static_cast<double>(report.compressed_bytes);
+  }
+  report.compress_seconds = registry.HistogramSnapshotOf(kCompressHist).sum;
+  report.write_seconds = registry.HistogramSnapshotOf(kWriteHist).sum;
+  report.read_seconds = registry.HistogramSnapshotOf(kReadHist).sum;
+  report.decompress_seconds =
+      registry.HistogramSnapshotOf(kDecompressHist).sum;
+  report.exec_seconds = registry.HistogramSnapshotOf(kExecHist).sum;
+  report.io_seconds = report.read_seconds + report.decompress_seconds;
+  const double bytes = static_cast<double>(report.original_bytes);
+  report.io_throughput = bytes / std::max(1e-12, report.io_seconds);
+  report.exec_throughput = bytes / std::max(1e-12, report.exec_seconds);
+  report.total_throughput =
+      std::min(report.io_throughput, report.exec_throughput);
+  return report;
+}
+
+std::string PipelineReport::Summary() const {
+  std::string out;
+  out += util::StrFormat("  format              : %s\n",
+                         quant::FormatToString(format));
+  out += util::StrFormat("  input tolerance     : %.3e  (quant bound %.3e)\n",
+                         input_tolerance, quant_bound);
+  out += util::StrFormat(
+      "  bytes               : %s -> %s  (ratio %.2fx)\n",
+      util::HumanBytes(static_cast<double>(original_bytes)).c_str(),
+      util::HumanBytes(static_cast<double>(compressed_bytes)).c_str(),
+      compression_ratio);
+  out += util::StrFormat(
+      "  phases (s)          : compress %.3e  write %.3e  read %.3e  "
+      "decompress %.3e  exec %.3e\n",
+      compress_seconds, write_seconds, read_seconds, decompress_seconds,
+      exec_seconds);
+  out += util::StrFormat(
+      "  throughput          : io %s  exec %s  total %s\n",
+      util::HumanThroughput(io_throughput).c_str(),
+      util::HumanThroughput(exec_throughput).c_str(),
+      util::HumanThroughput(total_throughput).c_str());
+  if (predicted_qoi_bound > 0.0 || achieved_qoi_error > 0.0) {
+    out += util::StrFormat(
+        "  errors              : input %.3e  qoi %.3e  (bound %.3e)\n",
+        achieved_input_error, achieved_qoi_error, predicted_qoi_bound);
+  }
+  return out;
 }
 
 }  // namespace core

@@ -10,6 +10,7 @@
 #include "core/error_bound.h"
 #include "io/sim_storage.h"
 #include "nn/model.h"
+#include "obs/metrics.h"
 #include "quant/quantize_model.h"
 
 namespace errorflow {
@@ -41,9 +42,13 @@ struct PipelineReport {
   int64_t compressed_bytes = 0;
   double compression_ratio = 0.0;
 
-  // Phase timings, seconds. Transfer is modeled (storage bandwidth);
-  // decompression is measured for real; execution uses the calibrated
-  // hardware model.
+  // Phase timings, seconds. Compression and the storage write are measured
+  // wall time; transfer is modeled (storage bandwidth); decompression is
+  // measured for real; execution uses the calibrated hardware model. Each
+  // value is also recorded into the process-global metrics registry as an
+  // "errorflow.pipeline.<phase>_seconds" histogram.
+  double compress_seconds = 0.0;
+  double write_seconds = 0.0;
   double read_seconds = 0.0;
   double decompress_seconds = 0.0;
   double io_seconds = 0.0;
@@ -62,6 +67,18 @@ struct PipelineReport {
   /// Norm of the reference (full-precision, uncompressed) output; divide
   /// achieved/predicted by this for relative errors.
   double reference_qoi_norm = 0.0;
+
+  /// Rebuilds the aggregate phase/size/throughput view from the
+  /// "errorflow.pipeline.*" metrics: phase seconds are histogram sums and
+  /// byte counts are counter totals over every Run() since the last
+  /// registry reset. Bench binaries use this instead of re-deriving the
+  /// timing arithmetic per run.
+  static PipelineReport AggregateFromRegistry(
+      const obs::MetricsRegistry& registry = obs::MetricsRegistry::Global());
+
+  /// Human-readable multi-line summary (sizes, phase seconds, throughput,
+  /// errors) shared by the CLI and bench binaries.
+  std::string Summary() const;
 };
 
 /// \brief End-to-end error-bounded inference pipeline: compress -> store ->

@@ -1,11 +1,13 @@
 #include "nn/trainer.h"
 
-#include <cstdio>
 #include <numeric>
 
 #include "nn/activation.h"
 #include "nn/conv2d.h"
 #include "nn/dense.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/random.h"
 
 namespace errorflow {
@@ -43,8 +45,17 @@ std::vector<EpochStats> Trainer::Fit(Model* model, const Tensor& inputs,
   std::vector<int64_t> order(static_cast<size_t>(n));
   std::iota(order.begin(), order.end(), 0);
 
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter* epochs_done =
+      registry.GetCounter("errorflow.train.epochs");
+  obs::Gauge* loss_gauge = registry.GetGauge("errorflow.train.loss");
+  obs::Gauge* penalty_gauge =
+      registry.GetGauge("errorflow.train.spectral_penalty");
+  penalty_gauge->Set(config_.spectral_penalty);
+
   std::vector<EpochStats> history;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    obs::TraceSpan epoch_span("train.epoch");
     // Fisher-Yates shuffle with our deterministic RNG.
     for (size_t i = order.size(); i > 1; --i) {
       const size_t j = static_cast<size_t>(rng.UniformU64(i));
@@ -94,9 +105,11 @@ std::vector<EpochStats> Trainer::Fit(Model* model, const Tensor& inputs,
     stats.epoch = epoch;
     stats.train_loss = epoch_loss / static_cast<double>(batches);
     history.push_back(stats);
+    epochs_done->Increment();
+    loss_gauge->Set(stats.train_loss);
     if (config_.log_every > 0 && epoch % config_.log_every == 0) {
-      std::printf("[train %s] epoch %3d loss %.6g\n", model->name().c_str(),
-                  epoch, stats.train_loss);
+      obs::Logf(obs::LogLevel::kInfo, "train %s epoch %3d loss %.6g",
+                model->name().c_str(), epoch, stats.train_loss);
     }
   }
   return history;

@@ -1,0 +1,231 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace errorflow {
+namespace obs {
+
+namespace {
+
+// Shortest round-trippable representation of a double, for JSON.
+std::string DoubleToJson(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Trim to %g when it round-trips: keeps the export readable.
+  char shorter[64];
+  std::snprintf(shorter, sizeof(shorter), "%g", v);
+  double parsed = 0.0;
+  if (std::sscanf(shorter, "%lf", &parsed) == 1 && parsed == v) {
+    return shorter;
+  }
+  return buf;
+}
+
+std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::min(100.0, std::max(0.0, p));
+  const double target = p / 100.0 * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const uint64_t next = seen + counts[b];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate inside bucket b, clamped to the observed [min, max] so
+      // a percentile never leaves the recorded range.
+      const double lo = std::max(min, b == 0 ? min : bounds[b - 1]);
+      const double hi = std::min(max, b < bounds.size() ? bounds[b] : max);
+      if (hi <= lo) return hi;
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(counts[b]);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+    }
+    seen = next;
+  }
+  return max;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Record(double value) {
+  const size_t bucket =
+      static_cast<size_t>(std::upper_bound(bounds_.begin(), bounds_.end(),
+                                           value) -
+                          bounds_.begin());
+  std::lock_guard<std::mutex> lock(mu_);
+  counts_[bucket]++;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  count_++;
+  sum_ += value;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts = counts_;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = min_;
+  snap.max = max_;
+  return snap;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+std::vector<double> Histogram::DefaultDurationBounds() {
+  // 1 us .. 64 s in x4 steps: 14 finite buckets + overflow.
+  std::vector<double> bounds;
+  for (double b = 1e-6; b < 100.0; b *= 4.0) bounds.push_back(b);
+  return bounds;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+bool MetricsRegistry::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.count(name) != 0 || gauges_.count(name) != 0 ||
+         histograms_.count(name) != 0;
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+double MetricsRegistry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second->value();
+}
+
+HistogramSnapshot MetricsRegistry::HistogramSnapshotOf(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? HistogramSnapshot{} : it->second->Snapshot();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + Quote(name) + ": " + std::to_string(c->value());
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + Quote(name) + ": " + DoubleToJson(g->value());
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    const HistogramSnapshot s = h->Snapshot();
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + Quote(name) + ": {\"count\": " + std::to_string(s.count) +
+           ", \"sum\": " + DoubleToJson(s.sum) +
+           ", \"min\": " + DoubleToJson(s.min) +
+           ", \"max\": " + DoubleToJson(s.max) +
+           ", \"p50\": " + DoubleToJson(s.p50()) +
+           ", \"p95\": " + DoubleToJson(s.p95()) +
+           ", \"p99\": " + DoubleToJson(s.p99()) + ", \"buckets\": [";
+    for (size_t b = 0; b < s.counts.size(); ++b) {
+      if (b) out += ", ";
+      const std::string le =
+          b < s.bounds.size() ? DoubleToJson(s.bounds[b]) : "\"inf\"";
+      out += "{\"le\": " + le + ", \"count\": " + std::to_string(s.counts[b]) +
+             "}";
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char line[256];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(line, sizeof(line), "counter   %-44s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c->value()));
+    out += line;
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(line, sizeof(line), "gauge     %-44s %.6g\n", name.c_str(),
+                  g->value());
+    out += line;
+  }
+  for (const auto& [name, h] : histograms_) {
+    const HistogramSnapshot s = h->Snapshot();
+    std::snprintf(line, sizeof(line),
+                  "histogram %-44s count=%llu sum=%.6g p50=%.3g p95=%.3g "
+                  "p99=%.3g\n",
+                  name.c_str(), static_cast<unsigned long long>(s.count),
+                  s.sum, s.p50(), s.p95(), s.p99());
+    out += line;
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace errorflow

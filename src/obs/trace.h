@@ -1,0 +1,92 @@
+#ifndef ERRORFLOW_OBS_TRACE_H_
+#define ERRORFLOW_OBS_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace errorflow {
+namespace obs {
+
+/// \brief One completed span: a Chrome trace_event "X" (complete) event.
+struct TraceEvent {
+  std::string name;
+  double ts_us = 0.0;   ///< Start, microseconds since process start.
+  double dur_us = 0.0;  ///< Duration, microseconds.
+  uint32_t tid = 0;     ///< Small sequential id, stable per thread.
+};
+
+/// Small sequential id for the calling thread (0 for the first thread that
+/// asks, 1 for the next, ...). Used as the trace "tid" so exports stay
+/// readable.
+uint32_t CurrentThreadId();
+
+/// Microseconds since process start on the monotonic clock.
+double NowMicros();
+
+/// \brief Lock-sharded in-memory buffer of completed spans.
+///
+/// Writers append to the shard picked by their thread id, so concurrent
+/// spans on different threads rarely contend. Snapshot() merges and sorts
+/// by start time.
+class TraceBuffer {
+ public:
+  void Record(TraceEvent event);
+
+  /// All events so far, sorted by start timestamp.
+  std::vector<TraceEvent> Snapshot() const;
+
+  size_t size() const;
+  void Reset();
+
+  /// Chrome trace_event JSON array (load in chrome://tracing or Perfetto):
+  /// [{"name": ..., "ph": "X", "ts": ..., "dur": ..., "pid": 1, "tid": ...}]
+  std::string ToChromeJson() const;
+
+  /// Flat per-name aggregate: count, total ms, mean ms.
+  std::string Summary() const;
+
+  /// The process-global buffer used by the built-in instrumentation.
+  static TraceBuffer& Global();
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// \brief RAII span: records name/start/duration/thread-id into a
+/// TraceBuffer when it goes out of scope.
+///
+///   {
+///     obs::TraceSpan span("pipeline.compress");
+///     ...work...
+///   }  // recorded here
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name,
+                     TraceBuffer* buffer = &TraceBuffer::Global());
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Closes the span early (idempotent).
+  void End();
+
+ private:
+  std::string name_;
+  TraceBuffer* buffer_;
+  double start_us_;
+  bool ended_ = false;
+};
+
+}  // namespace obs
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_OBS_TRACE_H_

@@ -1,6 +1,5 @@
 #include "tasks/tasks.h"
 
-#include <cstdio>
 #include <filesystem>
 
 #include "data/borghesi.h"
@@ -9,6 +8,8 @@
 #include "nn/builders.h"
 #include "nn/serialize.h"
 #include "nn/trainer.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "util/random.h"
 #include "util/string_util.h"
 
@@ -193,12 +194,17 @@ TrainedTask GetTask(TaskKind kind, Regularization reg, uint64_t seed,
   if (std::filesystem::exists(path)) {
     auto loaded = nn::LoadModel(path);
     if (loaded.ok()) {
+      obs::Logf(obs::LogLevel::kDebug, "task %s loaded from cache %s",
+                task.name.c_str(), path.c_str());
       task.model = std::move(loaded).value();
       return task;
     }
-    std::fprintf(stderr, "warning: cache load failed (%s), retraining\n",
-                 loaded.status().ToString().c_str());
+    obs::Logf(obs::LogLevel::kWarn, "cache load failed (%s), retraining",
+              loaded.status().ToString().c_str());
   }
+  obs::Logf(obs::LogLevel::kInfo, "training task %s (cache miss)",
+            task.name.c_str());
+  obs::TraceSpan span(std::string("tasks.train.") + TaskKindToString(kind));
   task.model = BuildTaskModel(kind, reg, seed);
   TrainTaskModel(kind, reg, seed, task.train, &task.model);
   task.model.FoldPsn();

@@ -7,7 +7,11 @@
 namespace errorflow {
 namespace util {
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads)
+    : queue_depth_(obs::MetricsRegistry::Global().GetGauge(
+          "errorflow.threadpool.queue_depth")),
+      tasks_executed_(obs::MetricsRegistry::Global().GetCounter(
+          "errorflow.threadpool.tasks_executed")) {
   if (num_threads <= 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -33,6 +37,7 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
     std::lock_guard<std::mutex> lock(mu_);
     EF_CHECK(!shutdown_);
     queue_.push(std::move(task));
+    queue_depth_->Set(static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
   return future;
@@ -57,8 +62,10 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // Shutdown with drained queue.
       task = std::move(queue_.front());
       queue_.pop();
+      queue_depth_->Set(static_cast<double>(queue_.size()));
     }
     task();
+    tasks_executed_->Increment();
   }
 }
 

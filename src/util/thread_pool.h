@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace errorflow {
 namespace util {
 
@@ -45,6 +47,10 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_;
   bool shutdown_ = false;
+  // Process-global metrics (docs/OBSERVABILITY.md): current queue depth and
+  // total tasks completed across all pools.
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Counter* tasks_executed_ = nullptr;
 };
 
 }  // namespace util

@@ -9,10 +9,10 @@ namespace util {
 /// \brief Monotonic wall-clock stopwatch used for throughput accounting.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_(Clock::now()), lap_(start_) {}
 
-  /// Resets the start point to now.
-  void Restart() { start_ = Clock::now(); }
+  /// Resets the start point (and the lap marker) to now.
+  void Restart() { start_ = Clock::now(); lap_ = start_; }
 
   /// Seconds elapsed since construction or the last Restart().
   double ElapsedSeconds() const {
@@ -22,9 +22,21 @@ class Stopwatch {
   /// Microseconds elapsed since construction or the last Restart().
   double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
 
+  /// Seconds since the previous LapSeconds() call (or construction /
+  /// Restart() for the first lap), advancing the lap marker without
+  /// touching the overall elapsed time. Laps partition the elapsed time:
+  /// the sum of all laps plus the still-open lap equals ElapsedSeconds().
+  double LapSeconds() {
+    const Clock::time_point now = Clock::now();
+    const double seconds = std::chrono::duration<double>(now - lap_).count();
+    lap_ = now;
+    return seconds;
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+  Clock::time_point lap_;
 };
 
 }  // namespace util

@@ -1,0 +1,132 @@
+#include "obs/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace errorflow {
+namespace obs {
+namespace {
+
+TEST(MetricsTest, CounterGaugeBasics) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.counter");
+  c->Increment();
+  c->Increment(9);
+  EXPECT_EQ(c->value(), 10u);
+  EXPECT_EQ(registry.CounterValue("test.counter"), 10u);
+  EXPECT_EQ(registry.CounterValue("missing"), 0u);
+
+  Gauge* g = registry.GetGauge("test.gauge");
+  g->Set(2.5);
+  g->Add(0.5);
+  EXPECT_DOUBLE_EQ(g->value(), 3.0);
+  EXPECT_TRUE(registry.Has("test.gauge"));
+  EXPECT_FALSE(registry.Has("test.other"));
+}
+
+TEST(MetricsTest, GetReturnsSameInstance) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.GetCounter("a"), registry.GetCounter("a"));
+  EXPECT_EQ(registry.GetGauge("b"), registry.GetGauge("b"));
+  EXPECT_EQ(registry.GetHistogram("c"), registry.GetHistogram("c"));
+}
+
+TEST(MetricsTest, ConcurrentCountersAndHistogramsAreExact) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 20000;
+  Counter* counter = registry.GetCounter("concurrent.counter");
+  Histogram* hist =
+      registry.GetHistogram("concurrent.hist", {1.0, 10.0, 100.0});
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        counter->Increment();
+        // Integer-valued records so the double sum is exact.
+        hist->Record(static_cast<double>((t + i) % 128));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(counter->value(),
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  const HistogramSnapshot snap = hist->Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : snap.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, snap.count);
+  // Each thread records sum_{i} (t+i)%128 — recompute exactly.
+  double expected_sum = 0.0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kOpsPerThread; ++i) expected_sum += (t + i) % 128;
+  }
+  EXPECT_DOUBLE_EQ(snap.sum, expected_sum);
+}
+
+TEST(MetricsTest, HistogramPercentiles) {
+  Histogram hist({10.0, 20.0, 30.0, 40.0});
+  for (int i = 1; i <= 100; ++i) hist.Record(static_cast<double>(i % 40));
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_GE(snap.p95(), snap.p50());
+  EXPECT_GE(snap.p99(), snap.p95());
+  EXPECT_LE(snap.Percentile(100.0), snap.max + 1e-12);
+  EXPECT_GE(snap.Percentile(0.0), 0.0);
+}
+
+TEST(MetricsTest, EmptyHistogramSnapshot) {
+  Histogram hist({1.0});
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.0);
+  EXPECT_DOUBLE_EQ(snap.p50(), 0.0);
+}
+
+TEST(MetricsTest, ResetZeroesInPlaceAndKeepsPointersValid) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("r.counter");
+  Gauge* g = registry.GetGauge("r.gauge");
+  Histogram* h = registry.GetHistogram("r.hist");
+  c->Increment(5);
+  g->Set(7.0);
+  h->Record(0.25);
+  registry.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->Snapshot().count, 0u);
+  // The same instances keep working after the reset.
+  EXPECT_EQ(registry.GetCounter("r.counter"), c);
+  c->Increment();
+  EXPECT_EQ(c->value(), 1u);
+}
+
+TEST(MetricsTest, JsonAndTextExportContainMetrics) {
+  MetricsRegistry registry;
+  registry.GetCounter("export.counter")->Increment(3);
+  registry.GetGauge("export.gauge")->Set(1.5);
+  registry.GetHistogram("export.hist")->Record(0.5);
+
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"export.counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"export.gauge\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"export.hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+
+  const std::string text = registry.ToText();
+  EXPECT_NE(text.find("export.counter"), std::string::npos);
+  EXPECT_NE(text.find("export.hist"), std::string::npos);
+}
+
+TEST(MetricsTest, GlobalRegistryIsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace errorflow

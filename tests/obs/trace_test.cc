@@ -1,0 +1,124 @@
+#include "obs/trace.h"
+
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace errorflow {
+namespace obs {
+namespace {
+
+// Counts non-overlapping occurrences of `needle` in `haystack`.
+int CountOccurrences(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(TraceTest, SpanRecordsOnDestruction) {
+  TraceBuffer buffer;
+  {
+    TraceSpan span("unit.work", &buffer);
+    EXPECT_EQ(buffer.size(), 0u);
+  }
+  ASSERT_EQ(buffer.size(), 1u);
+  const TraceEvent event = buffer.Snapshot()[0];
+  EXPECT_EQ(event.name, "unit.work");
+  EXPECT_GE(event.dur_us, 0.0);
+  EXPECT_GE(event.ts_us, 0.0);
+}
+
+TEST(TraceTest, NestedSpansContainEachOther) {
+  TraceBuffer buffer;
+  {
+    TraceSpan outer("outer", &buffer);
+    {
+      TraceSpan inner("inner", &buffer);
+      // Burn a little time so durations are nonzero.
+      double sink = 0.0;
+      for (int i = 0; i < 10000; ++i) sink += i * 0.5;
+      volatile double keep = sink;
+      (void)keep;
+    }
+  }
+  const std::vector<TraceEvent> events = buffer.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Snapshot sorts by start time: outer starts first.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].name, "inner");
+  // The outer span brackets the inner one.
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+  EXPECT_GE(events[0].ts_us + events[0].dur_us,
+            events[1].ts_us + events[1].dur_us);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+}
+
+TEST(TraceTest, EndIsIdempotent) {
+  TraceBuffer buffer;
+  TraceSpan span("once", &buffer);
+  span.End();
+  span.End();
+  EXPECT_EQ(buffer.size(), 1u);
+}
+
+TEST(TraceTest, ChromeJsonExportRoundTrip) {
+  TraceBuffer buffer;
+  { TraceSpan a("phase \"a\"", &buffer); }
+  { TraceSpan b("phase.b", &buffer); }
+  const std::string json = buffer.ToChromeJson();
+
+  // Shape: a JSON array of complete ("ph": "X") events with the required
+  // keys, one per recorded span.
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(CountOccurrences(json, "\"ph\": \"X\""), 2);
+  EXPECT_EQ(CountOccurrences(json, "\"ts\": "), 2);
+  EXPECT_EQ(CountOccurrences(json, "\"dur\": "), 2);
+  EXPECT_EQ(CountOccurrences(json, "\"tid\": "), 2);
+  EXPECT_EQ(CountOccurrences(json, "\"pid\": 1"), 2);
+  EXPECT_NE(json.find("\"phase.b\""), std::string::npos);
+  // Quotes inside names are escaped.
+  EXPECT_NE(json.find("phase \\\"a\\\""), std::string::npos);
+}
+
+TEST(TraceTest, ConcurrentSpansAllRecorded) {
+  TraceBuffer buffer;
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&buffer] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan span("worker.op", &buffer);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(buffer.size(),
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+}
+
+TEST(TraceTest, SummaryAggregatesByName) {
+  TraceBuffer buffer;
+  { TraceSpan a("alpha", &buffer); }
+  { TraceSpan a("alpha", &buffer); }
+  { TraceSpan b("beta", &buffer); }
+  const std::string summary = buffer.Summary();
+  EXPECT_NE(summary.find("alpha"), std::string::npos);
+  EXPECT_NE(summary.find("count=2"), std::string::npos);
+  EXPECT_NE(summary.find("beta"), std::string::npos);
+}
+
+TEST(TraceTest, ResetClears) {
+  TraceBuffer buffer;
+  { TraceSpan a("x", &buffer); }
+  buffer.Reset();
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.ToChromeJson().find("\"x\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace errorflow

@@ -1,0 +1,73 @@
+#include "util/timer.h"
+
+#include <chrono>
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace errorflow {
+namespace util {
+namespace {
+
+void SpinFor(double seconds) {
+  Stopwatch sw;
+  while (sw.ElapsedSeconds() < seconds) {
+  }
+}
+
+TEST(StopwatchTest, ElapsedIsMonotone) {
+  Stopwatch sw;
+  const double a = sw.ElapsedSeconds();
+  SpinFor(1e-3);
+  const double b = sw.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GT(b, a);
+  EXPECT_NEAR(sw.ElapsedMicros(), sw.ElapsedSeconds() * 1e6,
+              sw.ElapsedSeconds() * 1e6);  // Same clock, loose bound.
+}
+
+TEST(StopwatchTest, LapMeasuresSinceLastLap) {
+  Stopwatch sw;
+  SpinFor(2e-3);
+  const double lap1 = sw.LapSeconds();
+  SpinFor(2e-3);
+  const double lap2 = sw.LapSeconds();
+  EXPECT_GE(lap1, 2e-3);
+  EXPECT_GE(lap2, 2e-3);
+  // The lap marker advanced: a lap taken immediately is much shorter than
+  // the spins above.
+  EXPECT_LT(sw.LapSeconds(), 1e-3);
+}
+
+TEST(StopwatchTest, LapsPartitionElapsed) {
+  Stopwatch sw;
+  SpinFor(1e-3);
+  const double lap1 = sw.LapSeconds();
+  SpinFor(1e-3);
+  const double lap2 = sw.LapSeconds();
+  const double open_lap = sw.LapSeconds();
+  // Laps are consecutive, non-overlapping intervals from the start point,
+  // so their sum never exceeds the total elapsed time...
+  EXPECT_LE(lap1 + lap2 + open_lap, sw.ElapsedSeconds());
+  // ...and accounts for all of it up to the final LapSeconds() call site.
+  EXPECT_GT(lap1 + lap2 + open_lap, 2e-3);
+}
+
+TEST(StopwatchTest, LapDoesNotDisturbElapsed) {
+  Stopwatch sw;
+  SpinFor(2e-3);
+  (void)sw.LapSeconds();
+  EXPECT_GE(sw.ElapsedSeconds(), 2e-3);
+}
+
+TEST(StopwatchTest, RestartResetsBothMarkers) {
+  Stopwatch sw;
+  SpinFor(2e-3);
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedSeconds(), 2e-3);
+  EXPECT_LT(sw.LapSeconds(), 2e-3);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace errorflow

@@ -8,6 +8,16 @@
 //   errorflow compress  --backend sz|zfp|mgard --tol 1e-3
 //                       [--norm linf|l2] [--rel] [--size 512x512]
 //   errorflow demo-train <out.efm> [--task h2|borghesi|eurosat]
+//   errorflow run       [--task h2|borghesi|eurosat] [--tol 1e-3]
+//                       [--backend sz|zfp|mgard] [--norm linf|l2]
+//                       [--frac 0.5] [--batches 3]
+//
+// Observability flags, valid with every subcommand:
+//   --metrics-out <path.json>   dump the metrics registry on exit
+//   --trace-out <path.json>     dump Chrome trace_event JSON on exit
+//                               (open in chrome://tracing or Perfetto)
+//   --log-level debug|info|warn|error
+//   --log-json <path.jsonl>     mirror logs to a JSON-lines file
 //
 // Exit code 0 on success; 1 on user error; 2 on internal failure.
 
@@ -20,9 +30,13 @@
 
 #include "compress/compressor.h"
 #include "core/allocator.h"
+#include "core/pipeline.h"
 #include "core/report.h"
 #include "data/combustion.h"
 #include "nn/serialize.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tasks/tasks.h"
 #include "tensor/stats.h"
 #include "util/string_util.h"
@@ -263,6 +277,106 @@ int CmdDemoTrain(const Args& args) {
   return 0;
 }
 
+Result<tasks::TaskKind> ParseTask(const std::string& name) {
+  if (name == "h2") return tasks::TaskKind::kH2Combustion;
+  if (name == "borghesi") return tasks::TaskKind::kBorghesiFlame;
+  if (name == "eurosat") return tasks::TaskKind::kEuroSat;
+  return Status::InvalidArgument("unknown task (use h2|borghesi|eurosat)");
+}
+
+int CmdRun(const Args& args) {
+  auto kind = ParseTask(args.Get("task", "h2"));
+  if (!kind.ok()) return Fail(kind.status().ToString().c_str());
+  auto backend = ParseBackend(args.Get("backend", "sz"));
+  if (!backend.ok()) return Fail(backend.status().ToString().c_str());
+  auto norm = ParseNorm(args.Get("norm", "linf"));
+  if (!norm.ok()) return Fail(norm.status().ToString().c_str());
+  const double tol = args.GetDouble("tol", 1e-3);
+  const int batches = static_cast<int>(args.GetDouble("batches", 3));
+  if (batches <= 0) return Fail("bad --batches");
+
+  tasks::TrainedTask task = tasks::GetTask(*kind);
+  core::PipelineConfig cfg;
+  cfg.backend = *backend;
+  cfg.norm = *norm;
+  cfg.quant_fraction = args.GetDouble("frac", 0.5);
+  core::InferencePipeline pipeline(std::move(task.model),
+                                   task.single_input_shape, cfg);
+
+  std::printf("pipeline: task=%s backend=%s norm=%s tol=%.3e batches=%d\n",
+              args.Get("task", "h2").c_str(),
+              compress::BackendToString(*backend),
+              args.Get("norm", "linf").c_str(), tol, batches);
+  for (int b = 0; b < batches; ++b) {
+    const std::vector<tensor::Tensor> inputs =
+        tasks::FreshInputBatches(task, 1, 100 + static_cast<uint64_t>(b));
+    auto report = pipeline.Run(inputs[0], tol);
+    if (!report.ok()) return Fail(report.status().ToString().c_str());
+    std::printf("batch %d:\n%s", b, report->Summary().c_str());
+  }
+  const core::PipelineReport total =
+      core::PipelineReport::AggregateFromRegistry();
+  std::printf("aggregate over %llu run(s):\n%s",
+              static_cast<unsigned long long>(
+                  obs::MetricsRegistry::Global().CounterValue(
+                      "errorflow.pipeline.runs")),
+              total.Summary().c_str());
+  return 0;
+}
+
+// Applies the global observability flags; returns false on bad input.
+bool SetupObservability(const Args& args) {
+  const std::string level = args.Get("log-level", "");
+  if (!level.empty()) {
+    if (level == "debug") {
+      obs::Logger::Global().SetLevel(obs::LogLevel::kDebug);
+    } else if (level == "info") {
+      obs::Logger::Global().SetLevel(obs::LogLevel::kInfo);
+    } else if (level == "warn") {
+      obs::Logger::Global().SetLevel(obs::LogLevel::kWarn);
+    } else if (level == "error") {
+      obs::Logger::Global().SetLevel(obs::LogLevel::kError);
+    } else {
+      std::fprintf(stderr, "error: bad --log-level %s\n", level.c_str());
+      return false;
+    }
+  }
+  const std::string log_json = args.Get("log-json", "");
+  if (!log_json.empty() && !obs::Logger::Global().OpenJsonFile(log_json)) {
+    std::fprintf(stderr, "error: cannot open --log-json %s\n",
+                 log_json.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool WriteFileOrWarn(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+// Dumps --metrics-out / --trace-out if requested. Returns false on I/O
+// failure.
+bool ExportObservability(const Args& args) {
+  bool ok = true;
+  const std::string metrics_out = args.Get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    ok &= WriteFileOrWarn(metrics_out,
+                          obs::MetricsRegistry::Global().ToJson());
+  }
+  const std::string trace_out = args.Get("trace-out", "");
+  if (!trace_out.empty()) {
+    ok &= WriteFileOrWarn(trace_out, obs::TraceBuffer::Global().ToChromeJson());
+  }
+  return ok;
+}
+
 void PrintUsage() {
   std::printf(
       "errorflow — error-bounded scientific inference toolkit\n\n"
@@ -274,7 +388,13 @@ void PrintUsage() {
       "[--frac 0.5] [--norm linf|l2]\n"
       "  errorflow compress   --backend sz|zfp|mgard --tol 1e-3 [--norm "
       "linf|l2] [--rel] [--size 512x512]\n"
-      "  errorflow demo-train <out.efm> [--task h2|borghesi|eurosat]\n");
+      "  errorflow demo-train <out.efm> [--task h2|borghesi|eurosat]\n"
+      "  errorflow run        [--task h2|borghesi|eurosat] [--tol 1e-3] "
+      "[--backend sz|zfp|mgard] [--norm linf|l2] [--frac 0.5] "
+      "[--batches 3]\n"
+      "\nobservability (any subcommand): --metrics-out <path.json> "
+      "--trace-out <path.json> --log-level debug|info|warn|error "
+      "--log-json <path.jsonl>\n");
 }
 
 }  // namespace
@@ -286,16 +406,29 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   const Args args = ParseArgs(argc, argv, 2);
-  if (cmd == "inspect") return CmdInspect(args);
-  if (cmd == "bound") return CmdBound(args);
-  if (cmd == "plan") return CmdPlan(args);
-  if (cmd == "compress") return CmdCompress(args);
-  if (cmd == "demo-train") return CmdDemoTrain(args);
-  if (cmd == "help" || cmd == "--help") {
+  if (!SetupObservability(args)) return 1;
+  int code = -1;
+  if (cmd == "inspect") {
+    code = CmdInspect(args);
+  } else if (cmd == "bound") {
+    code = CmdBound(args);
+  } else if (cmd == "plan") {
+    code = CmdPlan(args);
+  } else if (cmd == "compress") {
+    code = CmdCompress(args);
+  } else if (cmd == "demo-train") {
+    code = CmdDemoTrain(args);
+  } else if (cmd == "run") {
+    code = CmdRun(args);
+  } else if (cmd == "help" || cmd == "--help") {
     PrintUsage();
-    return 0;
+    code = 0;
   }
-  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
-  PrintUsage();
-  return 1;
+  if (code < 0) {
+    std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+    PrintUsage();
+    return 1;
+  }
+  if (!ExportObservability(args) && code == 0) code = 2;
+  return code;
 }
