@@ -1,0 +1,67 @@
+// Serving-layer scaling sweep: closed-loop throughput and tail latency of
+// serve::InferenceServer as client concurrency grows. The model and the
+// tolerance mix stay fixed, so the curve isolates the scheduler (batch
+// fusion) and the worker pool. Expect throughput to rise with concurrency
+// until batches saturate the workers, with p95 growing as queueing starts.
+#include <cstdio>
+#include <thread>
+
+#include "common/figures.h"
+#include "obs/metrics.h"
+#include "serve/load_gen.h"
+#include "serve/server.h"
+#include "tasks/tasks.h"
+
+using namespace errorflow;
+
+int main() {
+  bench::PrintHeader("Serving - closed-loop concurrency scaling");
+  std::printf("host hardware concurrency: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  tasks::TrainedTask task = tasks::GetTask(tasks::TaskKind::kH2Combustion);
+  const tensor::Tensor pool_batch = tasks::FreshInputBatches(task, 1, 77)[0];
+  const int64_t rows = 8;
+  const int64_t features = pool_batch.dim(1);
+
+  serve::ServerConfig cfg;
+  cfg.num_workers = 4;
+  serve::InferenceServer server(cfg);
+  EF_CHECK_OK(
+      server.RegisterModel("h2", task.model.Clone(), task.single_input_shape));
+  EF_CHECK_OK(server.Start());
+
+  auto input_factory = [&](uint64_t seed) {
+    tensor::Tensor slice({rows, features});
+    const int64_t offset =
+        static_cast<int64_t>(seed % 4) * rows * features;
+    for (int64_t i = 0; i < slice.size(); ++i) {
+      slice[i] = pool_batch[offset + i];
+    }
+    return slice;
+  };
+
+  std::printf("%-12s %12s %12s %12s %12s %14s\n", "concurrency", "req/s",
+              "p50(ms)", "p95(ms)", "p99(ms)", "req/batch");
+  for (int concurrency : {1, 2, 4, 8, 16}) {
+    // Per-point counters: percentiles must describe this sweep point only.
+    obs::MetricsRegistry::Global().Reset();
+    serve::LoadGenConfig lg;
+    lg.model = "h2";
+    lg.concurrency = concurrency;
+    lg.duration_seconds = 2.0;
+    lg.seed = static_cast<uint64_t>(concurrency);
+    serve::LoadGenStats stats = serve::RunClosedLoop(server, lg, input_factory);
+    const double mean_batch =
+        stats.batch_requests.count == 0
+            ? 0.0
+            : stats.batch_requests.sum /
+                  static_cast<double>(stats.batch_requests.count);
+    std::printf("%-12d %12.0f %12.3f %12.3f %12.3f %14.2f\n", concurrency,
+                stats.throughput_rps, stats.latency.p50() * 1e3,
+                stats.latency.p95() * 1e3, stats.latency.p99() * 1e3,
+                mean_batch);
+  }
+  EF_CHECK_OK(server.Shutdown());
+  return 0;
+}

@@ -312,8 +312,8 @@ void RunPipelineFigure(compress::Backend backend, Norm norm) {
         std::printf(
             "%-10.0e %-6.1f | %-6s %11.3e %11.3e %9.2f %9.2f %9.2f\n",
             tol_rel, frac, quant::FormatToString(report->format),
-            report->predicted_qoi_bound / out_norm,
-            report->achieved_qoi_error / out_norm,
+            report->predicted_qoi_bound / report->reference_qoi_norm,
+            report->RelativeQoIError(),
             report->io_throughput / 1e9, report->exec_throughput / 1e9,
             report->total_throughput / 1e9);
       }

@@ -112,6 +112,16 @@ nn::Model* InferencePipeline::QuantizedFor(NumericFormat format) {
   return &it->second;
 }
 
+Result<Tensor> InferencePipeline::ExecuteQuantized(const Tensor& batch,
+                                                   NumericFormat format) {
+  if (batch.ndim() < 2) {
+    return Status::InvalidArgument("pipeline: batch tensor required");
+  }
+  nn::Model* qmodel = QuantizedFor(format);
+  obs::TraceSpan span("pipeline.exec");
+  return qmodel->Predict(batch);
+}
+
 Result<PipelineReport> InferencePipeline::Run(const Tensor& input_batch,
                                               double qoi_tolerance) {
   if (input_batch.ndim() < 2) {
@@ -175,12 +185,9 @@ Result<PipelineReport> InferencePipeline::Run(const Tensor& input_batch,
   report.io_seconds = report.read_seconds + report.decompress_seconds;
 
   // --- Execution phase: quantized inference ---
-  nn::Model* qmodel = QuantizedFor(plan.format);
   Tensor output;
-  {
-    obs::TraceSpan span("pipeline.exec");
-    output = qmodel->Predict(decompressed.data);
-  }
+  EF_ASSIGN_OR_RETURN(output,
+                      ExecuteQuantized(decompressed.data, plan.format));
   const int64_t batch = input_batch.dim(0);
   quant::ExecutionModel exec(config_.hardware, flops_per_sample_,
                              bytes_per_sample_);
@@ -247,6 +254,11 @@ PipelineReport PipelineReport::AggregateFromRegistry(
   report.total_throughput =
       std::min(report.io_throughput, report.exec_throughput);
   return report;
+}
+
+double PipelineReport::RelativeQoIError() const {
+  if (reference_qoi_norm <= 0.0) return 0.0;
+  return achieved_qoi_error / reference_qoi_norm;
 }
 
 std::string PipelineReport::Summary() const {

@@ -68,6 +68,12 @@ struct PipelineReport {
   /// achieved/predicted by this for relative errors.
   double reference_qoi_norm = 0.0;
 
+  /// Achieved QoI error relative to the per-sample reference norm
+  /// (achieved_qoi_error / reference_qoi_norm); 0 when the reference norm
+  /// is unknown or zero. Bench binaries and the serving layer use this
+  /// instead of re-deriving the division.
+  double RelativeQoIError() const;
+
   /// Rebuilds the aggregate phase/size/throughput view from the
   /// "errorflow.pipeline.*" metrics: phase seconds are histogram sums and
   /// byte counts are counter totals over every Run() since the last
@@ -104,6 +110,17 @@ class InferencePipeline {
   /// Runs the full pipeline on a batch under the QoI tolerance.
   Result<PipelineReport> Run(const Tensor& input_batch,
                              double qoi_tolerance);
+
+  /// Execution phase only: runs `batch` through the weight-quantized
+  /// variant for `format`, materializing (and caching) the variant on
+  /// first use. Run() and the serving layer share this path, so repeated
+  /// executions at the same format never re-quantize.
+  Result<Tensor> ExecuteQuantized(const Tensor& batch, NumericFormat format);
+
+  /// Number of quantized variants materialized so far.
+  int64_t quantized_variant_count() const {
+    return static_cast<int64_t>(quantized_cache_.size());
+  }
 
   const PipelineConfig& config() const { return config_; }
   nn::Model& model() { return model_; }

@@ -100,6 +100,13 @@ std::vector<double> Histogram::DefaultDurationBounds() {
   return bounds;
 }
 
+std::vector<double> Histogram::DefaultCountBounds() {
+  // 1 .. 1024 in x2 steps: 11 finite buckets + overflow.
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 1024.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];

@@ -76,6 +76,10 @@ class Histogram {
   /// Default duration buckets: 1 us to ~100 s, roughly x4 per step.
   static std::vector<double> DefaultDurationBounds();
 
+  /// Power-of-two count buckets (1, 2, 4, ... 1024) for cardinality-style
+  /// histograms such as batch sizes and fan-out counts.
+  static std::vector<double> DefaultCountBounds();
+
  private:
   mutable std::mutex mu_;
   std::vector<double> bounds_;

@@ -56,5 +56,13 @@ QuantizedModel QuantizeWeights(const nn::Model& model, NumericFormat format) {
   return out;
 }
 
+int64_t ModelStorageBytes(const nn::Model& model, NumericFormat format) {
+  // ParameterCount is non-const (it walks mutable Param views); a const_cast
+  // is safe because the walk never writes.
+  const int64_t params =
+      const_cast<nn::Model&>(model).ParameterCount();
+  return params * static_cast<int64_t>(StorageBits(format)) / 8;
+}
+
 }  // namespace quant
 }  // namespace errorflow

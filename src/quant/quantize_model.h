@@ -37,6 +37,13 @@ struct QuantizedModel {
 /// be folded (the function folds it defensively).
 QuantizedModel QuantizeWeights(const nn::Model& model, NumericFormat format);
 
+/// \brief Logical storage footprint of a model's parameters at `format`:
+/// parameter count times StorageBits / 8. With kFP32 this equals the
+/// resident in-memory size of a (de)quantized clone, since reduced-precision
+/// values are stored as representable FP32 subsets; reduced formats give the
+/// bandwidth-model size the paper's I/O discussion uses.
+int64_t ModelStorageBytes(const nn::Model& model, NumericFormat format);
+
 }  // namespace quant
 }  // namespace errorflow
 

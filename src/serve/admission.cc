@@ -1,0 +1,94 @@
+#include "serve/admission.h"
+
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace errorflow {
+namespace serve {
+
+namespace {
+
+const std::vector<quant::NumericFormat>& AllFormats() {
+  static const std::vector<quant::NumericFormat> kAll = {
+      quant::NumericFormat::kFP32, quant::NumericFormat::kTF32,
+      quant::NumericFormat::kFP16, quant::NumericFormat::kBF16,
+      quant::NumericFormat::kINT8};
+  return kAll;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(std::move(config)),
+      admitted_(obs::MetricsRegistry::Global().GetCounter(
+          "errorflow.serve.admission.admitted")),
+      rejected_invalid_(obs::MetricsRegistry::Global().GetCounter(
+          "errorflow.serve.admission.rejected_invalid")),
+      rejected_expired_(obs::MetricsRegistry::Global().GetCounter(
+          "errorflow.serve.admission.rejected_expired")),
+      rejected_overload_(obs::MetricsRegistry::Global().GetCounter(
+          "errorflow.serve.admission.rejected_overload")),
+      rejected_infeasible_(obs::MetricsRegistry::Global().GetCounter(
+          "errorflow.serve.admission.rejected_infeasible")) {}
+
+Result<AdmissionDecision> AdmissionController::Admit(
+    const core::ErrorFlowAnalysis& analysis, int64_t flops_per_sample,
+    int64_t bytes_per_sample, double qoi_tolerance,
+    Clock::time_point deadline, Clock::time_point now,
+    int64_t queue_depth) const {
+  if (!(qoi_tolerance > 0.0)) {
+    rejected_invalid_->Increment();
+    return Status::InvalidArgument(
+        util::StrFormat("admission: qoi tolerance must be > 0, got %g",
+                        qoi_tolerance));
+  }
+  if (deadline != Clock::time_point{} && deadline <= now) {
+    rejected_expired_->Increment();
+    return Status::DeadlineExceeded(
+        "admission: deadline already expired at submit");
+  }
+  if (queue_depth >= config_.max_queue_depth) {
+    rejected_overload_->Increment();
+    return Status::ResourceExhausted(
+        util::StrFormat("admission: queue full (%lld/%lld)",
+                        static_cast<long long>(queue_depth),
+                        static_cast<long long>(config_.max_queue_depth)));
+  }
+
+  // Fastest format whose error-flow bound (at zero input error — served
+  // inputs are uncompressed) fits the tolerance.
+  const std::vector<quant::NumericFormat>& formats =
+      config_.allowed_formats.empty() ? AllFormats()
+                                      : config_.allowed_formats;
+  quant::ExecutionModel exec(config_.hardware, flops_per_sample,
+                             bytes_per_sample);
+  bool found = false;
+  double tightest = std::numeric_limits<double>::infinity();
+  AdmissionDecision best;
+  double best_seconds = 0.0;
+  for (quant::NumericFormat f : formats) {
+    const double bound = analysis.Bound(0.0, config_.norm, f);
+    tightest = std::min(tightest, bound);
+    if (bound > qoi_tolerance) continue;
+    const double seconds = exec.SecondsPerSample(f);
+    if (!found || seconds < best_seconds) {
+      found = true;
+      best_seconds = seconds;
+      best.format = f;
+      best.quant_bound = bound;
+      best.slack = qoi_tolerance - bound;
+    }
+  }
+  if (!found) {
+    rejected_infeasible_->Increment();
+    return Status::FailedPrecondition(util::StrFormat(
+        "admission: tolerance %.3e below tightest feasible bound %.3e",
+        qoi_tolerance, tightest));
+  }
+  admitted_->Increment();
+  return best;
+}
+
+}  // namespace serve
+}  // namespace errorflow

@@ -1,0 +1,80 @@
+#ifndef ERRORFLOW_SERVE_ADMISSION_H_
+#define ERRORFLOW_SERVE_ADMISSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/error_bound.h"
+#include "obs/metrics.h"
+#include "quant/hardware_model.h"
+#include "serve/request.h"
+#include "util/result.h"
+
+namespace errorflow {
+namespace serve {
+
+/// \brief Admission policy.
+struct AdmissionConfig {
+  tensor::Norm norm = tensor::Norm::kLinf;
+  /// Hardware profile used to rank feasible formats by execution speed.
+  quant::HardwareProfile hardware;
+  /// Formats the controller may choose from; empty means all five
+  /// (FP32 included, so any positive tolerance is feasible). Restricting
+  /// to ReducedFormats() makes tight tolerances rejectable.
+  std::vector<quant::NumericFormat> allowed_formats;
+  /// Backpressure bound: requests arriving while this many admitted
+  /// requests are still queued are shed with kResourceExhausted.
+  int64_t max_queue_depth = 1024;
+};
+
+/// \brief The controller's verdict for an admitted request.
+struct AdmissionDecision {
+  quant::NumericFormat format = quant::NumericFormat::kFP32;
+  /// Predicted QoI bound of the chosen format (quantization term only).
+  double quant_bound = 0.0;
+  /// Tolerance left unused by the chosen format.
+  double slack = 0.0;
+};
+
+/// \brief Maps a request's QoI tolerance to the fastest feasible quantized
+/// format via the error-flow bound, rejecting doomed work up front.
+///
+/// Typed rejections:
+///  - kInvalidArgument:    tolerance <= 0 (a zero budget admits no error
+///                         bound, not even FP32's, under Linf/L2 semantics);
+///  - kDeadlineExceeded:   deadline already expired at submit;
+///  - kResourceExhausted:  queue depth at the backpressure bound;
+///  - kFailedPrecondition: tolerance below the tightest feasible bound of
+///                         the allowed formats.
+///
+/// Every path increments an `errorflow.serve.admission.*` counter.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config);
+
+  /// Decides one request. `now` is injected for testability; production
+  /// callers pass Clock::now(). `queue_depth` is the number of admitted,
+  /// not-yet-dispatched requests.
+  Result<AdmissionDecision> Admit(const core::ErrorFlowAnalysis& analysis,
+                                  int64_t flops_per_sample,
+                                  int64_t bytes_per_sample,
+                                  double qoi_tolerance,
+                                  Clock::time_point deadline,
+                                  Clock::time_point now,
+                                  int64_t queue_depth) const;
+
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  AdmissionConfig config_;
+  obs::Counter* admitted_;
+  obs::Counter* rejected_invalid_;
+  obs::Counter* rejected_expired_;
+  obs::Counter* rejected_overload_;
+  obs::Counter* rejected_infeasible_;
+};
+
+}  // namespace serve
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_SERVE_ADMISSION_H_

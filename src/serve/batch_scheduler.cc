@@ -1,0 +1,241 @@
+#include "serve/batch_scheduler.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "obs/log.h"
+#include "obs/trace.h"
+
+namespace errorflow {
+namespace serve {
+
+namespace {
+
+double SecondsBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+BatchScheduler::BatchScheduler(ModelRegistry* registry,
+                               SchedulerConfig config)
+    : registry_(registry),
+      config_(config),
+      queue_depth_gauge_(obs::MetricsRegistry::Global().GetGauge(
+          "errorflow.serve.queue_depth")),
+      completed_(obs::MetricsRegistry::Global().GetCounter(
+          "errorflow.serve.completed")),
+      timeouts_(obs::MetricsRegistry::Global().GetCounter(
+          "errorflow.serve.timeouts")),
+      exec_failures_(obs::MetricsRegistry::Global().GetCounter(
+          "errorflow.serve.exec_failures")),
+      batch_requests_hist_(obs::MetricsRegistry::Global().GetHistogram(
+          "errorflow.serve.batch_requests",
+          obs::Histogram::DefaultCountBounds())),
+      batch_rows_hist_(obs::MetricsRegistry::Global().GetHistogram(
+          "errorflow.serve.batch_rows",
+          obs::Histogram::DefaultCountBounds())),
+      latency_hist_(obs::MetricsRegistry::Global().GetHistogram(
+          "errorflow.serve.latency_seconds")),
+      queue_wait_hist_(obs::MetricsRegistry::Global().GetHistogram(
+          "errorflow.serve.queue_wait_seconds")),
+      exec_hist_(obs::MetricsRegistry::Global().GetHistogram(
+          "errorflow.serve.exec_seconds")) {
+  EF_CHECK(registry_ != nullptr);
+  EF_CHECK(config_.max_batch_rows >= 1);
+}
+
+BatchScheduler::~BatchScheduler() { Shutdown(); }
+
+Status BatchScheduler::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return Status::OK();
+  pool_ = std::make_unique<util::ThreadPool>(config_.num_workers);
+  stopping_ = false;
+  running_ = true;
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+  return Status::OK();
+}
+
+std::future<InferenceResponse> BatchScheduler::Enqueue(
+    InferenceRequest request, AdmissionDecision decision) {
+  Pending pending;
+  pending.request = std::move(request);
+  pending.decision = decision;
+  pending.enqueue_time = Clock::now();
+  std::future<InferenceResponse> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_ || stopping_) {
+      InferenceResponse response;
+      response.status =
+          Status::FailedPrecondition("scheduler: not accepting requests");
+      pending.promise.set_value(std::move(response));
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+    queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+int64_t BatchScheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+bool BatchScheduler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_ && !stopping_;
+}
+
+Status BatchScheduler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return Status::OK();
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  dispatcher_.join();  // Exits only once the queue is drained.
+  pool_.reset();       // ThreadPool dtor drains in-flight batches.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+    stopping_ = false;
+  }
+  return Status::OK();
+}
+
+void BatchScheduler::DispatchLoop() {
+  for (;;) {
+    std::vector<Pending> group;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue.
+
+      group.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      // Copied, not referenced: push_back below reallocates `group`.
+      const std::string model = group[0].request.model;
+      const quant::NumericFormat format = group[0].decision.format;
+      int64_t rows = group[0].request.input.dim(0);
+      // Sweep the queue (FIFO order) for compatible requests to fuse.
+      for (auto it = queue_.begin();
+           it != queue_.end() && rows < config_.max_batch_rows;) {
+        if (it->request.model == model && it->decision.format == format &&
+            rows + it->request.input.dim(0) <= config_.max_batch_rows) {
+          rows += it->request.input.dim(0);
+          group.push_back(std::move(*it));
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+    }
+    // std::function needs copyable callables; box the move-only group.
+    auto boxed = std::make_shared<std::vector<Pending>>(std::move(group));
+    pool_->Submit([this, boxed] { ExecuteGroup(std::move(*boxed)); });
+  }
+}
+
+void BatchScheduler::FailGroup(std::vector<Pending>* group,
+                               const Status& status) {
+  for (Pending& p : *group) {
+    InferenceResponse response;
+    response.status = status;
+    p.promise.set_value(std::move(response));
+  }
+  group->clear();
+}
+
+void BatchScheduler::ExecuteGroup(std::vector<Pending> group) {
+  obs::TraceSpan span("serve.batch");
+  // Shed requests whose deadline passed while they queued.
+  const Clock::time_point dispatch_time = Clock::now();
+  std::vector<Pending> live;
+  live.reserve(group.size());
+  for (Pending& p : group) {
+    if (p.request.deadline != Clock::time_point{} &&
+        p.request.deadline <= dispatch_time) {
+      timeouts_->Increment();
+      InferenceResponse response;
+      response.status =
+          Status::DeadlineExceeded("scheduler: deadline expired in queue");
+      response.queue_seconds =
+          SecondsBetween(p.enqueue_time, dispatch_time);
+      response.total_seconds = response.queue_seconds;
+      p.promise.set_value(std::move(response));
+    } else {
+      live.push_back(std::move(p));
+    }
+  }
+  if (live.empty()) return;
+
+  auto variant =
+      registry_->GetVariant(live[0].request.model, live[0].decision.format);
+  if (!variant.ok()) {
+    exec_failures_->Increment(static_cast<uint64_t>(live.size()));
+    FailGroup(&live, variant.status());
+    return;
+  }
+
+  // Gather request inputs into one fused batch.
+  int64_t rows = 0;
+  for (const Pending& p : live) rows += p.request.input.dim(0);
+  tensor::Shape fused_shape = live[0].request.input.shape();
+  fused_shape[0] = rows;
+  tensor::Tensor fused(fused_shape);
+  const int64_t row_elems = fused.size() / rows;
+  int64_t offset = 0;
+  for (const Pending& p : live) {
+    const tensor::Tensor& in = p.request.input;
+    std::memcpy(fused.data() + offset * row_elems, in.data(),
+                static_cast<size_t>(in.size()) * sizeof(float));
+    offset += in.dim(0);
+  }
+
+  tensor::Tensor output;
+  {
+    obs::TraceSpan exec_span("serve.batch.exec");
+    std::lock_guard<std::mutex> exec_lock((*variant)->exec_mu);
+    output = (*variant)->model.Predict(fused);
+  }
+  const Clock::time_point done_time = Clock::now();
+  exec_hist_->Record(SecondsBetween(dispatch_time, done_time));
+  batch_requests_hist_->Record(static_cast<double>(live.size()));
+  batch_rows_hist_->Record(static_cast<double>(rows));
+
+  // Scatter output rows back to the per-request promises.
+  const int64_t out_row_elems = output.size() / rows;
+  tensor::Shape out_shape = output.shape();
+  offset = 0;
+  for (Pending& p : live) {
+    const int64_t k = p.request.input.dim(0);
+    out_shape[0] = k;
+    tensor::Tensor slice(out_shape);
+    std::memcpy(slice.data(), output.data() + offset * out_row_elems,
+                static_cast<size_t>(k * out_row_elems) * sizeof(float));
+    offset += k;
+
+    InferenceResponse response;
+    response.status = Status::OK();
+    response.output = std::move(slice);
+    response.format = p.decision.format;
+    response.predicted_qoi_bound = p.decision.quant_bound;
+    response.batch_requests = static_cast<int64_t>(live.size());
+    response.batch_rows = rows;
+    response.queue_seconds = SecondsBetween(p.enqueue_time, dispatch_time);
+    response.total_seconds = SecondsBetween(p.enqueue_time, done_time);
+    queue_wait_hist_->Record(response.queue_seconds);
+    latency_hist_->Record(response.total_seconds);
+    completed_->Increment();
+    p.promise.set_value(std::move(response));
+  }
+}
+
+}  // namespace serve
+}  // namespace errorflow

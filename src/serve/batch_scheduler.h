@@ -1,0 +1,109 @@
+#ifndef ERRORFLOW_SERVE_BATCH_SCHEDULER_H_
+#define ERRORFLOW_SERVE_BATCH_SCHEDULER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/admission.h"
+#include "serve/model_registry.h"
+#include "serve/request.h"
+#include "util/thread_pool.h"
+
+namespace errorflow {
+namespace serve {
+
+/// \brief Scheduler tuning.
+struct SchedulerConfig {
+  /// util::ThreadPool workers executing fused batches.
+  int num_workers = 4;
+  /// Cap on sample rows fused into one execution batch.
+  int64_t max_batch_rows = 64;
+};
+
+/// \brief FIFO request queue plus a dispatcher that fuses compatible
+/// requests — same (model, format) — into batches and executes them on a
+/// worker pool.
+///
+/// The dispatcher thread pops the oldest admitted request, sweeps the
+/// queue for others with the same key until `max_batch_rows`, and hands
+/// the group to the pool. Workers lease the quantized variant from the
+/// registry (a cache hit after the first batch), run one fused Predict
+/// under the variant's execution lock, then scatter output rows back to
+/// the per-request promises. Requests whose deadline passed while queued
+/// are shed with kDeadlineExceeded at dispatch time, before any execution.
+class BatchScheduler {
+ public:
+  BatchScheduler(ModelRegistry* registry, SchedulerConfig config);
+
+  /// Calls Shutdown() if still running.
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// Starts the dispatcher thread and the worker pool. Idempotent.
+  Status Start();
+
+  /// Enqueues an admitted request. The future completes when the request
+  /// executes, is shed on timeout, or fails.
+  std::future<InferenceResponse> Enqueue(InferenceRequest request,
+                                         AdmissionDecision decision);
+
+  /// Admitted requests not yet dispatched (the admission backpressure
+  /// signal).
+  int64_t queue_depth() const;
+
+  /// Drains the queue (every queued request still executes or is shed),
+  /// then stops the dispatcher and joins the workers. Idempotent.
+  Status Shutdown();
+
+  bool running() const;
+
+ private:
+  struct Pending {
+    InferenceRequest request;
+    AdmissionDecision decision;
+    std::promise<InferenceResponse> promise;
+    Clock::time_point enqueue_time;
+  };
+
+  void DispatchLoop();
+  /// Runs on a pool worker: executes one fused group.
+  void ExecuteGroup(std::vector<Pending> group);
+  /// Fulfills every promise in `group` with `status`.
+  static void FailGroup(std::vector<Pending>* group, const Status& status);
+
+  ModelRegistry* registry_;
+  SchedulerConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool running_ = false;
+  bool stopping_ = false;
+  std::thread dispatcher_;
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  // docs/SERVING.md metric conventions.
+  obs::Gauge* queue_depth_gauge_;
+  obs::Counter* completed_;
+  obs::Counter* timeouts_;
+  obs::Counter* exec_failures_;
+  obs::Histogram* batch_requests_hist_;
+  obs::Histogram* batch_rows_hist_;
+  obs::Histogram* latency_hist_;
+  obs::Histogram* queue_wait_hist_;
+  obs::Histogram* exec_hist_;
+};
+
+}  // namespace serve
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_SERVE_BATCH_SCHEDULER_H_

@@ -1,0 +1,156 @@
+#include "serve/load_gen.h"
+
+#include <atomic>
+#include <thread>
+
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace errorflow {
+namespace serve {
+
+namespace {
+
+struct ClientCounters {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;
+  uint64_t timed_out = 0;
+  uint64_t failed = 0;
+};
+
+}  // namespace
+
+LoadGenStats RunClosedLoop(
+    InferenceServer& server, const LoadGenConfig& config,
+    const std::function<tensor::Tensor(uint64_t)>& input_factory) {
+  EF_CHECK(config.concurrency >= 1);
+  EF_CHECK(!config.tolerance_mix.empty());
+  EF_CHECK(config.input_pool >= 1);
+
+  std::vector<tensor::Tensor> pool;
+  pool.reserve(static_cast<size_t>(config.input_pool));
+  for (int i = 0; i < config.input_pool; ++i) {
+    pool.push_back(
+        input_factory(config.seed + static_cast<uint64_t>(i)));
+  }
+
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point stop_at =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(config.duration_seconds));
+
+  std::vector<ClientCounters> counters(
+      static_cast<size_t>(config.concurrency));
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(config.concurrency));
+  for (int c = 0; c < config.concurrency; ++c) {
+    clients.emplace_back([&, c] {
+      ClientCounters& mine = counters[static_cast<size_t>(c)];
+      uint64_t i = 0;
+      while (Clock::now() < stop_at) {
+        InferenceRequest request;
+        request.model = config.model;
+        request.input = pool[(i * static_cast<uint64_t>(
+                                      config.concurrency) +
+                              static_cast<uint64_t>(c)) %
+                             pool.size()];
+        request.qoi_tolerance =
+            config.tolerance_mix[i % config.tolerance_mix.size()];
+        request.deadline = Clock::now() + config.request_timeout;
+        ++i;
+        ++mine.submitted;
+        auto future = server.Submit(std::move(request));
+        if (!future.ok()) {
+          ++mine.rejected;
+          continue;
+        }
+        InferenceResponse response = future->get();
+        if (response.ok()) {
+          ++mine.completed;
+        } else if (response.status.code() ==
+                   StatusCode::kDeadlineExceeded) {
+          ++mine.timed_out;
+        } else {
+          ++mine.failed;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  LoadGenStats stats;
+  stats.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  for (const ClientCounters& c : counters) {
+    stats.submitted += c.submitted;
+    stats.completed += c.completed;
+    stats.rejected += c.rejected;
+    stats.timed_out += c.timed_out;
+    stats.failed += c.failed;
+  }
+  stats.throughput_rps =
+      static_cast<double>(stats.completed) /
+      std::max(1e-12, stats.wall_seconds);
+  const obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  stats.latency =
+      registry.HistogramSnapshotOf("errorflow.serve.latency_seconds");
+  stats.batch_requests =
+      registry.HistogramSnapshotOf("errorflow.serve.batch_requests");
+  return stats;
+}
+
+std::string LoadGenStats::Summary(
+    const obs::MetricsRegistry& registry) const {
+  std::string out;
+  out += util::StrFormat(
+      "  requests            : %llu submitted, %llu served, %llu rejected, "
+      "%llu timed out, %llu failed\n",
+      static_cast<unsigned long long>(submitted),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(timed_out),
+      static_cast<unsigned long long>(failed));
+  out += util::StrFormat("  wall / throughput   : %.2f s / %.0f req/s\n",
+                         wall_seconds, throughput_rps);
+  out += util::StrFormat(
+      "  latency (ms)        : p50 %.3f  p95 %.3f  p99 %.3f  max %.3f\n",
+      latency.p50() * 1e3, latency.p95() * 1e3, latency.p99() * 1e3,
+      latency.max * 1e3);
+  out += util::StrFormat(
+      "  batch fusion        : %llu batches, mean %.2f req/batch\n",
+      static_cast<unsigned long long>(batch_requests.count),
+      batch_requests.count > 0
+          ? batch_requests.sum / static_cast<double>(batch_requests.count)
+          : 0.0);
+  out += util::StrFormat(
+      "  admission (registry): %llu admitted | rejects: %llu invalid, "
+      "%llu infeasible, %llu overload, %llu expired | %llu queue timeouts\n",
+      static_cast<unsigned long long>(
+          registry.CounterValue("errorflow.serve.admission.admitted")),
+      static_cast<unsigned long long>(registry.CounterValue(
+          "errorflow.serve.admission.rejected_invalid")),
+      static_cast<unsigned long long>(registry.CounterValue(
+          "errorflow.serve.admission.rejected_infeasible")),
+      static_cast<unsigned long long>(registry.CounterValue(
+          "errorflow.serve.admission.rejected_overload")),
+      static_cast<unsigned long long>(registry.CounterValue(
+          "errorflow.serve.admission.rejected_expired")),
+      static_cast<unsigned long long>(
+          registry.CounterValue("errorflow.serve.timeouts")));
+  out += util::StrFormat(
+      "  registry            : %llu quantizations, %llu hits, %llu misses, "
+      "%llu evictions\n",
+      static_cast<unsigned long long>(registry.CounterValue(
+          "errorflow.serve.registry.quantize_count")),
+      static_cast<unsigned long long>(
+          registry.CounterValue("errorflow.serve.registry.hits")),
+      static_cast<unsigned long long>(
+          registry.CounterValue("errorflow.serve.registry.misses")),
+      static_cast<unsigned long long>(
+          registry.CounterValue("errorflow.serve.registry.evictions")));
+  return out;
+}
+
+}  // namespace serve
+}  // namespace errorflow

@@ -1,0 +1,66 @@
+#ifndef ERRORFLOW_SERVE_LOAD_GEN_H_
+#define ERRORFLOW_SERVE_LOAD_GEN_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/server.h"
+#include "tensor/tensor.h"
+
+namespace errorflow {
+namespace serve {
+
+/// \brief Closed-loop load-generator configuration: each of `concurrency`
+/// client threads keeps exactly one request outstanding for
+/// `duration_seconds`, cycling through `tolerance_mix`.
+struct LoadGenConfig {
+  std::string model;
+  int concurrency = 8;
+  double duration_seconds = 5.0;
+  /// QoI tolerances cycled per request (the request "mix"); must be
+  /// non-empty.
+  std::vector<double> tolerance_mix = {1e-3, 1e-2, 1e-1};
+  /// Per-request deadline.
+  std::chrono::milliseconds request_timeout{1000};
+  /// Distinct pregenerated inputs cycled by the clients (inputs are
+  /// produced up front so client threads never race the factory).
+  int input_pool = 16;
+  uint64_t seed = 1;
+};
+
+/// \brief Aggregated outcome of one load-generation run. Client-side
+/// counters come from the futures; latency percentiles and admit/reject
+/// counts are read back from the `errorflow.serve.*` metrics registry.
+struct LoadGenStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;   // Typed admission rejections.
+  uint64_t timed_out = 0;  // Shed in queue with kDeadlineExceeded.
+  uint64_t failed = 0;     // Any other non-OK response.
+  double wall_seconds = 0.0;
+  double throughput_rps = 0.0;
+  obs::HistogramSnapshot latency;  // errorflow.serve.latency_seconds.
+  obs::HistogramSnapshot batch_requests;
+
+  /// Multi-line human-readable block: throughput, p50/p95/p99 latency, and
+  /// the registry's admission/completion counters.
+  std::string Summary(
+      const obs::MetricsRegistry& registry =
+          obs::MetricsRegistry::Global()) const;
+};
+
+/// \brief Drives `server` closed-loop. `input_factory(seed)` must return a
+/// fresh input batch for the configured model; it is called `input_pool`
+/// times before the clients start. The server must already be running.
+LoadGenStats RunClosedLoop(
+    InferenceServer& server, const LoadGenConfig& config,
+    const std::function<tensor::Tensor(uint64_t)>& input_factory);
+
+}  // namespace serve
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_SERVE_LOAD_GEN_H_

@@ -1,0 +1,158 @@
+#include "serve/model_registry.h"
+
+#include <algorithm>
+
+#include "core/spectral_profile.h"
+#include "obs/log.h"
+#include "obs/trace.h"
+#include "quant/quantize_model.h"
+
+namespace errorflow {
+namespace serve {
+
+namespace {
+
+std::string VariantKey(const std::string& name,
+                       quant::NumericFormat format) {
+  return name + "\n" + quant::FormatToString(format);
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(RegistryConfig config)
+    : config_(config),
+      quantize_count_(obs::MetricsRegistry::Global().GetCounter(
+          "errorflow.serve.registry.quantize_count")),
+      hits_(obs::MetricsRegistry::Global().GetCounter(
+          "errorflow.serve.registry.hits")),
+      misses_(obs::MetricsRegistry::Global().GetCounter(
+          "errorflow.serve.registry.misses")),
+      evictions_(obs::MetricsRegistry::Global().GetCounter(
+          "errorflow.serve.registry.evictions")),
+      bytes_gauge_(obs::MetricsRegistry::Global().GetGauge(
+          "errorflow.serve.registry.variant_bytes")),
+      models_gauge_(obs::MetricsRegistry::Global().GetGauge(
+          "errorflow.serve.registry.models")) {}
+
+Status ModelRegistry::Register(std::string name, nn::Model model,
+                               tensor::Shape single_input_shape) {
+  if (name.empty() || name.find('\n') != std::string::npos) {
+    return Status::InvalidArgument("registry: bad model name");
+  }
+  obs::TraceSpan span("serve.registry.register");
+  // Profile before folding, as the pipeline does: the profiler reads PSN
+  // scales through the layer API.
+  core::ErrorFlowAnalysis analysis(
+      core::ProfileModel(model, single_input_shape));
+  model.FoldPsn();
+  auto entry = std::make_unique<Entry>(std::move(model), std::move(analysis),
+                                       single_input_shape);
+  entry->flops_per_sample = entry->base.FlopsPerSample(single_input_shape);
+  int64_t elems = 1;
+  for (size_t i = 1; i < single_input_shape.size(); ++i) {
+    elems *= single_input_shape[i];
+  }
+  entry->bytes_per_sample = elems * static_cast<int64_t>(sizeof(float));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.count(name) != 0) {
+    return Status::AlreadyExists("registry: model already registered: " +
+                                 name);
+  }
+  entries_.emplace(std::move(name), std::move(entry));
+  models_gauge_->Set(static_cast<double>(entries_.size()));
+  return Status::OK();
+}
+
+Result<const ModelRegistry::Entry*> ModelRegistry::Lookup(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("registry: no such model: " + name);
+  }
+  return static_cast<const Entry*>(it->second.get());
+}
+
+Result<std::shared_ptr<ModelRegistry::Variant>> ModelRegistry::GetVariant(
+    const std::string& name, quant::NumericFormat format) {
+  const std::string key = VariantKey(name, format);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto hit = variants_.find(key);
+  if (hit != variants_.end()) {
+    hit->second.last_used_tick = ++tick_;
+    hits_->Increment();
+    return hit->second.variant;
+  }
+  auto entry_it = entries_.find(name);
+  if (entry_it == entries_.end()) {
+    return Status::NotFound("registry: no such model: " + name);
+  }
+  misses_->Increment();
+  quantize_count_->Increment();
+
+  obs::TraceSpan span("serve.registry.quantize");
+  auto variant = std::make_shared<Variant>();
+  variant->format = format;
+  // kFP32 clones (QuantizeWeights is an identity clone there); reduced
+  // formats round every Dense/Conv weight tensor.
+  variant->model =
+      std::move(quant::QuantizeWeights(entry_it->second->base, format).model);
+  // Variants store rounded values as FP32, so resident bytes are the FP32
+  // footprint regardless of the logical format width.
+  variant->resident_bytes =
+      quant::ModelStorageBytes(variant->model, quant::NumericFormat::kFP32);
+  obs::Logf(obs::LogLevel::kDebug,
+            "registry: materialized %s/%s (%lld bytes)", name.c_str(),
+            quant::FormatToString(format),
+            static_cast<long long>(variant->resident_bytes));
+
+  CachedVariant cached;
+  cached.variant = variant;
+  cached.last_used_tick = ++tick_;
+  variant_bytes_ += variant->resident_bytes;
+  variants_.emplace(key, std::move(cached));
+  EvictLocked(key);
+  bytes_gauge_->Set(static_cast<double>(variant_bytes_));
+  return variant;
+}
+
+void ModelRegistry::EvictLocked(const std::string& keep) {
+  while (variant_bytes_ > config_.max_variant_bytes && variants_.size() > 1) {
+    auto victim = variants_.end();
+    for (auto it = variants_.begin(); it != variants_.end(); ++it) {
+      if (it->first == keep) continue;
+      if (victim == variants_.end() ||
+          it->second.last_used_tick < victim->second.last_used_tick) {
+        victim = it;
+      }
+    }
+    if (victim == variants_.end()) return;
+    variant_bytes_ -= victim->second.variant->resident_bytes;
+    evictions_->Increment();
+    obs::Logf(obs::LogLevel::kDebug, "registry: evicted variant %s",
+              victim->first.c_str());
+    variants_.erase(victim);
+  }
+}
+
+std::vector<std::string> ModelRegistry::ModelNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+int64_t ModelRegistry::variant_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(variants_.size());
+}
+
+int64_t ModelRegistry::variant_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return variant_bytes_;
+}
+
+}  // namespace serve
+}  // namespace errorflow

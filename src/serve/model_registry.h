@@ -1,0 +1,124 @@
+#ifndef ERRORFLOW_SERVE_MODEL_REGISTRY_H_
+#define ERRORFLOW_SERVE_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/error_bound.h"
+#include "nn/model.h"
+#include "obs/metrics.h"
+#include "quant/format.h"
+#include "util/result.h"
+
+namespace errorflow {
+namespace serve {
+
+/// \brief Registry configuration.
+struct RegistryConfig {
+  /// Upper bound on the resident bytes of cached quantized variants
+  /// (base models are excluded from the budget). Least-recently-used
+  /// variants are evicted once the bound is exceeded; in-flight executions
+  /// keep their variant alive through the returned shared_ptr.
+  int64_t max_variant_bytes = 256ll << 20;
+};
+
+/// \brief Owns the served models, their error-flow analyses, and a bounded
+/// LRU cache of lazily materialized quantized variants.
+///
+/// DeepSZ-style serving keeps several quantized copies of a model resident
+/// and selects among them per request error budget; this registry is that
+/// store. A variant is quantized once on first use and found by key
+/// (model, format) afterwards — the `errorflow.serve.registry.quantize_count`
+/// counter stays flat across repeated same-format requests.
+///
+/// Thread-safe. Variant execution is serialized per variant through
+/// `Variant::exec_mu` (inference on a PSN-folded model does not mutate layer
+/// state, but the lock keeps the contract independent of layer internals);
+/// different variants execute fully in parallel.
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(RegistryConfig config = {});
+
+  /// \brief Immutable per-model record: the FP32 base (PSN folded), the
+  /// error-flow analysis used by admission, and the execution-model inputs.
+  struct Entry {
+    nn::Model base;
+    core::ErrorFlowAnalysis analysis;
+    tensor::Shape single_input_shape;
+    int64_t flops_per_sample = 0;
+    int64_t bytes_per_sample = 0;
+
+    Entry(nn::Model base_model, core::ErrorFlowAnalysis model_analysis,
+          tensor::Shape shape)
+        : base(std::move(base_model)),
+          analysis(std::move(model_analysis)),
+          single_input_shape(std::move(shape)) {}
+  };
+
+  /// \brief One materialized quantized clone.
+  struct Variant {
+    quant::NumericFormat format = quant::NumericFormat::kFP32;
+    nn::Model model;
+    int64_t resident_bytes = 0;
+    /// Serializes Predict on this clone; batches for different variants
+    /// run concurrently on the worker pool.
+    std::mutex exec_mu;
+  };
+
+  /// Profiles `model` (folding PSN afterwards) and takes ownership.
+  /// `single_input_shape` as in core::ProfileModel. Fails with
+  /// kAlreadyExists on duplicate names.
+  Status Register(std::string name, nn::Model model,
+                  tensor::Shape single_input_shape);
+
+  /// The registered record, or kNotFound. The pointer stays valid for the
+  /// registry's lifetime (entries are never removed).
+  Result<const Entry*> Lookup(const std::string& name) const;
+
+  /// Returns the cached variant for (name, format), materializing it on
+  /// first use. kFP32 yields a plain clone of the base so execution always
+  /// goes through a variant lease.
+  Result<std::shared_ptr<Variant>> GetVariant(const std::string& name,
+                                              quant::NumericFormat format);
+
+  std::vector<std::string> ModelNames() const;
+  int64_t variant_count() const;
+  int64_t variant_bytes() const;
+  const RegistryConfig& config() const { return config_; }
+
+ private:
+  struct CachedVariant {
+    std::shared_ptr<Variant> variant;
+    uint64_t last_used_tick = 0;
+  };
+
+  /// Drops least-recently-used variants (never `keep`) until the byte
+  /// budget holds or nothing else remains. Caller holds mu_.
+  void EvictLocked(const std::string& keep);
+
+  RegistryConfig config_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Entry>> entries_;
+  /// Key: "<model>\n<format>" (model names cannot contain newlines).
+  std::map<std::string, CachedVariant> variants_;
+  int64_t variant_bytes_ = 0;
+  uint64_t tick_ = 0;
+
+  // docs/SERVING.md metric conventions.
+  obs::Counter* quantize_count_;
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* evictions_;
+  obs::Gauge* bytes_gauge_;
+  obs::Gauge* models_gauge_;
+};
+
+}  // namespace serve
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_SERVE_MODEL_REGISTRY_H_

@@ -1,0 +1,59 @@
+#ifndef ERRORFLOW_SERVE_REQUEST_H_
+#define ERRORFLOW_SERVE_REQUEST_H_
+
+#include <chrono>
+#include <string>
+
+#include "quant/format.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace errorflow {
+namespace serve {
+
+using Clock = std::chrono::steady_clock;
+
+/// \brief One inference request against a registered model.
+///
+/// `input` is a batch of one or more samples in the model's input layout
+/// ((k, features) or (k, C, H, W)); the scheduler may fuse several
+/// requests into one execution batch. The QoI tolerance drives admission:
+/// the controller picks the fastest quantized variant whose predicted
+/// error bound fits inside it, or rejects the request outright.
+struct InferenceRequest {
+  std::string model;
+  tensor::Tensor input;
+  /// Absolute QoI tolerance, same norm as the server's configured norm.
+  double qoi_tolerance = 0.0;
+  /// Absolute deadline; a default-constructed time_point means "apply the
+  /// server's default timeout at submit time". Requests still queued past
+  /// their deadline are shed with kDeadlineExceeded instead of executed.
+  Clock::time_point deadline{};
+};
+
+/// \brief Outcome of an admitted request, delivered through the future
+/// returned by InferenceServer::Submit.
+struct InferenceResponse {
+  /// OK on success; kDeadlineExceeded when the request expired in the
+  /// queue; other codes for execution failures.
+  Status status;
+  tensor::Tensor output;
+  /// Variant the request executed on.
+  quant::NumericFormat format = quant::NumericFormat::kFP32;
+  /// Predicted QoI bound of that variant (quantization term only; served
+  /// inputs are not compressed).
+  double predicted_qoi_bound = 0.0;
+  /// Requests and total sample rows fused into the executed batch.
+  int64_t batch_requests = 0;
+  int64_t batch_rows = 0;
+  /// Seconds spent queued before dispatch, and submit-to-completion total.
+  double queue_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  bool ok() const { return status.ok(); }
+};
+
+}  // namespace serve
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_SERVE_REQUEST_H_

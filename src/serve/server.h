@@ -1,0 +1,85 @@
+#ifndef ERRORFLOW_SERVE_SERVER_H_
+#define ERRORFLOW_SERVE_SERVER_H_
+
+#include <future>
+#include <memory>
+#include <string>
+
+#include "serve/admission.h"
+#include "serve/batch_scheduler.h"
+#include "serve/model_registry.h"
+#include "serve/request.h"
+
+namespace errorflow {
+namespace serve {
+
+/// \brief Whole-server configuration; the component configs are derived
+/// from it.
+struct ServerConfig {
+  /// Workers executing fused batches.
+  int num_workers = 4;
+  /// Cap on sample rows fused into one execution batch.
+  int64_t max_batch_rows = 64;
+  /// Admitted-but-queued bound; arrivals beyond it are shed.
+  int64_t max_queue_depth = 1024;
+  /// LRU budget for cached quantized variants.
+  int64_t max_variant_bytes = 256ll << 20;
+  /// Norm of request tolerances.
+  tensor::Norm norm = tensor::Norm::kLinf;
+  quant::HardwareProfile hardware;
+  /// Formats admission may choose; empty = all five (FP32 included).
+  std::vector<quant::NumericFormat> allowed_formats;
+  /// Deadline applied to requests that submit without one.
+  std::chrono::milliseconds default_timeout{1000};
+};
+
+/// \brief Concurrent inference service: tolerance-based admission, request
+/// batching, and a registry of quantized model variants (Fig. 1's
+/// (tolerance, format) selection, run as a server instead of one pipeline
+/// at a time).
+///
+/// Lifecycle: RegisterModel (any time) -> Start -> Submit... -> Shutdown.
+/// Shutdown drains: every admitted request completes or is shed with a
+/// typed Status. All activity is observable under `errorflow.serve.*`
+/// (docs/SERVING.md).
+class InferenceServer {
+ public:
+  explicit InferenceServer(ServerConfig config = {});
+
+  /// Shuts down if still running.
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Profiles and registers a trained model under `name`.
+  Status RegisterModel(std::string name, nn::Model model,
+                       tensor::Shape single_input_shape);
+
+  Status Start();
+
+  /// Admits and enqueues one request. Typed-error results (kNotFound,
+  /// kInvalidArgument, kDeadlineExceeded, kResourceExhausted,
+  /// kFailedPrecondition) reject without queuing work; an OK result's
+  /// future completes with the response.
+  Result<std::future<InferenceResponse>> Submit(InferenceRequest request);
+
+  /// Drains the queue and stops workers. Idempotent.
+  Status Shutdown();
+
+  bool running() const { return scheduler_.running(); }
+  int64_t queue_depth() const { return scheduler_.queue_depth(); }
+  ModelRegistry& registry() { return registry_; }
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  ServerConfig config_;
+  ModelRegistry registry_;
+  AdmissionController admission_;
+  BatchScheduler scheduler_;
+};
+
+}  // namespace serve
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_SERVE_SERVER_H_

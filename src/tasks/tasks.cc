@@ -1,5 +1,6 @@
 #include "tasks/tasks.h"
 
+#include <cstdlib>
 #include <filesystem>
 
 #include "data/borghesi.h"
@@ -159,8 +160,16 @@ const char* TaskKindToString(TaskKind kind) {
   return "unknown";
 }
 
+std::string DefaultModelCacheDir() {
+  const char* env = std::getenv("ERRORFLOW_CACHE_DIR");
+  if (env != nullptr && env[0] != '\0') return env;
+  return "ef_model_cache";
+}
+
 TrainedTask GetTask(TaskKind kind, Regularization reg, uint64_t seed,
-                    const std::string& cache_dir) {
+                    const std::string& cache_dir_arg) {
+  const std::string cache_dir =
+      cache_dir_arg.empty() ? DefaultModelCacheDir() : cache_dir_arg;
   TrainedTask task;
   task.kind = kind;
   task.regularization = reg;

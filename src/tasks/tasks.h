@@ -50,14 +50,20 @@ struct TrainedTask {
   bool classification = false;
 };
 
+/// \brief Resolution of the model artifact cache directory: the
+/// `ERRORFLOW_CACHE_DIR` environment variable when set and non-empty,
+/// otherwise `./ef_model_cache`. Long-running processes (the inference
+/// server) set the env var so the cache is CWD-independent.
+std::string DefaultModelCacheDir();
+
 /// \brief Trains (or loads from the on-disk cache) one task variant.
 ///
 /// Models are cached under `cache_dir` keyed by (task, regularization,
-/// seed); delete the directory to force retraining. Training is fully
+/// seed); delete the directory to force retraining. An empty `cache_dir`
+/// resolves through DefaultModelCacheDir(). Training is fully
 /// deterministic for a given seed.
 TrainedTask GetTask(TaskKind kind, Regularization reg = Regularization::kPsn,
-                    uint64_t seed = 1,
-                    const std::string& cache_dir = "ef_model_cache");
+                    uint64_t seed = 1, const std::string& cache_dir = "");
 
 /// \brief Generates `count` fresh, independent normalized input batches
 /// for a task (the "five independently sampled batches" of Figs. 3/4).

@@ -24,6 +24,7 @@ enum class StatusCode : int {
   kInternal = 8,
   kResourceExhausted = 9,
   kFailedPrecondition = 10,
+  kDeadlineExceeded = 11,
 };
 
 /// \brief Returns the canonical name of a status code, e.g. "InvalidArgument".
@@ -81,6 +82,9 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   /// @}
 

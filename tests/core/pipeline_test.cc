@@ -142,6 +142,44 @@ TEST(PipelineTest, ReferenceNormReported) {
   EXPECT_GT(report->reference_qoi_norm, 0.0);
 }
 
+TEST(PipelineTest, RelativeQoIErrorDividesByReferenceNorm) {
+  PipelineReport report;
+  report.achieved_qoi_error = 0.02;
+  report.reference_qoi_norm = 4.0;
+  EXPECT_DOUBLE_EQ(report.RelativeQoIError(), 0.005);
+
+  report.reference_qoi_norm = 0.0;  // Unknown norm: no division by zero.
+  EXPECT_EQ(report.RelativeQoIError(), 0.0);
+
+  // A real run reports a consistent pair.
+  PipelineConfig cfg;
+  InferencePipeline pipeline(PipelineMlp(), {1, 8}, cfg);
+  auto run = pipeline.Run(SmoothBatch(32, 8, 9), 1e-2);
+  ASSERT_TRUE(run.ok());
+  EXPECT_DOUBLE_EQ(run->RelativeQoIError(),
+                   run->achieved_qoi_error / run->reference_qoi_norm);
+}
+
+TEST(PipelineTest, ExecuteQuantizedReusesVariantCache) {
+  PipelineConfig cfg;
+  InferencePipeline pipeline(PipelineMlp(), {1, 8}, cfg);
+  const Tensor batch = SmoothBatch(16, 8, 12);
+
+  EXPECT_EQ(pipeline.quantized_variant_count(), 0);
+  auto first = pipeline.ExecuteQuantized(batch, NumericFormat::kFP16);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(pipeline.quantized_variant_count(), 1);
+  auto second = pipeline.ExecuteQuantized(batch, NumericFormat::kFP16);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(pipeline.quantized_variant_count(), 1);  // Cache hit, no refill.
+  for (int64_t i = 0; i < first->size(); ++i) {
+    EXPECT_EQ((*first)[i], (*second)[i]);
+  }
+
+  EXPECT_FALSE(pipeline.ExecuteQuantized(Tensor({8}), NumericFormat::kFP16)
+                   .ok());
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace errorflow

@@ -1,0 +1,156 @@
+#include "serve/model_registry.h"
+
+#include <memory>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "nn/builders.h"
+#include "obs/metrics.h"
+#include "quant/format.h"
+#include "testing/test_util.h"
+
+namespace errorflow {
+namespace serve {
+namespace {
+
+using quant::NumericFormat;
+
+nn::Model SmallMlp(const std::string& name = "m", uint64_t seed = 7) {
+  nn::MlpConfig cfg;
+  cfg.name = name;
+  cfg.input_dim = 6;
+  cfg.hidden_dims = {8};
+  cfg.output_dim = 4;
+  cfg.seed = seed;
+  return nn::BuildMlp(cfg);
+}
+
+uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->value();
+}
+
+TEST(ModelRegistryTest, RegisterAndLookup) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register("mlp", SmallMlp(), {1, 6}).ok());
+  auto entry = registry.Lookup("mlp");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ((*entry)->single_input_shape, tensor::Shape({1, 6}));
+  EXPECT_GT((*entry)->flops_per_sample, 0);
+  EXPECT_GT((*entry)->bytes_per_sample, 0);
+  // The analysis is usable for admission: FP32 has a zero quant bound.
+  EXPECT_EQ((*entry)->analysis.Bound(0.0, tensor::Norm::kLinf,
+                                     NumericFormat::kFP32),
+            0.0);
+}
+
+TEST(ModelRegistryTest, DuplicateRegisterIsAlreadyExists) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register("mlp", SmallMlp(), {1, 6}).ok());
+  Status dup = registry.Register("mlp", SmallMlp(), {1, 6});
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ModelRegistryTest, InvalidNamesRejected) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.Register("", SmallMlp(), {1, 6}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.Register("a\nb", SmallMlp(), {1, 6}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ModelRegistryTest, LookupUnknownIsNotFound) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.Lookup("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.GetVariant("nope", NumericFormat::kFP16).status().code(),
+            StatusCode::kNotFound);
+}
+
+// Acceptance criterion: a cache hit skips re-quantization — the
+// errorflow.serve.registry.quantize_count counter stays flat across
+// repeated same-format requests.
+TEST(ModelRegistryTest, CacheHitSkipsRequantization) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register("mlp", SmallMlp(), {1, 6}).ok());
+
+  const uint64_t quantized_before =
+      CounterValue("errorflow.serve.registry.quantize_count");
+  ASSERT_TRUE(registry.GetVariant("mlp", NumericFormat::kFP16).ok());
+  const uint64_t after_first =
+      CounterValue("errorflow.serve.registry.quantize_count");
+  EXPECT_EQ(after_first, quantized_before + 1);
+
+  const uint64_t hits_before =
+      CounterValue("errorflow.serve.registry.hits");
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(registry.GetVariant("mlp", NumericFormat::kFP16).ok());
+  }
+  EXPECT_EQ(CounterValue("errorflow.serve.registry.quantize_count"),
+            after_first);
+  EXPECT_EQ(CounterValue("errorflow.serve.registry.hits"), hits_before + 10);
+  EXPECT_EQ(registry.variant_count(), 1);
+}
+
+TEST(ModelRegistryTest, Fp32VariantMatchesBaseModel) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register("mlp", SmallMlp(), {1, 6}).ok());
+  auto entry = registry.Lookup("mlp");
+  ASSERT_TRUE(entry.ok());
+  auto variant = registry.GetVariant("mlp", NumericFormat::kFP32);
+  ASSERT_TRUE(variant.ok());
+
+  tensor::Tensor input = testing::RandomTensor({3, 6}, 11);
+  tensor::Tensor want =
+      const_cast<nn::Model&>((*entry)->base).Predict(input);
+  tensor::Tensor got = (*variant)->model.Predict(input);
+  ASSERT_EQ(got.size(), want.size());
+  for (int64_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], want[i]);
+}
+
+TEST(ModelRegistryTest, LruEvictsLeastRecentlyUsedVariant) {
+  RegistryConfig cfg;
+  // The small MLP has 6*8+8 + 8*4+4 = 92 parameters -> 368 resident bytes
+  // per variant; a 400-byte budget holds exactly one.
+  cfg.max_variant_bytes = 400;
+  ModelRegistry registry(cfg);
+  ASSERT_TRUE(registry.Register("mlp", SmallMlp(), {1, 6}).ok());
+
+  const uint64_t evictions_before =
+      CounterValue("errorflow.serve.registry.evictions");
+  auto fp16 = registry.GetVariant("mlp", NumericFormat::kFP16);
+  ASSERT_TRUE(fp16.ok());
+  ASSERT_TRUE(registry.GetVariant("mlp", NumericFormat::kBF16).ok());
+
+  // The FP16 variant was evicted to make room.
+  EXPECT_EQ(registry.variant_count(), 1);
+  EXPECT_LE(registry.variant_bytes(), cfg.max_variant_bytes);
+  EXPECT_EQ(CounterValue("errorflow.serve.registry.evictions"),
+            evictions_before + 1);
+
+  // Re-requesting FP16 re-materializes it (a miss, not a hit).
+  const uint64_t quantized_before =
+      CounterValue("errorflow.serve.registry.quantize_count");
+  ASSERT_TRUE(registry.GetVariant("mlp", NumericFormat::kFP16).ok());
+  EXPECT_EQ(CounterValue("errorflow.serve.registry.quantize_count"),
+            quantized_before + 1);
+
+  // The lease taken before eviction stays valid: in-flight executions are
+  // never invalidated by the LRU.
+  tensor::Tensor input = testing::RandomTensor({2, 6}, 3);
+  tensor::Tensor out = (*fp16)->model.Predict(input);
+  EXPECT_EQ(out.dim(0), 2);
+  EXPECT_EQ(out.dim(1), 4);
+}
+
+TEST(ModelRegistryTest, VariantBytesTracksResidentVariants) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register("mlp", SmallMlp(), {1, 6}).ok());
+  EXPECT_EQ(registry.variant_bytes(), 0);
+  ASSERT_TRUE(registry.GetVariant("mlp", NumericFormat::kFP16).ok());
+  ASSERT_TRUE(registry.GetVariant("mlp", NumericFormat::kINT8).ok());
+  EXPECT_EQ(registry.variant_count(), 2);
+  EXPECT_EQ(registry.variant_bytes(), 2 * 92 * 4);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace errorflow

@@ -1,5 +1,6 @@
 #include "tasks/tasks.h"
 
+#include <cstdlib>
 #include <filesystem>
 
 #include "gtest/gtest.h"
@@ -13,6 +14,24 @@ namespace {
 
 std::string CacheDir() {
   return ::testing::TempDir() + "ef_tasks_test_cache";
+}
+
+TEST(TasksTest, DefaultModelCacheDirHonorsEnvOverride) {
+  const char* saved = std::getenv("ERRORFLOW_CACHE_DIR");
+  const std::string saved_copy = saved == nullptr ? "" : saved;
+
+  unsetenv("ERRORFLOW_CACHE_DIR");
+  EXPECT_EQ(DefaultModelCacheDir(), "ef_model_cache");
+  setenv("ERRORFLOW_CACHE_DIR", "/tmp/ef_custom_cache", 1);
+  EXPECT_EQ(DefaultModelCacheDir(), "/tmp/ef_custom_cache");
+  setenv("ERRORFLOW_CACHE_DIR", "", 1);  // Empty counts as unset.
+  EXPECT_EQ(DefaultModelCacheDir(), "ef_model_cache");
+
+  if (saved == nullptr) {
+    unsetenv("ERRORFLOW_CACHE_DIR");
+  } else {
+    setenv("ERRORFLOW_CACHE_DIR", saved_copy.c_str(), 1);
+  }
 }
 
 TEST(TasksTest, NamesAndEnums) {

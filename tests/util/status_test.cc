@@ -57,6 +57,15 @@ TEST(StatusCodeTest, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kNotImplemented),
                "NotImplemented");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+}
+
+TEST(StatusTest, DeadlineExceededFactory) {
+  Status s = Status::DeadlineExceeded("too late");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(s.message(), "too late");
 }
 
 Status FailingOp() { return Status::InvalidArgument("nope"); }

@@ -1,9 +1,12 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
 #include "gtest/gtest.h"
+#include "obs/metrics.h"
 
 namespace errorflow {
 namespace util {
@@ -51,6 +54,37 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
     }
   }  // Destructor joins after draining.
   EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, SubmitFuturePropagatesTaskException) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([] { throw std::runtime_error("task boom"); });
+  try {
+    future.get();
+    FAIL() << "expected the task exception through the future";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task boom");
+  }
+  // The pool survives a throwing task: later submissions still run.
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { ++counter; }).get();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, QueueDepthGaugeReturnsToZeroAfterDrain) {
+  auto* gauge = obs::MetricsRegistry::Global().GetGauge(
+      "errorflow.threadpool.queue_depth");
+  {
+    ThreadPool pool(2);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 64; ++i) {
+      futures.push_back(pool.Submit([] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }  // Destructor drains any stragglers.
+  EXPECT_EQ(gauge->value(), 0.0);
 }
 
 TEST(ThreadPoolTest, TasksRunOnWorkerThreads) {

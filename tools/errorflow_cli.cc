@@ -11,6 +11,14 @@
 //   errorflow run       [--task h2|borghesi|eurosat] [--tol 1e-3]
 //                       [--backend sz|zfp|mgard] [--norm linf|l2]
 //                       [--frac 0.5] [--batches 3]
+//   errorflow serve-bench [--task h2|borghesi|eurosat] [--concurrency 8]
+//                       [--duration 5] [--workers 4] [--max-batch 64]
+//                       [--queue-cap 1024] [--tolerances 1e-3,1e-2,1e-1]
+//                       [--timeout-ms 1000] [--rows 8] [--strict]
+//
+// Global flags, valid with every subcommand:
+//   --model-cache-dir <dir>     model artifact cache (default:
+//                               $ERRORFLOW_CACHE_DIR or ./ef_model_cache)
 //
 // Observability flags, valid with every subcommand:
 //   --metrics-out <path.json>   dump the metrics registry on exit
@@ -21,6 +29,8 @@
 //
 // Exit code 0 on success; 1 on user error; 2 on internal failure.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +47,8 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/load_gen.h"
+#include "serve/server.h"
 #include "tasks/tasks.h"
 #include "tensor/stats.h"
 #include "util/string_util.h"
@@ -128,6 +140,12 @@ Result<compress::Backend> ParseBackend(const std::string& name) {
     if (name == compress::BackendToString(b)) return b;
   }
   return Status::InvalidArgument("unknown backend: " + name);
+}
+
+// Global --model-cache-dir flag; empty lets GetTask resolve
+// $ERRORFLOW_CACHE_DIR / ./ef_model_cache.
+std::string CacheDir(const Args& args) {
+  return args.Get("model-cache-dir", "");
 }
 
 Result<core::ErrorFlowAnalysis> LoadAnalysis(const std::string& path,
@@ -267,7 +285,8 @@ int CmdDemoTrain(const Args& args) {
   } else {
     return Fail("unknown task (use h2|borghesi|eurosat)");
   }
-  tasks::TrainedTask task = tasks::GetTask(kind);
+  tasks::TrainedTask task =
+      tasks::GetTask(kind, tasks::Regularization::kPsn, 1, CacheDir(args));
   const Status st = nn::SaveModel(task.model, args.positional[0]);
   if (!st.ok()) return Fail(st.ToString().c_str());
   std::printf("trained '%s' saved to %s\n", task.name.c_str(),
@@ -295,7 +314,8 @@ int CmdRun(const Args& args) {
   const int batches = static_cast<int>(args.GetDouble("batches", 3));
   if (batches <= 0) return Fail("bad --batches");
 
-  tasks::TrainedTask task = tasks::GetTask(*kind);
+  tasks::TrainedTask task =
+      tasks::GetTask(*kind, tasks::Regularization::kPsn, 1, CacheDir(args));
   core::PipelineConfig cfg;
   cfg.backend = *backend;
   cfg.norm = *norm;
@@ -321,6 +341,103 @@ int CmdRun(const Args& args) {
                   obs::MetricsRegistry::Global().CounterValue(
                       "errorflow.pipeline.runs")),
               total.Summary().c_str());
+  return 0;
+}
+
+// Comma-separated list of doubles, e.g. "1e-3,1e-2".
+Result<std::vector<double>> ParseDoubleList(const std::string& spec) {
+  std::vector<double> values;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t next = spec.find(',', pos);
+    if (next == std::string::npos) next = spec.size();
+    const std::string part = spec.substr(pos, next - pos);
+    const double v = std::atof(part.c_str());
+    if (!(v > 0.0)) {
+      return Status::InvalidArgument("bad tolerance: " + part);
+    }
+    values.push_back(v);
+    pos = next + 1;
+  }
+  if (values.empty()) return Status::InvalidArgument("empty tolerance list");
+  return values;
+}
+
+int CmdServeBench(const Args& args) {
+  auto kind = ParseTask(args.Get("task", "h2"));
+  if (!kind.ok()) return Fail(kind.status().ToString().c_str());
+  auto norm = ParseNorm(args.Get("norm", "linf"));
+  if (!norm.ok()) return Fail(norm.status().ToString().c_str());
+  auto tolerances = ParseDoubleList(args.Get("tolerances", "1e-3,1e-2,1e-1"));
+  if (!tolerances.ok()) return Fail(tolerances.status().ToString().c_str());
+  const int concurrency = static_cast<int>(args.GetDouble("concurrency", 8));
+  const double duration = args.GetDouble("duration", 5.0);
+  const int workers = static_cast<int>(args.GetDouble("workers", 4));
+  const int rows = static_cast<int>(args.GetDouble("rows", 8));
+  if (concurrency < 1 || duration <= 0.0 || workers < 1 || rows < 1) {
+    return Fail("bad --concurrency/--duration/--workers/--rows");
+  }
+
+  tasks::TrainedTask task =
+      tasks::GetTask(*kind, tasks::Regularization::kPsn, 1, CacheDir(args));
+  const std::string model_name = tasks::TaskKindToString(*kind);
+
+  serve::ServerConfig cfg;
+  cfg.num_workers = workers;
+  cfg.max_batch_rows =
+      static_cast<int64_t>(args.GetDouble("max-batch", 64));
+  cfg.max_queue_depth =
+      static_cast<int64_t>(args.GetDouble("queue-cap", 1024));
+  cfg.norm = *norm;
+  cfg.default_timeout = std::chrono::milliseconds(
+      static_cast<int64_t>(args.GetDouble("timeout-ms", 1000)));
+  if (args.Has("strict")) {
+    // No FP32 fallback: tolerances below the tightest reduced-precision
+    // bound are rejected instead of served at full precision.
+    cfg.allowed_formats = quant::ReducedFormats();
+  }
+  serve::InferenceServer server(cfg);
+  Status st = server.RegisterModel(model_name, std::move(task.model),
+                                   task.single_input_shape);
+  if (!st.ok()) return Fail(st.ToString().c_str());
+  st = server.Start();
+  if (!st.ok()) return Fail(st.ToString().c_str());
+
+  serve::LoadGenConfig load;
+  load.model = model_name;
+  load.concurrency = concurrency;
+  load.duration_seconds = duration;
+  load.tolerance_mix = *tolerances;
+  load.request_timeout = cfg.default_timeout;
+  std::printf(
+      "serve-bench: task=%s concurrency=%d duration=%.1fs workers=%d "
+      "max-batch=%lld rows/request=%d tolerances=%s%s\n",
+      model_name.c_str(), concurrency, duration, workers,
+      static_cast<long long>(cfg.max_batch_rows), rows,
+      args.Get("tolerances", "1e-3,1e-2,1e-1").c_str(),
+      args.Has("strict") ? " (strict)" : "");
+  const serve::LoadGenStats stats = serve::RunClosedLoop(
+      server, load, [&task, rows](uint64_t seed) {
+        std::vector<tensor::Tensor> batches =
+            tasks::FreshInputBatches(task, 1, seed);
+        tensor::Tensor& full = batches[0];
+        const int64_t take =
+            std::min<int64_t>(rows, full.dim(0));
+        tensor::Shape shape = full.shape();
+        shape[0] = take;
+        tensor::Tensor out(shape);
+        std::copy(full.data(), full.data() + out.size(), out.data());
+        return out;
+      });
+  st = server.Shutdown();
+  if (!st.ok()) return Fail(st.ToString().c_str());
+  std::printf("%s", stats.Summary().c_str());
+  std::printf(
+      "  variants resident   : %lld (%s)\n",
+      static_cast<long long>(server.registry().variant_count()),
+      util::HumanBytes(
+          static_cast<double>(server.registry().variant_bytes()))
+          .c_str());
   return 0;
 }
 
@@ -392,6 +509,12 @@ void PrintUsage() {
       "  errorflow run        [--task h2|borghesi|eurosat] [--tol 1e-3] "
       "[--backend sz|zfp|mgard] [--norm linf|l2] [--frac 0.5] "
       "[--batches 3]\n"
+      "  errorflow serve-bench [--task h2|borghesi|eurosat] "
+      "[--concurrency 8] [--duration 5] [--workers 4] [--max-batch 64] "
+      "[--queue-cap 1024] [--tolerances 1e-3,1e-2,1e-1] [--timeout-ms "
+      "1000] [--rows 8] [--strict]\n"
+      "\nglobal: --model-cache-dir <dir> (default $ERRORFLOW_CACHE_DIR or "
+      "./ef_model_cache)\n"
       "\nobservability (any subcommand): --metrics-out <path.json> "
       "--trace-out <path.json> --log-level debug|info|warn|error "
       "--log-json <path.jsonl>\n");
@@ -420,6 +543,8 @@ int main(int argc, char** argv) {
     code = CmdDemoTrain(args);
   } else if (cmd == "run") {
     code = CmdRun(args);
+  } else if (cmd == "serve-bench") {
+    code = CmdServeBench(args);
   } else if (cmd == "help" || cmd == "--help") {
     PrintUsage();
     code = 0;
