@@ -105,17 +105,18 @@ void Conv2dLayer::InitHe(uint64_t seed) {
     weight_[i] = static_cast<float>(rng.Uniform(-limit, limit));
   }
   bias_.Fill(0.0f);
+  std::lock_guard<std::mutex> lock(spec_mu_);
   spec_valid_ = false;
   op_sigma_ = 0.0;
   if (use_psn_) {
     // Initialize alpha to the operator norm (8x8 heuristic; refined at the
     // first Forward) so PSN starts as a no-op.
-    RefreshOpSigma(8, 8, 80);
+    RefreshOpSigmaLocked(8, 8, 80);
     alpha_[0] = static_cast<float>(op_sigma_);
   }
 }
 
-void Conv2dLayer::RefreshSigma(int iters) const {
+void Conv2dLayer::RefreshSigmaLocked(int iters) const {
   const Tensor* warm = spec_valid_ ? &spec_.v : nullptr;
   spec_ = PowerIteration(weight_, iters, 1e-10, /*seed=*/11, warm);
   spec_valid_ = true;
@@ -132,7 +133,8 @@ double NormalizeUnit(Tensor* t) {
 }
 }  // namespace
 
-void Conv2dLayer::RefreshOpSigma(int64_t h, int64_t w, int iters) const {
+void Conv2dLayer::RefreshOpSigmaLocked(int64_t h, int64_t w,
+                                       int iters) const {
   const int64_t n_in = in_channels_ * h * w;
   if (op_h_ != h || op_w_ != w || op_v_.size() != n_in) {
     util::Rng rng(13);
@@ -157,13 +159,14 @@ void Conv2dLayer::RefreshOpSigma(int64_t h, int64_t w, int iters) const {
   op_sigma_ = tensor::L2Norm(u);
 }
 
-Tensor Conv2dLayer::EffectiveWeight() const {
-  if (!use_psn_) return weight_;
-  // Use the operator norm at the last-seen spatial size; before any
-  // Forward (no spatial context yet) fall back to a default square size
-  // heuristic so standalone profiling still works.
-  if (op_sigma_ <= 0.0) {
-    RefreshOpSigma(/*h=*/8, /*w=*/8, 80);
+Tensor Conv2dLayer::PsnSnapshot(int64_t h, int64_t w, int iters) const {
+  std::lock_guard<std::mutex> lock(spec_mu_);
+  if (h > 0) {
+    RefreshOpSigmaLocked(h, w, iters);
+  } else if (op_sigma_ <= 0.0) {
+    // No spatial context yet (standalone profiling): default square size
+    // heuristic, matching the seed behavior.
+    RefreshOpSigmaLocked(/*h=*/8, /*w=*/8, 80);
   }
   Tensor eff = weight_;
   const double sigma = std::max(op_sigma_, 1e-20);
@@ -171,19 +174,31 @@ Tensor Conv2dLayer::EffectiveWeight() const {
   return eff;
 }
 
+const Tensor& Conv2dLayer::EffectiveWeight() const {
+  if (!use_psn_) return weight_;
+  // Use the operator norm at the last-seen spatial size (h = 0).
+  Tensor eff = PsnSnapshot(/*h=*/0, /*w=*/0, /*iters=*/0);
+  std::lock_guard<std::mutex> lock(spec_mu_);
+  eff_cache_ = std::move(eff);
+  return eff_cache_;
+}
+
 void Conv2dLayer::FoldPsn() {
   if (!use_psn_) return;
-  weight_ = EffectiveWeight();
+  weight_ = PsnSnapshot(/*h=*/0, /*w=*/0, /*iters=*/0);
   use_psn_ = false;
+  std::lock_guard<std::mutex> lock(spec_mu_);
   spec_valid_ = false;
   op_sigma_ = 0.0;
 }
 
 double Conv2dLayer::MatrixSpectralNorm() const {
   if (use_psn_) {
-    return PowerIteration(EffectiveWeight(), 300, 1e-10, 11).sigma;
+    const Tensor eff = PsnSnapshot(/*h=*/0, /*w=*/0, /*iters=*/0);
+    return PowerIteration(eff, 300, 1e-10, 11).sigma;
   }
-  RefreshSigma(spec_valid_ ? 8 : 300);
+  std::lock_guard<std::mutex> lock(spec_mu_);
+  RefreshSigmaLocked(spec_valid_ ? 8 : 300);
   return spec_.sigma;
 }
 
@@ -197,19 +212,27 @@ void Conv2dLayer::Forward(const Tensor& input, Tensor* output,
   if (output->shape() != Shape{n, out_channels_, oh, ow}) {
     *output = Tensor({n, out_channels_, oh, ow});
   }
+  Tensor psn_eff;
+  const Tensor* eff = &weight_;
   if (use_psn_) {
     // Track the operator norm at the actual spatial size; two warm-started
-    // iterations per step keep it current as the weights move.
-    const bool warm = op_h_ == h && op_w_ == w && op_sigma_ > 0.0;
-    RefreshOpSigma(h, w, warm ? (training ? 2 : 30) : 80);
+    // iterations per step keep it current as the weights move. The
+    // snapshot is a private copy, so concurrent Forward calls never share
+    // a mutating effective-weight buffer.
+    bool warm;
+    {
+      std::lock_guard<std::mutex> lock(spec_mu_);
+      warm = op_h_ == h && op_w_ == w && op_sigma_ > 0.0;
+    }
+    psn_eff = PsnSnapshot(h, w, warm ? (training ? 2 : 30) : 80);
+    eff = &psn_eff;
   }
-  const Tensor eff = EffectiveWeight();
 
   Tensor cols, out_mat;
   for (int64_t s = 0; s < n; ++s) {
     Im2Col(input.data() + s * in_channels_ * h * w, in_channels_, h, w,
            kernel_, stride_, padding_, &cols);
-    tensor::GemmNT(cols, eff, &out_mat);  // (OH*OW, out_ch)
+    tensor::GemmNT(cols, *eff, &out_mat);  // (OH*OW, out_ch)
     float* out = output->data() + s * out_channels_ * oh * ow;
     for (int64_t pix = 0; pix < oh * ow; ++pix) {
       for (int64_t oc = 0; oc < out_channels_; ++oc) {
@@ -219,7 +242,7 @@ void Conv2dLayer::Forward(const Tensor& input, Tensor* output,
   }
   if (training) {
     cached_input_ = input;
-    cached_eff_weight_ = eff;
+    if (use_psn_) cached_eff_weight_ = std::move(psn_eff);
   }
 }
 
@@ -250,8 +273,9 @@ void Conv2dLayer::Backward(const Tensor& grad_output, Tensor* grad_input) {
            stride_, padding_, &cols);
     tensor::GemmTN(gmat, cols, &contrib);  // (out_ch, C*K*K)
     tensor::Add(grad_eff, contrib, &grad_eff);
-    // Input grads: gcols = gmat * W_eff, then scatter.
-    tensor::Gemm(gmat, cached_eff_weight_, &gcols);
+    // Input grads: gcols = gmat * W_eff, then scatter. Without PSN the
+    // effective weight is the stored weight (not separately cached).
+    tensor::Gemm(gmat, use_psn_ ? cached_eff_weight_ : weight_, &gcols);
     Col2Im(gcols, in_channels_, h, w, kernel_, stride_, padding_,
            grad_input->data() + s * in_channels_ * h * w);
   }
@@ -262,6 +286,7 @@ void Conv2dLayer::Backward(const Tensor& grad_output, Tensor* grad_input) {
     // Operator-norm PSN: treat sigma as a constant scale in backward (the
     // exact correction is a rank-1 term in the linearized-operator space;
     // omitting it biases alpha slightly but keeps training stable).
+    std::lock_guard<std::mutex> lock(spec_mu_);
     const double sigma = std::max(op_sigma_, 1e-20);
     const float a = alpha_[0];
     double inner = 0.0;
@@ -344,7 +369,9 @@ void Conv2dLayer::ApplySingleTranspose(const Tensor& weight_mat,
 }
 
 double Conv2dLayer::OperatorNorm(int64_t h, int64_t w) const {
-  const Tensor eff = EffectiveWeight();
+  Tensor psn_eff;
+  if (use_psn_) psn_eff = PsnSnapshot(/*h=*/0, /*w=*/0, /*iters=*/0);
+  const Tensor& eff = use_psn_ ? psn_eff : weight_;
   const int64_t n_in = in_channels_ * h * w;
   auto fwd = [&](const Tensor& v, Tensor* out) {
     ApplySingle(eff, v, h, w, out);

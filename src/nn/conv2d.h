@@ -2,6 +2,7 @@
 #define ERRORFLOW_NN_CONV2D_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "nn/layer.h"
@@ -54,7 +55,12 @@ class Conv2dLayer : public Layer {
   Tensor& mutable_bias() { return bias_; }
 
   /// Effective (PSN-normalized) kernel matrix used in the forward pass.
-  Tensor EffectiveWeight() const;
+  /// Without PSN this is a zero-copy reference to weight(); under PSN it
+  /// references an internal cache overwritten by the next call, so on an
+  /// unfolded layer it is single-threaded API — concurrent paths (Forward,
+  /// the norm accessors, FoldPsn) snapshot internally under the layer
+  /// mutex instead of reading this reference.
+  const Tensor& EffectiveWeight() const;
 
   /// Bakes PSN into the stored kernel and disables it. Idempotent.
   void FoldPsn();
@@ -67,10 +73,15 @@ class Conv2dLayer : public Layer {
   double OperatorNorm(int64_t h, int64_t w) const;
 
  private:
-  void RefreshSigma(int iters) const;
+  // Caller holds spec_mu_.
+  void RefreshSigmaLocked(int iters) const;
   // Refreshes the operator-norm estimate at spatial size (h, w) with
-  // warm-started power iteration on the raw kernel.
-  void RefreshOpSigma(int64_t h, int64_t w, int iters) const;
+  // warm-started power iteration on the raw kernel. Caller holds spec_mu_.
+  void RefreshOpSigmaLocked(int64_t h, int64_t w, int iters) const;
+  // Thread-safe snapshot of the PSN-normalized kernel matrix: refreshes the
+  // operator norm (at the given spatial size, or the last-seen / default
+  // size when h == 0) and returns (alpha/sigma) * W as a fresh tensor.
+  Tensor PsnSnapshot(int64_t h, int64_t w, int iters) const;
 
   // Applies the convolution to one rank-3 (C,H,W) sample (flattened 1-D in
   // and out) with the effective weight; used by OperatorNorm.
@@ -93,8 +104,13 @@ class Conv2dLayer : public Layer {
   Tensor alpha_;
   Tensor alpha_grad_;
 
+  // spec_mu_ guards every mutable cache below so concurrent Forward /
+  // norm queries on a shared layer instance are safe.
+  mutable std::mutex spec_mu_;
   mutable SpectralEstimate spec_;
   mutable bool spec_valid_ = false;
+  // PSN-normalized kernel returned by reference from EffectiveWeight().
+  mutable Tensor eff_cache_;
 
   // Operator-norm cache (PSN): estimate, warm-start vector, and the
   // spatial size it was measured at.

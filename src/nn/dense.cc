@@ -37,51 +37,72 @@ void DenseLayer::InitXavier(uint64_t seed) {
     weight_[i] = static_cast<float>(rng.Uniform(-limit, limit));
   }
   bias_.Fill(0.0f);
+  std::lock_guard<std::mutex> lock(spec_mu_);
   spec_valid_ = false;
   if (use_psn_) {
-    RefreshSigma(200);
+    RefreshSigmaLocked(200);
     alpha_[0] = static_cast<float>(spec_.sigma);  // Initially a no-op.
   }
 }
 
-void DenseLayer::RefreshSigma(int iters) const {
+void DenseLayer::RefreshSigmaLocked(int iters) const {
   const Tensor* warm = spec_valid_ ? &spec_.v : nullptr;
   spec_ = PowerIteration(weight_, iters, 1e-10, /*seed=*/7, warm);
   spec_valid_ = true;
 }
 
-Tensor DenseLayer::EffectiveWeight() const {
-  if (!use_psn_) return weight_;
-  RefreshSigma(spec_valid_ ? 4 : 200);
+Tensor DenseLayer::PsnSnapshot(int refresh_iters_warm,
+                               int refresh_iters_cold) const {
+  std::lock_guard<std::mutex> lock(spec_mu_);
+  RefreshSigmaLocked(spec_valid_ ? refresh_iters_warm : refresh_iters_cold);
   Tensor eff = weight_;
   const double sigma = std::max(spec_.sigma, 1e-20);
-  const float scale = static_cast<float>(alpha_[0] / sigma);
-  tensor::Scale(&eff, scale);
+  tensor::Scale(&eff, static_cast<float>(alpha_[0] / sigma));
   return eff;
+}
+
+const Tensor& DenseLayer::EffectiveWeight() const {
+  if (!use_psn_) return weight_;
+  Tensor eff = PsnSnapshot(/*refresh_iters_warm=*/4,
+                           /*refresh_iters_cold=*/200);
+  std::lock_guard<std::mutex> lock(spec_mu_);
+  eff_cache_ = std::move(eff);
+  return eff_cache_;
 }
 
 void DenseLayer::FoldPsn() {
   if (!use_psn_) return;
-  weight_ = EffectiveWeight();
+  weight_ = PsnSnapshot(/*refresh_iters_warm=*/4, /*refresh_iters_cold=*/200);
   use_psn_ = false;
+  std::lock_guard<std::mutex> lock(spec_mu_);
   spec_valid_ = false;
 }
 
 double DenseLayer::SpectralNorm() const {
   if (use_psn_) return alpha_[0];
-  RefreshSigma(spec_valid_ ? 8 : 300);
+  std::lock_guard<std::mutex> lock(spec_mu_);
+  RefreshSigmaLocked(spec_valid_ ? 8 : 300);
   return spec_.sigma;
 }
 
 void DenseLayer::Forward(const Tensor& input, Tensor* output,
                          bool training) {
   EF_CHECK(input.ndim() == 2 && input.dim(1) == in_features_);
-  const Tensor eff = EffectiveWeight();
+  if (!use_psn_) {
+    // Hot path: the stored weight is the effective weight; no copy, no
+    // shared-state mutation, safe under concurrent execution.
+    tensor::GemmNT(input, weight_, output);
+    tensor::AddRowBias(output, bias_);
+    if (training) cached_input_ = input;
+    return;
+  }
+  Tensor eff = PsnSnapshot(/*refresh_iters_warm=*/4,
+                           /*refresh_iters_cold=*/200);
   tensor::GemmNT(input, eff, output);
   tensor::AddRowBias(output, bias_);
   if (training) {
     cached_input_ = input;
-    cached_eff_weight_ = eff;
+    cached_eff_weight_ = std::move(eff);
   }
 }
 
@@ -105,6 +126,7 @@ void DenseLayer::Backward(const Tensor& grad_output, Tensor* grad_input) {
   if (!use_psn_) {
     tensor::Add(weight_grad_, grad_eff, &weight_grad_);
   } else {
+    std::lock_guard<std::mutex> lock(spec_mu_);
     // W_eff = (alpha / sigma) * W with sigma = u^T W v (power iteration).
     // Following Miyato et al., treat u, v as constants:
     //   dL/dalpha = <G_eff, W/sigma>
@@ -132,8 +154,10 @@ void DenseLayer::Backward(const Tensor& grad_output, Tensor* grad_input) {
     spec_valid_ = true;  // Warm start next refresh; weights moved a little.
   }
 
-  // Gradient w.r.t. input: grad_in = grad_out * W_eff.
-  tensor::Gemm(grad_output, cached_eff_weight_, grad_input);
+  // Gradient w.r.t. input: grad_in = grad_out * W_eff. Without PSN the
+  // effective weight is the stored weight (not separately cached).
+  tensor::Gemm(grad_output, use_psn_ ? cached_eff_weight_ : weight_,
+               grad_input);
 }
 
 std::vector<Param> DenseLayer::Params() {

@@ -2,6 +2,7 @@
 #define ERRORFLOW_NN_DENSE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "nn/layer.h"
@@ -56,8 +57,15 @@ class DenseLayer : public Layer {
   void set_alpha(float a) { alpha_[0] = a; }
 
   /// The weight actually applied in the forward pass: W itself, or the
-  /// PSN-normalized (alpha/sigma) * W. Refreshes sigma exactly.
-  Tensor EffectiveWeight() const;
+  /// PSN-normalized (alpha/sigma) * W (sigma refreshed exactly).
+  ///
+  /// Without PSN this is a zero-copy reference to weight() — the serving
+  /// hot path (PSN folded) never allocates here. Under PSN the reference
+  /// points at an internal cache that the *next* EffectiveWeight call
+  /// overwrites, so on an unfolded layer it is single-threaded API:
+  /// concurrent paths (Forward, SpectralNorm, FoldPsn) snapshot internally
+  /// under the layer mutex instead of reading this reference.
+  const Tensor& EffectiveWeight() const;
 
   /// Replaces W by EffectiveWeight() and disables PSN. Idempotent.
   void FoldPsn();
@@ -67,7 +75,12 @@ class DenseLayer : public Layer {
 
  private:
   /// Refreshes sigma_ via warm-started power iteration (`iters` steps).
-  void RefreshSigma(int iters) const;
+  /// Caller holds spec_mu_.
+  void RefreshSigmaLocked(int iters) const;
+
+  /// Thread-safe snapshot of the PSN-normalized weight (use_psn_ only):
+  /// refreshes sigma and returns (alpha/sigma) * W as a fresh tensor.
+  Tensor PsnSnapshot(int refresh_iters_warm, int refresh_iters_cold) const;
 
   int64_t in_features_;
   int64_t out_features_;
@@ -80,12 +93,18 @@ class DenseLayer : public Layer {
   Tensor alpha_;       // 1-element PSN scale.
   Tensor alpha_grad_;  // 1-element.
 
-  // Power-iteration cache for sigma(W). Mutable: refreshed lazily from
-  // const accessors.
+  // Power-iteration cache for sigma(W), refreshed lazily from const
+  // accessors. spec_mu_ guards spec_, spec_valid_, and eff_cache_ so
+  // concurrent Forward / SpectralNorm calls on one layer instance (e.g.
+  // serve::BatchScheduler workers sharing a model variant) are safe.
+  mutable std::mutex spec_mu_;
   mutable SpectralEstimate spec_;
   mutable bool spec_valid_ = false;
+  // PSN-normalized weight returned by reference from EffectiveWeight().
+  mutable Tensor eff_cache_;
 
-  // Forward caches for backward.
+  // Forward caches for backward (training path; cached_eff_weight_ is
+  // only populated under PSN — without PSN, backward reads weight_).
   Tensor cached_input_;
   Tensor cached_eff_weight_;
 };

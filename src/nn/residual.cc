@@ -34,16 +34,16 @@ void ResidualBlock::Forward(const Tensor& input, Tensor* output,
     cur = next;
     if (training) acts_[i + 1] = cur;
   }
+  Tensor shortcut_val;
+  const Tensor* shortcut_out = &input;
   if (shortcut_ != nullptr) {
-    shortcut_->Forward(input, &shortcut_out_, training);
-  } else {
-    shortcut_out_ = input;
+    shortcut_->Forward(input, &shortcut_val, training);
+    shortcut_out = &shortcut_val;
   }
-  EF_CHECK(cur.size() == shortcut_out_.size());
+  EF_CHECK(cur.size() == shortcut_out->size());
   Tensor sum;
-  tensor::Add(cur, shortcut_out_, &sum);
+  tensor::Add(cur, *shortcut_out, &sum);
   if (post_activation_ != nullptr) {
-    if (training) sum_out_ = sum;
     post_activation_->Forward(sum, output, training);
   } else {
     *output = std::move(sum);

@@ -47,10 +47,10 @@ class ResidualBlock : public Layer {
   std::unique_ptr<Layer> shortcut_;
   std::unique_ptr<Layer> post_activation_;
 
-  // Forward caches: activations between body layers.
+  // Forward caches: activations between body layers (training only —
+  // inference Forward keeps all intermediates on the stack so concurrent
+  // execution on a shared block is safe).
   std::vector<Tensor> acts_;
-  Tensor shortcut_out_;
-  Tensor sum_out_;
 };
 
 }  // namespace nn

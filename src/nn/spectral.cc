@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "tensor/norms.h"
 #include "tensor/ops.h"
 #include "util/random.h"
@@ -12,6 +13,15 @@ namespace nn {
 using tensor::Tensor;
 
 namespace {
+
+// Counts PowerIteration / PowerIterationOp invocations process-wide. The
+// serving path asserts this stays flat across requests: spectral estimates
+// are paid once at registration (profiling + PSN fold), never per-request.
+obs::Counter* PowerIterationCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "errorflow.spectral.power_iterations");
+  return counter;
+}
 
 // Normalizes `t` to unit L2 norm in place; returns the prior norm.
 double NormalizeL2(Tensor* t) {
@@ -36,6 +46,7 @@ void RandomUnit(Tensor* t, uint64_t seed) {
 SpectralEstimate PowerIteration(const Tensor& w, int max_iters, double tol,
                                 uint64_t seed, const Tensor* warm_v) {
   EF_CHECK(w.ndim() == 2);
+  PowerIterationCounter()->Increment();
   const int64_t m = w.dim(0), n = w.dim(1);
   SpectralEstimate est;
   est.u = Tensor({m});
@@ -78,6 +89,7 @@ SpectralEstimate PowerIterationOp(
     const std::function<void(const Tensor&, Tensor*)>& fwd,
     const std::function<void(const Tensor&, Tensor*)>& tr, int64_t n_in,
     int max_iters, double tol, uint64_t seed) {
+  PowerIterationCounter()->Increment();
   SpectralEstimate est;
   Tensor v({n_in});
   RandomUnit(&v, seed);

@@ -200,8 +200,10 @@ void BatchScheduler::ExecuteGroup(std::vector<Pending> group) {
 
   tensor::Tensor output;
   {
+    // Folded-model inference is thread-safe, so batches for the *same*
+    // variant execute concurrently across workers (the GEMM kernels fan
+    // large batches out further over the shared compute pool).
     obs::TraceSpan exec_span("serve.batch.exec");
-    std::lock_guard<std::mutex> exec_lock((*variant)->exec_mu);
     output = (*variant)->model.Predict(fused);
   }
   const Clock::time_point done_time = Clock::now();

@@ -98,6 +98,10 @@ Result<std::shared_ptr<ModelRegistry::Variant>> ModelRegistry::GetVariant(
   // formats round every Dense/Conv weight tensor.
   variant->model =
       std::move(quant::QuantizeWeights(entry_it->second->base, format).model);
+  // The base was folded at Register; folding the clone again is a no-op
+  // that keeps the "serving never runs power iteration" invariant robust
+  // to future base-model sources.
+  variant->model.FoldPsn();
   // Variants store rounded values as FP32, so resident bytes are the FP32
   // footprint regardless of the logical format width.
   variant->resident_bytes =

@@ -36,10 +36,13 @@ struct RegistryConfig {
 /// (model, format) afterwards — the `errorflow.serve.registry.quantize_count`
 /// counter stays flat across repeated same-format requests.
 ///
-/// Thread-safe. Variant execution is serialized per variant through
-/// `Variant::exec_mu` (inference on a PSN-folded model does not mutate layer
-/// state, but the lock keeps the contract independent of layer internals);
-/// different variants execute fully in parallel.
+/// Thread-safe. Variants hold PSN-folded models, and inference Forward on
+/// folded layers mutates no shared layer state (spectral caches are
+/// mutex-guarded and the effective weight is a zero-copy reference), so any
+/// number of BatchScheduler workers may execute the *same* variant
+/// concurrently — no per-variant serialization. Power iteration runs once
+/// at Register (profiling + fold), never per request; tests pin this down
+/// via the `errorflow.spectral.power_iterations` counter.
 class ModelRegistry {
  public:
   explicit ModelRegistry(RegistryConfig config = {});
@@ -60,14 +63,13 @@ class ModelRegistry {
           single_input_shape(std::move(shape)) {}
   };
 
-  /// \brief One materialized quantized clone.
+  /// \brief One materialized quantized clone. The model is always
+  /// PSN-folded, so concurrent Predict calls on one variant are safe and
+  /// lock-free.
   struct Variant {
     quant::NumericFormat format = quant::NumericFormat::kFP32;
     nn::Model model;
     int64_t resident_bytes = 0;
-    /// Serializes Predict on this clone; batches for different variants
-    /// run concurrently on the worker pool.
-    std::mutex exec_mu;
   };
 
   /// Profiles `model` (folding PSN afterwards) and takes ownership.

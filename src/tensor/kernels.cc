@@ -1,0 +1,532 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/macros.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define EF_KERNELS_X86 1
+#include <immintrin.h>
+#endif
+
+namespace errorflow {
+namespace tensor {
+
+namespace {
+
+// k-dimension cache block: a 256 x 16-float B panel (16 KiB) stays resident
+// in L1 while a register tile sweeps the row chunk.
+constexpr int64_t kKc = 256;
+
+// 2*m*n*k below this runs serially: fan-out costs a few microseconds per
+// chunk, so only multi-MFLOP problems benefit.
+constexpr int64_t kDefaultParallelFlops = 1ll << 21;
+
+std::mutex pool_mu;
+std::unique_ptr<util::ThreadPool> pool;  // Created lazily; null while serial.
+int configured_threads = -1;             // -1: defaults not resolved yet.
+std::atomic<int64_t> parallel_flops{kDefaultParallelFlops};
+// Set on pool workers while they run a kernel chunk, so a nested kernel
+// call (e.g. a layer op invoked from inside a chunk) never blocks on the
+// pool it is running on.
+thread_local bool in_kernel_worker = false;
+
+int DefaultThreads() {
+  if (const char* env = std::getenv("ERRORFLOW_KERNEL_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+// Returns the shared pool, or nullptr when kernels should stay serial.
+util::ThreadPool* AcquirePool(int* threads) {
+  std::lock_guard<std::mutex> lock(pool_mu);
+  if (configured_threads < 0) configured_threads = DefaultThreads();
+  *threads = configured_threads;
+  if (configured_threads <= 1) return nullptr;
+  if (pool == nullptr) {
+    pool = std::make_unique<util::ThreadPool>(configured_threads);
+  }
+  return pool.get();
+}
+
+// Splits [0, m) into row chunks and runs `body(begin, end)` across the
+// shared pool (one chunk inline on the caller). Serial when the problem is
+// small, the pool is size 1, or we are already on a kernel worker.
+void ParallelRows(int64_t m, int64_t flops,
+                  const std::function<void(int64_t, int64_t)>& body) {
+  if (m <= 0) return;
+  const int64_t threshold = parallel_flops.load(std::memory_order_relaxed);
+  if (in_kernel_worker || flops < threshold) {
+    body(0, m);
+    return;
+  }
+  int threads = 1;
+  util::ThreadPool* p = AcquirePool(&threads);
+  // Cap fan-out so every chunk keeps at least ~half a threshold of work.
+  const int64_t by_grain = std::max<int64_t>(1, (2 * flops) / threshold);
+  const int64_t chunks64 = std::min<int64_t>({threads, m, by_grain});
+  const int chunks = static_cast<int>(chunks64);
+  if (p == nullptr || chunks <= 1) {
+    body(0, m);
+    return;
+  }
+  const int64_t base = m / chunks, rem = m % chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<size_t>(chunks - 1));
+  int64_t begin = base + (rem > 0 ? 1 : 0);  // Chunk 0 runs inline below.
+  for (int c = 1; c < chunks; ++c) {
+    const int64_t len = base + (c < rem ? 1 : 0);
+    const int64_t b0 = begin, b1 = begin + len;
+    begin = b1;
+    futures.push_back(p->Submit([&body, b0, b1] {
+      in_kernel_worker = true;
+      body(b0, b1);
+      in_kernel_worker = false;
+    }));
+  }
+  body(0, base + (rem > 0 ? 1 : 0));
+  for (auto& f : futures) f.get();
+}
+
+// ---------------------------------------------------------------------------
+// Portable micro-kernels (autovectorizable; no reductions in inner loops).
+// ---------------------------------------------------------------------------
+
+// C[i][:] += sum_l a(i, l) * B[l][:] for rows i in [r0, r1), with the A
+// element at logical (i, l) stored at a[i * as_i + l * as_l]. Covers both
+// Gemm (as_i = k, as_l = 1) and GemmTN (as_i = 1, as_l = m).
+void GemmAccRowsPortable(const float* __restrict a, int64_t as_i,
+                         int64_t as_l, const float* __restrict b,
+                         float* __restrict c, int64_t r0, int64_t r1,
+                         int64_t n, int64_t k) {
+  for (int64_t l0 = 0; l0 < k; l0 += kKc) {
+    const int64_t lmax = std::min(l0 + kKc, k);
+    int64_t i = r0;
+    for (; i + 4 <= r1; i += 4) {
+      float* __restrict c0 = c + (i + 0) * n;
+      float* __restrict c1 = c + (i + 1) * n;
+      float* __restrict c2 = c + (i + 2) * n;
+      float* __restrict c3 = c + (i + 3) * n;
+      for (int64_t l = l0; l < lmax; ++l) {
+        const float a0 = a[(i + 0) * as_i + l * as_l];
+        const float a1 = a[(i + 1) * as_i + l * as_l];
+        const float a2 = a[(i + 2) * as_i + l * as_l];
+        const float a3 = a[(i + 3) * as_i + l * as_l];
+        const float* __restrict br = b + l * n;
+        for (int64_t j = 0; j < n; ++j) {
+          c0[j] += a0 * br[j];
+          c1[j] += a1 * br[j];
+          c2[j] += a2 * br[j];
+          c3[j] += a3 * br[j];
+        }
+      }
+    }
+    for (; i < r1; ++i) {
+      float* __restrict ci = c + i * n;
+      for (int64_t l = l0; l < lmax; ++l) {
+        const float av = a[i * as_i + l * as_l];
+        const float* __restrict br = b + l * n;
+        for (int64_t j = 0; j < n; ++j) ci[j] += av * br[j];
+      }
+    }
+  }
+}
+
+// C[i][j] = dot(A_i, B_j) for rows i in [r0, r1); A is (m x k), B is
+// (n x k). Four interleaved accumulators break the dependency chain.
+void GemmNTRowsPortable(const float* __restrict a, const float* __restrict b,
+                        float* __restrict c, int64_t r0, int64_t r1,
+                        int64_t n, int64_t k) {
+  for (int64_t i = r0; i < r1; ++i) {
+    const float* __restrict ar = a + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* __restrict br = b + j * k;
+      float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+      int64_t l = 0;
+      for (; l + 4 <= k; l += 4) {
+        s0 += ar[l + 0] * br[l + 0];
+        s1 += ar[l + 1] * br[l + 1];
+        s2 += ar[l + 2] * br[l + 2];
+        s3 += ar[l + 3] * br[l + 3];
+      }
+      for (; l < k; ++l) s0 += ar[l] * br[l];
+      c[i * n + j] = (s0 + s1) + (s2 + s3);
+    }
+  }
+}
+
+float DotPortable(const float* __restrict x, const float* __restrict y,
+                  int64_t k) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  int64_t l = 0;
+  for (; l + 4 <= k; l += 4) {
+    s0 += x[l + 0] * y[l + 0];
+    s1 += x[l + 1] * y[l + 1];
+    s2 += x[l + 2] * y[l + 2];
+    s3 += x[l + 3] * y[l + 3];
+  }
+  for (; l < k; ++l) s0 += x[l] * y[l];
+  return (s0 + s1) + (s2 + s3);
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 + FMA micro-kernels (x86-64, runtime-dispatched).
+// ---------------------------------------------------------------------------
+
+#if defined(EF_KERNELS_X86)
+
+__attribute__((target("avx2,fma"))) inline float HSum(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 0x55));
+  return _mm_cvtss_f32(lo);
+}
+
+// Same contract as GemmAccRowsPortable. Register tile: 4 C rows x 16
+// columns (8 ymm accumulators); per k step, 2 B loads + 4 A broadcasts
+// feed 8 FMAs.
+__attribute__((target("avx2,fma"))) void GemmAccRowsAvx2(
+    const float* __restrict a, int64_t as_i, int64_t as_l,
+    const float* __restrict b, float* __restrict c, int64_t r0, int64_t r1,
+    int64_t n, int64_t k) {
+  for (int64_t l0 = 0; l0 < k; l0 += kKc) {
+    const int64_t lmax = std::min(l0 + kKc, k);
+    int64_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+      int64_t i = r0;
+      for (; i + 4 <= r1; i += 4) {
+        float* c0 = c + (i + 0) * n + j;
+        float* c1 = c + (i + 1) * n + j;
+        float* c2 = c + (i + 2) * n + j;
+        float* c3 = c + (i + 3) * n + j;
+        __m256 acc00 = _mm256_loadu_ps(c0);
+        __m256 acc01 = _mm256_loadu_ps(c0 + 8);
+        __m256 acc10 = _mm256_loadu_ps(c1);
+        __m256 acc11 = _mm256_loadu_ps(c1 + 8);
+        __m256 acc20 = _mm256_loadu_ps(c2);
+        __m256 acc21 = _mm256_loadu_ps(c2 + 8);
+        __m256 acc30 = _mm256_loadu_ps(c3);
+        __m256 acc31 = _mm256_loadu_ps(c3 + 8);
+        for (int64_t l = l0; l < lmax; ++l) {
+          const __m256 b0 = _mm256_loadu_ps(b + l * n + j);
+          const __m256 b1 = _mm256_loadu_ps(b + l * n + j + 8);
+          __m256 av = _mm256_broadcast_ss(a + (i + 0) * as_i + l * as_l);
+          acc00 = _mm256_fmadd_ps(av, b0, acc00);
+          acc01 = _mm256_fmadd_ps(av, b1, acc01);
+          av = _mm256_broadcast_ss(a + (i + 1) * as_i + l * as_l);
+          acc10 = _mm256_fmadd_ps(av, b0, acc10);
+          acc11 = _mm256_fmadd_ps(av, b1, acc11);
+          av = _mm256_broadcast_ss(a + (i + 2) * as_i + l * as_l);
+          acc20 = _mm256_fmadd_ps(av, b0, acc20);
+          acc21 = _mm256_fmadd_ps(av, b1, acc21);
+          av = _mm256_broadcast_ss(a + (i + 3) * as_i + l * as_l);
+          acc30 = _mm256_fmadd_ps(av, b0, acc30);
+          acc31 = _mm256_fmadd_ps(av, b1, acc31);
+        }
+        _mm256_storeu_ps(c0, acc00);
+        _mm256_storeu_ps(c0 + 8, acc01);
+        _mm256_storeu_ps(c1, acc10);
+        _mm256_storeu_ps(c1 + 8, acc11);
+        _mm256_storeu_ps(c2, acc20);
+        _mm256_storeu_ps(c2 + 8, acc21);
+        _mm256_storeu_ps(c3, acc30);
+        _mm256_storeu_ps(c3 + 8, acc31);
+      }
+      for (; i < r1; ++i) {
+        float* ci = c + i * n + j;
+        __m256 acc0 = _mm256_loadu_ps(ci);
+        __m256 acc1 = _mm256_loadu_ps(ci + 8);
+        for (int64_t l = l0; l < lmax; ++l) {
+          const __m256 av = _mm256_broadcast_ss(a + i * as_i + l * as_l);
+          acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b + l * n + j), acc0);
+          acc1 =
+              _mm256_fmadd_ps(av, _mm256_loadu_ps(b + l * n + j + 8), acc1);
+        }
+        _mm256_storeu_ps(ci, acc0);
+        _mm256_storeu_ps(ci + 8, acc1);
+      }
+    }
+    for (; j + 8 <= n; j += 8) {
+      for (int64_t i = r0; i < r1; ++i) {
+        __m256 acc = _mm256_loadu_ps(c + i * n + j);
+        for (int64_t l = l0; l < lmax; ++l) {
+          const __m256 av = _mm256_broadcast_ss(a + i * as_i + l * as_l);
+          acc = _mm256_fmadd_ps(av, _mm256_loadu_ps(b + l * n + j), acc);
+        }
+        _mm256_storeu_ps(c + i * n + j, acc);
+      }
+    }
+    if (j < n) {
+      for (int64_t i = r0; i < r1; ++i) {
+        float* ci = c + i * n;
+        for (int64_t l = l0; l < lmax; ++l) {
+          const float av = a[i * as_i + l * as_l];
+          const float* br = b + l * n;
+          for (int64_t jj = j; jj < n; ++jj) ci[jj] += av * br[jj];
+        }
+      }
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) inline float DotAvx2(
+    const float* __restrict x, const float* __restrict y, int64_t k) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  int64_t l = 0;
+  for (; l + 16 <= k; l += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + l), _mm256_loadu_ps(y + l),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(x + l + 8),
+                           _mm256_loadu_ps(y + l + 8), acc1);
+  }
+  for (; l + 8 <= k; l += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + l), _mm256_loadu_ps(y + l),
+                           acc0);
+  }
+  float s = HSum(_mm256_add_ps(acc0, acc1));
+  for (; l < k; ++l) s += x[l] * y[l];
+  return s;
+}
+
+// Dot-product orientation for C = A * B^T. Register tile: 2 A rows x 4 B
+// rows, vectorized over k; per k step 6 loads feed 8 FMAs, and each tile
+// ends in 8 horizontal sums (amortized over the whole k sweep).
+__attribute__((target("avx2,fma"))) void GemmNTRowsAvx2(
+    const float* __restrict a, const float* __restrict b, float* __restrict c,
+    int64_t r0, int64_t r1, int64_t n, int64_t k) {
+  int64_t i = r0;
+  for (; i + 2 <= r1; i += 2) {
+    const float* a0 = a + (i + 0) * k;
+    const float* a1 = a + (i + 1) * k;
+    int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = b + (j + 0) * k;
+      const float* b1 = b + (j + 1) * k;
+      const float* b2 = b + (j + 2) * k;
+      const float* b3 = b + (j + 3) * k;
+      __m256 s00 = _mm256_setzero_ps(), s01 = _mm256_setzero_ps();
+      __m256 s02 = _mm256_setzero_ps(), s03 = _mm256_setzero_ps();
+      __m256 s10 = _mm256_setzero_ps(), s11 = _mm256_setzero_ps();
+      __m256 s12 = _mm256_setzero_ps(), s13 = _mm256_setzero_ps();
+      int64_t l = 0;
+      for (; l + 8 <= k; l += 8) {
+        const __m256 va0 = _mm256_loadu_ps(a0 + l);
+        const __m256 va1 = _mm256_loadu_ps(a1 + l);
+        __m256 vb = _mm256_loadu_ps(b0 + l);
+        s00 = _mm256_fmadd_ps(va0, vb, s00);
+        s10 = _mm256_fmadd_ps(va1, vb, s10);
+        vb = _mm256_loadu_ps(b1 + l);
+        s01 = _mm256_fmadd_ps(va0, vb, s01);
+        s11 = _mm256_fmadd_ps(va1, vb, s11);
+        vb = _mm256_loadu_ps(b2 + l);
+        s02 = _mm256_fmadd_ps(va0, vb, s02);
+        s12 = _mm256_fmadd_ps(va1, vb, s12);
+        vb = _mm256_loadu_ps(b3 + l);
+        s03 = _mm256_fmadd_ps(va0, vb, s03);
+        s13 = _mm256_fmadd_ps(va1, vb, s13);
+      }
+      float r00 = HSum(s00), r01 = HSum(s01), r02 = HSum(s02),
+            r03 = HSum(s03);
+      float r10 = HSum(s10), r11 = HSum(s11), r12 = HSum(s12),
+            r13 = HSum(s13);
+      for (; l < k; ++l) {
+        const float x0 = a0[l], x1 = a1[l];
+        r00 += x0 * b0[l];
+        r01 += x0 * b1[l];
+        r02 += x0 * b2[l];
+        r03 += x0 * b3[l];
+        r10 += x1 * b0[l];
+        r11 += x1 * b1[l];
+        r12 += x1 * b2[l];
+        r13 += x1 * b3[l];
+      }
+      float* c0 = c + (i + 0) * n + j;
+      float* c1 = c + (i + 1) * n + j;
+      c0[0] = r00;
+      c0[1] = r01;
+      c0[2] = r02;
+      c0[3] = r03;
+      c1[0] = r10;
+      c1[1] = r11;
+      c1[2] = r12;
+      c1[3] = r13;
+    }
+    for (; j < n; ++j) {
+      const float* bj = b + j * k;
+      c[(i + 0) * n + j] = DotAvx2(a0, bj, k);
+      c[(i + 1) * n + j] = DotAvx2(a1, bj, k);
+    }
+  }
+  for (; i < r1; ++i) {
+    const float* ai = a + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      c[i * n + j] = DotAvx2(ai, b + j * k, k);
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void GemvRowsAvx2(
+    const float* __restrict w, const float* __restrict x, float* __restrict y,
+    int64_t r0, int64_t r1, int64_t n) {
+  for (int64_t i = r0; i < r1; ++i) y[i] = DotAvx2(w + i * n, x, n);
+}
+
+__attribute__((target("avx2,fma"))) void GemvTAvx2(const float* __restrict w,
+                                                   const float* __restrict x,
+                                                   float* __restrict y,
+                                                   int64_t m, int64_t n) {
+  std::memset(y, 0, static_cast<size_t>(n) * sizeof(float));
+  for (int64_t i = 0; i < m; ++i) {
+    const __m256 xv = _mm256_broadcast_ss(x + i);
+    const float* row = w + i * n;
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      const __m256 acc = _mm256_fmadd_ps(xv, _mm256_loadu_ps(row + j),
+                                         _mm256_loadu_ps(y + j));
+      _mm256_storeu_ps(y + j, acc);
+    }
+    const float xs = x[i];
+    for (; j < n; ++j) y[j] += xs * row[j];
+  }
+}
+
+bool CpuHasAvx2Fma() {
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+}
+
+#endif  // EF_KERNELS_X86
+
+bool UseSimd() {
+#if defined(EF_KERNELS_X86)
+  return CpuHasAvx2Fma();
+#else
+  return false;
+#endif
+}
+
+// Dispatches one row chunk of the axpy-oriented kernels (Gemm / GemmTN).
+void GemmAccRows(const float* a, int64_t as_i, int64_t as_l, const float* b,
+                 float* c, int64_t r0, int64_t r1, int64_t n, int64_t k) {
+  // Each chunk zeroes its own C rows for locality, then accumulates.
+  std::memset(c + r0 * n, 0,
+              static_cast<size_t>((r1 - r0) * n) * sizeof(float));
+#if defined(EF_KERNELS_X86)
+  if (CpuHasAvx2Fma()) {
+    GemmAccRowsAvx2(a, as_i, as_l, b, c, r0, r1, n, k);
+    return;
+  }
+#endif
+  GemmAccRowsPortable(a, as_i, as_l, b, c, r0, r1, n, k);
+}
+
+}  // namespace
+
+void SetKernelThreads(int n) {
+  std::lock_guard<std::mutex> lock(pool_mu);
+  const int want = n > 0 ? n : DefaultThreads();
+  if (want == configured_threads) return;
+  configured_threads = want;
+  pool.reset();  // Recreated lazily at the new size.
+}
+
+int KernelThreads() {
+  std::lock_guard<std::mutex> lock(pool_mu);
+  if (configured_threads < 0) configured_threads = DefaultThreads();
+  return configured_threads;
+}
+
+void SetKernelParallelFlopThreshold(int64_t flops) {
+  parallel_flops.store(std::max<int64_t>(0, flops),
+                       std::memory_order_relaxed);
+}
+
+int64_t KernelParallelFlopThreshold() {
+  return parallel_flops.load(std::memory_order_relaxed);
+}
+
+bool KernelSimdEnabled() { return UseSimd(); }
+
+std::string KernelDescription() {
+  return util::StrFormat("%s, %d thread%s",
+                         UseSimd() ? "avx2+fma simd" : "portable scalar",
+                         KernelThreads(), KernelThreads() == 1 ? "" : "s");
+}
+
+void GemmKernel(const float* a, const float* b, float* c, int64_t m,
+                int64_t n, int64_t k) {
+  const int64_t flops = 2 * m * n * k;
+  ParallelRows(m, flops, [=](int64_t r0, int64_t r1) {
+    GemmAccRows(a, /*as_i=*/k, /*as_l=*/1, b, c, r0, r1, n, k);
+  });
+}
+
+void GemmTNKernel(const float* a, const float* b, float* c, int64_t m,
+                  int64_t n, int64_t k) {
+  const int64_t flops = 2 * m * n * k;
+  ParallelRows(m, flops, [=](int64_t r0, int64_t r1) {
+    GemmAccRows(a, /*as_i=*/1, /*as_l=*/m, b, c, r0, r1, n, k);
+  });
+}
+
+void GemmNTKernel(const float* a, const float* b, float* c, int64_t m,
+                  int64_t n, int64_t k) {
+  const int64_t flops = 2 * m * n * k;
+  ParallelRows(m, flops, [=](int64_t r0, int64_t r1) {
+#if defined(EF_KERNELS_X86)
+    if (CpuHasAvx2Fma()) {
+      GemmNTRowsAvx2(a, b, c, r0, r1, n, k);
+      return;
+    }
+#endif
+    GemmNTRowsPortable(a, b, c, r0, r1, n, k);
+  });
+}
+
+void GemvKernel(const float* w, const float* x, float* y, int64_t m,
+                int64_t n) {
+#if defined(EF_KERNELS_X86)
+  if (CpuHasAvx2Fma()) {
+    GemvRowsAvx2(w, x, y, 0, m, n);
+    return;
+  }
+#endif
+  for (int64_t i = 0; i < m; ++i) y[i] = DotPortable(w + i * n, x, n);
+}
+
+void GemvTKernel(const float* w, const float* x, float* y, int64_t m,
+                 int64_t n) {
+#if defined(EF_KERNELS_X86)
+  if (CpuHasAvx2Fma()) {
+    GemvTAvx2(w, x, y, m, n);
+    return;
+  }
+#endif
+  std::memset(y, 0, static_cast<size_t>(n) * sizeof(float));
+  for (int64_t i = 0; i < m; ++i) {
+    const float xv = x[i];
+    const float* __restrict row = w + i * n;
+    for (int64_t j = 0; j < n; ++j) y[j] += xv * row[j];
+  }
+}
+
+}  // namespace tensor
+}  // namespace errorflow

@@ -1,0 +1,65 @@
+#ifndef ERRORFLOW_TENSOR_KERNELS_H_
+#define ERRORFLOW_TENSOR_KERNELS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace errorflow {
+namespace tensor {
+
+/// \brief Compute-kernel layer under tensor::ops (docs/PERFORMANCE.md).
+///
+/// All dense linear algebra in the library funnels into the raw kernels
+/// declared here: cache-blocked micro-kernels with register-tiled inner
+/// loops, an AVX2+FMA implementation selected at runtime on x86-64 (with a
+/// portable unrolled fallback), and row-partitioned multithreading over a
+/// process-shared util::ThreadPool. Small problems stay serial: a GEMM is
+/// fanned out only when its FLOP count crosses the parallel threshold, so
+/// per-layer latency never regresses for the narrow models of the paper.
+///
+/// Buffers are row-major, dense, non-aliasing. Output buffers are fully
+/// overwritten.
+
+/// Sets the kernel worker count. `n <= 0` restores the default
+/// (ERRORFLOW_KERNEL_THREADS env var, else hardware concurrency). The pool
+/// is recreated lazily; callers must not resize while kernels are running.
+void SetKernelThreads(int n);
+
+/// Current kernel worker count (1 means all kernels run serially).
+int KernelThreads();
+
+/// Minimum FLOP count (2*m*n*k) at which a GEMM is parallelized.
+void SetKernelParallelFlopThreshold(int64_t flops);
+int64_t KernelParallelFlopThreshold();
+
+/// True when the AVX2+FMA micro-kernels are compiled in and supported by
+/// the CPU at runtime.
+bool KernelSimdEnabled();
+
+/// Human-readable summary, e.g. "avx2+fma simd, 4 threads" (bench output).
+std::string KernelDescription();
+
+/// C(m x n) = A(m x k) * B(k x n).
+void GemmKernel(const float* a, const float* b, float* c, int64_t m,
+                int64_t n, int64_t k);
+
+/// C(m x n) = A(m x k) * B^T, with B stored as (n x k).
+void GemmNTKernel(const float* a, const float* b, float* c, int64_t m,
+                  int64_t n, int64_t k);
+
+/// C(m x n) = A^T * B(k x n), with A stored as (k x m).
+void GemmTNKernel(const float* a, const float* b, float* c, int64_t m,
+                  int64_t n, int64_t k);
+
+/// y(m) = W(m x n) * x(n).
+void GemvKernel(const float* w, const float* x, float* y, int64_t m,
+                int64_t n);
+
+/// y(n) = W^T(m x n) * x(m).
+void GemvTKernel(const float* w, const float* x, float* y, int64_t m,
+                 int64_t n);
+
+}  // namespace tensor
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_TENSOR_KERNELS_H_

@@ -2,36 +2,17 @@
 
 #include <cstring>
 
+#include "tensor/kernels.h"
+
 namespace errorflow {
 namespace tensor {
-
-namespace {
-constexpr int64_t kBlock = 64;
-}  // namespace
 
 void Gemm(const Tensor& a, const Tensor& b, Tensor* c) {
   EF_CHECK(a.ndim() == 2 && b.ndim() == 2);
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   EF_CHECK(b.dim(0) == k);
   if (c->shape() != Shape{m, n}) *c = Tensor({m, n});
-  c->Fill(0.0f);
-  const float* __restrict pa = a.data();
-  const float* __restrict pb = b.data();
-  float* __restrict pc = c->data();
-  for (int64_t i0 = 0; i0 < m; i0 += kBlock) {
-    const int64_t imax = std::min(i0 + kBlock, m);
-    for (int64_t l0 = 0; l0 < k; l0 += kBlock) {
-      const int64_t lmax = std::min(l0 + kBlock, k);
-      for (int64_t i = i0; i < imax; ++i) {
-        for (int64_t l = l0; l < lmax; ++l) {
-          const float av = pa[i * k + l];
-          const float* __restrict brow = pb + l * n;
-          float* __restrict crow = pc + i * n;
-          for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-      }
-    }
-  }
+  GemmKernel(a.data(), b.data(), c->data(), m, n, k);
 }
 
 void GemmNT(const Tensor& a, const Tensor& b, Tensor* c) {
@@ -39,18 +20,7 @@ void GemmNT(const Tensor& a, const Tensor& b, Tensor* c) {
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   EF_CHECK(b.dim(1) == k);
   if (c->shape() != Shape{m, n}) *c = Tensor({m, n});
-  const float* __restrict pa = a.data();
-  const float* __restrict pb = b.data();
-  float* __restrict pc = c->data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* __restrict arow = pa + i * k;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* __restrict brow = pb + j * k;
-      float acc = 0.0f;
-      for (int64_t l = 0; l < k; ++l) acc += arow[l] * brow[l];
-      pc[i * n + j] = acc;
-    }
-  }
+  GemmNTKernel(a.data(), b.data(), c->data(), m, n, k);
 }
 
 void GemmTN(const Tensor& a, const Tensor& b, Tensor* c) {
@@ -58,51 +28,21 @@ void GemmTN(const Tensor& a, const Tensor& b, Tensor* c) {
   const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   EF_CHECK(b.dim(0) == k);
   if (c->shape() != Shape{m, n}) *c = Tensor({m, n});
-  c->Fill(0.0f);
-  const float* __restrict pa = a.data();
-  const float* __restrict pb = b.data();
-  float* __restrict pc = c->data();
-  for (int64_t l = 0; l < k; ++l) {
-    const float* __restrict arow = pa + l * m;
-    const float* __restrict brow = pb + l * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* __restrict crow = pc + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  GemmTNKernel(a.data(), b.data(), c->data(), m, n, k);
 }
 
 void Gemv(const Tensor& w, const Tensor& x, Tensor* y) {
   EF_CHECK(w.ndim() == 2 && x.ndim() == 1 && w.dim(1) == x.dim(0));
   const int64_t m = w.dim(0), n = w.dim(1);
   if (y->shape() != Shape{m}) *y = Tensor({m});
-  const float* __restrict pw = w.data();
-  const float* __restrict px = x.data();
-  float* __restrict py = y->data();
-  for (int64_t i = 0; i < m; ++i) {
-    float acc = 0.0f;
-    const float* __restrict row = pw + i * n;
-    for (int64_t j = 0; j < n; ++j) acc += row[j] * px[j];
-    py[i] = acc;
-  }
+  GemvKernel(w.data(), x.data(), y->data(), m, n);
 }
 
 void GemvT(const Tensor& w, const Tensor& x, Tensor* y) {
   EF_CHECK(w.ndim() == 2 && x.ndim() == 1 && w.dim(0) == x.dim(0));
   const int64_t m = w.dim(0), n = w.dim(1);
   if (y->shape() != Shape{n}) *y = Tensor({n});
-  y->Fill(0.0f);
-  const float* __restrict pw = w.data();
-  const float* __restrict px = x.data();
-  float* __restrict py = y->data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float xv = px[i];
-    if (xv == 0.0f) continue;
-    const float* __restrict row = pw + i * n;
-    for (int64_t j = 0; j < n; ++j) py[j] += xv * row[j];
-  }
+  GemvTKernel(w.data(), x.data(), y->data(), m, n);
 }
 
 void Add(const Tensor& a, const Tensor& b, Tensor* out) {

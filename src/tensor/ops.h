@@ -6,8 +6,9 @@
 namespace errorflow {
 namespace tensor {
 
-/// C = A(m x k) * B(k x n). Blocked triple loop tuned for the model sizes
-/// used in the paper (hidden widths up to a few hundred; conv via im2col).
+/// C = A(m x k) * B(k x n). Backed by the compute-kernel layer
+/// (tensor/kernels.h): cache-blocked, SIMD-dispatched micro-kernels with
+/// size-thresholded multithreading over a shared util::ThreadPool.
 void Gemm(const Tensor& a, const Tensor& b, Tensor* c);
 
 /// C = A(m x k) * B^T where B is (n x k). Weight matrices are stored as
