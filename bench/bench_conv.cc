@@ -1,0 +1,307 @@
+// Batched conv execution path benchmark: the Conv2dLayer batch-level
+// forward/backward (one fused column matrix + one large GEMM) vs the seed
+// per-sample path (per-element im2col, one small GemmNT per sample, scalar
+// bias/transpose), on the EuroSAT ResNet conv shapes at batch 1/8/32,
+// single- and multi-thread.
+//
+// Usage: bench_conv [max_threads] [json_path]
+//
+// Prints a table and writes the same records as JSON (default
+// BENCH_conv.json) so the perf trajectory is diffable across PRs. Also
+// cross-checks that the threaded batched forward is bit-identical to the
+// serial batched forward before timing anything.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/conv2d.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/random.h"
+
+namespace {
+
+using errorflow::nn::Conv2dLayer;
+using errorflow::tensor::Shape;
+using errorflow::tensor::Tensor;
+
+// EuroSAT ResNet conv shapes (16x16 inputs, 13 bands, stages
+// {8,16,32,64}): the stem, the stride-2 stage entries, and a 1x1
+// projection shortcut.
+struct ConvShape {
+  const char* name;
+  int64_t in_ch, out_ch, h, w;
+  int k, s, p;
+};
+
+const ConvShape kShapes[] = {
+    {"stem_13x16x16_k3", 13, 8, 16, 16, 3, 1, 1},
+    {"stage1_8x16x16_k3s2", 8, 16, 16, 16, 3, 2, 1},
+    {"stage2_16x8x8_k3s2", 16, 32, 8, 8, 3, 2, 1},
+    {"stage3_32x4x4_k3s2", 32, 64, 4, 4, 3, 2, 1},
+    {"proj_8x16x16_k1s2", 8, 16, 16, 16, 1, 2, 0},
+};
+
+int64_t OutDim(int64_t in, int k, int s, int p) {
+  return (in + 2 * p - k) / s + 1;
+}
+
+// --- Retained seed per-sample path (pre-batching Conv2dLayer::Forward /
+// ::Backward), kept verbatim so the comparison survives the original's
+// deletion. ---------------------------------------------------------------
+
+void SeedIm2Col(const float* in, int64_t c, int64_t h, int64_t w, int k,
+                int s, int p, Tensor* cols) {
+  const int64_t oh = OutDim(h, k, s, p), ow = OutDim(w, k, s, p);
+  const int64_t ckk = c * k * k;
+  if (cols->shape() != Shape{oh * ow, ckk}) *cols = Tensor({oh * ow, ckk});
+  float* out = cols->data();
+  for (int64_t oy = 0; oy < oh; ++oy) {
+    for (int64_t ox = 0; ox < ow; ++ox) {
+      float* row = out + (oy * ow + ox) * ckk;
+      int64_t idx = 0;
+      for (int64_t ch = 0; ch < c; ++ch) {
+        const float* plane = in + ch * h * w;
+        for (int ky = 0; ky < k; ++ky) {
+          const int64_t iy = oy * s + ky - p;
+          for (int kx = 0; kx < k; ++kx) {
+            const int64_t ix = ox * s + kx - p;
+            row[idx++] = (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                             ? plane[iy * w + ix]
+                             : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void SeedCol2Im(const Tensor& cols, int64_t c, int64_t h, int64_t w, int k,
+                int s, int p, float* out) {
+  const int64_t oh = OutDim(h, k, s, p), ow = OutDim(w, k, s, p);
+  const int64_t ckk = c * k * k;
+  const float* in = cols.data();
+  for (int64_t oy = 0; oy < oh; ++oy) {
+    for (int64_t ox = 0; ox < ow; ++ox) {
+      const float* row = in + (oy * ow + ox) * ckk;
+      int64_t idx = 0;
+      for (int64_t ch = 0; ch < c; ++ch) {
+        float* plane = out + ch * h * w;
+        for (int ky = 0; ky < k; ++ky) {
+          const int64_t iy = oy * s + ky - p;
+          for (int kx = 0; kx < k; ++kx) {
+            const int64_t ix = ox * s + kx - p;
+            if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
+              plane[iy * w + ix] += row[idx];
+            }
+            ++idx;
+          }
+        }
+      }
+    }
+  }
+}
+
+void SeedForward(const Tensor& input, const Tensor& wmat, const Tensor& bias,
+                 const ConvShape& cs, Tensor* output) {
+  const int64_t n = input.dim(0);
+  const int64_t oh = OutDim(cs.h, cs.k, cs.s, cs.p);
+  const int64_t ow = OutDim(cs.w, cs.k, cs.s, cs.p);
+  if (output->shape() != Shape{n, cs.out_ch, oh, ow}) {
+    *output = Tensor({n, cs.out_ch, oh, ow});
+  }
+  Tensor cols, out_mat;
+  for (int64_t img = 0; img < n; ++img) {
+    SeedIm2Col(input.data() + img * cs.in_ch * cs.h * cs.w, cs.in_ch, cs.h,
+               cs.w, cs.k, cs.s, cs.p, &cols);
+    errorflow::tensor::GemmNT(cols, wmat, &out_mat);
+    float* out = output->data() + img * cs.out_ch * oh * ow;
+    for (int64_t pix = 0; pix < oh * ow; ++pix) {
+      for (int64_t oc = 0; oc < cs.out_ch; ++oc) {
+        out[oc * oh * ow + pix] = out_mat.at(pix, oc) + bias[oc];
+      }
+    }
+  }
+}
+
+void SeedBackward(const Tensor& x, const Tensor& grad_output,
+                  const Tensor& wmat, const ConvShape& cs,
+                  Tensor* grad_input, Tensor* weight_grad,
+                  Tensor* bias_grad) {
+  const int64_t n = x.dim(0);
+  const int64_t oh = grad_output.dim(2), ow = grad_output.dim(3);
+  if (grad_input->shape() != x.shape()) *grad_input = Tensor(x.shape());
+  grad_input->Fill(0.0f);
+  Tensor grad_eff({cs.out_ch, cs.in_ch * cs.k * cs.k});
+  Tensor cols, gmat({oh * ow, cs.out_ch}), gcols, contrib;
+  for (int64_t img = 0; img < n; ++img) {
+    const float* go = grad_output.data() + img * cs.out_ch * oh * ow;
+    for (int64_t pix = 0; pix < oh * ow; ++pix) {
+      for (int64_t oc = 0; oc < cs.out_ch; ++oc) {
+        gmat.at(pix, oc) = go[oc * oh * ow + pix];
+      }
+    }
+    for (int64_t oc = 0; oc < cs.out_ch; ++oc) {
+      double acc = 0.0;
+      for (int64_t pix = 0; pix < oh * ow; ++pix) acc += gmat.at(pix, oc);
+      (*bias_grad)[oc] += static_cast<float>(acc);
+    }
+    SeedIm2Col(x.data() + img * cs.in_ch * cs.h * cs.w, cs.in_ch, cs.h, cs.w,
+               cs.k, cs.s, cs.p, &cols);
+    errorflow::tensor::GemmTN(gmat, cols, &contrib);
+    errorflow::tensor::Add(grad_eff, contrib, &grad_eff);
+    errorflow::tensor::Gemm(gmat, wmat, &gcols);
+    SeedCol2Im(gcols, cs.in_ch, cs.h, cs.w, cs.k, cs.s, cs.p,
+               grad_input->data() + img * cs.in_ch * cs.h * cs.w);
+  }
+  errorflow::tensor::Add(*weight_grad, grad_eff, weight_grad);
+}
+
+// -------------------------------------------------------------------------
+
+Tensor RandomTensor(Shape shape, uint64_t seed) {
+  errorflow::util::Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.Normal());
+  }
+  return t;
+}
+
+double TimeIt(const std::function<void()>& fn, int reps) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct Record {
+  std::string shape;
+  int64_t batch;
+  int threads;
+  double fwd_seed_ms, fwd_new_ms, bwd_seed_ms, bwd_new_ms;
+};
+
+bool BitIdentical(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.size()) * sizeof(float)) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int max_threads = argc > 1 ? std::atoi(argv[1]) : 4;
+  const char* json_path = argc > 2 ? argv[2] : "BENCH_conv.json";
+  std::printf("kernels: %s\n\n",
+              errorflow::tensor::KernelDescription().c_str());
+
+  // Determinism cross-check: threaded batched forward must be bit-identical
+  // to the serial batched forward on every shape.
+  for (const ConvShape& cs : kShapes) {
+    Conv2dLayer conv(cs.in_ch, cs.out_ch, cs.k, cs.s, cs.p);
+    conv.InitHe(7);
+    const Tensor x = RandomTensor({32, cs.in_ch, cs.h, cs.w}, 11);
+    errorflow::tensor::SetKernelThreads(1);
+    Tensor serial;
+    conv.Forward(x, &serial, false);
+    errorflow::tensor::SetKernelThreads(max_threads);
+    errorflow::tensor::SetKernelParallelFlopThreshold(1);
+    Tensor threaded;
+    conv.Forward(x, &threaded, false);
+    errorflow::tensor::SetKernelParallelFlopThreshold(1 << 21);
+    if (!BitIdentical(serial, threaded)) {
+      std::printf("FATAL: threaded forward differs from serial on %s\n",
+                  cs.name);
+      return 1;
+    }
+  }
+  std::printf("threaded batched forward bit-identical to serial: yes\n\n");
+
+  std::vector<Record> records;
+  for (const int threads : {1, max_threads}) {
+    errorflow::tensor::SetKernelThreads(threads);
+    std::printf("--- %d kernel thread(s) ---\n", threads);
+    std::printf("%-22s %5s %10s %10s %8s %10s %10s %8s\n", "shape", "batch",
+                "fwd seed", "fwd new", "speedup", "bwd seed", "bwd new",
+                "speedup");
+    for (const ConvShape& cs : kShapes) {
+      for (const int64_t batch : {1, 8, 32}) {
+        Conv2dLayer conv(cs.in_ch, cs.out_ch, cs.k, cs.s, cs.p);
+        conv.InitHe(7);
+        const Tensor x = RandomTensor({batch, cs.in_ch, cs.h, cs.w}, 13);
+        Tensor out, seed_out;
+        conv.Forward(x, &out, true);
+        Tensor grad_out(out.shape());
+        for (int64_t i = 0; i < grad_out.size(); ++i) {
+          grad_out[i] = 0.01f * static_cast<float>(i % 17);
+        }
+        Tensor grad_in, seed_gin;
+        Tensor seed_wg(conv.weight().shape()), seed_bg(conv.bias().shape());
+        const int reps = batch >= 32 ? 5 : 9;
+
+        const double fwd_seed = TimeIt(
+            [&] { SeedForward(x, conv.weight(), conv.bias(), cs, &seed_out); },
+            reps);
+        const double fwd_new =
+            TimeIt([&] { conv.Forward(x, &out, false); }, reps);
+        const double bwd_seed = TimeIt(
+            [&] {
+              SeedBackward(x, grad_out, conv.weight(), cs, &seed_gin,
+                           &seed_wg, &seed_bg);
+            },
+            reps);
+        // Keep the training cache warm so Backward times the steady state.
+        conv.Forward(x, &out, true);
+        const double bwd_new =
+            TimeIt([&] { conv.Backward(grad_out, &grad_in); }, reps);
+
+        std::printf("%-22s %5lld %9.3f %9.3f %7.2fx %9.3f %9.3f %7.2fx\n",
+                    cs.name, static_cast<long long>(batch), fwd_seed * 1e3,
+                    fwd_new * 1e3, fwd_seed / fwd_new, bwd_seed * 1e3,
+                    bwd_new * 1e3, bwd_seed / bwd_new);
+        records.push_back(Record{cs.name, batch, threads, fwd_seed * 1e3,
+                                 fwd_new * 1e3, bwd_seed * 1e3,
+                                 bwd_new * 1e3});
+      }
+    }
+    std::printf("\n");
+  }
+  errorflow::tensor::SetKernelThreads(0);
+
+  if (std::FILE* f = std::fopen(json_path, "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"conv_batched\",\n  \"kernels\": \"%s\","
+                 "\n  \"records\": [\n",
+                 errorflow::tensor::KernelDescription().c_str());
+    for (size_t i = 0; i < records.size(); ++i) {
+      const Record& r = records[i];
+      std::fprintf(
+          f,
+          "    {\"shape\": \"%s\", \"batch\": %lld, \"threads\": %d, "
+          "\"fwd_seed_ms\": %.4f, \"fwd_new_ms\": %.4f, "
+          "\"fwd_speedup\": %.2f, \"bwd_seed_ms\": %.4f, "
+          "\"bwd_new_ms\": %.4f, \"bwd_speedup\": %.2f}%s\n",
+          r.shape.c_str(), static_cast<long long>(r.batch), r.threads,
+          r.fwd_seed_ms, r.fwd_new_ms, r.fwd_seed_ms / r.fwd_new_ms,
+          r.bwd_seed_ms, r.bwd_new_ms, r.bwd_seed_ms / r.bwd_new_ms,
+          i + 1 < records.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  } else {
+    std::printf("could not open %s for writing\n", json_path);
+  }
+  return 0;
+}

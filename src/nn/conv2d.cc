@@ -1,7 +1,10 @@
 #include "nn/conv2d.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "tensor/kernels.h"
 #include "tensor/norms.h"
 #include "tensor/ops.h"
 #include "util/random.h"
@@ -16,28 +19,83 @@ int64_t OutDim(int64_t in, int kernel, int stride, int padding) {
   return (in + 2 * padding - kernel) / stride + 1;
 }
 
-// Gathers conv patches of one (C,H,W) sample into a (OH*OW, C*K*K) matrix.
-void Im2Col(const float* in, int64_t c, int64_t h, int64_t w, int k, int s,
-            int p, Tensor* cols) {
-  const int64_t oh = OutDim(h, k, s, p), ow = OutDim(w, k, s, p);
-  const int64_t ckk = c * k * k;
-  if (cols->shape() != tensor::Shape{oh * ow, ckk}) {
-    *cols = Tensor({oh * ow, ckk});
-  }
-  float* out = cols->data();
-  for (int64_t oy = 0; oy < oh; ++oy) {
-    for (int64_t ox = 0; ox < ow; ++ox) {
-      float* row = out + (oy * ow + ox) * ckk;
-      int64_t idx = 0;
-      for (int64_t ch = 0; ch < c; ++ch) {
-        const float* plane = in + ch * h * w;
-        for (int ky = 0; ky < k; ++ky) {
+// Allocation-free rank-4 shape test (constructing a Shape temporary would
+// heap-allocate on every Forward).
+bool ShapeIs4(const Tensor& t, int64_t d0, int64_t d1, int64_t d2,
+              int64_t d3) {
+  return t.ndim() == 4 && t.dim(0) == d0 && t.dim(1) == d1 &&
+         t.dim(2) == d2 && t.dim(3) == d3;
+}
+
+bool ShapeIs2(const Tensor& t, int64_t d0, int64_t d1) {
+  return t.ndim() == 2 && t.dim(0) == d0 && t.dim(1) == d1;
+}
+
+// Thread-local grow-only scratch: the inference path must be lock-free
+// across threads sharing one layer AND allocation-free in steady state, so
+// each calling thread keeps its own buffers, grown monotonically.
+struct ConvScratch {
+  std::vector<float> cols;  // channel-major column matrix
+  std::vector<float> mat;   // batched GEMM output (channel-major)
+};
+
+ConvScratch& LocalScratch() {
+  static thread_local ConvScratch scratch;
+  return scratch;
+}
+
+float* GrowBuffer(std::vector<float>* buf, int64_t n) {
+  if (static_cast<int64_t>(buf->size()) < n) buf->resize(static_cast<size_t>(n));
+  return buf->data();
+}
+
+// Valid output-x range for a kernel column: every ox in [lo, hi) reads an
+// in-bounds ix = ox * s + kx - p.
+int64_t OxLo(int kx, int s, int p) {
+  const int64_t a = p - kx;
+  return a <= 0 ? 0 : (a + s - 1) / s;
+}
+
+int64_t OxHi(int64_t w, int64_t ow, int kx, int s, int p) {
+  const int64_t a = w - 1 + p - kx;
+  return a < 0 ? 0 : std::min<int64_t>(ow, a / s + 1);
+}
+
+// Gathers one (C,H,W) sample into the channel-major (Caffe-layout) column
+// matrix: row r = (ch*K + ky)*K + kx holds that tap's value for every
+// output pixel, so for stride 1 each (row, oy) is one contiguous OW-float
+// memcpy and border clipping is hoisted out of the pixel loop entirely.
+// `cols` points at this sample's first column; rows are `col_stride` apart
+// (the batched matrix interleaves samples along the column axis).
+void Im2ColSample(const float* in, int64_t c, int64_t h, int64_t w, int k,
+                  int s, int p, int64_t oh, int64_t ow, float* cols,
+                  int64_t col_stride) {
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const float* plane = in + ch * h * w;
+    for (int ky = 0; ky < k; ++ky) {
+      for (int kx = 0; kx < k; ++kx) {
+        float* dst = cols + ((ch * k + ky) * k + kx) * col_stride;
+        const int64_t ox_lo = OxLo(kx, s, p);
+        const int64_t ox_hi = OxHi(w, ow, kx, s, p);
+        for (int64_t oy = 0; oy < oh; ++oy, dst += ow) {
           const int64_t iy = oy * s + ky - p;
-          for (int kx = 0; kx < k; ++kx) {
-            const int64_t ix = ox * s + kx - p;
-            row[idx++] = (iy >= 0 && iy < h && ix >= 0 && ix < w)
-                             ? plane[iy * w + ix]
-                             : 0.0f;
+          if (iy < 0 || iy >= h || ox_hi <= ox_lo) {
+            std::memset(dst, 0, static_cast<size_t>(ow) * sizeof(float));
+            continue;
+          }
+          if (ox_lo > 0) {
+            std::memset(dst, 0, static_cast<size_t>(ox_lo) * sizeof(float));
+          }
+          const float* src = plane + iy * w + kx - p;
+          if (s == 1) {
+            std::memcpy(dst + ox_lo, src + ox_lo,
+                        static_cast<size_t>(ox_hi - ox_lo) * sizeof(float));
+          } else {
+            for (int64_t ox = ox_lo; ox < ox_hi; ++ox) dst[ox] = src[ox * s];
+          }
+          if (ox_hi < ow) {
+            std::memset(dst + ox_hi, 0,
+                        static_cast<size_t>(ow - ox_hi) * sizeof(float));
           }
         }
       }
@@ -45,31 +103,62 @@ void Im2Col(const float* in, int64_t c, int64_t h, int64_t w, int k, int s,
   }
 }
 
-// Scatter-adds a (OH*OW, C*K*K) gradient matrix back into a (C,H,W) sample.
-void Col2Im(const Tensor& cols, int64_t c, int64_t h, int64_t w, int k,
-            int s, int p, float* out) {
-  const int64_t oh = OutDim(h, k, s, p), ow = OutDim(w, k, s, p);
-  const int64_t ckk = c * k * k;
-  const float* in = cols.data();
-  for (int64_t oy = 0; oy < oh; ++oy) {
-    for (int64_t ox = 0; ox < ow; ++ox) {
-      const float* row = in + (oy * ow + ox) * ckk;
-      int64_t idx = 0;
-      for (int64_t ch = 0; ch < c; ++ch) {
-        float* plane = out + ch * h * w;
-        for (int ky = 0; ky < k; ++ky) {
+// Scatter-adds one sample's channel-major gradient columns back into its
+// (C,H,W) gradient block, mirroring Im2ColSample's clipped runs. `out`
+// must be zeroed by the caller.
+void Col2ImSample(const float* cols, int64_t col_stride, int64_t c,
+                  int64_t h, int64_t w, int k, int s, int p, int64_t oh,
+                  int64_t ow, float* out) {
+  for (int64_t ch = 0; ch < c; ++ch) {
+    float* plane = out + ch * h * w;
+    for (int ky = 0; ky < k; ++ky) {
+      for (int kx = 0; kx < k; ++kx) {
+        const float* src = cols + ((ch * k + ky) * k + kx) * col_stride;
+        const int64_t ox_lo = OxLo(kx, s, p);
+        const int64_t ox_hi = OxHi(w, ow, kx, s, p);
+        if (ox_hi <= ox_lo) continue;
+        for (int64_t oy = 0; oy < oh; ++oy) {
           const int64_t iy = oy * s + ky - p;
-          for (int kx = 0; kx < k; ++kx) {
-            const int64_t ix = ox * s + kx - p;
-            if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
-              plane[iy * w + ix] += row[idx];
-            }
-            ++idx;
+          if (iy < 0 || iy >= h) continue;
+          float* __restrict d = plane + iy * w + kx - p;
+          const float* __restrict g = src + oy * ow;
+          if (s == 1) {
+            for (int64_t ox = ox_lo; ox < ox_hi; ++ox) d[ox] += g[ox];
+          } else {
+            for (int64_t ox = ox_lo; ox < ox_hi; ++ox) d[ox * s] += g[ox];
           }
         }
       }
     }
   }
+}
+
+// Batched im2col: samples [0, n) gathered sample-parallel on the shared
+// kernel pool into the (C*K*K, N*OH*OW) column matrix. Gated on the FLOP
+// count of the GEMM the columns feed — when that GEMM fans out, threading
+// its producer is free; below the threshold nothing here is worth a
+// dispatch either. Each sample writes a disjoint column block, so threaded
+// output is bit-identical to serial.
+void Im2ColBatch(const float* in, int64_t n, int64_t c, int64_t h, int64_t w,
+                 int k, int s, int p, int64_t oh, int64_t ow,
+                 int64_t gemm_flops, float* cols) {
+  const int64_t chw = c * h * w;
+  const int64_t ohow = oh * ow;
+  const int64_t col_stride = n * ohow;
+  if (!tensor::KernelWillParallelize(gemm_flops)) {
+    for (int64_t img = 0; img < n; ++img) {
+      Im2ColSample(in + img * chw, c, h, w, k, s, p, oh, ow,
+                   cols + img * ohow, col_stride);
+    }
+    return;
+  }
+  tensor::ParallelChunksKernel(
+      n, gemm_flops, [=](int64_t s0, int64_t s1) {
+        for (int64_t img = s0; img < s1; ++img) {
+          Im2ColSample(in + img * chw, c, h, w, k, s, p, oh, ow,
+                       cols + img * ohow, col_stride);
+        }
+      });
 }
 
 }  // namespace
@@ -209,7 +298,7 @@ void Conv2dLayer::Forward(const Tensor& input, Tensor* output,
   const int64_t oh = OutDim(h, kernel_, stride_, padding_);
   const int64_t ow = OutDim(w, kernel_, stride_, padding_);
   EF_CHECK(oh > 0 && ow > 0);
-  if (output->shape() != Shape{n, out_channels_, oh, ow}) {
+  if (!ShapeIs4(*output, n, out_channels_, oh, ow)) {
     *output = Tensor({n, out_channels_, oh, ow});
   }
   Tensor psn_eff;
@@ -228,17 +317,51 @@ void Conv2dLayer::Forward(const Tensor& input, Tensor* output,
     eff = &psn_eff;
   }
 
-  Tensor cols, out_mat;
-  for (int64_t s = 0; s < n; ++s) {
-    Im2Col(input.data() + s * in_channels_ * h * w, in_channels_, h, w,
-           kernel_, stride_, padding_, &cols);
-    tensor::GemmNT(cols, *eff, &out_mat);  // (OH*OW, out_ch)
-    float* out = output->data() + s * out_channels_ * oh * ow;
-    for (int64_t pix = 0; pix < oh * ow; ++pix) {
-      for (int64_t oc = 0; oc < out_channels_; ++oc) {
-        out[oc * oh * ow + pix] = out_mat.at(pix, oc) + bias_[oc];
+  // Batched execution: one channel-major (C*K*K, N*OH*OW) column matrix
+  // covering every sample, one GEMM large enough to fan out across the
+  // pool, then a contiguous bias-add re-layout to NCHW (the GEMM already
+  // emits channel-major rows, so no transpose is needed). Training keeps
+  // the columns in the layer so Backward skips the regather; inference
+  // uses thread-local scratch so concurrent callers on a shared (folded)
+  // layer never contend.
+  const int64_t ohow = oh * ow;
+  const int64_t cols_n = n * ohow;
+  const int64_t ckk = in_channels_ * kernel_ * kernel_;
+  const int64_t gemm_flops = 2 * cols_n * out_channels_ * ckk;
+  ConvScratch& scratch = LocalScratch();
+  float* cols;
+  if (training) {
+    if (!ShapeIs2(cached_cols_, ckk, cols_n)) {
+      cached_cols_ = Tensor({ckk, cols_n});
+    }
+    cols = cached_cols_.data();
+  } else {
+    cols = GrowBuffer(&scratch.cols, ckk * cols_n);
+  }
+  Im2ColBatch(input.data(), n, in_channels_, h, w, kernel_, stride_,
+              padding_, oh, ow, gemm_flops, cols);
+  float* out_mat = GrowBuffer(&scratch.mat, out_channels_ * cols_n);
+  tensor::GemmKernel(eff->data(), cols, out_mat, out_channels_, cols_n, ckk);
+  // Row oc of out_mat holds channel oc for the whole batch; each (img, oc)
+  // output plane is one contiguous OH*OW run with the bias folded in.
+  const float* bias = bias_.data();
+  float* out = output->data();
+  const int64_t out_ch = out_channels_;
+  const int64_t sample_out = out_ch * ohow;
+  auto relayout = [=](int64_t s0, int64_t s1) {
+    for (int64_t img = s0; img < s1; ++img) {
+      for (int64_t oc = 0; oc < out_ch; ++oc) {
+        const float* __restrict src = out_mat + oc * cols_n + img * ohow;
+        float* __restrict dst = out + img * sample_out + oc * ohow;
+        const float b = bias[oc];
+        for (int64_t pix = 0; pix < ohow; ++pix) dst[pix] = src[pix] + b;
       }
     }
+  };
+  if (!tensor::KernelWillParallelize(gemm_flops)) {
+    relayout(0, n);
+  } else {
+    tensor::ParallelChunksKernel(n, gemm_flops, relayout);
   }
   if (training) {
     cached_input_ = input;
@@ -251,33 +374,98 @@ void Conv2dLayer::Backward(const Tensor& grad_output, Tensor* grad_input) {
   const int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
   const int64_t oh = grad_output.dim(2), ow = grad_output.dim(3);
   if (grad_input->shape() != x.shape()) *grad_input = Tensor(x.shape());
-  grad_input->Fill(0.0f);
 
-  Tensor grad_eff({out_channels_, in_channels_ * kernel_ * kernel_});
-  Tensor cols, gmat({oh * ow, out_channels_}), gcols, contrib;
-  for (int64_t s = 0; s < n; ++s) {
-    // Rearrange grad_output sample into (OH*OW, out_ch).
-    const float* go = grad_output.data() + s * out_channels_ * oh * ow;
-    for (int64_t pix = 0; pix < oh * ow; ++pix) {
-      for (int64_t oc = 0; oc < out_channels_; ++oc) {
-        gmat.at(pix, oc) = go[oc * oh * ow + pix];
+  const int64_t ohow = oh * ow;
+  const int64_t cols_n = n * ohow;
+  const int64_t ckk = in_channels_ * kernel_ * kernel_;
+  const int64_t chw = in_channels_ * h * w;
+  const int64_t sample_out = out_channels_ * ohow;
+  const int64_t gemm_flops = 2 * cols_n * out_channels_ * ckk;
+
+  // Channel-major view of grad_output: (out_ch, N*OH*OW), matching the
+  // column matrix. Each (img, oc) plane is one contiguous memcpy.
+  if (!ShapeIs2(bwd_gmat_, out_channels_, cols_n)) {
+    bwd_gmat_ = Tensor({out_channels_, cols_n});
+  }
+  float* gmat = bwd_gmat_.data();
+  const float* go = grad_output.data();
+  const int64_t out_ch = out_channels_;
+  auto gather = [=](int64_t s0, int64_t s1) {
+    for (int64_t img = s0; img < s1; ++img) {
+      for (int64_t oc = 0; oc < out_ch; ++oc) {
+        std::memcpy(gmat + oc * cols_n + img * ohow,
+                    go + img * sample_out + oc * ohow,
+                    static_cast<size_t>(ohow) * sizeof(float));
       }
     }
-    // Bias grads: sum over pixels.
+  };
+  if (!tensor::KernelWillParallelize(gemm_flops)) {
+    gather(0, n);
+  } else {
+    tensor::ParallelChunksKernel(n, gemm_flops, gather);
+  }
+
+  // Bias grads: per-channel double accumulation straight off grad_output's
+  // channel-major layout (contiguous per-plane sums).
+  if (static_cast<int64_t>(bwd_bias_acc_.size()) < out_channels_) {
+    bwd_bias_acc_.resize(static_cast<size_t>(out_channels_));
+  }
+  std::fill(bwd_bias_acc_.begin(), bwd_bias_acc_.end(), 0.0);
+  for (int64_t img = 0; img < n; ++img) {
     for (int64_t oc = 0; oc < out_channels_; ++oc) {
+      const float* plane = go + img * sample_out + oc * ohow;
       double acc = 0.0;
-      for (int64_t pix = 0; pix < oh * ow; ++pix) acc += gmat.at(pix, oc);
-      bias_grad_[oc] += static_cast<float>(acc);
+      for (int64_t pix = 0; pix < ohow; ++pix) acc += plane[pix];
+      bwd_bias_acc_[static_cast<size_t>(oc)] += acc;
     }
-    Im2Col(x.data() + s * in_channels_ * h * w, in_channels_, h, w, kernel_,
-           stride_, padding_, &cols);
-    tensor::GemmTN(gmat, cols, &contrib);  // (out_ch, C*K*K)
-    tensor::Add(grad_eff, contrib, &grad_eff);
-    // Input grads: gcols = gmat * W_eff, then scatter. Without PSN the
-    // effective weight is the stored weight (not separately cached).
-    tensor::Gemm(gmat, use_psn_ ? cached_eff_weight_ : weight_, &gcols);
-    Col2Im(gcols, in_channels_, h, w, kernel_, stride_, padding_,
-           grad_input->data() + s * in_channels_ * h * w);
+  }
+  for (int64_t oc = 0; oc < out_channels_; ++oc) {
+    bias_grad_[oc] += static_cast<float>(bwd_bias_acc_[static_cast<size_t>(oc)]);
+  }
+
+  // Column matrix: normally cached by the training Forward; regathered
+  // defensively if a caller invokes Backward with stale geometry.
+  if (!ShapeIs2(cached_cols_, ckk, cols_n)) {
+    cached_cols_ = Tensor({ckk, cols_n});
+    Im2ColBatch(x.data(), n, in_channels_, h, w, kernel_, stride_, padding_,
+                oh, ow, gemm_flops, cached_cols_.data());
+  }
+
+  // Weight gradient in one batched GemmNT over all samples' pixels:
+  // dW (out_ch, C*K*K) = G (out_ch, N*OH*OW) x cols^T.
+  if (!ShapeIs2(bwd_grad_eff_, out_channels_, ckk)) {
+    bwd_grad_eff_ = Tensor({out_channels_, ckk});
+  }
+  tensor::GemmNTKernel(gmat, cached_cols_.data(), bwd_grad_eff_.data(),
+                       out_channels_, ckk, cols_n);
+  const Tensor& grad_eff = bwd_grad_eff_;
+
+  // Input gradient: one batched GemmTN into channel-major gradient columns
+  // (C*K*K, N*OH*OW) = W_eff^T x G, then a sample-parallel col2im scatter
+  // (each sample zeroes and owns its own (C,H,W) block, so threaded ==
+  // serial bit-for-bit).
+  if (!ShapeIs2(bwd_gcols_, ckk, cols_n)) {
+    bwd_gcols_ = Tensor({ckk, cols_n});
+  }
+  const Tensor& w_eff = use_psn_ ? cached_eff_weight_ : weight_;
+  tensor::GemmTNKernel(w_eff.data(), gmat, bwd_gcols_.data(), ckk, cols_n,
+                       out_channels_);
+  const float* gcols = bwd_gcols_.data();
+  float* gin = grad_input->data();
+  const int kernel = kernel_, stride = stride_, padding = padding_;
+  const int64_t in_ch = in_channels_;
+  auto scatter = [=](int64_t s0, int64_t s1) {
+    for (int64_t img = s0; img < s1; ++img) {
+      float* dst = gin + img * chw;
+      std::memset(dst, 0, static_cast<size_t>(chw) * sizeof(float));
+      Col2ImSample(gcols + img * ohow, cols_n, in_ch, h, w, kernel, stride,
+                   padding, oh, ow, dst);
+    }
+  };
+  if (!tensor::KernelWillParallelize(gemm_flops)) {
+    scatter(0, n);
+  } else {
+    tensor::ParallelChunksKernel(n, gemm_flops, scatter);
   }
 
   if (!use_psn_) {
@@ -333,18 +521,19 @@ void Conv2dLayer::ApplySingle(const Tensor& weight_mat, const Tensor& in_flat,
                               int64_t h, int64_t w, Tensor* out_flat) const {
   const int64_t oh = OutDim(h, kernel_, stride_, padding_);
   const int64_t ow = OutDim(w, kernel_, stride_, padding_);
-  Tensor cols, out_mat;
-  Im2Col(in_flat.data(), in_channels_, h, w, kernel_, stride_, padding_,
-         &cols);
-  tensor::GemmNT(cols, weight_mat, &out_mat);
-  if (out_flat->shape() != Shape{out_channels_ * oh * ow}) {
-    *out_flat = Tensor({out_channels_ * oh * ow});
+  const int64_t ohow = oh * ow;
+  const int64_t ckk = in_channels_ * kernel_ * kernel_;
+  ConvScratch& scratch = LocalScratch();
+  float* cols = GrowBuffer(&scratch.cols, ckk * ohow);
+  Im2ColSample(in_flat.data(), in_channels_, h, w, kernel_, stride_,
+               padding_, oh, ow, cols, /*col_stride=*/ohow);
+  if (out_flat->ndim() != 1 || out_flat->dim(0) != out_channels_ * ohow) {
+    *out_flat = Tensor({out_channels_ * ohow});
   }
-  for (int64_t pix = 0; pix < oh * ow; ++pix) {
-    for (int64_t oc = 0; oc < out_channels_; ++oc) {
-      (*out_flat)[oc * oh * ow + pix] = out_mat.at(pix, oc);
-    }
-  }
+  // Channel-major columns: the GEMM output is already the flattened
+  // (out_ch, OH*OW) activation — no transpose.
+  tensor::GemmKernel(weight_mat.data(), cols, out_flat->data(),
+                     out_channels_, ohow, ckk);
 }
 
 void Conv2dLayer::ApplySingleTranspose(const Tensor& weight_mat,
@@ -352,20 +541,21 @@ void Conv2dLayer::ApplySingleTranspose(const Tensor& weight_mat,
                                        int64_t w, Tensor* out_flat) const {
   const int64_t oh = OutDim(h, kernel_, stride_, padding_);
   const int64_t ow = OutDim(w, kernel_, stride_, padding_);
-  Tensor gmat({oh * ow, out_channels_});
-  for (int64_t pix = 0; pix < oh * ow; ++pix) {
-    for (int64_t oc = 0; oc < out_channels_; ++oc) {
-      gmat.at(pix, oc) = in_flat[oc * oh * ow + pix];
-    }
-  }
-  Tensor gcols;
-  tensor::Gemm(gmat, weight_mat, &gcols);
-  if (out_flat->shape() != Shape{in_channels_ * h * w}) {
+  const int64_t ohow = oh * ow;
+  const int64_t ckk = in_channels_ * kernel_ * kernel_;
+  ConvScratch& scratch = LocalScratch();
+  // The flattened (out_ch, OH*OW) input is already channel-major, so it
+  // feeds the GemmTN directly — no transpose.
+  float* gcols = GrowBuffer(&scratch.cols, ckk * ohow);
+  tensor::GemmTNKernel(weight_mat.data(), in_flat.data(), gcols, ckk, ohow,
+                       out_channels_);
+  if (out_flat->ndim() != 1 || out_flat->dim(0) != in_channels_ * h * w) {
     *out_flat = Tensor({in_channels_ * h * w});
   }
-  out_flat->Fill(0.0f);
-  Col2Im(gcols, in_channels_, h, w, kernel_, stride_, padding_,
-         out_flat->data());
+  std::memset(out_flat->data(), 0,
+              static_cast<size_t>(in_channels_ * h * w) * sizeof(float));
+  Col2ImSample(gcols, /*col_stride=*/ohow, in_channels_, h, w, kernel_,
+               stride_, padding_, oh, ow, out_flat->data());
 }
 
 double Conv2dLayer::OperatorNorm(int64_t h, int64_t w) const {

@@ -12,7 +12,24 @@ namespace errorflow {
 namespace nn {
 
 /// \brief 2-D convolution layer (NCHW, square kernel, zero padding), built
-/// on im2col + GEMM, with full backprop and optional PSN.
+/// on batched im2col + GEMM, with full backprop and optional PSN.
+///
+/// Execution is batch-level (docs/PERFORMANCE.md): the whole batch is
+/// gathered into one channel-major (C*K*K, N*OH*OW) column matrix
+/// (sample-parallel, with contiguous per-row copies — for stride 1 each
+/// kernel-tap row fills by OW-wide memcpy), multiplied by the kernel
+/// matrix in a single large Gemm that crosses the kernel-threading
+/// threshold and whose rows are already channel-major, then laid out NCHW
+/// through contiguous per-plane bias-add copies (no transpose anywhere).
+/// Backward mirrors this: one batched GemmNT for the weight gradient and
+/// one batched GemmTN + sample-parallel col2im scatter for the input
+/// gradient. Steady-state
+/// forward/backward performs no heap allocations: inference uses
+/// thread-local grow-only scratch (so concurrent Forward calls on one
+/// folded layer stay lock-free), and training caches the column matrix in
+/// the layer for reuse by Backward. Threaded results are bit-identical to
+/// serial runs (chunks write disjoint ranges; per-row GEMM reductions are
+/// order-independent of the partition).
 ///
 /// Under PSN the kernel is normalized by the *true operator norm* of the
 /// convolution (power iteration over the actual conv / conv-transpose maps
@@ -120,6 +137,18 @@ class Conv2dLayer : public Layer {
 
   Tensor cached_input_;
   Tensor cached_eff_weight_;
+  // Batched channel-major (C*K*K, N*OH*OW) column matrix saved by a
+  // training Forward so Backward skips the im2col regather. Reused across
+  // steps (reallocated only when the batch geometry changes).
+  Tensor cached_cols_;
+
+  // Backward-pass scratch (Backward consumes per-layer cached state, so it
+  // is single-threaded per layer by contract; members are safe and keep
+  // steady-state training allocation-free).
+  Tensor bwd_gmat_;      // (out_ch, N*OH*OW) channel-major grad_output
+  Tensor bwd_gcols_;     // (C*K*K, N*OH*OW) input-gradient columns
+  Tensor bwd_grad_eff_;  // (out_ch, C*K*K) effective-weight gradient
+  std::vector<double> bwd_bias_acc_;
 };
 
 }  // namespace nn

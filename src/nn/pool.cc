@@ -1,9 +1,43 @@
 #include "nn/pool.h"
 
+#include <cstring>
+
+#include "tensor/kernels.h"
 #include "util/string_util.h"
 
 namespace errorflow {
 namespace nn {
+
+namespace {
+
+// Allocation-free rank-4 shape test (a Shape temporary would heap-allocate
+// on every Forward, breaking the steady-state zero-allocation contract).
+bool ShapeIs4(const Tensor& t, int64_t d0, int64_t d1, int64_t d2,
+              int64_t d3) {
+  return t.ndim() == 4 && t.dim(0) == d0 && t.dim(1) == d1 &&
+         t.dim(2) == d2 && t.dim(3) == d3;
+}
+
+bool ShapeIs2(const Tensor& t, int64_t d0, int64_t d1) {
+  return t.ndim() == 2 && t.dim(0) == d0 && t.dim(1) == d1;
+}
+
+// Runs body(plane_begin, plane_end) over n*c planes, fanned out on the
+// shared kernel pool when `flops` crosses the threading threshold. Each
+// plane is written by exactly one chunk, so threaded output is
+// bit-identical to a serial run.
+template <typename Body>
+void ForEachPlane(int64_t planes, int64_t flops, const Body& body) {
+  if (!tensor::KernelWillParallelize(flops)) {
+    body(int64_t{0}, planes);
+    return;
+  }
+  tensor::ParallelChunksKernel(
+      planes, flops,
+      [&body](int64_t p0, int64_t p1) { body(p0, p1); });
+}
+
+}  // namespace
 
 AvgPool2dLayer::AvgPool2dLayer(int window) : window_(window) {
   EF_CHECK(window >= 1);
@@ -20,50 +54,67 @@ void AvgPool2dLayer::Forward(const Tensor& input, Tensor* output,
                 w = input.dim(3);
   const int64_t oh = h / window_, ow = w / window_;
   EF_CHECK(oh > 0 && ow > 0);
-  if (output->shape() != Shape{n, c, oh, ow}) {
+  if (!ShapeIs4(*output, n, c, oh, ow)) {
     *output = Tensor({n, c, oh, ow});
   }
-  const float inv = 1.0f / static_cast<float>(window_ * window_);
-  for (int64_t s = 0; s < n; ++s) {
-    for (int64_t ch = 0; ch < c; ++ch) {
+  const int win = window_;
+  const float inv = 1.0f / static_cast<float>(win * win);
+  const float* in = input.data();
+  float* out = output->data();
+  // One add per input element: n*c*h*w flops per pass.
+  ForEachPlane(n * c, n * c * h * w, [=](int64_t p0, int64_t p1) {
+    for (int64_t plane = p0; plane < p1; ++plane) {
+      const float* src = in + plane * h * w;
+      float* dst = out + plane * oh * ow;
       for (int64_t oy = 0; oy < oh; ++oy) {
+        const float* rows = src + oy * win * w;
         for (int64_t ox = 0; ox < ow; ++ox) {
+          const float* win0 = rows + ox * win;
           float acc = 0.0f;
-          for (int ky = 0; ky < window_; ++ky) {
-            for (int kx = 0; kx < window_; ++kx) {
-              acc += input.at4(s, ch, oy * window_ + ky, ox * window_ + kx);
-            }
+          // Same ky/kx accumulation order as the scalar seed path so the
+          // rewrite is bit-identical.
+          for (int ky = 0; ky < win; ++ky) {
+            const float* row = win0 + ky * w;
+            for (int kx = 0; kx < win; ++kx) acc += row[kx];
           }
-          output->at4(s, ch, oy, ox) = acc * inv;
+          dst[oy * ow + ox] = acc * inv;
         }
       }
     }
-  }
+  });
   if (training) cached_input_shape_ = input.shape();
 }
 
 void AvgPool2dLayer::Backward(const Tensor& grad_output, Tensor* grad_input) {
   const Shape& in_shape = cached_input_shape_;
   if (grad_input->shape() != in_shape) *grad_input = Tensor(in_shape);
-  grad_input->Fill(0.0f);
-  const int64_t n = in_shape[0], c = in_shape[1];
+  const int64_t n = in_shape[0], c = in_shape[1], h = in_shape[2],
+                w = in_shape[3];
   const int64_t oh = grad_output.dim(2), ow = grad_output.dim(3);
-  const float inv = 1.0f / static_cast<float>(window_ * window_);
-  for (int64_t s = 0; s < n; ++s) {
-    for (int64_t ch = 0; ch < c; ++ch) {
+  const int win = window_;
+  const float inv = 1.0f / static_cast<float>(win * win);
+  const float* go = grad_output.data();
+  float* gi = grad_input->data();
+  ForEachPlane(n * c, n * c * h * w, [=](int64_t p0, int64_t p1) {
+    for (int64_t plane = p0; plane < p1; ++plane) {
+      const float* src = go + plane * oh * ow;
+      float* dst = gi + plane * h * w;
+      // Each chunk zeroes the planes it owns, so threading stays
+      // bit-identical and grad_input needs no global Fill.
+      std::memset(dst, 0, static_cast<size_t>(h) * w * sizeof(float));
       for (int64_t oy = 0; oy < oh; ++oy) {
+        float* rows = dst + oy * win * w;
         for (int64_t ox = 0; ox < ow; ++ox) {
-          const float g = grad_output.at4(s, ch, oy, ox) * inv;
-          for (int ky = 0; ky < window_; ++ky) {
-            for (int kx = 0; kx < window_; ++kx) {
-              grad_input->at4(s, ch, oy * window_ + ky, ox * window_ + kx) +=
-                  g;
-            }
+          const float g = src[oy * ow + ox] * inv;
+          float* win0 = rows + ox * win;
+          for (int ky = 0; ky < win; ++ky) {
+            float* row = win0 + ky * w;
+            for (int kx = 0; kx < win; ++kx) row[kx] += g;
           }
         }
       }
     }
-  }
+  });
 }
 
 std::unique_ptr<Layer> AvgPool2dLayer::Clone() const {
@@ -80,16 +131,18 @@ void GlobalAvgPoolLayer::Forward(const Tensor& input, Tensor* output,
   EF_CHECK(input.ndim() == 4);
   const int64_t n = input.dim(0), c = input.dim(1),
                 hw = input.dim(2) * input.dim(3);
-  if (output->shape() != Shape{n, c}) *output = Tensor({n, c});
+  if (!ShapeIs2(*output, n, c)) *output = Tensor({n, c});
   const float inv = 1.0f / static_cast<float>(hw);
-  for (int64_t s = 0; s < n; ++s) {
-    for (int64_t ch = 0; ch < c; ++ch) {
-      const float* plane = input.data() + (s * c + ch) * hw;
+  const float* in = input.data();
+  float* out = output->data();
+  ForEachPlane(n * c, n * c * hw, [=](int64_t p0, int64_t p1) {
+    for (int64_t plane = p0; plane < p1; ++plane) {
+      const float* src = in + plane * hw;
       float acc = 0.0f;
-      for (int64_t i = 0; i < hw; ++i) acc += plane[i];
-      output->at(s, ch) = acc * inv;
+      for (int64_t i = 0; i < hw; ++i) acc += src[i];
+      out[plane] = acc * inv;
     }
-  }
+  });
   if (training) cached_input_shape_ = input.shape();
 }
 
@@ -100,13 +153,15 @@ void GlobalAvgPoolLayer::Backward(const Tensor& grad_output,
   const int64_t n = in_shape[0], c = in_shape[1],
                 hw = in_shape[2] * in_shape[3];
   const float inv = 1.0f / static_cast<float>(hw);
-  for (int64_t s = 0; s < n; ++s) {
-    for (int64_t ch = 0; ch < c; ++ch) {
-      const float g = grad_output.at(s, ch) * inv;
-      float* plane = grad_input->data() + (s * c + ch) * hw;
-      for (int64_t i = 0; i < hw; ++i) plane[i] = g;
+  const float* go = grad_output.data();
+  float* gi = grad_input->data();
+  ForEachPlane(n * c, n * c * hw, [=](int64_t p0, int64_t p1) {
+    for (int64_t plane = p0; plane < p1; ++plane) {
+      const float g = go[plane] * inv;
+      float* dst = gi + plane * hw;
+      for (int64_t i = 0; i < hw; ++i) dst[i] = g;
     }
-  }
+  });
 }
 
 std::unique_ptr<Layer> GlobalAvgPoolLayer::Clone() const {

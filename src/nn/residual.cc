@@ -26,13 +26,16 @@ std::string ResidualBlock::ToString() const {
 void ResidualBlock::Forward(const Tensor& input, Tensor* output,
                             bool training) {
   if (training) acts_.assign(body_.size() + 1, Tensor());
-  Tensor cur = input;
   if (training) acts_[0] = input;
-  Tensor next;
+  // Ping-pong between two buffers instead of copying each layer's output
+  // into `cur` (those copies dominated the block's non-GEMM time).
+  Tensor bufs[2];
+  const Tensor* cur = &input;
   for (size_t i = 0; i < body_.size(); ++i) {
-    body_[i]->Forward(cur, &next, training);
+    Tensor* next = &bufs[i % 2];
+    body_[i]->Forward(*cur, next, training);
     cur = next;
-    if (training) acts_[i + 1] = cur;
+    if (training) acts_[i + 1] = *cur;
   }
   Tensor shortcut_val;
   const Tensor* shortcut_out = &input;
@@ -40,9 +43,9 @@ void ResidualBlock::Forward(const Tensor& input, Tensor* output,
     shortcut_->Forward(input, &shortcut_val, training);
     shortcut_out = &shortcut_val;
   }
-  EF_CHECK(cur.size() == shortcut_out->size());
+  EF_CHECK(cur->size() == shortcut_out->size());
   Tensor sum;
-  tensor::Add(cur, *shortcut_out, &sum);
+  tensor::Add(*cur, *shortcut_out, &sum);
   if (post_activation_ != nullptr) {
     post_activation_->Forward(sum, output, training);
   } else {
@@ -57,25 +60,29 @@ void ResidualBlock::Backward(const Tensor& grad_output, Tensor* grad_input) {
   } else {
     grad_sum = grad_output;
   }
-  // Body path.
-  Tensor g = grad_sum, gprev;
+  // Body path, ping-ponged like Forward to avoid per-layer copies.
+  Tensor bufs[2];
+  const Tensor* g = &grad_sum;
   for (size_t i = body_.size(); i-- > 0;) {
-    body_[i]->Backward(g, &gprev);
+    Tensor* gprev = &bufs[i % 2];
+    body_[i]->Backward(*g, gprev);
     g = gprev;
   }
   // Shortcut path.
-  Tensor g_short;
+  Tensor g_short_val;
+  const Tensor* g_short = &grad_sum;
   if (shortcut_ != nullptr) {
-    shortcut_->Backward(grad_sum, &g_short);
-  } else {
-    g_short = grad_sum;
+    shortcut_->Backward(grad_sum, &g_short_val);
+    g_short = &g_short_val;
   }
   // Reshape-safe sum: both gradients refer to the block input.
-  EF_CHECK(g.size() == g_short.size());
-  if (grad_input->shape() != g.shape()) *grad_input = Tensor(g.shape());
-  for (int64_t i = 0; i < g.size(); ++i) {
-    (*grad_input)[i] = g[i] + g_short[i];
-  }
+  EF_CHECK(g->size() == g_short->size());
+  if (grad_input->shape() != g->shape()) *grad_input = Tensor(g->shape());
+  const float* __restrict ga = g->data();
+  const float* __restrict gb = g_short->data();
+  float* __restrict gi = grad_input->data();
+  const int64_t sz = g->size();
+  for (int64_t i = 0; i < sz; ++i) gi[i] = ga[i] + gb[i];
 }
 
 std::vector<Param> ResidualBlock::Params() {

@@ -1,12 +1,95 @@
 #include "quant/affine.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "tensor/stats.h"
 #include "util/macros.h"
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define EF_AFFINE_X86 1
+#include <immintrin.h>
+#endif
+
 namespace errorflow {
 namespace quant {
+
+namespace {
+
+// Scalar single-precision path: round-to-nearest-even in float, clamp in
+// float *before* the integer conversion (branchless min/max), then one
+// narrowing cast. The old implementation did all of this per element in
+// double; the float pipeline produces identical int8 codes for every value
+// the calibrated range can emit (|q| <= 128, far inside float's exact
+// integer range).
+void QuantizeScalar(const float* in, int64_t n, float inv_scale,
+                    float zero_point, int8_t* codes) {
+  for (int64_t i = 0; i < n; ++i) {
+    float q = std::nearbyintf(in[i] * inv_scale) + zero_point;
+    q = std::min(127.0f, std::max(-128.0f, q));
+    codes[i] = static_cast<int8_t>(q);
+  }
+}
+
+void DequantizeScalar(const int8_t* codes, int64_t n, float scale,
+                      float zero_point, float* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = scale * (static_cast<float>(codes[i]) - zero_point);
+  }
+}
+
+#if defined(EF_AFFINE_X86)
+
+bool CpuHasAvx2() {
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+}
+
+__attribute__((target("avx2")))
+void QuantizeAvx2(const float* in, int64_t n, float inv_scale,
+                  float zero_point, int8_t* codes) {
+  const __m256 vinv = _mm256_set1_ps(inv_scale);
+  const __m256 vzp = _mm256_set1_ps(zero_point);
+  const __m256 vlo = _mm256_set1_ps(-128.0f);
+  const __m256 vhi = _mm256_set1_ps(127.0f);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 v = _mm256_loadu_ps(in + i);
+    // CUR_DIRECTION = round-to-nearest-even in the default FP environment,
+    // matching nearbyintf.
+    v = _mm256_round_ps(_mm256_mul_ps(v, vinv),
+                        _MM_FROUND_CUR_DIRECTION | _MM_FROUND_NO_EXC);
+    v = _mm256_add_ps(v, vzp);
+    v = _mm256_min_ps(vhi, _mm256_max_ps(vlo, v));
+    const __m256i q = _mm256_cvtps_epi32(v);
+    alignas(32) int32_t lane[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lane), q);
+    for (int j = 0; j < 8; ++j) {
+      codes[i + j] = static_cast<int8_t>(lane[j]);
+    }
+  }
+  if (i < n) QuantizeScalar(in + i, n - i, inv_scale, zero_point, codes + i);
+}
+
+__attribute__((target("avx2")))
+void DequantizeAvx2(const int8_t* codes, int64_t n, float scale,
+                    float zero_point, float* out) {
+  const __m256 vscale = _mm256_set1_ps(scale);
+  const __m256 vzp = _mm256_set1_ps(zero_point);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i raw =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(codes + i));
+    const __m256 v = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(raw));
+    _mm256_storeu_ps(out + i,
+                     _mm256_mul_ps(vscale, _mm256_sub_ps(v, vzp)));
+  }
+  if (i < n) DequantizeScalar(codes + i, n - i, scale, zero_point, out + i);
+}
+
+#endif  // EF_AFFINE_X86
+
+}  // namespace
 
 AffineParams CalibrateMax(const Tensor& t) {
   AffineParams p;
@@ -30,12 +113,15 @@ AffineParams CalibrateMax(const Tensor& t) {
 
 std::vector<int8_t> QuantizeAffine(const Tensor& t, const AffineParams& p) {
   std::vector<int8_t> codes(static_cast<size_t>(t.size()));
-  const double inv_scale = 1.0 / p.scale;
-  for (int64_t i = 0; i < t.size(); ++i) {
-    double q = std::nearbyint(t[i] * inv_scale) + p.zero_point;
-    q = std::min(127.0, std::max(-128.0, q));
-    codes[static_cast<size_t>(i)] = static_cast<int8_t>(q);
+  const float inv_scale = 1.0f / p.scale;
+  const float zero_point = static_cast<float>(p.zero_point);
+#if defined(EF_AFFINE_X86)
+  if (CpuHasAvx2()) {
+    QuantizeAvx2(t.data(), t.size(), inv_scale, zero_point, codes.data());
+    return codes;
   }
+#endif
+  QuantizeScalar(t.data(), t.size(), inv_scale, zero_point, codes.data());
   return codes;
 }
 
@@ -43,10 +129,15 @@ Tensor DequantizeAffine(const std::vector<int8_t>& codes,
                         const tensor::Shape& shape, const AffineParams& p) {
   EF_CHECK(static_cast<int64_t>(codes.size()) == tensor::NumElements(shape));
   Tensor out(shape);
-  for (size_t i = 0; i < codes.size(); ++i) {
-    out[static_cast<int64_t>(i)] =
-        p.scale * static_cast<float>(codes[i] - p.zero_point);
+  const int64_t n = out.size();
+  const float zero_point = static_cast<float>(p.zero_point);
+#if defined(EF_AFFINE_X86)
+  if (CpuHasAvx2()) {
+    DequantizeAvx2(codes.data(), n, p.scale, zero_point, out.data());
+    return out;
   }
+#endif
+  DequantizeScalar(codes.data(), n, p.scale, zero_point, out.data());
   return out;
 }
 

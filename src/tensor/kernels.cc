@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
@@ -61,6 +62,17 @@ util::ThreadPool* AcquirePool(int* threads) {
     pool = std::make_unique<util::ThreadPool>(configured_threads);
   }
   return pool.get();
+}
+
+// Threshold / worker-count / nested-call check shared by every kernel
+// entry point. Cheap (one relaxed atomic load on the serial path), so the
+// public kernels call it before constructing a chunk lambda.
+bool WillParallelize(int64_t flops) {
+  if (in_kernel_worker) return false;
+  if (flops < parallel_flops.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(pool_mu);
+  if (configured_threads < 0) configured_threads = DefaultThreads();
+  return configured_threads > 1;
 }
 
 // Splits [0, m) into row chunks and runs `body(begin, end)` across the
@@ -169,6 +181,30 @@ void GemmNTRowsPortable(const float* __restrict a, const float* __restrict b,
   }
 }
 
+// dst(n x m) = src(m x n)^T, plus an optional per-destination-row bias
+// (bias[j] is added to every element of dst row j). Blocked 8x8 so both
+// the source reads and destination writes stay within a few cache lines.
+void TransposeRowsPortable(const float* __restrict src, const float* bias,
+                           float* __restrict dst, int64_t m, int64_t n) {
+  constexpr int64_t kB = 8;
+  for (int64_t j0 = 0; j0 < n; j0 += kB) {
+    const int64_t jmax = std::min(j0 + kB, n);
+    for (int64_t i0 = 0; i0 < m; i0 += kB) {
+      const int64_t imax = std::min(i0 + kB, m);
+      for (int64_t j = j0; j < jmax; ++j) {
+        float* __restrict out = dst + j * m;
+        if (bias != nullptr) {
+          const float add = bias[j];
+          for (int64_t i = i0; i < imax; ++i) out[i] = src[i * n + j] + add;
+        } else {
+          // Pure copy (no "+ 0.0f": that would flip the sign of -0.0).
+          for (int64_t i = i0; i < imax; ++i) out[i] = src[i * n + j];
+        }
+      }
+    }
+  }
+}
+
 float DotPortable(const float* __restrict x, const float* __restrict y,
                   int64_t k) {
   float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
@@ -273,13 +309,48 @@ __attribute__((target("avx2,fma"))) void GemmAccRowsAvx2(
       }
     }
     if (j < n) {
-      for (int64_t i = r0; i < r1; ++i) {
-        float* ci = c + i * n;
+      // Masked 8-wide tail: kept lanes see the exact fmadd sequence of the
+      // full-width paths, so an element's bits do not depend on which side
+      // of a tile boundary its column index falls (and narrow-n calls stay
+      // vectorized). Masked-out lanes load as zero and are never stored.
+      alignas(32) int32_t mi[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+      for (int64_t t = 0; t < n - j; ++t) mi[t] = -1;
+      const __m256i mask =
+          _mm256_load_si256(reinterpret_cast<const __m256i*>(mi));
+      int64_t i = r0;
+      // Four rows at a time: independent accumulator chains hide the fmadd
+      // latency when the tail is the whole matrix (narrow n).
+      for (; i + 4 <= r1; i += 4) {
+        float* c0 = c + i * n;
+        float* c1 = c0 + n;
+        float* c2 = c1 + n;
+        float* c3 = c2 + n;
+        __m256 acc0 = _mm256_maskload_ps(c0 + j, mask);
+        __m256 acc1 = _mm256_maskload_ps(c1 + j, mask);
+        __m256 acc2 = _mm256_maskload_ps(c2 + j, mask);
+        __m256 acc3 = _mm256_maskload_ps(c3 + j, mask);
         for (int64_t l = l0; l < lmax; ++l) {
-          const float av = a[i * as_i + l * as_l];
-          const float* br = b + l * n;
-          for (int64_t jj = j; jj < n; ++jj) ci[jj] += av * br[jj];
+          const __m256 bv = _mm256_maskload_ps(b + l * n + j, mask);
+          const float* al = a + l * as_l;
+          acc0 = _mm256_fmadd_ps(_mm256_set1_ps(al[i * as_i]), bv, acc0);
+          acc1 = _mm256_fmadd_ps(_mm256_set1_ps(al[(i + 1) * as_i]), bv, acc1);
+          acc2 = _mm256_fmadd_ps(_mm256_set1_ps(al[(i + 2) * as_i]), bv, acc2);
+          acc3 = _mm256_fmadd_ps(_mm256_set1_ps(al[(i + 3) * as_i]), bv, acc3);
         }
+        _mm256_maskstore_ps(c0 + j, mask, acc0);
+        _mm256_maskstore_ps(c1 + j, mask, acc1);
+        _mm256_maskstore_ps(c2 + j, mask, acc2);
+        _mm256_maskstore_ps(c3 + j, mask, acc3);
+      }
+      for (; i < r1; ++i) {
+        float* ci = c + i * n;
+        __m256 acc = _mm256_maskload_ps(ci + j, mask);
+        for (int64_t l = l0; l < lmax; ++l) {
+          const __m256 av = _mm256_set1_ps(a[i * as_i + l * as_l]);
+          const __m256 bv = _mm256_maskload_ps(b + l * n + j, mask);
+          acc = _mm256_fmadd_ps(av, bv, acc);
+        }
+        _mm256_maskstore_ps(ci + j, mask, acc);
       }
     }
   }
@@ -301,6 +372,24 @@ __attribute__((target("avx2,fma"))) inline float DotAvx2(
                            acc0);
   }
   float s = HSum(_mm256_add_ps(acc0, acc1));
+  for (; l < k; ++l) s += x[l] * y[l];
+  return s;
+}
+
+// Single-accumulator 8-wide dot with the exact accumulation order of the
+// 2x4 GemmNT register tile (one fma chain, horizontal sum, scalar tail).
+// The GemmNT tail rows/columns must use this — NOT DotAvx2, whose two-
+// accumulator 16-wide unroll sums in a different order — so that a C row's
+// bits never depend on where the row partition or tile boundary falls.
+__attribute__((target("avx2,fma"))) inline float Dot8Avx2(
+    const float* __restrict x, const float* __restrict y, int64_t k) {
+  __m256 acc = _mm256_setzero_ps();
+  int64_t l = 0;
+  for (; l + 8 <= k; l += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(x + l), _mm256_loadu_ps(y + l),
+                          acc);
+  }
+  float s = HSum(acc);
   for (; l < k; ++l) s += x[l] * y[l];
   return s;
 }
@@ -370,14 +459,14 @@ __attribute__((target("avx2,fma"))) void GemmNTRowsAvx2(
     }
     for (; j < n; ++j) {
       const float* bj = b + j * k;
-      c[(i + 0) * n + j] = DotAvx2(a0, bj, k);
-      c[(i + 1) * n + j] = DotAvx2(a1, bj, k);
+      c[(i + 0) * n + j] = Dot8Avx2(a0, bj, k);
+      c[(i + 1) * n + j] = Dot8Avx2(a1, bj, k);
     }
   }
   for (; i < r1; ++i) {
     const float* ai = a + i * k;
     for (int64_t j = 0; j < n; ++j) {
-      c[i * n + j] = DotAvx2(ai, b + j * k, k);
+      c[i * n + j] = Dot8Avx2(ai, b + j * k, k);
     }
   }
 }
@@ -404,6 +493,78 @@ __attribute__((target("avx2,fma"))) void GemvTAvx2(const float* __restrict w,
     }
     const float xs = x[i];
     for (; j < n; ++j) y[j] += xs * row[j];
+  }
+}
+
+// In-register 8x8 transpose: r[t] holds source row t on entry and source
+// column t on exit (the classic unpack / shuffle / permute2f128 ladder).
+__attribute__((target("avx2"))) inline void Transpose8x8(__m256 r[8]) {
+  const __m256 t0 = _mm256_unpacklo_ps(r[0], r[1]);
+  const __m256 t1 = _mm256_unpackhi_ps(r[0], r[1]);
+  const __m256 t2 = _mm256_unpacklo_ps(r[2], r[3]);
+  const __m256 t3 = _mm256_unpackhi_ps(r[2], r[3]);
+  const __m256 t4 = _mm256_unpacklo_ps(r[4], r[5]);
+  const __m256 t5 = _mm256_unpackhi_ps(r[4], r[5]);
+  const __m256 t6 = _mm256_unpacklo_ps(r[6], r[7]);
+  const __m256 t7 = _mm256_unpackhi_ps(r[6], r[7]);
+  const __m256 u0 = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 u1 = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(3, 2, 3, 2));
+  const __m256 u2 = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 u3 = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(3, 2, 3, 2));
+  const __m256 u4 = _mm256_shuffle_ps(t4, t6, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 u5 = _mm256_shuffle_ps(t4, t6, _MM_SHUFFLE(3, 2, 3, 2));
+  const __m256 u6 = _mm256_shuffle_ps(t5, t7, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 u7 = _mm256_shuffle_ps(t5, t7, _MM_SHUFFLE(3, 2, 3, 2));
+  r[0] = _mm256_permute2f128_ps(u0, u4, 0x20);
+  r[1] = _mm256_permute2f128_ps(u1, u5, 0x20);
+  r[2] = _mm256_permute2f128_ps(u2, u6, 0x20);
+  r[3] = _mm256_permute2f128_ps(u3, u7, 0x20);
+  r[4] = _mm256_permute2f128_ps(u0, u4, 0x31);
+  r[5] = _mm256_permute2f128_ps(u1, u5, 0x31);
+  r[6] = _mm256_permute2f128_ps(u2, u6, 0x31);
+  r[7] = _mm256_permute2f128_ps(u3, u7, 0x31);
+}
+
+// Same contract as TransposeRowsPortable. Full 8x8 tiles go through the
+// in-register transpose; the bias (when present) is added per destination
+// row after the shuffle ladder, which is bit-identical to the scalar
+// `src + bias[j]` since both perform one float add per element.
+__attribute__((target("avx2"))) void TransposeRowsAvx2(
+    const float* __restrict src, const float* bias, float* __restrict dst,
+    int64_t m, int64_t n) {
+  __m256 r[8];
+  int64_t j0 = 0;
+  for (; j0 + 8 <= n; j0 += 8) {
+    int64_t i0 = 0;
+    for (; i0 + 8 <= m; i0 += 8) {
+      for (int t = 0; t < 8; ++t) {
+        r[t] = _mm256_loadu_ps(src + (i0 + t) * n + j0);
+      }
+      Transpose8x8(r);
+      if (bias != nullptr) {
+        for (int t = 0; t < 8; ++t) {
+          r[t] = _mm256_add_ps(r[t], _mm256_broadcast_ss(bias + j0 + t));
+        }
+      }
+      for (int t = 0; t < 8; ++t) {
+        _mm256_storeu_ps(dst + (j0 + t) * m + i0, r[t]);
+      }
+    }
+    for (; i0 < m; ++i0) {  // Row tail.
+      for (int64_t j = j0; j < j0 + 8; ++j) {
+        dst[j * m + i0] =
+            bias != nullptr ? src[i0 * n + j] + bias[j] : src[i0 * n + j];
+      }
+    }
+  }
+  for (; j0 < n; ++j0) {  // Column tail.
+    float* __restrict out = dst + j0 * m;
+    if (bias != nullptr) {
+      const float add = bias[j0];
+      for (int64_t i = 0; i < m; ++i) out[i] = src[i * n + j0] + add;
+    } else {
+      for (int64_t i = 0; i < m; ++i) out[i] = src[i * n + j0];
+    }
   }
 }
 
@@ -436,6 +597,30 @@ void GemmAccRows(const float* a, int64_t as_i, int64_t as_l, const float* b,
   }
 #endif
   GemmAccRowsPortable(a, as_i, as_l, b, c, r0, r1, n, k);
+}
+
+// Dispatches the (optionally biased) transpose.
+void TransposeRows(const float* src, const float* bias, float* dst,
+                   int64_t m, int64_t n) {
+#if defined(EF_KERNELS_X86)
+  if (CpuHasAvx2Fma()) {
+    TransposeRowsAvx2(src, bias, dst, m, n);
+    return;
+  }
+#endif
+  TransposeRowsPortable(src, bias, dst, m, n);
+}
+
+// Dispatches one row chunk of the dot-oriented GemmNT kernel.
+void GemmNTRows(const float* a, const float* b, float* c, int64_t r0,
+                int64_t r1, int64_t n, int64_t k) {
+#if defined(EF_KERNELS_X86)
+  if (CpuHasAvx2Fma()) {
+    GemmNTRowsAvx2(a, b, c, r0, r1, n, k);
+    return;
+  }
+#endif
+  GemmNTRowsPortable(a, b, c, r0, r1, n, k);
 }
 
 }  // namespace
@@ -471,9 +656,17 @@ std::string KernelDescription() {
                          KernelThreads(), KernelThreads() == 1 ? "" : "s");
 }
 
+// The serial fast path skips ParallelRows entirely: constructing the
+// std::function chunk body heap-allocates (the captures outstrip the
+// small-buffer optimization), and the conv/pool layers rely on small
+// steady-state kernel calls being allocation-free.
 void GemmKernel(const float* a, const float* b, float* c, int64_t m,
                 int64_t n, int64_t k) {
   const int64_t flops = 2 * m * n * k;
+  if (!WillParallelize(flops)) {
+    GemmAccRows(a, /*as_i=*/k, /*as_l=*/1, b, c, 0, m, n, k);
+    return;
+  }
   ParallelRows(m, flops, [=](int64_t r0, int64_t r1) {
     GemmAccRows(a, /*as_i=*/k, /*as_l=*/1, b, c, r0, r1, n, k);
   });
@@ -482,6 +675,10 @@ void GemmKernel(const float* a, const float* b, float* c, int64_t m,
 void GemmTNKernel(const float* a, const float* b, float* c, int64_t m,
                   int64_t n, int64_t k) {
   const int64_t flops = 2 * m * n * k;
+  if (!WillParallelize(flops)) {
+    GemmAccRows(a, /*as_i=*/1, /*as_l=*/m, b, c, 0, m, n, k);
+    return;
+  }
   ParallelRows(m, flops, [=](int64_t r0, int64_t r1) {
     GemmAccRows(a, /*as_i=*/1, /*as_l=*/m, b, c, r0, r1, n, k);
   });
@@ -490,15 +687,29 @@ void GemmTNKernel(const float* a, const float* b, float* c, int64_t m,
 void GemmNTKernel(const float* a, const float* b, float* c, int64_t m,
                   int64_t n, int64_t k) {
   const int64_t flops = 2 * m * n * k;
+  if (!WillParallelize(flops)) {
+    GemmNTRows(a, b, c, 0, m, n, k);
+    return;
+  }
   ParallelRows(m, flops, [=](int64_t r0, int64_t r1) {
-#if defined(EF_KERNELS_X86)
-    if (CpuHasAvx2Fma()) {
-      GemmNTRowsAvx2(a, b, c, r0, r1, n, k);
-      return;
-    }
-#endif
-    GemmNTRowsPortable(a, b, c, r0, r1, n, k);
+    GemmNTRows(a, b, c, r0, r1, n, k);
   });
+}
+
+void TransposeKernel(const float* src, float* dst, int64_t m, int64_t n) {
+  TransposeRows(src, /*bias=*/nullptr, dst, m, n);
+}
+
+void TransposeAddBiasKernel(const float* src, const float* bias, float* dst,
+                            int64_t m, int64_t n) {
+  TransposeRows(src, bias, dst, m, n);
+}
+
+bool KernelWillParallelize(int64_t flops) { return WillParallelize(flops); }
+
+void ParallelChunksKernel(int64_t n, int64_t flops,
+                          const std::function<void(int64_t, int64_t)>& body) {
+  ParallelRows(n, flops, body);
 }
 
 void GemvKernel(const float* w, const float* x, float* y, int64_t m,

@@ -2,6 +2,7 @@
 #define ERRORFLOW_TENSOR_KERNELS_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 namespace errorflow {
@@ -58,6 +59,31 @@ void GemvKernel(const float* w, const float* x, float* y, int64_t m,
 /// y(n) = W^T(m x n) * x(m).
 void GemvTKernel(const float* w, const float* x, float* y, int64_t m,
                  int64_t n);
+
+/// dst(n x m) = src(m x n)^T for row-major buffers (8x8 in-register block
+/// transpose under AVX2).
+void TransposeKernel(const float* src, float* dst, int64_t m, int64_t n);
+
+/// dst[j*m + i] = src[i*n + j] + bias[j]: the conv bias-add fused into the
+/// (OH*OW, out_ch) -> NCHW layout transpose.
+void TransposeAddBiasKernel(const float* src, const float* bias, float* dst,
+                            int64_t m, int64_t n);
+
+/// True when a problem of `flops` floating-point operations would fan out
+/// across the shared pool (threshold crossed, >1 worker configured, and the
+/// caller is not itself a pool worker). Callers use this to skip building a
+/// std::function on the serial path, keeping small steady-state calls
+/// allocation-free.
+bool KernelWillParallelize(int64_t flops);
+
+/// Splits [0, n) into contiguous chunks and runs `body(begin, end)` across
+/// the shared kernel pool (chunk 0 inline on the caller), subject to the
+/// same FLOP threshold and nested-call guard as the GEMM kernels. Falls
+/// back to one inline `body(0, n)` call when serial. The partition is by
+/// index only, so bodies whose chunks write disjoint ranges produce results
+/// bit-identical to a serial run.
+void ParallelChunksKernel(int64_t n, int64_t flops,
+                          const std::function<void(int64_t, int64_t)>& body);
 
 }  // namespace tensor
 }  // namespace errorflow

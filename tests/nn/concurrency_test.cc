@@ -8,6 +8,7 @@
 #include "nn/conv2d.h"
 #include "nn/dense.h"
 #include "nn/model.h"
+#include "nn/pool.h"
 #include "testing/test_util.h"
 
 namespace errorflow {
@@ -154,6 +155,81 @@ TEST(ConcurrencyTest, PsnConv2dConcurrentSpectralAccessorsAreSafe) {
   }
   for (std::thread& th : threads) th.join();
   EXPECT_EQ(bad.load(), 0);
+}
+
+// N threads run the batched conv Forward on ONE folded (non-PSN) layer.
+// The batched path keeps its scratch thread-local, so concurrent calls
+// must stay data-race free and bit-identical to a serial run.
+TEST(ConcurrencyTest, BatchedConvConcurrentForwardMatchesSerial) {
+  Conv2dLayer layer(4, 6, /*kernel=*/3, /*stride=*/1, /*padding=*/1);
+  layer.InitHe(13);
+
+  const tensor::Tensor input = testing::RandomTensor({4, 4, 10, 10}, 23);
+  tensor::Tensor want;
+  layer.Forward(input, &want, /*training=*/false);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      tensor::Tensor got;
+      for (int it = 0; it < kItersPerThread; ++it) {
+        layer.Forward(input, &got, /*training=*/false);
+        if (got.size() != want.size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (int64_t i = 0; i < got.size(); ++i) {
+          if (got[i] != want[i]) {
+            mismatches.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// Same contract for the plane-parallel pooling layers.
+TEST(ConcurrencyTest, PoolConcurrentForwardMatchesSerial) {
+  AvgPool2dLayer pool(2);
+  GlobalAvgPoolLayer gap;
+
+  const tensor::Tensor input = testing::RandomTensor({4, 6, 8, 8}, 29);
+  tensor::Tensor want_pool, want_gap;
+  pool.Forward(input, &want_pool, /*training=*/false);
+  gap.Forward(input, &want_gap, /*training=*/false);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      tensor::Tensor got;
+      for (int it = 0; it < kItersPerThread; ++it) {
+        const tensor::Tensor& want =
+            ((t + it) % 2 == 0) ? want_pool : want_gap;
+        if ((t + it) % 2 == 0) {
+          pool.Forward(input, &got, /*training=*/false);
+        } else {
+          gap.Forward(input, &got, /*training=*/false);
+        }
+        if (got.size() != want.size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (int64_t i = 0; i < got.size(); ++i) {
+          if (got[i] != want[i]) {
+            mismatches.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 }  // namespace
