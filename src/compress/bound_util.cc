@@ -1,5 +1,6 @@
 #include "compress/bound_util.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "tensor/stats.h"
@@ -18,24 +19,22 @@ double ResolvePointwiseBound(const Tensor& data, const ErrorBound& bound) {
   return bound.tolerance * tensor::L2Norm(data) / std::sqrt(n);
 }
 
-Status ValidateBlobShape(const tensor::Shape& shape, size_t blob_bytes) {
+Status ValidateBlobShape(const tensor::Shape& shape, size_t blob_bytes,
+                         const util::DecodeLimits& limits) {
   constexpr int64_t kMaxDim = 1ll << 28;
-  constexpr int64_t kMaxElements = 1ll << 31;
   // Generous plausibility cap: no real blob compresses floats beyond
   // ~32768:1 (8192 elements per byte).
-  const int64_t plausible =
-      static_cast<int64_t>(std::min<uint64_t>(
-          static_cast<uint64_t>(kMaxElements),
-          (static_cast<uint64_t>(blob_bytes) + 64) * 8192));
-  int64_t n = 1;
+  const uint64_t plausible = std::min<uint64_t>(
+      limits.max_elements, (static_cast<uint64_t>(blob_bytes) + 64) * 8192);
+  uint64_t n = 1;
   for (int64_t d : shape) {
     if (d <= 0 || d > kMaxDim) {
       return Status::Corruption("blob shape dimension out of range");
     }
-    if (n > kMaxElements / d) {
+    if (!util::CheckedMul(n, static_cast<uint64_t>(d), &n) ||
+        n > limits.max_elements) {
       return Status::Corruption("blob shape element count overflow");
     }
-    n *= d;
   }
   if (n > plausible) {
     return Status::Corruption("blob shape implausibly large for payload");

@@ -2,6 +2,7 @@
 #define ERRORFLOW_COMPRESS_BOUND_UTIL_H_
 
 #include "compress/compressor.h"
+#include "util/bytes.h"
 
 namespace errorflow {
 namespace compress {
@@ -20,10 +21,13 @@ namespace compress {
 double ResolvePointwiseBound(const Tensor& data, const ErrorBound& bound);
 
 /// \brief Validates a tensor shape read from an untrusted blob before any
-/// allocation: positive bounded dims and a total element count plausible
+/// allocation: positive bounded dims, a checked (per-dimension) element
+/// product under `limits.max_elements`, and a total element count plausible
 /// for `blob_bytes` of compressed payload (corrupted headers otherwise
 /// trigger multi-GB allocations). Returns Corruption on violation.
-Status ValidateBlobShape(const tensor::Shape& shape, size_t blob_bytes);
+Status ValidateBlobShape(
+    const tensor::Shape& shape, size_t blob_bytes,
+    const util::DecodeLimits& limits = util::DecodeLimits::Default());
 
 /// \brief Collapses an arbitrary-rank shape into the (slices, rows, cols)
 /// 3-D view used by dimension-aware predictors: rank 1 -> (1, 1, n),

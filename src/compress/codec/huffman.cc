@@ -124,6 +124,13 @@ Result<std::vector<uint32_t>> HuffmanCodec::Decode(util::BitReader* reader,
   if (table_size == 0 || table_size > (1ull << 28)) {
     return Status::Corruption("Huffman: bad table size");
   }
+  // Each table entry costs 38 bits (32-bit symbol + 6-bit length) in the
+  // stream, so a count the remaining payload cannot cover is corruption.
+  // Checking before the allocation turns a 4-byte header edit that would
+  // otherwise reserve gigabytes into a cheap typed error.
+  if (table_size > reader->BitsRemaining() / 38) {
+    return Status::Corruption("Huffman: table larger than stream");
+  }
   std::vector<SymbolCode> codes(static_cast<size_t>(table_size));
   for (auto& sc : codes) {
     EF_ASSIGN_OR_RETURN(uint64_t sym, reader->ReadBits(32));
@@ -181,6 +188,12 @@ Result<std::vector<uint32_t>> HuffmanCodec::Decode(util::BitReader* reader,
     i = j;
   }
 
+  // Every decoded symbol consumes at least one payload bit, so an
+  // (untrusted) count beyond the remaining bits cannot be satisfied —
+  // reject it before reserving count * 4 bytes.
+  if (count > reader->BitsRemaining()) {
+    return Status::Corruption("Huffman: symbol count exceeds stream");
+  }
   std::vector<uint32_t> out;
   out.reserve(static_cast<size_t>(count));
   for (uint64_t k = 0; k < count; ++k) {

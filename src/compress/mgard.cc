@@ -367,7 +367,9 @@ Result<Decompressed> MgardCompressor::Decompress(const std::string& blob) {
   if (n_escapes > static_cast<uint64_t>(n)) {
     return Status::Corruption("mgard: escape count exceeds elements");
   }
-  if (reader.remaining() < n_escapes * sizeof(double)) {
+  uint64_t escape_bytes = 0;
+  if (!util::CheckedMul(n_escapes, sizeof(double), &escape_bytes) ||
+      reader.remaining() < escape_bytes) {
     return Status::Corruption("mgard: blob truncated");
   }
   std::vector<double> escapes(static_cast<size_t>(n_escapes));

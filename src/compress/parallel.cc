@@ -138,6 +138,12 @@ Result<Decompressed> ParallelCompressor::Decompress(const std::string& blob) {
       num_chunks > static_cast<uint64_t>(rows)) {
     return Status::Corruption("parallel: bad chunk count");
   }
+  // Each chunk contributes a 16-byte (rows, bytes) header to the payload;
+  // a count the remaining bytes cannot cover would otherwise size the
+  // metadata vector below straight from the untrusted field.
+  if (num_chunks > reader.remaining() / 16) {
+    return Status::Corruption("parallel: chunk table larger than payload");
+  }
 
   struct ChunkMeta {
     int64_t rows = 0;
@@ -163,7 +169,7 @@ Result<Decompressed> ParallelCompressor::Decompress(const std::string& blob) {
   EF_ASSIGN_OR_RETURN(auto rest, reader.Rest());
   size_t offset = 0;
   for (auto& c : chunks) {
-    if (offset + c.bytes > rest.second) {
+    if (c.bytes > rest.second - offset) {
       return Status::Corruption("parallel: payload truncated");
     }
     c.offset = offset;

@@ -143,10 +143,13 @@ Result<Decompressed> SzCompressor::Decompress(const std::string& blob) {
   EF_ASSIGN_OR_RETURN(uint8_t esc_mode, reader.GetU8());
   const int64_t n = tensor::NumElements(shape);
   if (n <= 0) return Status::Corruption("sz: empty shape");
-  // Check each count individually first: the sum could wrap.
+  // Check each count individually first, then the checked sum: a wrapped
+  // n_raw + n_codes could otherwise masquerade as consistent.
+  uint64_t count_sum = 0;
   if (n_raw > static_cast<uint64_t>(n) ||
       n_codes > static_cast<uint64_t>(n) ||
-      n_raw + n_codes != static_cast<uint64_t>(n)) {
+      !util::CheckedAdd(n_raw, n_codes, &count_sum) ||
+      count_sum != static_cast<uint64_t>(n)) {
     return Status::Corruption("sz: element counts inconsistent");
   }
 
@@ -181,7 +184,9 @@ Result<Decompressed> SzCompressor::Decompress(const std::string& blob) {
     return Status::Corruption("sz: bad escape mode");
   }
 
-  if (reader.remaining() < n_raw * sizeof(float)) {
+  uint64_t raw_bytes = 0;
+  if (!util::CheckedMul(n_raw, sizeof(float), &raw_bytes) ||
+      reader.remaining() < raw_bytes) {
     return Status::Corruption("sz: blob truncated");
   }
   EF_ASSIGN_OR_RETURN(auto rest, reader.Rest());

@@ -244,7 +244,10 @@ Result<Decompressed> ZfpCompressor::Decompress(const std::string& blob) {
 
   Tensor out(shape);
   if (mode == kModeRaw) {
-    if (reader.remaining() < static_cast<size_t>(n) * sizeof(float)) {
+    uint64_t raw_bytes = 0;
+    if (!util::CheckedMul(static_cast<uint64_t>(n), sizeof(float),
+                          &raw_bytes) ||
+        reader.remaining() < raw_bytes) {
       return Status::Corruption("zfp: raw payload truncated");
     }
     EF_ASSIGN_OR_RETURN(auto rest, reader.Rest());

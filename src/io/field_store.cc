@@ -12,7 +12,10 @@ std::string KeyFor(int64_t step) {
 }  // namespace
 
 FieldStore::FieldStore(compress::Backend backend, StorageConfig storage)
-    : compressor_(compress::MakeCompressor(backend)), storage_(storage) {}
+    : compressor_(compress::MakeCompressor(backend)),
+      storage_(storage),
+      decode_failures_(obs::MetricsRegistry::Global().GetCounter(
+          "errorflow.io.field_store.decode_failures")) {}
 
 Status FieldStore::Put(int64_t step, const tensor::Tensor& field,
                        const compress::ErrorBound& bound) {
@@ -37,8 +40,25 @@ Result<FieldFetch> FieldStore::Get(int64_t step) const {
                         static_cast<long long>(step)));
   }
   EF_ASSIGN_OR_RETURN(ReadResult read, storage_.Read(KeyFor(step)));
-  EF_ASSIGN_OR_RETURN(compress::Decompressed dec,
-                      compressor_->Decompress(read.data));
+  if (read_fault_hook_) read_fault_hook_(KeyFor(step), &read.data);
+  auto dec_result = compressor_->Decompress(read.data);
+  if (!dec_result.ok()) {
+    decode_failures_->Increment();
+    return Status(dec_result.status().code(),
+                  util::StrFormat("field store: step %lld failed to decode: ",
+                                  static_cast<long long>(step)) +
+                      dec_result.status().message());
+  }
+  compress::Decompressed dec = std::move(*dec_result);
+  // A blob that decodes cleanly but to the wrong shape is still corruption
+  // (e.g. a spliced header from another step): the caller asked for the
+  // field recorded at Put time, not whatever the bytes happen to describe.
+  if (dec.data.shape() != records_.at(step).shape) {
+    decode_failures_->Increment();
+    return Status::Corruption(
+        util::StrFormat("field store: step %lld decoded to wrong shape",
+                        static_cast<long long>(step)));
+  }
   FieldFetch fetch;
   fetch.data = std::move(dec.data);
   fetch.io_seconds =

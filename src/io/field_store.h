@@ -1,12 +1,14 @@
 #ifndef ERRORFLOW_IO_FIELD_STORE_H_
 #define ERRORFLOW_IO_FIELD_STORE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 
 #include "compress/compressor.h"
 #include "io/sim_storage.h"
+#include "obs/metrics.h"
 
 namespace errorflow {
 namespace io {
@@ -37,8 +39,20 @@ struct FieldFetch {
 /// with full I/O accounting.
 class FieldStore {
  public:
+  /// Fault-injection hook: invoked with the storage key and the blob bytes
+  /// just read, *before* decompression, and may mutate them in place. Lets
+  /// tests drive the real decoders with genuinely corrupt payloads (media
+  /// faults, torn writes) instead of mocking the decode result.
+  using ReadFaultHook =
+      std::function<void(const std::string& key, std::string* blob)>;
+
   /// `backend` compresses every stored field; `storage` models transfer.
   FieldStore(compress::Backend backend, StorageConfig storage = {});
+
+  /// Installs (or clears, with nullptr) the read-fault hook. Test-only.
+  void SetReadFaultHookForTest(ReadFaultHook hook) {
+    read_fault_hook_ = std::move(hook);
+  }
 
   /// Compresses and stores `field` as timestep `step` (overwrites).
   Status Put(int64_t step, const tensor::Tensor& field,
@@ -66,6 +80,10 @@ class FieldStore {
   std::unique_ptr<compress::Compressor> compressor_;
   SimulatedStorage storage_;
   std::map<int64_t, FieldRecord> records_;
+  ReadFaultHook read_fault_hook_;
+  /// Counts Get() calls whose blob failed to decode or decoded to the
+  /// wrong shape — the io-side twin of `errorflow.serve.decode_failures`.
+  obs::Counter* decode_failures_;
 };
 
 }  // namespace io

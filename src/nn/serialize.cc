@@ -8,6 +8,7 @@
 #include "nn/dense.h"
 #include "nn/pool.h"
 #include "nn/residual.h"
+#include "util/bytes.h"
 #include "util/string_util.h"
 
 namespace errorflow {
@@ -50,10 +51,12 @@ class Writer {
   std::string buf_;
 };
 
-// Bounds-check helper used by the Reader accessors.
+// Bounds-check helper used by the Reader accessors. Compares against the
+// bytes *remaining* rather than `pos_ + n`, which would wrap for untrusted
+// lengths near UINT64_MAX and pass the check.
 #define EF_RETURN_NEED(n)                                                   \
   do {                                                                      \
-    if (pos_ + (n) > buf_.size())                                           \
+    if ((n) > buf_.size() - pos_)                                           \
       return ::errorflow::Status::Corruption("model buffer truncated");     \
   } while (0)
 
@@ -81,8 +84,9 @@ class Reader {
   }
   Result<std::string> GetString() {
     EF_ASSIGN_OR_RETURN(int64_t n, GetI64());
-    if (n < 0) return Status::Corruption("negative string length");
-    EF_RETURN_NEED(static_cast<size_t>(n));
+    // The unsigned reinterpretation rejects negative lengths and lengths
+    // beyond the buffer in one comparison — no wrap-prone pos_ + n.
+    EF_RETURN_NEED(static_cast<uint64_t>(n));
     std::string s(buf_.data() + pos_, static_cast<size_t>(n));
     pos_ += static_cast<size_t>(n);
     return s;
@@ -90,16 +94,29 @@ class Reader {
   Result<Tensor> GetTensor() {
     EF_ASSIGN_OR_RETURN(int64_t ndim, GetI64());
     if (ndim < 0 || ndim > 8) return Status::Corruption("bad tensor rank");
+    const util::DecodeLimits& limits = util::DecodeLimits::Default();
     tensor::Shape shape;
+    // Per-dimension checked product: individually in-range dims can still
+    // overflow 64 bits when multiplied (e.g. [2^28, 2^28, 256] wraps to 0),
+    // which would silently size the buffer read below.
+    uint64_t n = 1;
     for (int64_t i = 0; i < ndim; ++i) {
       EF_ASSIGN_OR_RETURN(int64_t d, GetI64());
       if (d < 0 || d > (1 << 28)) {
         return Status::Corruption("tensor dimension out of range");
       }
+      if (!util::CheckedMul(n, static_cast<uint64_t>(d), &n) ||
+          n > limits.max_elements) {
+        return Status::Corruption("tensor element count overflow");
+      }
       shape.push_back(d);
     }
-    const int64_t n = tensor::NumElements(shape);
-    EF_RETURN_NEED(static_cast<size_t>(n) * sizeof(float));
+    uint64_t byte_count = 0;
+    if (!util::CheckedMul(n, sizeof(float), &byte_count)) {
+      return Status::Corruption("tensor byte count overflow");
+    }
+    EF_RETURN_IF_ERROR(limits.CheckAlloc(byte_count, "tensor payload"));
+    EF_RETURN_NEED(byte_count);
     std::vector<float> values(static_cast<size_t>(n));
     std::memcpy(values.data(), buf_.data() + pos_,
                 values.size() * sizeof(float));

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/spectral_profile.h"
+#include "nn/serialize.h"
 #include "obs/log.h"
 #include "obs/trace.h"
 #include "quant/quantize_model.h"
@@ -19,6 +20,16 @@ std::string VariantKey(const std::string& name,
 
 }  // namespace
 
+uint64_t ModelRegistry::ChecksumModel(const nn::Model& model) {
+  const std::string bytes = nn::SerializeModel(model);
+  uint64_t h = 1469598103934665603ull;  // FNV-1a 64-bit offset basis.
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 ModelRegistry::ModelRegistry(RegistryConfig config)
     : config_(config),
       quantize_count_(obs::MetricsRegistry::Global().GetCounter(
@@ -29,6 +40,8 @@ ModelRegistry::ModelRegistry(RegistryConfig config)
           "errorflow.serve.registry.misses")),
       evictions_(obs::MetricsRegistry::Global().GetCounter(
           "errorflow.serve.registry.evictions")),
+      decode_failures_(obs::MetricsRegistry::Global().GetCounter(
+          "errorflow.serve.decode_failures")),
       bytes_gauge_(obs::MetricsRegistry::Global().GetGauge(
           "errorflow.serve.registry.variant_bytes")),
       models_gauge_(obs::MetricsRegistry::Global().GetGauge(
@@ -80,15 +93,40 @@ Result<std::shared_ptr<ModelRegistry::Variant>> ModelRegistry::GetVariant(
   std::lock_guard<std::mutex> lock(mu_);
   auto hit = variants_.find(key);
   if (hit != variants_.end()) {
-    hit->second.last_used_tick = ++tick_;
-    hits_->Increment();
-    return hit->second.variant;
+    if (!config_.verify_variants ||
+        ChecksumModel(hit->second.variant->model) ==
+            hit->second.variant->checksum) {
+      hit->second.last_used_tick = ++tick_;
+      hits_->Increment();
+      return hit->second.variant;
+    }
+    // Corrupt cached variant: count it, drop it, and fall through to the
+    // miss path so the lease is served by re-quantizing from the (trusted)
+    // FP32 base instead of crashing or handing out bad weights.
+    decode_failures_->Increment();
+    obs::Logf(obs::LogLevel::kWarn,
+              "registry: checksum mismatch on cached variant %s/%s; "
+              "re-quantizing from base",
+              name.c_str(), quant::FormatToString(format));
+    variant_bytes_ -= hit->second.variant->resident_bytes;
+    variants_.erase(hit);
+    bytes_gauge_->Set(static_cast<double>(variant_bytes_));
   }
   auto entry_it = entries_.find(name);
   if (entry_it == entries_.end()) {
     return Status::NotFound("registry: no such model: " + name);
   }
   misses_->Increment();
+  if (materialize_fault_hook_) {
+    Status fault = materialize_fault_hook_(name, format);
+    if (!fault.ok()) {
+      decode_failures_->Increment();
+      return Status(fault.code(),
+                    std::string("registry: failed to materialize ") + name +
+                        "/" + quant::FormatToString(format) + ": " +
+                        fault.message());
+    }
+  }
   quantize_count_->Increment();
 
   obs::TraceSpan span("serve.registry.quantize");
@@ -106,6 +144,7 @@ Result<std::shared_ptr<ModelRegistry::Variant>> ModelRegistry::GetVariant(
   // footprint regardless of the logical format width.
   variant->resident_bytes =
       quant::ModelStorageBytes(variant->model, quant::NumericFormat::kFP32);
+  variant->checksum = ChecksumModel(variant->model);
   obs::Logf(obs::LogLevel::kDebug,
             "registry: materialized %s/%s (%lld bytes)", name.c_str(),
             quant::FormatToString(format),

@@ -2,6 +2,7 @@
 #define ERRORFLOW_SERVE_MODEL_REGISTRY_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -25,6 +26,12 @@ struct RegistryConfig {
   /// variants are evicted once the bound is exceeded; in-flight executions
   /// keep their variant alive through the returned shared_ptr.
   int64_t max_variant_bytes = 256ll << 20;
+  /// When true, every cache hit re-verifies the variant's weight checksum
+  /// before leasing it; a mismatch (bit rot, stray write) drops the variant
+  /// and transparently re-quantizes from the FP32 base. Costs one
+  /// serialization pass per hit, so it is off by default and meant for
+  /// deployments that prize integrity over lease latency.
+  bool verify_variants = false;
 };
 
 /// \brief Owns the served models, their error-flow analyses, and a bounded
@@ -70,7 +77,21 @@ class ModelRegistry {
     quant::NumericFormat format = quant::NumericFormat::kFP32;
     nn::Model model;
     int64_t resident_bytes = 0;
+    /// FNV-1a over the serialized model, taken at materialization; consulted
+    /// on hits when `RegistryConfig::verify_variants` is set.
+    uint64_t checksum = 0;
   };
+
+  /// Fault-injection hook: consulted at the top of every variant
+  /// materialization; a non-OK return aborts the quantize and surfaces as a
+  /// typed Status from GetVariant. Lets tests pin down that a failed
+  /// materialization never crashes a worker. Test-only.
+  using MaterializeFaultHook =
+      std::function<Status(const std::string& name, quant::NumericFormat)>;
+
+  /// Content checksum used for variant integrity (FNV-1a over
+  /// nn::SerializeModel). Exposed so tests can compute expected values.
+  static uint64_t ChecksumModel(const nn::Model& model);
 
   /// Profiles `model` (folding PSN afterwards) and takes ownership.
   /// `single_input_shape` as in core::ProfileModel. Fails with
@@ -93,6 +114,12 @@ class ModelRegistry {
   int64_t variant_bytes() const;
   const RegistryConfig& config() const { return config_; }
 
+  /// Installs (or clears, with nullptr) the materialization fault hook.
+  void SetMaterializeFaultHookForTest(MaterializeFaultHook hook) {
+    std::lock_guard<std::mutex> lock(mu_);
+    materialize_fault_hook_ = std::move(hook);
+  }
+
  private:
   struct CachedVariant {
     std::shared_ptr<Variant> variant;
@@ -110,12 +137,16 @@ class ModelRegistry {
   std::map<std::string, CachedVariant> variants_;
   int64_t variant_bytes_ = 0;
   uint64_t tick_ = 0;
+  MaterializeFaultHook materialize_fault_hook_;
 
   // docs/SERVING.md metric conventions.
   obs::Counter* quantize_count_;
   obs::Counter* hits_;
   obs::Counter* misses_;
   obs::Counter* evictions_;
+  /// Corrupt cached variants detected (and recovered) plus failed
+  /// materializations — the serving decode-failure signal.
+  obs::Counter* decode_failures_;
   obs::Gauge* bytes_gauge_;
   obs::Gauge* models_gauge_;
 };

@@ -51,7 +51,12 @@ BitReader::BitReader(const void* data, size_t size_bytes)
     : data_(static_cast<const uint8_t*>(data)), total_bits_(size_bytes * 8) {}
 
 Result<uint64_t> BitReader::ReadBits(int nbits) {
-  EF_CHECK(nbits >= 0 && nbits <= 64);
+  // Decoders hand widths derived from untrusted headers here; an
+  // out-of-range width is data corruption, not a programmer error, so it
+  // must surface as Status rather than an abort.
+  if (nbits < 0 || nbits > 64) {
+    return Status::Corruption("BitReader: bit width out of range");
+  }
   if (BitsRemaining() < static_cast<size_t>(nbits)) {
     return Status::OutOfRange("BitReader: stream exhausted");
   }
@@ -93,6 +98,7 @@ uint64_t BitReader::PeekBits(int nbits) const {
 }
 
 void BitReader::SkipBits(int nbits) {
+  if (nbits <= 0) return;  // A negative skip would wrap the cursor forward.
   bit_pos_ = std::min(total_bits_, bit_pos_ + static_cast<size_t>(nbits));
 }
 

@@ -47,7 +47,8 @@ class BitReader {
   BitReader(const void* data, size_t size_bytes);
 
   /// Reads `nbits` (<= 64) bits into the low-order bits of the result.
-  /// Returns OutOfRange if the stream is exhausted.
+  /// Returns OutOfRange if the stream is exhausted and Corruption when
+  /// `nbits` is outside [0, 64] (widths may come from untrusted headers).
   Result<uint64_t> ReadBits(int nbits);
 
   /// Reads one bit.

@@ -11,6 +11,58 @@
 namespace errorflow {
 namespace util {
 
+/// \name Checked arithmetic for untrusted length fields.
+///
+/// Every decoder that reads a count or byte length from an untrusted blob
+/// must combine such values with these helpers (never raw `+`/`*`): a
+/// wrapped intermediate is exactly how a "bounds-checked" decoder ends up
+/// handing a near-UINT64_MAX length to memcpy. Both return false on
+/// overflow and leave `*out` unspecified.
+/// @{
+inline bool CheckedAdd(uint64_t a, uint64_t b, uint64_t* out) {
+  return !__builtin_add_overflow(a, b, out);
+}
+inline bool CheckedMul(uint64_t a, uint64_t b, uint64_t* out) {
+  return !__builtin_mul_overflow(a, b, out);
+}
+/// @}
+
+/// \brief Caps applied wherever an untrusted length reaches an allocation.
+///
+/// The decode contract (docs/ROBUSTNESS.md): a length field read from a
+/// blob may only authorize an allocation that (a) the remaining payload
+/// could plausibly justify and (b) stays under these absolute limits.
+/// Decoders take the limits as a parameter defaulting to `Default()` so
+/// deployments with larger fields can widen them deliberately.
+struct DecodeLimits {
+  /// Largest single allocation any decoder may perform on behalf of an
+  /// untrusted length field.
+  uint64_t max_alloc_bytes = 256ull << 20;
+  /// Largest element count an untrusted shape may describe.
+  uint64_t max_elements = 1ull << 31;
+
+  static const DecodeLimits& Default() {
+    static const DecodeLimits kDefault;
+    return kDefault;
+  }
+
+  Status CheckAlloc(uint64_t bytes, const char* what) const {
+    if (bytes > max_alloc_bytes) {
+      return Status::Corruption(std::string(what) +
+                                ": allocation exceeds decode limit");
+    }
+    return Status::OK();
+  }
+
+  Status CheckElements(uint64_t count, const char* what) const {
+    if (count > max_elements) {
+      return Status::Corruption(std::string(what) +
+                                ": element count exceeds decode limit");
+    }
+    return Status::OK();
+  }
+};
+
 /// \brief Append-only little-endian byte buffer used for blob headers and
 /// model serialization.
 class ByteWriter {
@@ -63,8 +115,19 @@ class ByteReader {
   Result<double> GetF64() { return Get<double>(); }
 
   Result<std::string> GetBytes() {
+    // No upper bound beyond the payload itself: `n > remaining()` (never
+    // `pos_ + n > size_`, which wraps for n near UINT64_MAX) already caps
+    // the copy by the buffer size.
+    return GetBytesBounded(remaining());
+  }
+
+  /// Length-prefixed bytes whose length must not exceed `max_len`. The
+  /// comparison is wrap-proof: the untrusted length is checked against the
+  /// remaining payload and the cap before any arithmetic involving `pos_`.
+  Result<std::string> GetBytesBounded(uint64_t max_len) {
     EF_ASSIGN_OR_RETURN(uint64_t n, GetU64());
-    if (pos_ + n > size_) return Status::Corruption("buffer truncated");
+    if (n > remaining()) return Status::Corruption("buffer truncated");
+    if (n > max_len) return Status::Corruption("length field exceeds bound");
     std::string out(data_ + pos_, static_cast<size_t>(n));
     pos_ += static_cast<size_t>(n);
     return out;
@@ -108,7 +171,7 @@ class ByteReader {
  private:
   template <typename T>
   Result<T> Get() {
-    if (pos_ + sizeof(T) > size_) {
+    if (sizeof(T) > remaining()) {
       return Status::Corruption("buffer truncated");
     }
     T v;

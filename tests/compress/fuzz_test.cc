@@ -1,19 +1,32 @@
 // Robustness tests: decompressors and the model deserializer must return
 // Status errors (never crash, hang, or over-allocate) on corrupt input —
-// random garbage, truncations at every offset, and single-bit flips.
+// random garbage, truncations at every offset, single-bit flips, and the
+// structure-aware mutations of testing::BlobMutator. Runs inside
+// ef_fuzz_tests, whose allocation guard (testing/alloc_guard.h) refuses any
+// single heap request above 256 MiB.
+#include <cstring>
 #include <string>
+#include <vector>
 
+#include "compress/codec/huffman.h"
 #include "compress/compressor.h"
+#include "compress/parallel.h"
 #include "gtest/gtest.h"
 #include "nn/builders.h"
 #include "nn/serialize.h"
+#include "testing/alloc_guard.h"
+#include "testing/fuzz_util.h"
 #include "testing/test_util.h"
+#include "util/bitstream.h"
+#include "util/bytes.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace errorflow {
 namespace {
 
 using compress::Backend;
+using compress::ParallelCompressor;
 using tensor::Tensor;
 
 class DecompressFuzzTest : public ::testing::TestWithParam<Backend> {};
@@ -93,6 +106,160 @@ TEST(DeserializeFuzzTest, TruncationsAndFlipsHandled) {
     auto result = nn::DeserializeModel(corrupted);
     (void)result;  // No crash; flips in weight bytes may still parse.
   }
+}
+
+// Real blobs from every backend at a few shapes/bounds: the corpus for the
+// structure-aware mutators, and cross-format donors for HeaderSwap.
+std::vector<std::string> BuildCorpus(Backend backend) {
+  std::vector<std::string> corpus;
+  const int grids[3][3] = {{16, 16, 2}, {12, 24, 3}, {7, 5, 4}};
+  for (Backend b :
+       {backend, backend == Backend::kSz ? Backend::kZfp : Backend::kSz}) {
+    auto compressor = compress::MakeCompressor(b);
+    for (const auto& g : grids) {
+      const Tensor data = testing::SmoothField2d(g[0], g[1], g[2]);
+      auto comp =
+          compressor->Compress(data, compress::ErrorBound::AbsLinf(1e-3));
+      if (comp.ok()) corpus.push_back(std::move(comp->blob));
+    }
+  }
+  return corpus;
+}
+
+TEST_P(DecompressFuzzTest, StructureAwareMutationsHandled) {
+  auto compressor = compress::MakeCompressor(GetParam());
+  testing::BlobMutator mutator(BuildCorpus(GetParam()),
+                               /*seed=*/0xF0 + static_cast<int>(GetParam()));
+  testing::ResetMaxSingleAlloc();
+  const auto stats = testing::RunFuzz(
+      &mutator, testing::FuzzIterations(), [&](const std::string& blob) {
+        auto result = compressor->Decompress(blob);
+        if (!result.ok()) {
+          EXPECT_FALSE(result.status().message().empty());
+        }
+      });
+  EXPECT_EQ(stats.oversize_allocs, 0);
+  EXPECT_LE(testing::MaxSingleAllocBytes(), testing::kAllocGuardLimitBytes);
+}
+
+TEST(ParallelFuzzTest, StructureAwareMutationsHandled) {
+  util::ThreadPool pool(4);
+  ParallelCompressor compressor(Backend::kSz, &pool, /*min_chunk_rows=*/4);
+  std::vector<std::string> corpus;
+  const int grids[2][3] = {{64, 16, 2}, {32, 8, 3}};
+  for (const auto& g : grids) {
+    const Tensor data = testing::SmoothField2d(g[0], g[1], g[2]);
+    auto comp =
+        compressor.Compress(data, compress::ErrorBound::AbsLinf(1e-3));
+    ASSERT_TRUE(comp.ok());
+    corpus.push_back(std::move(comp->blob));
+  }
+  // Cross-format donor: a serial sz blob, so HeaderSwap also produces
+  // "inner blob where a parallel wrapper was expected".
+  auto serial = compress::MakeCompressor(Backend::kSz)
+                    ->Compress(testing::SmoothField2d(64, 16, 2),
+                               compress::ErrorBound::AbsLinf(1e-3));
+  ASSERT_TRUE(serial.ok());
+  corpus.push_back(std::move(serial->blob));
+
+  testing::BlobMutator mutator(std::move(corpus), /*seed=*/0xA11);
+  testing::ResetMaxSingleAlloc();
+  const auto stats = testing::RunFuzz(
+      &mutator, testing::FuzzIterations(), [&](const std::string& blob) {
+        auto result = compressor.Decompress(blob);
+        (void)result;
+      });
+  EXPECT_EQ(stats.oversize_allocs, 0);
+  EXPECT_LE(testing::MaxSingleAllocBytes(), testing::kAllocGuardLimitBytes);
+}
+
+TEST(HuffmanFuzzTest, StructureAwareMutationsHandled) {
+  // Corpus: encoded streams of skewed symbol distributions (the shape
+  // quantization codes take), in the raw bit-stream form Decode consumes.
+  std::vector<std::string> corpus;
+  std::vector<uint64_t> counts;
+  util::Rng rng(11);
+  for (int c = 0; c < 3; ++c) {
+    std::vector<uint32_t> symbols;
+    const int n = 200 + c * 150;
+    for (int i = 0; i < n; ++i) {
+      symbols.push_back(static_cast<uint32_t>(rng.UniformU64(1 + c * 40)));
+    }
+    util::BitWriter bits;
+    ASSERT_TRUE(compress::HuffmanCodec::Encode(symbols, &bits).ok());
+    corpus.push_back(bits.Finish());
+    counts.push_back(symbols.size());
+  }
+  testing::BlobMutator mutator(corpus, /*seed=*/0x4F);
+  testing::ResetMaxSingleAlloc();
+  size_t iter = 0;
+  const auto stats = testing::RunFuzz(
+      &mutator, testing::FuzzIterations(), [&](const std::string& blob) {
+        util::BitReader bits(blob.data(), blob.size());
+        auto result = compress::HuffmanCodec::Decode(
+            &bits, counts[iter++ % counts.size()]);
+        (void)result;
+      });
+  EXPECT_EQ(stats.oversize_allocs, 0);
+  EXPECT_LE(testing::MaxSingleAllocBytes(), testing::kAllocGuardLimitBytes);
+}
+
+// ----- Regression blobs for the specific defects this PR fixes ---------
+
+// Huffman symbol counts used to reach out.reserve() unchecked: a valid
+// stream decoded with an inflated count reserved count * 4 bytes before
+// discovering the payload was short.
+TEST(HuffmanRegressionTest, InflatedCountRejectedBeforeAllocation) {
+  std::vector<uint32_t> symbols(64, 7);
+  util::BitWriter writer;
+  ASSERT_TRUE(compress::HuffmanCodec::Encode(symbols, &writer).ok());
+  const std::string blob = writer.Finish();
+  util::BitReader reader(blob.data(), blob.size());
+  testing::ResetMaxSingleAlloc();
+  auto result =
+      compress::HuffmanCodec::Decode(&reader, uint64_t{1} << 30);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  // The 4 GiB reserve must not have been attempted.
+  EXPECT_LT(testing::MaxSingleAllocBytes(), uint64_t{1} << 20);
+}
+
+// The 32-bit table-size field used to size a vector of 16-byte entries with
+// only a <= 2^28 sanity cap: a 5-byte stream could demand a 4 GiB table.
+TEST(HuffmanRegressionTest, TableSizeBombRejectedBeforeAllocation) {
+  util::BitWriter writer;
+  writer.WriteBits(uint64_t{1} << 27, 32);  // Passes the old sanity cap.
+  writer.WriteBits(0, 8);                   // Far too little payload.
+  const std::string blob = writer.Finish();
+  util::BitReader reader(blob.data(), blob.size());
+  testing::ResetMaxSingleAlloc();
+  auto result = compress::HuffmanCodec::Decode(&reader, 1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  EXPECT_LT(testing::MaxSingleAllocBytes(), uint64_t{1} << 20);
+}
+
+// The parallel wrapper sized its chunk-metadata vector straight from the
+// header's chunk count; rows <= 2^28 let a ~40 KiB blob demand a 6 GiB
+// metadata table. The count must be covered by the remaining payload
+// (16 bytes per chunk).
+TEST(ParallelRegressionTest, ChunkCountBombRejectedBeforeAllocation) {
+  util::ThreadPool pool(2);
+  ParallelCompressor compressor(Backend::kSz, &pool, 4);
+  util::ByteWriter header;
+  header.PutU32(0x45504152);  // "EPAR"
+  header.PutU8(static_cast<uint8_t>(Backend::kSz));
+  header.PutShape({int64_t{1} << 28});
+  header.PutU64(uint64_t{1} << 28);  // num_chunks == rows: passes old check.
+  std::string blob = header.Finish();
+  // Enough trailing payload that the shape passes the plausibility bound
+  // but nowhere near 2^28 * 16 bytes of chunk headers.
+  blob.append(40960, '\0');
+  testing::ResetMaxSingleAlloc();
+  auto result = compressor.Decompress(blob);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  EXPECT_LT(testing::MaxSingleAllocBytes(), uint64_t{1} << 20);
 }
 
 }  // namespace

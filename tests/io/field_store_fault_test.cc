@@ -1,0 +1,112 @@
+// Fault-injected reads through io::FieldStore: the read-fault hook mutates
+// the blob bytes between storage and the decompressor, so the *real*
+// decoders see genuinely corrupt payloads. The store must answer with a
+// typed Status (and count the failure) — never crash — and a fuzz run over
+// mutated blobs must stay within the allocation guard. Runs inside
+// ef_fuzz_tests.
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "io/field_store.h"
+#include "obs/metrics.h"
+#include "testing/alloc_guard.h"
+#include "testing/fuzz_util.h"
+#include "testing/test_util.h"
+
+namespace errorflow {
+namespace io {
+namespace {
+
+using tensor::Tensor;
+
+uint64_t DecodeFailures() {
+  return obs::MetricsRegistry::Global()
+      .GetCounter("errorflow.io.field_store.decode_failures")
+      ->value();
+}
+
+TEST(FieldStoreFaultTest, CorruptReadReturnsTypedStatusAndCounts) {
+  FieldStore store(compress::Backend::kSz);
+  const Tensor field = testing::SmoothField2d(32, 32, 1);
+  ASSERT_TRUE(store.Put(3, field, compress::ErrorBound::AbsLinf(1e-3)).ok());
+
+  store.SetReadFaultHookForTest([](const std::string& key,
+                                   std::string* blob) {
+    ASSERT_FALSE(blob->empty()) << "hook should see real bytes for " << key;
+    (*blob)[0] ^= 0x5A;  // Break the magic: guaranteed decode failure.
+  });
+  const uint64_t before = DecodeFailures();
+  auto fetch = store.Get(3);
+  ASSERT_FALSE(fetch.ok());
+  EXPECT_EQ(fetch.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(fetch.status().message().find("failed to decode"),
+            std::string::npos);
+  EXPECT_EQ(DecodeFailures(), before + 1);
+
+  // The fault only poisoned the in-flight copy: clearing the hook restores
+  // normal reads from the intact stored blob.
+  store.SetReadFaultHookForTest(nullptr);
+  EXPECT_TRUE(store.Get(3).ok());
+}
+
+TEST(FieldStoreFaultTest, SplicedShapeDetectedAsCorruption) {
+  // Two steps with different shapes; serving step 5 the bytes of step 7
+  // decodes cleanly but must still be refused (wrong shape).
+  FieldStore store(compress::Backend::kZfp);
+  ASSERT_TRUE(store
+                  .Put(5, testing::SmoothField2d(16, 16, 2),
+                       compress::ErrorBound::AbsLinf(1e-3))
+                  .ok());
+  const Tensor other = testing::SmoothField2d(8, 24, 3);
+  FieldStore donor(compress::Backend::kZfp);
+  ASSERT_TRUE(
+      donor.Put(7, other, compress::ErrorBound::AbsLinf(1e-3)).ok());
+  auto donor_blob = donor.Get(7);
+  ASSERT_TRUE(donor_blob.ok());
+
+  // Re-encode the donor field and swap it in wholesale on read.
+  auto donor_comp = compress::MakeCompressor(compress::Backend::kZfp)
+                        ->Compress(other, compress::ErrorBound::AbsLinf(1e-3));
+  ASSERT_TRUE(donor_comp.ok());
+  store.SetReadFaultHookForTest(
+      [&](const std::string&, std::string* blob) { *blob = donor_comp->blob; });
+  const uint64_t before = DecodeFailures();
+  auto fetch = store.Get(5);
+  ASSERT_FALSE(fetch.ok());
+  EXPECT_EQ(fetch.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(fetch.status().message().find("wrong shape"), std::string::npos);
+  EXPECT_EQ(DecodeFailures(), before + 1);
+}
+
+TEST(FieldStoreFaultTest, StructureAwareFuzzThroughStore) {
+  FieldStore store(compress::Backend::kSz);
+  const Tensor field = testing::SmoothField2d(24, 24, 4);
+  ASSERT_TRUE(store.Put(0, field, compress::ErrorBound::AbsLinf(1e-3)).ok());
+  auto baseline = store.Get(0);
+  ASSERT_TRUE(baseline.ok());
+
+  // Corpus: the real stored blob (recovered by re-compressing the field —
+  // the store does not expose raw bytes).
+  auto comp = compress::MakeCompressor(compress::Backend::kSz)
+                  ->Compress(field, compress::ErrorBound::AbsLinf(1e-3));
+  ASSERT_TRUE(comp.ok());
+  testing::BlobMutator mutator({comp->blob}, /*seed=*/0x10);
+
+  std::string next;
+  store.SetReadFaultHookForTest(
+      [&](const std::string&, std::string* blob) { *blob = next; });
+  testing::ResetMaxSingleAlloc();
+  const auto stats = testing::RunFuzz(
+      &mutator, testing::FuzzIterations(), [&](const std::string& blob) {
+        next = blob;
+        auto fetch = store.Get(0);
+        (void)fetch;  // Typed error or a valid field; never a crash.
+      });
+  EXPECT_EQ(stats.oversize_allocs, 0);
+  EXPECT_LE(testing::MaxSingleAllocBytes(), testing::kAllocGuardLimitBytes);
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace errorflow

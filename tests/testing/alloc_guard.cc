@@ -1,0 +1,82 @@
+// Global allocation guard for the fuzz test binary: replaces operator
+// new/delete to (a) record the largest single heap request and (b) refuse
+// requests beyond kAllocGuardLimitBytes with std::bad_alloc. A decoder that
+// passes an untrusted length to the allocator therefore fails fast and
+// visibly instead of OOM-ing the sanitizer job. Lives in its own TU so only
+// binaries that opt in (ef_fuzz_tests) get the replaced operators.
+#include "testing/alloc_guard.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+std::atomic<uint64_t> g_max_single_alloc{0};
+
+void RecordAlloc(std::size_t size) {
+  uint64_t prev = g_max_single_alloc.load(std::memory_order_relaxed);
+  while (size > prev && !g_max_single_alloc.compare_exchange_weak(
+                            prev, size, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace
+
+namespace errorflow {
+namespace testing {
+
+uint64_t MaxSingleAllocBytes() {
+  return g_max_single_alloc.load(std::memory_order_relaxed);
+}
+
+void ResetMaxSingleAlloc() {
+  g_max_single_alloc.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace testing
+}  // namespace errorflow
+
+// The replaced operators pair malloc with free; GCC cannot see that the
+// pointers it flags came from these malloc-backed news.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  RecordAlloc(size);
+  if (size > errorflow::testing::kAllocGuardLimitBytes) {
+    throw std::bad_alloc();
+  }
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+void* operator new(std::size_t size, std::align_val_t al) {
+  RecordAlloc(size);
+  if (size > errorflow::testing::kAllocGuardLimitBytes) {
+    throw std::bad_alloc();
+  }
+  const std::size_t a = static_cast<std::size_t>(al);
+  const std::size_t rounded = (size + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded ? rounded : a)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return ::operator new(size, al);
+}
+
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

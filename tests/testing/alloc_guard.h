@@ -1,0 +1,25 @@
+#ifndef ERRORFLOW_TESTS_TESTING_ALLOC_GUARD_H_
+#define ERRORFLOW_TESTS_TESTING_ALLOC_GUARD_H_
+
+#include <cstdint>
+
+namespace errorflow {
+namespace testing {
+
+/// Hard cap enforced by the allocation guard (alloc_guard.cc): any single
+/// heap request beyond this throws std::bad_alloc instead of being
+/// attempted. Matches the DecodeLimits::max_alloc_bytes default, so a
+/// decoder that forgets its limits check trips the guard in fuzz runs.
+constexpr uint64_t kAllocGuardLimitBytes = 256ull << 20;
+
+/// Largest single allocation requested since the last reset (including
+/// requests the guard refused).
+uint64_t MaxSingleAllocBytes();
+
+/// Resets the high-water mark.
+void ResetMaxSingleAlloc();
+
+}  // namespace testing
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_TESTS_TESTING_ALLOC_GUARD_H_

@@ -1,0 +1,147 @@
+#include "testing/fuzz_util.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+namespace errorflow {
+namespace testing {
+
+int FuzzIterations() {
+  const char* env = std::getenv("ERRORFLOW_FUZZ_ITERS");
+  if (env != nullptr) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<int>(v);
+  }
+  return 1000;
+}
+
+BlobMutator::BlobMutator(std::vector<std::string> corpus, uint64_t seed)
+    : corpus_(std::move(corpus)), rng_(seed) {}
+
+std::string BlobMutator::BitFlip(std::string blob) {
+  if (blob.empty()) return blob;
+  const int flips = rng_.UniformInt(1, 8);
+  for (int i = 0; i < flips; ++i) {
+    const size_t pos = static_cast<size_t>(rng_.UniformU64(blob.size()));
+    blob[pos] = static_cast<char>(blob[pos] ^ (1 << rng_.UniformU64(8)));
+  }
+  return blob;
+}
+
+std::string BlobMutator::Truncate(std::string blob) {
+  blob.resize(static_cast<size_t>(rng_.UniformU64(blob.size() + 1)));
+  return blob;
+}
+
+std::string BlobMutator::Extend(std::string blob) {
+  const int extra = rng_.UniformInt(1, 64);
+  for (int i = 0; i < extra; ++i) {
+    blob.push_back(static_cast<char>(rng_.UniformU64(256)));
+  }
+  return blob;
+}
+
+std::string BlobMutator::FieldSplice(std::string blob) {
+  const std::string& donor =
+      corpus_[static_cast<size_t>(rng_.UniformU64(corpus_.size()))];
+  if (blob.empty() || donor.empty()) return blob;
+  const size_t len = 1 + static_cast<size_t>(rng_.UniformU64(
+                             std::min<size_t>(64, donor.size())));
+  const size_t src =
+      static_cast<size_t>(rng_.UniformU64(donor.size() - len + 1));
+  const size_t dst = static_cast<size_t>(rng_.UniformU64(blob.size()));
+  const size_t n = std::min(len, blob.size() - dst);
+  blob.replace(dst, n, donor, src, n);
+  return blob;
+}
+
+std::string BlobMutator::LengthInflate(std::string blob) {
+  static constexpr uint64_t kBombs[] = {
+      UINT64_MAX,         UINT64_MAX / 2,      uint64_t{1} << 62,
+      uint64_t{1} << 33,  uint64_t{1} << 30,   uint64_t{1} << 28,
+      0x00000000FFFFFFFF, 0x7FFFFFFFFFFFFFFF,
+  };
+  if (blob.size() < sizeof(uint32_t)) return blob;
+  const uint64_t bomb =
+      kBombs[rng_.UniformU64(sizeof(kBombs) / sizeof(kBombs[0]))];
+  // Half the time hit a 32-bit field, half an (if it fits) 64-bit one.
+  const size_t width = (rng_.UniformU64(2) == 0 && blob.size() >= 8) ? 8 : 4;
+  const size_t pos =
+      static_cast<size_t>(rng_.UniformU64(blob.size() - width + 1));
+  std::memcpy(&blob[pos], &bomb, width);
+  return blob;
+}
+
+std::string BlobMutator::VarintCorrupt(std::string blob) {
+  if (blob.empty()) return blob;
+  const size_t start = static_cast<size_t>(rng_.UniformU64(blob.size()));
+  const size_t run = 1 + static_cast<size_t>(rng_.UniformU64(12));
+  for (size_t i = start; i < blob.size() && i < start + run; ++i) {
+    blob[i] = static_cast<char>(blob[i] | 0x80);
+  }
+  return blob;
+}
+
+std::string BlobMutator::HeaderSwap(std::string blob) {
+  const std::string& donor =
+      corpus_[static_cast<size_t>(rng_.UniformU64(corpus_.size()))];
+  if (blob.empty() || donor.empty()) return blob;
+  const size_t head = 1 + static_cast<size_t>(rng_.UniformU64(std::min(
+                              {size_t{32}, blob.size(), donor.size()})));
+  blob.replace(0, head, donor, 0, head);
+  return blob;
+}
+
+std::string BlobMutator::Next() {
+  std::string blob =
+      corpus_[static_cast<size_t>(rng_.UniformU64(corpus_.size()))];
+  const int rounds = rng_.UniformU64(4) == 0 ? 2 : 1;
+  for (int i = 0; i < rounds; ++i) {
+    switch (rng_.UniformU64(7)) {
+      case 0:
+        blob = BitFlip(std::move(blob));
+        break;
+      case 1:
+        blob = Truncate(std::move(blob));
+        break;
+      case 2:
+        blob = Extend(std::move(blob));
+        break;
+      case 3:
+        blob = FieldSplice(std::move(blob));
+        break;
+      case 4:
+        blob = LengthInflate(std::move(blob));
+        break;
+      case 5:
+        blob = VarintCorrupt(std::move(blob));
+        break;
+      default:
+        blob = HeaderSwap(std::move(blob));
+        break;
+    }
+  }
+  return blob;
+}
+
+FuzzStats RunFuzz(BlobMutator* mutator, int iterations,
+                  const std::function<void(const std::string&)>& target) {
+  FuzzStats stats;
+  for (int i = 0; i < iterations; ++i) {
+    const std::string blob = mutator->Next();
+    ++stats.iterations;
+    try {
+      target(blob);
+    } catch (const std::bad_alloc&) {
+      // Thrown by the allocation guard: the decoder let an untrusted
+      // length reach the allocator. Counted, and asserted zero by callers.
+      ++stats.oversize_allocs;
+    }
+  }
+  return stats;
+}
+
+}  // namespace testing
+}  // namespace errorflow

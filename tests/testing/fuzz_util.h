@@ -1,0 +1,77 @@
+#ifndef ERRORFLOW_TESTS_TESTING_FUZZ_UTIL_H_
+#define ERRORFLOW_TESTS_TESTING_FUZZ_UTIL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace errorflow {
+namespace testing {
+
+/// Per-target fuzz iteration budget: the ERRORFLOW_FUZZ_ITERS environment
+/// variable when set to a positive integer, 1000 otherwise. CI pins the
+/// variable so sanitizer runs have a fixed, reproducible budget.
+int FuzzIterations();
+
+/// \brief Structure-aware mutator over a corpus of real encoded blobs.
+///
+/// Random bytes almost always die on the magic check; mutating *valid*
+/// blobs exercises the deep decode paths. Each Next() call picks a corpus
+/// entry and applies one or two of the mutation strategies below. All
+/// randomness flows from the seed, so a failing iteration is reproducible
+/// from (corpus, seed, iteration index) alone.
+class BlobMutator {
+ public:
+  /// `corpus` must be non-empty; entries should be genuine encoder output.
+  BlobMutator(std::vector<std::string> corpus, uint64_t seed);
+
+  /// Returns the next mutated blob.
+  std::string Next();
+
+ private:
+  /// Flips 1-8 random bits anywhere in the blob.
+  std::string BitFlip(std::string blob);
+  /// Cuts the blob at a random offset.
+  std::string Truncate(std::string blob);
+  /// Appends 1-64 random bytes (trailing garbage past a valid payload).
+  std::string Extend(std::string blob);
+  /// Overwrites a random region with a slice of another corpus entry —
+  /// valid bytes in the wrong place, e.g. one step's header on another's
+  /// payload.
+  std::string FieldSplice(std::string blob);
+  /// Overwrites a random aligned region with an enormous little-endian
+  /// integer — targets length/count fields, the allocation-bomb vector.
+  std::string LengthInflate(std::string blob);
+  /// Sets continuation bits on a run of bytes, producing overlong or
+  /// unterminated LEB128 varints.
+  std::string VarintCorrupt(std::string blob);
+  /// Replaces the blob's head with another corpus entry's head (format
+  /// confusion: magic and header fields from a different encoder).
+  std::string HeaderSwap(std::string blob);
+
+  std::vector<std::string> corpus_;
+  util::Rng rng_;
+};
+
+/// \brief Outcome of a fuzz run; every field should be asserted on.
+struct FuzzStats {
+  int iterations = 0;
+  /// Iterations whose target attempted a single allocation beyond the
+  /// alloc-guard limit (only detected in the ef_fuzz_tests binary, which
+  /// links alloc_guard.cc). Must be zero.
+  int oversize_allocs = 0;
+};
+
+/// Feeds `iterations` mutated blobs to `target`. The target must return
+/// normally or via Status plumbing — any crash fails the whole binary.
+/// std::bad_alloc from the allocation guard is caught and counted.
+FuzzStats RunFuzz(BlobMutator* mutator, int iterations,
+                  const std::function<void(const std::string&)>& target);
+
+}  // namespace testing
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_TESTS_TESTING_FUZZ_UTIL_H_

@@ -80,6 +80,68 @@ TEST(BytesTest, RestConsumesRemainder) {
   EXPECT_EQ(r.remaining(), 0u);
 }
 
+// Regression: a length field near UINT64_MAX made the old `pos_ + n`
+// bounds check wrap and pass, handing the bogus length to the string
+// constructor. The remaining()-based check must reject it.
+TEST(BytesTest, HugeLengthFieldRejectedNotWrapped) {
+  for (uint64_t n : {UINT64_MAX, UINT64_MAX - 7, uint64_t{1} << 63}) {
+    ByteWriter w;
+    w.PutU64(n);
+    w.Raw("abc", 3);
+    const std::string buf = w.Finish();
+    ByteReader r(buf);
+    auto bytes = r.GetBytes();
+    ASSERT_FALSE(bytes.ok()) << "length " << n;
+    EXPECT_EQ(bytes.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(BytesTest, GetBytesBoundedEnforcesCap) {
+  ByteWriter w;
+  w.PutBytes("0123456789");
+  const std::string buf = w.Finish();
+  {
+    ByteReader r(buf);
+    auto bytes = r.GetBytesBounded(10);
+    ASSERT_TRUE(bytes.ok());
+    EXPECT_EQ(*bytes, "0123456789");
+  }
+  {
+    ByteReader r(buf);
+    auto bytes = r.GetBytesBounded(9);
+    ASSERT_FALSE(bytes.ok());
+    EXPECT_EQ(bytes.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(BytesTest, CheckedArithmeticDetectsOverflow) {
+  uint64_t out = 0;
+  EXPECT_TRUE(CheckedAdd(3, 4, &out));
+  EXPECT_EQ(out, 7u);
+  EXPECT_FALSE(CheckedAdd(UINT64_MAX, 1, &out));
+  EXPECT_FALSE(CheckedAdd(UINT64_MAX - 2, 3, &out));
+  EXPECT_TRUE(CheckedMul(uint64_t{1} << 31, uint64_t{1} << 31, &out));
+  EXPECT_EQ(out, uint64_t{1} << 62);
+  EXPECT_FALSE(CheckedMul(uint64_t{1} << 32, uint64_t{1} << 32, &out));
+  // The [2^28, 2^28, 256] product that wraps to exactly zero.
+  uint64_t n = 1;
+  EXPECT_TRUE(CheckedMul(n, uint64_t{1} << 28, &n));
+  EXPECT_TRUE(CheckedMul(n, uint64_t{1} << 28, &n));
+  EXPECT_FALSE(CheckedMul(n, 256, &n));
+}
+
+TEST(BytesTest, DecodeLimitsEnforceCaps) {
+  const DecodeLimits& limits = DecodeLimits::Default();
+  EXPECT_TRUE(limits.CheckAlloc(1024, "test").ok());
+  EXPECT_TRUE(limits.CheckAlloc(limits.max_alloc_bytes, "test").ok());
+  Status big = limits.CheckAlloc(limits.max_alloc_bytes + 1, "test");
+  EXPECT_EQ(big.code(), StatusCode::kCorruption);
+  EXPECT_NE(big.message().find("test"), std::string::npos);
+  EXPECT_TRUE(limits.CheckElements(limits.max_elements, "elems").ok());
+  EXPECT_EQ(limits.CheckElements(limits.max_elements + 1, "elems").code(),
+            StatusCode::kCorruption);
+}
+
 }  // namespace
 }  // namespace util
 }  // namespace errorflow
