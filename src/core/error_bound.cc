@@ -66,14 +66,23 @@ ErrorFlowAnalysis::FlowState ErrorFlowAnalysis::FlowBlock(
       eff.n_out = n_out_override;
       eff.noise_sqrt = std::sqrt(static_cast<double>(n_out_override));
     }
-    const double q = step_fn(eff, (*layer_counter)++);
+    const int64_t index = (*layer_counter)++;
+    const double q = step_fn(eff, index);
     const double sigma_t = eff.sigma + q * SigmaPertSqrt(eff) * kInvSqrt3;
+    const double injected =
+        q * NoiseSqrt(eff) * kInv2Sqrt3 * s.act_norm * eff.activation_gain;
     FlowState out;
-    out.error =
-        sigma_t * s.error + q * NoiseSqrt(eff) * kInv2Sqrt3 * s.act_norm;
-    out.act_norm = sigma_t * s.act_norm;
-    out.error *= eff.activation_gain;
-    out.act_norm *= eff.activation_gain;
+    out.error = sigma_t * s.error * eff.activation_gain + injected;
+    out.act_norm = sigma_t * s.act_norm * eff.activation_gain;
+    if (!s.contribs.empty()) {
+      // The recursion is linear in the error component: scale every
+      // tracked share by this layer's multiplier and credit the fresh
+      // noise to this layer's slot. Keeps error == sum(contribs).
+      out.contribs = std::move(s.contribs);
+      const double mult = sigma_t * eff.activation_gain;
+      for (double& c : out.contribs) c *= mult;
+      out.contribs[static_cast<size_t>(index) + 1] += injected;
+    }
     return out;
   };
 
@@ -101,6 +110,16 @@ ErrorFlowAnalysis::FlowState ErrorFlowAnalysis::FlowBlock(
   out.error = (body.error + shortcut.error) * block.post_activation_gain;
   out.act_norm =
       (body.act_norm + shortcut.act_norm) * block.post_activation_gain;
+  if (!body.contribs.empty()) {
+    // Both paths flowed from the same tracked input, so their shares add
+    // slot-by-slot, exactly like the scalar errors above. (Attribution
+    // never runs with act_inject, so the additions below stay untracked.)
+    out.contribs = std::move(body.contribs);
+    for (size_t i = 0; i < out.contribs.size(); ++i) {
+      out.contribs[i] = (out.contribs[i] + shortcut.contribs[i]) *
+                        block.post_activation_gain;
+    }
+  }
   if (act_inject != nullptr && !block.body.empty()) {
     out.error += (*act_inject)(out.act_norm, block.body.back().n_out);
   }
@@ -181,6 +200,54 @@ double ErrorFlowAnalysis::BoundWithSteps(double input_err, Norm norm,
   FlowState s{input_l2, std::sqrt(static_cast<double>(profile_.n0))};
   // The L2 output bound is also a valid Linf bound.
   return Flow(s, step_fn, -1.0).error;
+}
+
+BoundAttribution ErrorFlowAnalysis::Attribution(double input_err, Norm norm,
+                                                NumericFormat format) const {
+  return AttributionWithSteps(input_err, norm, FormatStepFn(format));
+}
+
+BoundAttribution ErrorFlowAnalysis::AttributionWithSteps(
+    double input_err, Norm norm, const StepFn& step_fn) const {
+  EF_CHECK(input_err >= 0.0);
+  double input_l2 = input_err;
+  if (norm == Norm::kLinf) {
+    input_l2 = input_err * std::sqrt(static_cast<double>(profile_.n0));
+  }
+  const size_t num_layers = static_cast<size_t>(LinearLayerCount());
+
+  FlowState tracked{input_l2, std::sqrt(static_cast<double>(profile_.n0))};
+  tracked.contribs.assign(num_layers + 1, 0.0);
+  tracked.contribs[0] = input_l2;
+  const FlowState out = Flow(std::move(tracked), step_fn, -1.0);
+
+  BoundAttribution attribution;
+  attribution.input_err_l2 = input_l2;
+  attribution.gain = Flow(FlowState{1.0, 0.0}, step_fn, -1.0).error;
+  attribution.compression_term = out.contribs[0];
+
+  // Rows in traversal order — the same numbering the StepFn saw.
+  int64_t index = 0;
+  auto append = [&](const LayerProfile& layer) {
+    LayerAttribution row;
+    row.layer = layer.name;
+    row.index = index;
+    row.sigma = layer.sigma;
+    row.step_size = step_fn(layer, index);
+    row.quantized_sigma =
+        layer.sigma + row.step_size * SigmaPertSqrt(layer) * kInvSqrt3;
+    row.amplification = row.quantized_sigma * layer.activation_gain;
+    row.quant_share = out.contribs[static_cast<size_t>(index) + 1];
+    attribution.quant_term += row.quant_share;
+    attribution.layers.push_back(std::move(row));
+    ++index;
+  };
+  for (const BlockProfile& block : profile_.blocks) {
+    for (const LayerProfile& layer : block.body) append(layer);
+    if (block.is_residual && block.has_projection) append(block.shortcut);
+  }
+  attribution.total = attribution.compression_term + attribution.quant_term;
+  return attribution;
 }
 
 double ErrorFlowAnalysis::PerFeatureBound(int64_t feature, double input_err,

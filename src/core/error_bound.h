@@ -14,6 +14,52 @@ namespace core {
 using quant::NumericFormat;
 using tensor::Norm;
 
+/// \brief One linear layer's row in the error-budget ledger produced by
+/// ErrorFlowAnalysis::Attribution(): where that layer's quantization noise
+/// ends up in the composed bound, plus the spectral quantities that
+/// amplified it.
+struct LayerAttribution {
+  /// Profile name of the layer.
+  std::string layer;
+  /// Traversal index, identical to the StepFn numbering (plain chains in
+  /// network order; residual bodies first, then the projection shortcut).
+  int64_t index = 0;
+  /// Plain spectral norm sigma_l.
+  double sigma = 0.0;
+  /// Quantized proxy sigma~_l = sigma_l + q_l sqrt(min(n_in,n_out))/sqrt 3.
+  double quantized_sigma = 0.0;
+  /// Step size q_l under the attributed steps.
+  double step_size = 0.0;
+  /// Per-layer multiplicative amplification applied to anything flowing
+  /// through this layer: sigma~_l * activation_gain.
+  double amplification = 0.0;
+  /// Exact additive share of the composed quantization term contributed by
+  /// this layer's rounding noise, after amplification by every downstream
+  /// layer. Shares over all layers sum to QuantTerm() (fp roundoff aside).
+  double quant_share = 0.0;
+};
+
+/// \brief Exact per-source decomposition of the composed Eq. (3)/(5) bound:
+/// the admission scalar as an inspectable ledger. The flow recursion is
+/// linear in the error component, so the input-error term and each layer's
+/// noise injection can be propagated separately; by construction
+///
+///     total == compression_term + sum_l layers[l].quant_share == Bound().
+struct BoundAttribution {
+  /// Input error after conversion to L2 (the norm the flow runs in).
+  double input_err_l2 = 0.0;
+  /// Composed amplification of the input error (Gain(format)).
+  double gain = 0.0;
+  /// gain * input_err_l2: the compression-input share of the bound.
+  double compression_term = 0.0;
+  /// Sum of the per-layer quantization shares (== QuantTerm()).
+  double quant_term = 0.0;
+  /// compression_term + quant_term (== Bound(input_err, norm, format)).
+  double total = 0.0;
+  /// One row per linear layer in traversal order.
+  std::vector<LayerAttribution> layers;
+};
+
 /// \brief The paper's error-flow analysis (Sec. III): given a model's
 /// spectral profile, predicts an upper bound on the QoI error when the
 /// input carries a compression error and the weights are quantized.
@@ -93,6 +139,21 @@ class ErrorFlowAnalysis {
   double QuantTermWithSteps(const StepFn& step_fn) const;
   /// @}
 
+  /// \name Error-budget provenance.
+  /// @{
+
+  /// Per-layer decomposition of Bound(input_err, norm, format): each
+  /// layer's exact additive share of the quantization term plus the
+  /// compression-input term. See BoundAttribution for the invariants.
+  BoundAttribution Attribution(double input_err, Norm norm,
+                               NumericFormat format) const;
+
+  /// Attribution under custom per-layer steps (mixed precision, grouped
+  /// INT8); reduces to Attribution() for FormatStepFn(format).
+  BoundAttribution AttributionWithSteps(double input_err, Norm norm,
+                                        const StepFn& step_fn) const;
+  /// @}
+
   /// \brief Quantization term when *activations* are quantized too
   /// (Sec. III-B's activation-quantization remark): weights rounded to
   /// `weight_format`, and the output of every top-level linear layer /
@@ -114,6 +175,10 @@ class ErrorFlowAnalysis {
   struct FlowState {
     double error = 0.0;
     double act_norm = 0.0;
+    /// Attribution tracking (empty in the common case): slot 0 is the
+    /// input-error share, slot 1 + l is linear layer l's quantization
+    /// share. Invariant whenever non-empty: error == sum(contribs).
+    std::vector<double> contribs;
   };
 
   // Activation-rounding error injected after a linear layer or block

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/error_budget.h"
 #include "obs/trace.h"
 #include "tensor/norms.h"
 #include "util/string_util.h"
@@ -206,6 +207,21 @@ Result<PipelineReport> InferencePipeline::Run(const Tensor& input_batch,
       MaxPerSampleError(input_batch, decompressed.data, config_.norm);
   report.achieved_qoi_error =
       MaxPerSampleError(reference, output, config_.norm);
+
+  // --- Error-budget ledger: the pipeline measures achieved QoI error
+  // against the FP32 reference on every run, so each run is an audited
+  // sample of errorflow.bound.tightness, annotated onto the run span.
+  {
+    obs::ErrorBudgetLedger ledger;
+    ledger.model = model_.name().empty() ? "pipeline" : model_.name();
+    ledger.format = quant::FormatToString(plan.format);
+    ledger.admitted_bound = plan.predicted_total_bound;
+    ledger.quant_term = plan.quant_bound;
+    ledger.compression_term = plan.predicted_total_bound - plan.quant_bound;
+    ledger.achieved_error = report.achieved_qoi_error;
+    ledger.audited = true;
+    obs::RecordErrorBudget(ledger, &run_span);
+  }
 
   // --- Metrics: the histograms mirror the report's phase values (some
   // measured, some modeled) so aggregate sums reconcile with the reports.

@@ -1,0 +1,123 @@
+#include "obs/exporter.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+
+#include "obs/log.h"
+
+namespace errorflow {
+namespace obs {
+
+namespace {
+
+// Writes `content` to `path` atomically: a unique dot-tmp sibling in the
+// same directory (same filesystem, so rename is atomic), fflush, rename.
+bool AtomicWriteFile(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (!wrote || !flushed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+MetricsExporter::MetricsExporter(MetricsExporterOptions options)
+    : options_(std::move(options)) {
+  options_.interval_seconds = std::max(0.01, options_.interval_seconds);
+}
+
+MetricsExporter::~MetricsExporter() { Stop(); }
+
+std::string MetricsExporter::prom_path() const {
+  return options_.dir + "/" + options_.prefix + ".prom";
+}
+
+std::string MetricsExporter::json_path() const {
+  return options_.dir + "/" + options_.prefix + ".json";
+}
+
+bool MetricsExporter::ExportOnce() {
+  const std::string prom = options_.registry->ToPrometheus();
+  const std::string json = options_.registry->ToJson();
+  if (!AtomicWriteFile(prom_path(), prom) ||
+      !AtomicWriteFile(json_path(), json)) {
+    return false;
+  }
+  exports_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool MetricsExporter::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return true;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  if (ec) {
+    Logf(LogLevel::kError, "metrics exporter: cannot create %s: %s",
+         options_.dir.c_str(), ec.message().c_str());
+    return false;
+  }
+  if (!ExportOnce()) {
+    Logf(LogLevel::kError, "metrics exporter: cannot write %s",
+         prom_path().c_str());
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = false;
+    running_ = true;
+  }
+  thread_ = std::thread([this] { Loop(); });
+  return true;
+}
+
+void MetricsExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+  }
+  ExportOnce();  // Final flush so the files reflect the full run.
+}
+
+void MetricsExporter::Loop() {
+  const auto interval = std::chrono::duration<double>(
+      options_.interval_seconds);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_requested_; })) {
+      break;
+    }
+    lock.unlock();
+    if (!ExportOnce()) {
+      Logf(LogLevel::kWarn, "metrics exporter: export to %s failed",
+           options_.dir.c_str());
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace obs
+}  // namespace errorflow

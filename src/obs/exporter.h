@@ -1,0 +1,78 @@
+#ifndef ERRORFLOW_OBS_EXPORTER_H_
+#define ERRORFLOW_OBS_EXPORTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace errorflow {
+namespace obs {
+
+struct MetricsExporterOptions {
+  /// Output directory; created (recursively) on Start() if missing.
+  std::string dir;
+  /// Seconds between exports. Clamped to >= 0.01.
+  double interval_seconds = 5.0;
+  /// File stem: writes <dir>/<prefix>.prom and <dir>/<prefix>.json.
+  std::string prefix = "metrics";
+  /// Registry to render; defaults to the process-global one.
+  MetricsRegistry* registry = &MetricsRegistry::Global();
+};
+
+/// \brief Background thread that periodically renders a MetricsRegistry to
+/// Prometheus text-exposition and JSON snapshot files.
+///
+/// Both files are replaced atomically (write to a dot-tmp sibling, then
+/// rename), so a scraper never observes a torn snapshot. Start() performs
+/// one synchronous export before the thread begins, and Stop() performs a
+/// final one, so even sub-interval runs leave fresh files behind.
+class MetricsExporter {
+ public:
+  explicit MetricsExporter(MetricsExporterOptions options);
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Creates the directory, writes the first snapshot, and launches the
+  /// export thread. Returns false (and starts nothing) when the directory
+  /// or files cannot be created. Idempotent while running.
+  bool Start();
+
+  /// Stops the thread and writes a final snapshot. Idempotent.
+  void Stop();
+
+  /// Renders and atomically replaces both files once; usable without
+  /// Start() for one-shot dumps. Returns false on any I/O failure.
+  bool ExportOnce();
+
+  /// Number of successful ExportOnce() completions (including the ones
+  /// issued by Start()/Stop()).
+  uint64_t export_count() const {
+    return exports_.load(std::memory_order_relaxed);
+  }
+
+  std::string prom_path() const;
+  std::string json_path() const;
+
+ private:
+  void Loop();
+
+  MetricsExporterOptions options_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::atomic<uint64_t> exports_{0};
+};
+
+}  // namespace obs
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_OBS_EXPORTER_H_

@@ -1,15 +1,20 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace errorflow {
 namespace obs {
 
 namespace {
 
-// Shortest round-trippable representation of a double, for JSON.
+// Shortest round-trippable representation of a double, for JSON. JSON has
+// no NaN/Infinity literals, so non-finite values (the NaN min/max of an
+// empty histogram) become null.
 std::string DoubleToJson(double v) {
+  if (!std::isfinite(v)) return "null";
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   // Trim to %g when it round-trips: keeps the export readable.
@@ -20,6 +25,40 @@ std::string DoubleToJson(double v) {
     return shorter;
   }
   return buf;
+}
+
+// Prometheus sample values: plain shortest decimal; NaN is legal in the
+// exposition format and spells "NaN".
+std::string PromValue(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  char shorter[64];
+  std::snprintf(shorter, sizeof(shorter), "%g", v);
+  double parsed = 0.0;
+  if (std::sscanf(shorter, "%lf", &parsed) == 1 && parsed == v) {
+    return shorter;
+  }
+  return buf;
+}
+
+// Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted
+// "errorflow.<subsystem>.<metric>" names map dots (and anything else
+// outside the alphabet) to underscores.
+std::string PromName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    out.push_back(alpha || (digit && i > 0) ? c : '_');
+  }
+  if (out.empty()) out = "_";
+  return out;
 }
 
 std::string Quote(const std::string& s) {
@@ -35,7 +74,7 @@ std::string Quote(const std::string& s) {
 }  // namespace
 
 double HistogramSnapshot::Percentile(double p) const {
-  if (count == 0) return 0.0;
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
   p = std::min(100.0, std::max(0.0, p));
   const double target = p / 100.0 * static_cast<double>(count);
   uint64_t seen = 0;
@@ -81,8 +120,14 @@ HistogramSnapshot Histogram::Snapshot() const {
   snap.counts = counts_;
   snap.count = count_;
   snap.sum = sum_;
-  snap.min = min_;
-  snap.max = max_;
+  if (count_ == 0) {
+    // No observations: there is no min/max. NaN is unambiguous where the
+    // old default of 0.0 silently looked like a recorded sample.
+    snap.min = snap.max = std::numeric_limits<double>::quiet_NaN();
+  } else {
+    snap.min = min_;
+    snap.max = max_;
+  }
   return snap;
 }
 
@@ -105,6 +150,14 @@ std::vector<double> Histogram::DefaultCountBounds() {
   std::vector<double> bounds;
   for (double b = 1.0; b <= 1024.0; b *= 2.0) bounds.push_back(b);
   return bounds;
+}
+
+std::vector<double> Histogram::DefaultRatioBounds() {
+  // Log-spaced below 1 (tightness is usually far under the bound), then a
+  // hard 1.0 edge so violations (> 1) land strictly past it.
+  return {1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 0.01, 0.025,
+          0.05, 0.1,    0.25, 0.5,  0.75,   0.9,  1.0,  2.0,
+          4.0};
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
@@ -225,6 +278,37 @@ std::string MetricsRegistry::ToText() const {
                   name.c_str(), static_cast<unsigned long long>(s.count),
                   s.sum, s.p50(), s.p95(), s.p99());
     out += line;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + PromValue(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const HistogramSnapshot s = h->Snapshot();
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < s.counts.size(); ++b) {
+      cumulative += s.counts[b];
+      const std::string le =
+          b < s.bounds.size() ? PromValue(s.bounds[b]) : "+Inf";
+      out += prom + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_sum " + PromValue(s.sum) + "\n";
+    out += prom + "_count " + std::to_string(s.count) + "\n";
   }
   return out;
 }

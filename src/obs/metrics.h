@@ -45,6 +45,11 @@ class Gauge {
 };
 
 /// \brief Immutable view of a histogram at one point in time.
+///
+/// An empty snapshot (`count == 0`) has no observed range: min/max and
+/// every percentile are NaN (check `count` or std::isnan before use; the
+/// JSON export renders them as null). With one sample, min == max ==
+/// every percentile == that sample.
 struct HistogramSnapshot {
   /// Upper bounds of the finite buckets; an implicit +inf bucket follows.
   std::vector<double> bounds;
@@ -52,10 +57,11 @@ struct HistogramSnapshot {
   std::vector<uint64_t> counts;
   uint64_t count = 0;
   double sum = 0.0;
-  double min = 0.0;
-  double max = 0.0;
+  double min = 0.0;  // NaN when count == 0.
+  double max = 0.0;  // NaN when count == 0.
 
-  /// Percentile in [0, 100] by linear interpolation inside the bucket.
+  /// Percentile in [0, 100] by linear interpolation inside the bucket;
+  /// NaN when the snapshot is empty.
   double Percentile(double p) const;
   double p50() const { return Percentile(50.0); }
   double p95() const { return Percentile(95.0); }
@@ -79,6 +85,11 @@ class Histogram {
   /// Power-of-two count buckets (1, 2, 4, ... 1024) for cardinality-style
   /// histograms such as batch sizes and fan-out counts.
   static std::vector<double> DefaultCountBounds();
+
+  /// Buckets for dimensionless ratios in (0, inf) such as the
+  /// achieved-error / admitted-bound tightness: log-spaced below 1 with an
+  /// explicit 1.0 edge, so everything past the 1.0 bucket is a violation.
+  static std::vector<double> DefaultRatioBounds();
 
  private:
   mutable std::mutex mu_;
@@ -118,9 +129,15 @@ class MetricsRegistry {
   void Reset();
 
   /// Full dump: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  /// Non-finite values (e.g. the NaN min/max of an empty histogram) render
+  /// as null, keeping the output strict JSON.
   std::string ToJson() const;
   /// One metric per line, for terminal output.
   std::string ToText() const;
+  /// Prometheus text exposition format (version 0.0.4): names sanitized to
+  /// [a-zA-Z0-9_:], counters/gauges as single samples, histograms as
+  /// cumulative `_bucket{le=...}` series plus `_sum`/`_count`.
+  std::string ToPrometheus() const;
 
   /// The process-global registry used by the built-in instrumentation.
   static MetricsRegistry& Global();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <map>
 
@@ -48,7 +49,14 @@ double NowMicros() {
 void TraceBuffer::Record(TraceEvent event) {
   Shard& shard = shards_[CurrentThreadId() % kShards];
   std::lock_guard<std::mutex> lock(shard.mu);
-  shard.events.push_back(std::move(event));
+  if (shard.events.size() < shard.capacity) {
+    shard.events.push_back(std::move(event));
+    return;
+  }
+  // Ring is full: overwrite the oldest slot in this shard.
+  shard.events[shard.next] = std::move(event);
+  shard.next = (shard.next + 1) % shard.capacity;
+  shard.dropped++;
 }
 
 std::vector<TraceEvent> TraceBuffer::Snapshot() const {
@@ -73,10 +81,32 @@ size_t TraceBuffer::size() const {
   return n;
 }
 
+uint64_t TraceBuffer::dropped() const {
+  uint64_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.dropped;
+  }
+  return n;
+}
+
+void TraceBuffer::SetCapacity(size_t capacity) {
+  const size_t per_shard = std::max<size_t>(1, capacity / kShards);
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.events.clear();
+    shard.next = 0;
+    shard.dropped = 0;
+    shard.capacity = per_shard;
+  }
+}
+
 void TraceBuffer::Reset() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.events.clear();
+    shard.next = 0;
+    shard.dropped = 0;
   }
 }
 
@@ -89,9 +119,19 @@ std::string TraceBuffer::ToChromeJson() const {
     out += i ? ",\n " : "\n ";
     out += "{\"name\": \"" + JsonEscape(e.name) + "\", \"ph\": \"X\"";
     std::snprintf(buf, sizeof(buf),
-                  ", \"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
+                  ", \"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u",
                   e.ts_us, e.dur_us, e.tid);
     out += buf;
+    if (!e.args.empty()) {
+      out += ", \"args\": {";
+      for (size_t a = 0; a < e.args.size(); ++a) {
+        if (a) out += ", ";
+        // Values were rendered to JSON at Annotate() time.
+        out += "\"" + JsonEscape(e.args[a].first) + "\": " + e.args[a].second;
+      }
+      out += "}";
+    }
+    out += "}";
   }
   out += "\n]\n";
   return out;
@@ -131,6 +171,41 @@ TraceSpan::TraceSpan(std::string name, TraceBuffer* buffer)
 
 TraceSpan::~TraceSpan() { End(); }
 
+void TraceSpan::Annotate(const std::string& key, const std::string& value) {
+  if (ended_) return;
+  args_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+}
+
+void TraceSpan::Annotate(const std::string& key, const char* value) {
+  Annotate(key, std::string(value));
+}
+
+void TraceSpan::Annotate(const std::string& key, double value) {
+  if (ended_) return;
+  char buf[48];
+  if (std::isfinite(value)) {
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "null");
+  }
+  args_.emplace_back(key, buf);
+}
+
+void TraceSpan::Annotate(const std::string& key, uint64_t value) {
+  if (ended_) return;
+  args_.emplace_back(key, std::to_string(value));
+}
+
+void TraceSpan::Annotate(const std::string& key, int64_t value) {
+  if (ended_) return;
+  args_.emplace_back(key, std::to_string(value));
+}
+
+void TraceSpan::Annotate(const std::string& key, bool value) {
+  if (ended_) return;
+  args_.emplace_back(key, value ? "true" : "false");
+}
+
 void TraceSpan::End() {
   if (ended_) return;
   ended_ = true;
@@ -139,6 +214,7 @@ void TraceSpan::End() {
   event.ts_us = start_us_;
   event.dur_us = NowMicros() - start_us_;
   event.tid = CurrentThreadId();
+  event.args = std::move(args_);
   buffer_->Record(std::move(event));
 }
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace errorflow {
@@ -16,6 +17,10 @@ struct TraceEvent {
   double ts_us = 0.0;   ///< Start, microseconds since process start.
   double dur_us = 0.0;  ///< Duration, microseconds.
   uint32_t tid = 0;     ///< Small sequential id, stable per thread.
+  /// Span annotations exported as the Chrome "args" object. Values are
+  /// pre-rendered JSON (already quoted/escaped for strings), so the
+  /// exporter can emit them verbatim.
+  std::vector<std::pair<std::string, std::string>> args;
 };
 
 /// Small sequential id for the calling thread (0 for the first thread that
@@ -26,19 +31,30 @@ uint32_t CurrentThreadId();
 /// Microseconds since process start on the monotonic clock.
 double NowMicros();
 
-/// \brief Lock-sharded in-memory buffer of completed spans.
+/// \brief Lock-sharded in-memory ring buffer of completed spans.
 ///
 /// Writers append to the shard picked by their thread id, so concurrent
 /// spans on different threads rarely contend. Snapshot() merges and sorts
-/// by start time.
+/// by start time. Each shard is a bounded ring: once a shard reaches its
+/// share of the capacity, new events overwrite the oldest in that shard
+/// and `dropped()` counts the overwritten ones — long-running serving
+/// cannot grow the buffer without bound.
 class TraceBuffer {
  public:
+  /// Total capacity is split evenly across the shards (so the effective
+  /// per-shard cap is capacity / 16, min 1). Default: 262144 events.
+  static constexpr size_t kDefaultCapacity = 262144;
+
   void Record(TraceEvent event);
 
-  /// All events so far, sorted by start timestamp.
+  /// All retained events, sorted by start timestamp.
   std::vector<TraceEvent> Snapshot() const;
 
   size_t size() const;
+  /// Events overwritten because a shard ring was full.
+  uint64_t dropped() const;
+  /// Clears the buffer and installs a new total capacity.
+  void SetCapacity(size_t capacity);
   void Reset();
 
   /// Chrome trace_event JSON array (load in chrome://tracing or Perfetto):
@@ -55,7 +71,12 @@ class TraceBuffer {
   static constexpr size_t kShards = 16;
   struct Shard {
     mutable std::mutex mu;
+    /// Ring storage: grows until `capacity`, then wraps at `next`.
     std::vector<TraceEvent> events;
+    size_t next = 0;
+    uint64_t dropped = 0;
+    /// Per-shard cap; written only with every shard mutex held.
+    size_t capacity = kDefaultCapacity / kShards;
   };
   std::array<Shard, kShards> shards_;
 };
@@ -76,6 +97,18 @@ class TraceSpan {
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
+  /// \name Annotations, exported as the Chrome trace "args" object.
+  /// Attach per-request context (model, format, bound, tightness) to the
+  /// span; no-ops after End().
+  /// @{
+  void Annotate(const std::string& key, const std::string& value);
+  void Annotate(const std::string& key, const char* value);
+  void Annotate(const std::string& key, double value);
+  void Annotate(const std::string& key, uint64_t value);
+  void Annotate(const std::string& key, int64_t value);
+  void Annotate(const std::string& key, bool value);
+  /// @}
+
   /// Closes the span early (idempotent).
   void End();
 
@@ -84,6 +117,7 @@ class TraceSpan {
   TraceBuffer* buffer_;
   double start_us_;
   bool ended_ = false;
+  std::vector<std::pair<std::string, std::string>> args_;
 };
 
 }  // namespace obs

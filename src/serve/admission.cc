@@ -1,7 +1,9 @@
 #include "serve/admission.h"
 
 #include <limits>
+#include <string>
 
+#include "quant/format.h"
 #include "util/string_util.h"
 
 namespace errorflow {
@@ -23,6 +25,16 @@ AdmissionController::AdmissionController(AdmissionConfig config)
     : config_(std::move(config)),
       admitted_(obs::MetricsRegistry::Global().GetCounter(
           "errorflow.serve.admission.admitted")),
+      admitted_by_format_([] {
+        std::array<obs::Counter*, 5> counters{};
+        for (quant::NumericFormat f : AllFormats()) {
+          counters[static_cast<size_t>(f)] =
+              obs::MetricsRegistry::Global().GetCounter(
+                  std::string("errorflow.serve.admission.admitted.") +
+                  quant::FormatToString(f));
+        }
+        return counters;
+      }()),
       rejected_invalid_(obs::MetricsRegistry::Global().GetCounter(
           "errorflow.serve.admission.rejected_invalid")),
       rejected_expired_(obs::MetricsRegistry::Global().GetCounter(
@@ -87,6 +99,7 @@ Result<AdmissionDecision> AdmissionController::Admit(
         qoi_tolerance, tightest));
   }
   admitted_->Increment();
+  admitted_by_format_[static_cast<size_t>(best.format)]->Increment();
   return best;
 }
 

@@ -1,6 +1,7 @@
 #ifndef ERRORFLOW_SERVE_ADMISSION_H_
 #define ERRORFLOW_SERVE_ADMISSION_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -68,6 +69,9 @@ class AdmissionController {
  private:
   AdmissionConfig config_;
   obs::Counter* admitted_;
+  /// Per-chosen-format admissions, indexed by the NumericFormat ordinal:
+  /// errorflow.serve.admission.admitted.<format>.
+  std::array<obs::Counter*, 5> admitted_by_format_;
   obs::Counter* rejected_invalid_;
   obs::Counter* rejected_expired_;
   obs::Counter* rejected_overload_;

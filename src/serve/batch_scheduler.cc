@@ -1,9 +1,11 @@
 #include "serve/batch_scheduler.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <utility>
 
+#include "obs/error_budget.h"
 #include "obs/log.h"
 #include "obs/trace.h"
 
@@ -14,6 +16,31 @@ namespace {
 
 double SecondsBetween(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
+}
+
+// Max per-sample error over `n` samples of `per` elements each, in the
+// given norm (the serving twin of the pipeline's achieved-QoI measure).
+double MaxPerSampleError(const float* ref, const float* got, int64_t n,
+                         int64_t per, tensor::Norm norm) {
+  double worst = 0.0;
+  for (int64_t s = 0; s < n; ++s) {
+    const float* a = ref + s * per;
+    const float* b = got + s * per;
+    if (norm == tensor::Norm::kL2) {
+      double acc = 0.0;
+      for (int64_t i = 0; i < per; ++i) {
+        const double d = static_cast<double>(a[i]) - b[i];
+        acc += d * d;
+      }
+      worst = std::max(worst, std::sqrt(acc));
+    } else {
+      for (int64_t i = 0; i < per; ++i) {
+        worst =
+            std::max(worst, std::fabs(static_cast<double>(a[i]) - b[i]));
+      }
+    }
+  }
+  return worst;
 }
 
 }  // namespace
@@ -236,6 +263,69 @@ void BatchScheduler::ExecuteGroup(std::vector<Pending> group) {
     latency_hist_->Record(response.total_seconds);
     completed_->Increment();
     p.promise.set_value(std::move(response));
+  }
+
+  // Bound-violation watchdog: responses are already delivered, so the
+  // FP32 reference re-execution never sits on the request latency path.
+  // FP32 batches are the reference and are never audited.
+  if (live[0].decision.format != quant::NumericFormat::kFP32 &&
+      ShouldAudit()) {
+    AuditGroup(live, fused, output, rows);
+  }
+}
+
+bool BatchScheduler::ShouldAudit() {
+  const double fraction = config_.audit_fraction;
+  if (fraction <= 0.0) return false;
+  if (fraction >= 1.0) return true;
+  // floor((k+1)f) > floor(kf) fires on exactly a `fraction` share of the
+  // batch sequence, deterministically and without per-call RNG state.
+  const double k =
+      static_cast<double>(audit_seq_.fetch_add(1, std::memory_order_relaxed));
+  return std::floor((k + 1.0) * fraction) > std::floor(k * fraction);
+}
+
+void BatchScheduler::AuditGroup(const std::vector<Pending>& live,
+                                const tensor::Tensor& fused,
+                                const tensor::Tensor& output, int64_t rows) {
+  // The FP32 reference goes through the normal variant lease (a cached
+  // clone of the base), so audits share the execution path they police.
+  auto reference_variant =
+      registry_->GetVariant(live[0].request.model, quant::NumericFormat::kFP32);
+  if (!reference_variant.ok()) return;
+
+  obs::TraceSpan audit_span("serve.audit");
+  tensor::Tensor reference = (*reference_variant)->model.Predict(fused);
+  const int64_t out_row_elems = output.size() / rows;
+
+  bool violated = false;
+  int64_t offset = 0;
+  for (const Pending& p : live) {
+    const int64_t k = p.request.input.dim(0);
+    obs::ErrorBudgetLedger ledger;
+    ledger.model = p.request.model;
+    ledger.format = quant::FormatToString(p.decision.format);
+    // Served inputs are not compressed: the admitted bound is all
+    // quantization term, with no compression-input share.
+    ledger.admitted_bound = p.decision.quant_bound;
+    ledger.quant_term = p.decision.quant_bound;
+    ledger.achieved_error = MaxPerSampleError(
+        reference.data() + offset * out_row_elems,
+        output.data() + offset * out_row_elems, k, out_row_elems,
+        config_.audit_norm);
+    ledger.audited = true;
+    offset += k;
+
+    obs::TraceSpan ledger_span("serve.ledger");
+    obs::RecordErrorBudget(ledger, &ledger_span);
+    violated = violated || ledger.violation();
+  }
+
+  if (violated && config_.evict_on_violation) {
+    // Recovery lever: drop the suspect variant so the next batch
+    // re-quantizes it from the FP32 base (PR 5 machinery).
+    registry_->InvalidateVariant(live[0].request.model,
+                                 live[0].decision.format);
   }
 }
 

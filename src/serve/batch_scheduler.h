@@ -1,6 +1,7 @@
 #ifndef ERRORFLOW_SERVE_BATCH_SCHEDULER_H_
 #define ERRORFLOW_SERVE_BATCH_SCHEDULER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <future>
@@ -25,6 +26,25 @@ struct SchedulerConfig {
   int num_workers = 4;
   /// Cap on sample rows fused into one execution batch.
   int64_t max_batch_rows = 64;
+
+  /// \name Error-budget audit (the bound-violation watchdog).
+  ///
+  /// A sampled fraction of fused batches is re-executed on the FP32 base
+  /// and the achieved per-sample error is compared to each request's
+  /// admitted bound, populating errorflow.bound.* (tightness histogram,
+  /// violation counter) and annotating a "serve.ledger" trace span per
+  /// audited request. FP32-format batches are never audited — they are
+  /// the reference.
+  /// @{
+  /// Fraction of batches audited: 0 disables, 1 audits every batch.
+  double audit_fraction = 0.0;
+  /// Norm achieved error is measured in; keep equal to the admission norm
+  /// so tightness compares like with like.
+  tensor::Norm audit_norm = tensor::Norm::kLinf;
+  /// When true, a violation invalidates the offending variant in the
+  /// registry, so the next batch re-quantizes it from the FP32 base.
+  bool evict_on_violation = false;
+  /// @}
 };
 
 /// \brief FIFO request queue plus a dispatcher that fuses compatible
@@ -79,6 +99,15 @@ class BatchScheduler {
   void ExecuteGroup(std::vector<Pending> group);
   /// Fulfills every promise in `group` with `status`.
   static void FailGroup(std::vector<Pending>* group, const Status& status);
+  /// Deterministic audit sampling: true for exactly ceil/floor-alternating
+  /// audit_fraction of calls (every call when the fraction is >= 1).
+  bool ShouldAudit();
+  /// Re-executes `fused` on the FP32 base, records one ledger per request
+  /// in `live` against `output`, and (when configured) invalidates the
+  /// violating variant. `rows` is the fused row count.
+  void AuditGroup(const std::vector<Pending>& live,
+                  const tensor::Tensor& fused, const tensor::Tensor& output,
+                  int64_t rows);
 
   ModelRegistry* registry_;
   SchedulerConfig config_;
@@ -101,6 +130,9 @@ class BatchScheduler {
   obs::Histogram* latency_hist_;
   obs::Histogram* queue_wait_hist_;
   obs::Histogram* exec_hist_;
+
+  /// Monotonic batch sequence for audit sampling.
+  std::atomic<uint64_t> audit_seq_{0};
 };
 
 }  // namespace serve

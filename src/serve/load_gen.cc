@@ -1,8 +1,10 @@
 #include "serve/load_gen.h"
 
 #include <atomic>
+#include <string>
 #include <thread>
 
+#include "quant/format.h"
 #include "util/macros.h"
 #include "util/string_util.h"
 
@@ -138,6 +140,21 @@ std::string LoadGenStats::Summary(
           "errorflow.serve.admission.rejected_expired")),
       static_cast<unsigned long long>(
           registry.CounterValue("errorflow.serve.timeouts")));
+  out += "  admitted by format  :";
+  const quant::NumericFormat kFormats[] = {
+      quant::NumericFormat::kFP32, quant::NumericFormat::kTF32,
+      quant::NumericFormat::kFP16, quant::NumericFormat::kBF16,
+      quant::NumericFormat::kINT8};
+  bool first_format = true;
+  for (quant::NumericFormat f : kFormats) {
+    out += util::StrFormat(
+        "%s %s %llu", first_format ? "" : ",", quant::FormatToString(f),
+        static_cast<unsigned long long>(registry.CounterValue(
+            std::string("errorflow.serve.admission.admitted.") +
+            quant::FormatToString(f))));
+    first_format = false;
+  }
+  out += "\n";
   out += util::StrFormat(
       "  registry            : %llu quantizations, %llu hits, %llu misses, "
       "%llu evictions\n",
@@ -149,6 +166,28 @@ std::string LoadGenStats::Summary(
           registry.CounterValue("errorflow.serve.registry.misses")),
       static_cast<unsigned long long>(
           registry.CounterValue("errorflow.serve.registry.evictions")));
+  const uint64_t ledgers = registry.CounterValue("errorflow.bound.ledgers");
+  if (ledgers > 0) {
+    out += util::StrFormat(
+        "  error budget        : %llu ledgers, %llu audits, %llu "
+        "violations, %llu variant invalidations\n",
+        static_cast<unsigned long long>(ledgers),
+        static_cast<unsigned long long>(
+            registry.CounterValue("errorflow.bound.audits")),
+        static_cast<unsigned long long>(
+            registry.CounterValue("errorflow.bound.violations")),
+        static_cast<unsigned long long>(registry.CounterValue(
+            "errorflow.serve.registry.invalidations")));
+    const obs::HistogramSnapshot tightness =
+        registry.HistogramSnapshotOf("errorflow.bound.tightness");
+    if (tightness.count > 0) {
+      out += util::StrFormat(
+          "  bound tightness     : p50 %.3g  p95 %.3g  max %.3g "
+          "(achieved / admitted bound, %llu samples)\n",
+          tightness.p50(), tightness.p95(), tightness.max,
+          static_cast<unsigned long long>(tightness.count));
+    }
+  }
   return out;
 }
 

@@ -40,6 +40,8 @@ ModelRegistry::ModelRegistry(RegistryConfig config)
           "errorflow.serve.registry.misses")),
       evictions_(obs::MetricsRegistry::Global().GetCounter(
           "errorflow.serve.registry.evictions")),
+      invalidations_(obs::MetricsRegistry::Global().GetCounter(
+          "errorflow.serve.registry.invalidations")),
       decode_failures_(obs::MetricsRegistry::Global().GetCounter(
           "errorflow.serve.decode_failures")),
       bytes_gauge_(obs::MetricsRegistry::Global().GetGauge(
@@ -158,6 +160,23 @@ Result<std::shared_ptr<ModelRegistry::Variant>> ModelRegistry::GetVariant(
   EvictLocked(key);
   bytes_gauge_->Set(static_cast<double>(variant_bytes_));
   return variant;
+}
+
+bool ModelRegistry::InvalidateVariant(const std::string& name,
+                                      quant::NumericFormat format) {
+  const std::string key = VariantKey(name, format);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = variants_.find(key);
+  if (it == variants_.end()) return false;
+  invalidations_->Increment();
+  obs::Logf(obs::LogLevel::kWarn,
+            "registry: invalidated variant %s/%s; next lease re-quantizes "
+            "from base",
+            name.c_str(), quant::FormatToString(format));
+  variant_bytes_ -= it->second.variant->resident_bytes;
+  variants_.erase(it);
+  bytes_gauge_->Set(static_cast<double>(variant_bytes_));
+  return true;
 }
 
 void ModelRegistry::EvictLocked(const std::string& keep) {

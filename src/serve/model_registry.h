@@ -109,6 +109,14 @@ class ModelRegistry {
   Result<std::shared_ptr<Variant>> GetVariant(const std::string& name,
                                               quant::NumericFormat format);
 
+  /// Drops the cached variant for (name, format) so the next lease
+  /// re-quantizes it from the FP32 base — the bound-violation watchdog's
+  /// recovery lever. In-flight leases stay alive through their shared_ptr.
+  /// Counts under errorflow.serve.registry.invalidations. Returns true when
+  /// a cached variant was actually dropped.
+  bool InvalidateVariant(const std::string& name,
+                         quant::NumericFormat format);
+
   std::vector<std::string> ModelNames() const;
   int64_t variant_count() const;
   int64_t variant_bytes() const;
@@ -144,6 +152,8 @@ class ModelRegistry {
   obs::Counter* hits_;
   obs::Counter* misses_;
   obs::Counter* evictions_;
+  /// Variants dropped through InvalidateVariant (watchdog recoveries).
+  obs::Counter* invalidations_;
   /// Corrupt cached variants detected (and recovered) plus failed
   /// materializations — the serving decode-failure signal.
   obs::Counter* decode_failures_;

@@ -29,6 +29,11 @@ SchedulerConfig MakeSchedulerConfig(const ServerConfig& config) {
   SchedulerConfig sc;
   sc.num_workers = config.num_workers;
   sc.max_batch_rows = config.max_batch_rows;
+  sc.audit_fraction = config.audit_fraction;
+  // Tightness must compare achieved error to the bound in the norm the
+  // bound was admitted in.
+  sc.audit_norm = config.norm;
+  sc.evict_on_violation = config.evict_on_violation;
   return sc;
 }
 

@@ -31,6 +31,13 @@ struct ServerConfig {
   std::vector<quant::NumericFormat> allowed_formats;
   /// Deadline applied to requests that submit without one.
   std::chrono::milliseconds default_timeout{1000};
+  /// Fraction of fused batches re-executed on the FP32 base to measure
+  /// achieved-vs-bound tightness (errorflow.bound.*). 0 disables the
+  /// bound-violation watchdog; 1 audits every quantized batch.
+  double audit_fraction = 0.0;
+  /// When true, a bound violation evicts the offending variant so the
+  /// next batch re-quantizes it from the FP32 base.
+  bool evict_on_violation = false;
 };
 
 /// \brief Concurrent inference service: tolerance-based admission, request

@@ -1,0 +1,171 @@
+#include "obs/exporter.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace errorflow {
+namespace obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Fresh scratch directory per test, removed on destruction.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_((fs::temp_directory_path() /
+               ("ef_exporter_" + name + "_" +
+                std::to_string(::getpid())))
+                  .string()) {
+    fs::remove_all(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(ExporterTest, GoldenPrometheusExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("errorflow.bound.violations")->Increment(2);
+  registry.GetGauge("errorflow.serve.queue_depth")->Set(1.5);
+  Histogram* h =
+      registry.GetHistogram("errorflow.bound.tightness", {0.5, 1.0});
+  h->Record(0.25);
+  h->Record(0.75);
+  h->Record(3.0);
+
+  ScratchDir dir("golden");
+  MetricsExporterOptions options;
+  options.dir = dir.path();
+  options.registry = &registry;
+  MetricsExporter exporter(options);
+  ASSERT_TRUE(exporter.Start());
+  exporter.Stop();
+
+  // The full exposition, byte for byte: TYPE headers, sanitized names,
+  // cumulative buckets ending at +Inf, _sum/_count.
+  const std::string kGolden =
+      "# TYPE errorflow_bound_violations counter\n"
+      "errorflow_bound_violations 2\n"
+      "# TYPE errorflow_serve_queue_depth gauge\n"
+      "errorflow_serve_queue_depth 1.5\n"
+      "# TYPE errorflow_bound_tightness histogram\n"
+      "errorflow_bound_tightness_bucket{le=\"0.5\"} 1\n"
+      "errorflow_bound_tightness_bucket{le=\"1\"} 2\n"
+      "errorflow_bound_tightness_bucket{le=\"+Inf\"} 3\n"
+      "errorflow_bound_tightness_sum 4\n"
+      "errorflow_bound_tightness_count 3\n";
+  EXPECT_EQ(ReadFile(exporter.prom_path()), kGolden);
+}
+
+TEST(ExporterTest, JsonSnapshotAndNoTempLeftovers) {
+  MetricsRegistry registry;
+  registry.GetCounter("errorflow.pipeline.runs")->Increment(4);
+  registry.GetHistogram("errorflow.bound.tightness");  // Empty histogram.
+
+  ScratchDir dir("json");
+  MetricsExporterOptions options;
+  options.dir = dir.path();
+  options.registry = &registry;
+  MetricsExporter exporter(options);
+  ASSERT_TRUE(exporter.Start());
+  exporter.Stop();
+
+  const std::string json = ReadFile(exporter.json_path());
+  EXPECT_NE(json.find("\"errorflow.pipeline.runs\": 4"), std::string::npos);
+  // Empty histograms export null min/max, never bare nan.
+  EXPECT_NE(json.find("\"min\": null"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+
+  // Atomic replace leaves no .tmp siblings behind.
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    EXPECT_NE(entry.path().extension(), ".tmp")
+        << "unexpected leftover: " << entry.path();
+  }
+}
+
+TEST(ExporterTest, ExportsOnIntervalAndSeesNewSamples) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("errorflow.serve.completed");
+
+  ScratchDir dir("interval");
+  MetricsExporterOptions options;
+  options.dir = dir.path();
+  options.interval_seconds = 0.02;
+  options.registry = &registry;
+  MetricsExporter exporter(options);
+  ASSERT_TRUE(exporter.Start());
+  const uint64_t initial = exporter.export_count();
+  c->Increment(11);
+  // Wait until the background thread has exported at least twice more.
+  for (int i = 0; i < 200 && exporter.export_count() < initial + 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(exporter.export_count(), initial + 2);
+  exporter.Stop();
+
+  // The final snapshot reflects samples recorded after Start().
+  EXPECT_NE(ReadFile(exporter.prom_path())
+                .find("errorflow_serve_completed 11"),
+            std::string::npos);
+  EXPECT_NE(ReadFile(exporter.json_path())
+                .find("\"errorflow.serve.completed\": 11"),
+            std::string::npos);
+}
+
+TEST(ExporterTest, StartFailsWhenDirectoryIsAFile) {
+  ScratchDir dir("badpath");
+  ASSERT_TRUE(fs::create_directories(dir.path()));
+  const std::string file_path = dir.path() + "/occupied";
+  { std::ofstream(file_path) << "x"; }
+
+  MetricsRegistry registry;
+  MetricsExporterOptions options;
+  options.dir = file_path;  // A regular file: cannot become a directory.
+  options.registry = &registry;
+  MetricsExporter exporter(options);
+  EXPECT_FALSE(exporter.Start());
+  EXPECT_EQ(exporter.export_count(), 0u);
+}
+
+TEST(ExporterTest, ExportOnceWithoutStart) {
+  MetricsRegistry registry;
+  registry.GetCounter("errorflow.serve.timeouts")->Increment();
+
+  ScratchDir dir("oneshot");
+  ASSERT_TRUE(fs::create_directories(dir.path()));
+  MetricsExporterOptions options;
+  options.dir = dir.path();
+  options.prefix = "final";
+  options.registry = &registry;
+  MetricsExporter exporter(options);
+  ASSERT_TRUE(exporter.ExportOnce());
+  EXPECT_NE(ReadFile(dir.path() + "/final.prom")
+                .find("errorflow_serve_timeouts 1"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace errorflow

@@ -1,5 +1,7 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -79,12 +81,61 @@ TEST(MetricsTest, HistogramPercentiles) {
   EXPECT_GE(snap.Percentile(0.0), 0.0);
 }
 
-TEST(MetricsTest, EmptyHistogramSnapshot) {
+TEST(MetricsTest, EmptyHistogramSnapshotHasNoRange) {
   Histogram hist({1.0});
   const HistogramSnapshot snap = hist.Snapshot();
   EXPECT_EQ(snap.count, 0u);
   EXPECT_DOUBLE_EQ(snap.sum, 0.0);
-  EXPECT_DOUBLE_EQ(snap.p50(), 0.0);
+  // No samples -> no min/max/percentiles. NaN, not a phantom 0.0.
+  EXPECT_TRUE(std::isnan(snap.min));
+  EXPECT_TRUE(std::isnan(snap.max));
+  EXPECT_TRUE(std::isnan(snap.p50()));
+  EXPECT_TRUE(std::isnan(snap.Percentile(0.0)));
+  EXPECT_TRUE(std::isnan(snap.Percentile(100.0)));
+}
+
+TEST(MetricsTest, EmptyHistogramStaysValidJson) {
+  MetricsRegistry registry;
+  registry.GetHistogram("empty.hist");
+  const std::string json = registry.ToJson();
+  // Non-finite snapshot fields must render as null, not bare nan tokens.
+  EXPECT_NE(json.find("\"min\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"max\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\": null"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+}
+
+TEST(MetricsTest, SingleSampleHistogramIsDegenerate) {
+  Histogram hist(Histogram::DefaultRatioBounds());
+  hist.Record(0.37);
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.min, 0.37);
+  EXPECT_DOUBLE_EQ(snap.max, 0.37);
+  // Every percentile of a single sample is that sample.
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.0), 0.37);
+  EXPECT_DOUBLE_EQ(snap.p50(), 0.37);
+  EXPECT_DOUBLE_EQ(snap.Percentile(100.0), 0.37);
+}
+
+TEST(MetricsTest, ResetHistogramReturnsToNoRange) {
+  Histogram hist({1.0, 2.0});
+  hist.Record(1.5);
+  hist.Reset();
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_TRUE(std::isnan(snap.min));
+  EXPECT_TRUE(std::isnan(snap.p95()));
+}
+
+TEST(MetricsTest, RatioBoundsHaveExplicitViolationEdge) {
+  const std::vector<double> bounds = Histogram::DefaultRatioBounds();
+  ASSERT_FALSE(bounds.empty());
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]) << "bounds must strictly increase";
+  }
+  // A 1.0 edge must exist so tightness > 1 (bound violated) is separable.
+  EXPECT_NE(std::find(bounds.begin(), bounds.end(), 1.0), bounds.end());
 }
 
 TEST(MetricsTest, ResetZeroesInPlaceAndKeepsPointersValid) {
@@ -121,6 +172,40 @@ TEST(MetricsTest, JsonAndTextExportContainMetrics) {
   const std::string text = registry.ToText();
   EXPECT_NE(text.find("export.counter"), std::string::npos);
   EXPECT_NE(text.find("export.hist"), std::string::npos);
+}
+
+TEST(MetricsTest, PrometheusExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("errorflow.serve.completed")->Increment(7);
+  registry.GetGauge("errorflow.serve.queue_depth")->Set(3.0);
+  Histogram* h = registry.GetHistogram("errorflow.bound.tightness",
+                                       {0.5, 1.0});
+  h->Record(0.25);
+  h->Record(0.25);
+  h->Record(0.75);
+  h->Record(2.0);
+
+  const std::string prom = registry.ToPrometheus();
+  // Dots sanitized to underscores, with TYPE headers per family.
+  EXPECT_NE(prom.find("# TYPE errorflow_serve_completed counter\n"
+                      "errorflow_serve_completed 7\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE errorflow_serve_queue_depth gauge\n"
+                      "errorflow_serve_queue_depth 3\n"),
+            std::string::npos);
+  // Histogram buckets are cumulative and end with +Inf == _count.
+  EXPECT_NE(prom.find("errorflow_bound_tightness_bucket{le=\"0.5\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("errorflow_bound_tightness_bucket{le=\"1\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("errorflow_bound_tightness_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("errorflow_bound_tightness_sum 3.25\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("errorflow_bound_tightness_count 4\n"),
+            std::string::npos);
+  // No raw dotted names may survive sanitization.
+  EXPECT_EQ(prom.find("errorflow."), std::string::npos);
 }
 
 TEST(MetricsTest, GlobalRegistryIsSingleton) {

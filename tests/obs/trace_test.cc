@@ -117,6 +117,110 @@ TEST(TraceTest, ResetClears) {
   buffer.Reset();
   EXPECT_EQ(buffer.size(), 0u);
   EXPECT_EQ(buffer.ToChromeJson().find("\"x\""), std::string::npos);
+  EXPECT_EQ(buffer.dropped(), 0u);
+}
+
+TEST(TraceTest, SpanAnnotationsExportAsArgs) {
+  TraceBuffer buffer;
+  {
+    TraceSpan span("serve.ledger", &buffer);
+    span.Annotate("model", "mlp \"a\"");
+    span.Annotate("bound", 0.125);
+    span.Annotate("rows", uint64_t{42});
+    span.Annotate("violation", false);
+  }
+  const std::vector<TraceEvent> events = buffer.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_EQ(events[0].args.size(), 4u);
+  EXPECT_EQ(events[0].args[0].first, "model");
+  EXPECT_EQ(events[0].args[0].second, "\"mlp \\\"a\\\"\"");
+  EXPECT_EQ(events[0].args[1].second, "0.125");
+  EXPECT_EQ(events[0].args[2].second, "42");
+  EXPECT_EQ(events[0].args[3].second, "false");
+
+  const std::string json = buffer.ToChromeJson();
+  EXPECT_NE(json.find("\"args\": {\"model\": \"mlp \\\"a\\\"\", "
+                      "\"bound\": 0.125, \"rows\": 42, "
+                      "\"violation\": false}"),
+            std::string::npos);
+}
+
+TEST(TraceTest, AnnotateAfterEndIsIgnored) {
+  TraceBuffer buffer;
+  TraceSpan span("late", &buffer);
+  span.End();
+  span.Annotate("k", 1.0);
+  EXPECT_TRUE(buffer.Snapshot()[0].args.empty());
+}
+
+TEST(TraceTest, CapacityWraparoundKeepsNewestAndCountsDropped) {
+  TraceBuffer buffer;
+  // 16 shards x 2 slots. A single thread writes one shard, so its ring
+  // holds the last 2 of its events.
+  buffer.SetCapacity(32);
+  for (int i = 0; i < 10; ++i) {
+    TraceEvent e;
+    e.name = "ev" + std::to_string(i);
+    e.ts_us = static_cast<double>(i);
+    buffer.Record(std::move(e));
+  }
+  EXPECT_EQ(buffer.size(), 2u);
+  EXPECT_EQ(buffer.dropped(), 8u);
+  const std::vector<TraceEvent> events = buffer.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // The newest two survive, still sorted by start time.
+  EXPECT_EQ(events[0].name, "ev8");
+  EXPECT_EQ(events[1].name, "ev9");
+}
+
+TEST(TraceTest, SetCapacityResetsDropCount) {
+  TraceBuffer buffer;
+  buffer.SetCapacity(16);  // 1 slot per shard.
+  { TraceSpan a("a", &buffer); }
+  { TraceSpan b("b", &buffer); }
+  EXPECT_EQ(buffer.dropped(), 1u);
+  buffer.SetCapacity(16);
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.dropped(), 0u);
+}
+
+TEST(TraceTest, ConcurrentSpansWithWraparoundHammer) {
+  // TSan-targeted hammer: many threads emit annotated spans into a buffer
+  // small enough that every shard wraps repeatedly, while readers snapshot
+  // and export concurrently.
+  TraceBuffer buffer;
+  buffer.SetCapacity(64);  // 4 slots per shard.
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&buffer, t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan span("hammer.op", &buffer);
+        span.Annotate("thread", static_cast<int64_t>(t));
+        span.Annotate("i", static_cast<int64_t>(i));
+      }
+    });
+  }
+  std::thread reader([&buffer] {
+    for (int i = 0; i < 50; ++i) {
+      (void)buffer.Snapshot();
+      (void)buffer.ToChromeJson();
+      (void)buffer.size();
+      (void)buffer.dropped();
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  reader.join();
+
+  const size_t retained = buffer.size();
+  EXPECT_LE(retained, 64u);
+  EXPECT_EQ(retained + buffer.dropped(),
+            static_cast<uint64_t>(kThreads) * kSpansPerThread);
+  for (const TraceEvent& e : buffer.Snapshot()) {
+    EXPECT_EQ(e.name, "hammer.op");
+    EXPECT_EQ(e.args.size(), 2u);
+  }
 }
 
 }  // namespace

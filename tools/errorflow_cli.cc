@@ -3,6 +3,7 @@
 //   errorflow inspect   <model.efm> --input-shape 1,9
 //   errorflow bound     <model.efm> --input-shape 1,9 --input-err 1e-4
 //                       [--norm linf|l2] [--format fp16] [--per-feature]
+//                       [--attribution]
 //   errorflow plan      <model.efm> --input-shape 1,9 --tol 1e-3
 //                       [--frac 0.5] [--norm linf|l2]
 //   errorflow compress  --backend sz|zfp|mgard --tol 1e-3
@@ -15,6 +16,7 @@
 //                       [--duration 5] [--workers 4] [--max-batch 64]
 //                       [--queue-cap 1024] [--tolerances 1e-3,1e-2,1e-1]
 //                       [--timeout-ms 1000] [--rows 8] [--strict]
+//                       [--audit 0.1] [--evict-on-violation]
 //
 // Global flags, valid with every subcommand:
 //   --model-cache-dir <dir>     model artifact cache (default:
@@ -24,6 +26,10 @@
 //   --metrics-out <path.json>   dump the metrics registry on exit
 //   --trace-out <path.json>     dump Chrome trace_event JSON on exit
 //                               (open in chrome://tracing or Perfetto)
+//   --metrics-export-dir <dir>  live exporter: periodically write
+//                               <dir>/metrics.prom (Prometheus text) and
+//                               <dir>/metrics.json (atomic replace)
+//   --metrics-export-interval <seconds>  export period (default 5)
 //   --log-level debug|info|warn|error
 //   --log-json <path.jsonl>     mirror logs to a JSON-lines file
 //
@@ -35,6 +41,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -44,6 +51,7 @@
 #include "core/report.h"
 #include "data/combustion.h"
 #include "nn/serialize.h"
+#include "obs/exporter.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -187,6 +195,28 @@ int CmdBound(const Args& args) {
               args.Get("norm", "linf").c_str(), input_err,
               quant::FormatToString(*format),
               analysis->Bound(input_err, *norm, *format));
+  if (args.Has("attribution")) {
+    const core::BoundAttribution att =
+        analysis->Attribution(input_err, *norm, *format);
+    std::printf(
+        "\nerror-budget attribution (exact additive decomposition):\n");
+    std::printf("  compression-input term : %.6e  (gain %.3e x |dx|_2 "
+                "%.3e)\n",
+                att.compression_term, att.gain, att.input_err_l2);
+    std::printf("  quantization term      : %.6e over %zu layers\n",
+                att.quant_term, att.layers.size());
+    for (const core::LayerAttribution& row : att.layers) {
+      const double pct =
+          att.total > 0.0 ? 100.0 * row.quant_share / att.total : 0.0;
+      std::printf(
+          "    [%2lld] %-26s q=%.3e  sigma=%.3f  amp=%.3f  share=%.6e "
+          "(%5.1f%%)\n",
+          static_cast<long long>(row.index),
+          row.layer.substr(0, 26).c_str(), row.step_size, row.sigma,
+          row.amplification, row.quant_share, pct);
+    }
+    std::printf("  total                  : %.6e\n", att.total);
+  }
   if (args.Has("per-feature")) {
     const size_t n = analysis->profile().final_row_norms.size();
     for (size_t k = 0; k < n; ++k) {
@@ -396,6 +426,13 @@ int CmdServeBench(const Args& args) {
     // bound are rejected instead of served at full precision.
     cfg.allowed_formats = quant::ReducedFormats();
   }
+  // Bound-violation watchdog: --audit <fraction> samples that share of
+  // fused batches for FP32-reference re-execution (errorflow.bound.*).
+  cfg.audit_fraction = args.GetDouble("audit", 0.0);
+  if (cfg.audit_fraction < 0.0 || cfg.audit_fraction > 1.0) {
+    return Fail("bad --audit (use a fraction in [0, 1])");
+  }
+  cfg.evict_on_violation = args.Has("evict-on-violation");
   serve::InferenceServer server(cfg);
   Status st = server.RegisterModel(model_name, std::move(task.model),
                                    task.single_input_shape);
@@ -411,11 +448,12 @@ int CmdServeBench(const Args& args) {
   load.request_timeout = cfg.default_timeout;
   std::printf(
       "serve-bench: task=%s concurrency=%d duration=%.1fs workers=%d "
-      "max-batch=%lld rows/request=%d tolerances=%s%s\n",
+      "max-batch=%lld rows/request=%d tolerances=%s%s audit=%.2f%s\n",
       model_name.c_str(), concurrency, duration, workers,
       static_cast<long long>(cfg.max_batch_rows), rows,
       args.Get("tolerances", "1e-3,1e-2,1e-1").c_str(),
-      args.Has("strict") ? " (strict)" : "");
+      args.Has("strict") ? " (strict)" : "", cfg.audit_fraction,
+      cfg.evict_on_violation ? " (evict-on-violation)" : "");
   const serve::LoadGenStats stats = serve::RunClosedLoop(
       server, load, [&task, rows](uint64_t seed) {
         std::vector<tensor::Tensor> batches =
@@ -494,13 +532,34 @@ bool ExportObservability(const Args& args) {
   return ok;
 }
 
+// Starts the live metrics exporter when --metrics-export-dir is given.
+// Returns nullptr (and prints an error) when the directory is unusable;
+// `*enabled` tells the caller whether the flag was present at all.
+std::unique_ptr<obs::MetricsExporter> StartExporter(const Args& args,
+                                                    bool* enabled) {
+  const std::string dir = args.Get("metrics-export-dir", "");
+  *enabled = !dir.empty();
+  if (dir.empty()) return nullptr;
+  obs::MetricsExporterOptions options;
+  options.dir = dir;
+  options.interval_seconds = args.GetDouble("metrics-export-interval", 5.0);
+  auto exporter = std::make_unique<obs::MetricsExporter>(options);
+  if (!exporter->Start()) {
+    std::fprintf(stderr, "error: cannot export metrics to %s\n",
+                 dir.c_str());
+    return nullptr;
+  }
+  return exporter;
+}
+
 void PrintUsage() {
   std::printf(
       "errorflow — error-bounded scientific inference toolkit\n\n"
       "usage:\n"
       "  errorflow inspect    <model.efm> --input-shape 1,9\n"
       "  errorflow bound      <model.efm> --input-shape 1,9 --input-err "
-      "1e-4 [--norm linf|l2] [--format fp16] [--per-feature]\n"
+      "1e-4 [--norm linf|l2] [--format fp16] [--per-feature] "
+      "[--attribution]\n"
       "  errorflow plan       <model.efm> --input-shape 1,9 --tol 1e-3 "
       "[--frac 0.5] [--norm linf|l2]\n"
       "  errorflow compress   --backend sz|zfp|mgard --tol 1e-3 [--norm "
@@ -512,12 +571,13 @@ void PrintUsage() {
       "  errorflow serve-bench [--task h2|borghesi|eurosat] "
       "[--concurrency 8] [--duration 5] [--workers 4] [--max-batch 64] "
       "[--queue-cap 1024] [--tolerances 1e-3,1e-2,1e-1] [--timeout-ms "
-      "1000] [--rows 8] [--strict]\n"
+      "1000] [--rows 8] [--strict] [--audit 0.1] [--evict-on-violation]\n"
       "\nglobal: --model-cache-dir <dir> (default $ERRORFLOW_CACHE_DIR or "
       "./ef_model_cache)\n"
       "\nobservability (any subcommand): --metrics-out <path.json> "
-      "--trace-out <path.json> --log-level debug|info|warn|error "
-      "--log-json <path.jsonl>\n");
+      "--trace-out <path.json> --metrics-export-dir <dir> "
+      "--metrics-export-interval <seconds> --log-level "
+      "debug|info|warn|error --log-json <path.jsonl>\n");
 }
 
 }  // namespace
@@ -530,6 +590,10 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const Args args = ParseArgs(argc, argv, 2);
   if (!SetupObservability(args)) return 1;
+  bool export_requested = false;
+  std::unique_ptr<obs::MetricsExporter> exporter =
+      StartExporter(args, &export_requested);
+  if (export_requested && exporter == nullptr) return 1;
   int code = -1;
   if (cmd == "inspect") {
     code = CmdInspect(args);
@@ -554,6 +618,7 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 1;
   }
+  if (exporter != nullptr) exporter->Stop();  // Final snapshot.
   if (!ExportObservability(args) && code == 0) code = 2;
   return code;
 }

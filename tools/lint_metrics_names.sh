@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Lints the observability docs against the code: every `errorflow.*`
+# metric name registered anywhere in src/ must appear in the
+# docs/OBSERVABILITY.md inventory, so the docs table cannot silently rot
+# as instrumentation is added. Dynamic name families built with a trailing
+# prefix (e.g. "errorflow.bound.tightness." + model + "." + format) are
+# checked by their stripped prefix, which the inventory documents with a
+# `<model>.<format>`-style placeholder row.
+#
+# Usage: lint_metrics_names.sh [src-dir] [docs-file]
+# Registered as the `metrics_names_lint` ctest.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+src_dir="${1:-$root/src}"
+doc_file="${2:-$root/docs/OBSERVABILITY.md}"
+
+if [ ! -d "$src_dir" ]; then
+  echo "lint_metrics_names: no such source dir: $src_dir" >&2
+  exit 2
+fi
+if [ ! -f "$doc_file" ]; then
+  echo "lint_metrics_names: no such docs file: $doc_file" >&2
+  exit 2
+fi
+
+# String literals that look like metric names; trailing dots mark dynamic
+# prefixes and are stripped before the docs lookup.
+names="$(grep -rhoE '"errorflow(\.[a-z0-9_]+)+\.?"' "$src_dir" \
+  --include='*.cc' --include='*.h' | tr -d '"' | sed 's/\.$//' | sort -u)"
+
+if [ -z "$names" ]; then
+  echo "lint_metrics_names: found no errorflow.* literals under $src_dir" >&2
+  exit 2
+fi
+
+missing=0
+total=0
+while IFS= read -r name; do
+  total=$((total + 1))
+  if ! grep -qF "$name" "$doc_file"; then
+    echo "UNDOCUMENTED metric: $name (add it to $doc_file)" >&2
+    missing=$((missing + 1))
+  fi
+done <<EOF
+$names
+EOF
+
+if [ "$missing" -ne 0 ]; then
+  echo "lint_metrics_names: $missing of $total registered names missing" \
+    "from $doc_file" >&2
+  exit 1
+fi
+echo "lint_metrics_names: all $total registered metric names documented"
