@@ -1,0 +1,370 @@
+#include "net/load_rig.h"
+
+#include <sys/epoll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "net/socket.h"
+#include "obs/log.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace errorflow {
+namespace net {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// One multiplexed client connection of the rig.
+struct RigConn {
+  OwnedFd fd;
+  std::string wbuf;
+  size_t wpos = 0;
+  std::string rbuf;
+  bool alive = false;
+  bool want_write = false;
+};
+
+double MsSince(SteadyClock::time_point start, SteadyClock::time_point end) {
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+double PercentileOfSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+std::string NetLoadStats::Summary() const {
+  std::string out;
+  out += util::StrFormat("offered %.1f req/s, achieved %.1f req/s over %.2fs\n",
+                         offered_rps, achieved_rps, wall_seconds);
+  out += util::StrFormat(
+      "submitted %llu  completed %llu  rejected %llu (backpressure %llu, "
+      "deadline %llu)\n",
+      static_cast<unsigned long long>(submitted),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(backpressure),
+      static_cast<unsigned long long>(deadline_shed));
+  out += util::StrFormat(
+      "unanswered %llu  overload-dropped %llu  connect-failures %llu  "
+      "conn-errors %llu\n",
+      static_cast<unsigned long long>(unanswered),
+      static_cast<unsigned long long>(overload_dropped),
+      static_cast<unsigned long long>(connect_failures),
+      static_cast<unsigned long long>(connection_errors));
+  out += util::StrFormat(
+      "latency ms: p50 %.3f  p99 %.3f  mean %.3f  max %.3f\n",
+      latency_p50_ms, latency_p99_ms, latency_mean_ms, latency_max_ms);
+  return out;
+}
+
+Result<NetLoadStats> RunNetLoad(const NetLoadConfig& config) {
+  if (config.port == 0) {
+    return Status::InvalidArgument("net: load rig needs a concrete port");
+  }
+  if (config.connections < 1) {
+    return Status::InvalidArgument("net: load rig needs >= 1 connection");
+  }
+  if (config.phases.empty()) {
+    return Status::InvalidArgument("net: load rig needs >= 1 phase");
+  }
+  for (const LoadPhase& phase : config.phases) {
+    if (phase.seconds <= 0.0 || phase.rate <= 0.0) {
+      return Status::InvalidArgument(
+          "net: load phase seconds and rate must be positive");
+    }
+  }
+
+  // The full Poisson arrival schedule, as offsets from the run start.
+  // Precomputing keeps the hot loop allocation-free and makes the offered
+  // load independent of how fast the engine drains events.
+  std::vector<double> arrivals;
+  double total_phase_seconds = 0.0;
+  {
+    util::Rng rng(config.seed);
+    double t = 0.0;
+    for (const LoadPhase& phase : config.phases) {
+      const double phase_end = total_phase_seconds + phase.seconds;
+      if (t < total_phase_seconds) t = total_phase_seconds;
+      while (true) {
+        // Exponential inter-arrival gap; 1-u keeps log() off exact zero.
+        t += -std::log(1.0 - rng.UniformDouble()) / phase.rate;
+        if (t >= phase_end) break;
+        arrivals.push_back(t);
+      }
+      total_phase_seconds = phase_end;
+    }
+  }
+
+  NetLoadStats stats;
+  stats.offered_rps =
+      static_cast<double>(arrivals.size()) / total_phase_seconds;
+
+  std::vector<RigConn> conns(static_cast<size_t>(config.connections));
+  int epfd = epoll_create1(EPOLL_CLOEXEC);
+  if (epfd < 0) {
+    return Status::IOError(util::StrFormat(
+        "net: epoll_create1 failed: %s", std::strerror(errno)));
+  }
+  OwnedFd epoll_fd(epfd);
+  size_t alive_count = 0;
+  for (size_t i = 0; i < conns.size(); ++i) {
+    auto fd = ConnectTcp(config.host, config.port,
+                         std::chrono::milliseconds(5000));
+    if (!fd.ok()) {
+      stats.connect_failures += 1;
+      continue;
+    }
+    conns[i].fd = std::move(*fd);
+    EF_RETURN_IF_ERROR(SetNonBlocking(conns[i].fd.get()));
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = i;
+    if (epoll_ctl(epoll_fd.get(), EPOLL_CTL_ADD, conns[i].fd.get(), &ev) !=
+        0) {
+      stats.connect_failures += 1;
+      conns[i].fd = OwnedFd();
+      continue;
+    }
+    conns[i].alive = true;
+    alive_count += 1;
+  }
+  if (alive_count == 0) {
+    return Status::IOError("net: load rig could not open any connection");
+  }
+
+  // Encode the request payload once; per arrival only the 18-byte header
+  // (with a fresh request id) is re-framed around it.
+  const std::string submit_payload =
+      EncodeSubmit(0, config.request).substr(kFrameHeaderBytes);
+
+  const auto mod_epoll = [&](size_t idx, uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = idx;
+    epoll_ctl(epoll_fd.get(), EPOLL_CTL_MOD, conns[idx].fd.get(), &ev);
+  };
+  const auto close_conn = [&](size_t idx) {
+    if (!conns[idx].alive) return;
+    epoll_ctl(epoll_fd.get(), EPOLL_CTL_DEL, conns[idx].fd.get(), nullptr);
+    conns[idx].fd = OwnedFd();
+    conns[idx].alive = false;
+    alive_count -= 1;
+    stats.connection_errors += 1;
+  };
+  const auto flush_conn = [&](size_t idx) {
+    RigConn& c = conns[idx];
+    while (c.wpos < c.wbuf.size()) {
+      IoOutcome out = WriteSome(c.fd.get(), c.wbuf.data() + c.wpos,
+                                c.wbuf.size() - c.wpos);
+      if (out.would_block) break;
+      if (out.n <= 0) {
+        close_conn(idx);
+        return;
+      }
+      c.wpos += static_cast<size_t>(out.n);
+    }
+    if (c.wpos == c.wbuf.size()) {
+      c.wbuf.clear();
+      c.wpos = 0;
+      if (c.want_write) {
+        c.want_write = false;
+        mod_epoll(idx, EPOLLIN);
+      }
+    } else if (!c.want_write) {
+      c.want_write = true;
+      mod_epoll(idx, EPOLLIN | EPOLLOUT);
+    }
+  };
+
+  std::unordered_map<uint64_t, SteadyClock::time_point> outstanding;
+  outstanding.reserve(1024);
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(arrivals.size());
+  uint64_t next_id = 1;
+  size_t next_conn = 0;
+  size_t arrival_idx = 0;
+  const util::DecodeLimits limits = util::DecodeLimits::Default();
+
+  const auto handle_frame = [&](const FrameHeader& header,
+                                const char* payload) {
+    switch (header.type) {
+      case FrameType::kResponse: {
+        auto it = outstanding.find(header.request_id);
+        if (it == outstanding.end()) return Status::OK();
+        // Latency from the *scheduled* arrival: a send stalled behind a
+        // full socket buffer still charges the server for the wait.
+        latencies_ms.push_back(MsSince(it->second, SteadyClock::now()));
+        outstanding.erase(it);
+        stats.completed += 1;
+        return Status::OK();
+      }
+      case FrameType::kError: {
+        EF_ASSIGN_OR_RETURN(
+            ErrorFrame err,
+            DecodeError(payload, header.payload_len, limits));
+        if (header.request_id == 0) {
+          // Connection-scoped refusal; the close follows.
+          return Status::OK();
+        }
+        auto it = outstanding.find(header.request_id);
+        if (it == outstanding.end()) return Status::OK();
+        outstanding.erase(it);
+        stats.rejected += 1;
+        const auto code = static_cast<StatusCode>(err.code);
+        if (code == StatusCode::kResourceExhausted) {
+          stats.backpressure += 1;
+        } else if (code == StatusCode::kDeadlineExceeded) {
+          stats.deadline_shed += 1;
+        }
+        return Status::OK();
+      }
+      case FrameType::kPong:
+      case FrameType::kPing:
+        return Status::OK();
+      case FrameType::kSubmit:
+        return Status::Corruption("net: rig received a Submit frame");
+    }
+    return Status::OK();
+  };
+
+  const auto read_conn = [&](size_t idx) {
+    RigConn& c = conns[idx];
+    char buf[64 * 1024];
+    while (c.alive) {
+      IoOutcome out = ReadSome(c.fd.get(), buf, sizeof(buf));
+      if (out.would_block) break;
+      if (out.n <= 0) {
+        close_conn(idx);
+        return;
+      }
+      c.rbuf.append(buf, static_cast<size_t>(out.n));
+      size_t consumed = 0;
+      while (true) {
+        FrameHeader header;
+        size_t frame_size = 0;
+        auto extracted = TryExtractFrame(c.rbuf.data() + consumed,
+                                         c.rbuf.size() - consumed, limits,
+                                         &header, &frame_size);
+        if (!extracted.ok()) {
+          close_conn(idx);
+          return;
+        }
+        if (*extracted == ExtractResult::kNeedMore) break;
+        Status handled = handle_frame(
+            header, c.rbuf.data() + consumed + kFrameHeaderBytes);
+        if (!handled.ok()) {
+          close_conn(idx);
+          return;
+        }
+        consumed += frame_size;
+      }
+      if (consumed > 0) c.rbuf.erase(0, consumed);
+    }
+  };
+
+  const SteadyClock::time_point t0 = SteadyClock::now();
+  SteadyClock::time_point drain_deadline{};
+  std::vector<epoll_event> events(256);
+  while (alive_count > 0) {
+    const SteadyClock::time_point now = SteadyClock::now();
+    const double elapsed =
+        std::chrono::duration<double>(now - t0).count();
+
+    // Fire every arrival whose scheduled time has passed.
+    while (arrival_idx < arrivals.size() &&
+           arrivals[arrival_idx] <= elapsed) {
+      if (static_cast<int64_t>(outstanding.size()) >=
+          config.max_outstanding) {
+        stats.overload_dropped += 1;
+        arrival_idx += 1;
+        continue;
+      }
+      size_t tries = 0;
+      while (!conns[next_conn].alive && tries < conns.size()) {
+        next_conn = (next_conn + 1) % conns.size();
+        tries += 1;
+      }
+      if (!conns[next_conn].alive) break;  // alive_count check exits.
+      const uint64_t id = next_id++;
+      conns[next_conn].wbuf.append(
+          EncodeFrame(FrameType::kSubmit, id, submit_payload));
+      outstanding.emplace(
+          id, t0 + std::chrono::duration_cast<SteadyClock::duration>(
+                       std::chrono::duration<double>(
+                           arrivals[arrival_idx])));
+      stats.submitted += 1;
+      flush_conn(next_conn);
+      next_conn = (next_conn + 1) % conns.size();
+      arrival_idx += 1;
+    }
+
+    if (arrival_idx >= arrivals.size()) {
+      if (drain_deadline == SteadyClock::time_point{}) {
+        drain_deadline = now + config.drain_timeout;
+      }
+      if (outstanding.empty() || now >= drain_deadline) break;
+    }
+
+    int timeout_ms = 20;
+    if (arrival_idx < arrivals.size()) {
+      const double until_next = arrivals[arrival_idx] - elapsed;
+      timeout_ms = std::clamp(
+          static_cast<int>(std::ceil(until_next * 1000.0)), 0, 20);
+    }
+    const int n = epoll_wait(epoll_fd.get(), events.data(),
+                             static_cast<int>(events.size()), timeout_ms);
+    if (n < 0 && errno != EINTR) {
+      return Status::IOError(util::StrFormat(
+          "net: epoll_wait failed: %s", std::strerror(errno)));
+    }
+    for (int i = 0; i < n; ++i) {
+      const size_t idx = static_cast<size_t>(events[i].data.u64);
+      if (!conns[idx].alive) continue;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        close_conn(idx);
+        continue;
+      }
+      if (events[i].events & EPOLLIN) read_conn(idx);
+      if (conns[idx].alive && (events[i].events & EPOLLOUT)) {
+        flush_conn(idx);
+      }
+    }
+  }
+
+  stats.wall_seconds =
+      std::chrono::duration<double>(SteadyClock::now() - t0).count();
+  stats.unanswered = outstanding.size();
+  stats.achieved_rps =
+      stats.wall_seconds > 0.0
+          ? static_cast<double>(stats.completed) / stats.wall_seconds
+          : 0.0;
+  if (!latencies_ms.empty()) {
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    stats.latency_p50_ms = PercentileOfSorted(latencies_ms, 50.0);
+    stats.latency_p99_ms = PercentileOfSorted(latencies_ms, 99.0);
+    stats.latency_max_ms = latencies_ms.back();
+    double sum = 0.0;
+    for (double v : latencies_ms) sum += v;
+    stats.latency_mean_ms = sum / static_cast<double>(latencies_ms.size());
+  }
+  obs::Logf(obs::LogLevel::kInfo, "net: load rig done\n%s",
+            stats.Summary().c_str());
+  return stats;
+}
+
+}  // namespace net
+}  // namespace errorflow

@@ -1,0 +1,83 @@
+#ifndef ERRORFLOW_NET_LOAD_RIG_H_
+#define ERRORFLOW_NET_LOAD_RIG_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "util/result.h"
+
+namespace errorflow {
+namespace net {
+
+/// \brief One constant-rate segment of an open-loop run. Chaining phases
+/// with different rates models bursts: e.g. a steady phase, a burst above
+/// the server's saturation point, then recovery.
+struct LoadPhase {
+  double seconds = 1.0;
+  /// Offered arrival rate in requests/second (Poisson arrivals:
+  /// exponential inter-arrival gaps).
+  double rate = 100.0;
+};
+
+/// \brief Open-loop load configuration. Unlike the closed-loop
+/// `serve::RunClosedLoop`, arrivals are scheduled by a Poisson clock that
+/// does not wait for responses, so queue buildup and shed/backpressure
+/// behavior at and beyond saturation are actually observable.
+struct NetLoadConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Concurrent client connections; arrivals round-robin across them.
+  int connections = 64;
+  std::vector<LoadPhase> phases = {{1.0, 100.0}};
+  /// Request template. Its payload is encoded once and re-framed per
+  /// request id, so the rig's per-arrival cost is one buffer append.
+  SubmitFrame request;
+  uint64_t seed = 1;
+  /// After the last phase, how long to keep the loop running to collect
+  /// late responses before counting the remainder as unanswered.
+  std::chrono::milliseconds drain_timeout{3000};
+  /// Arrivals beyond this many unanswered requests are dropped client-side
+  /// (counted in `overload_dropped`) instead of growing memory without
+  /// bound when the server is far past saturation.
+  int64_t max_outstanding = 100000;
+};
+
+/// \brief Aggregated outcome of one open-loop run. Latency is measured
+/// from each request's *scheduled* Poisson arrival time, not its send
+/// time, so sender-side stalls cannot hide server queueing delay
+/// (coordinated-omission-safe).
+struct NetLoadStats {
+  double offered_rps = 0.0;
+  double achieved_rps = 0.0;  // OK responses per wall second.
+  double wall_seconds = 0.0;
+  uint64_t submitted = 0;
+  uint64_t completed = 0;     // OK response frames.
+  uint64_t rejected = 0;      // Typed error frames, any code.
+  uint64_t backpressure = 0;  // ... of which kResourceExhausted.
+  uint64_t deadline_shed = 0;  // ... of which kDeadlineExceeded.
+  uint64_t unanswered = 0;  // Outstanding when the drain window closed.
+  uint64_t overload_dropped = 0;  // Client-side max_outstanding drops.
+  uint64_t connect_failures = 0;
+  uint64_t connection_errors = 0;  // Connections that died mid-run.
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_mean_ms = 0.0;
+  double latency_max_ms = 0.0;
+
+  /// Multi-line human-readable block in the serve::LoadGenStats style.
+  std::string Summary() const;
+};
+
+/// \brief Runs the configured phases against a NetServer over real
+/// sockets: one engine thread multiplexing every connection through epoll,
+/// nonblocking writes with per-connection buffers, responses matched to
+/// scheduled arrival times by request id.
+Result<NetLoadStats> RunNetLoad(const NetLoadConfig& config);
+
+}  // namespace net
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_NET_LOAD_RIG_H_

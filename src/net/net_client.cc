@@ -1,0 +1,205 @@
+#include "net/net_client.h"
+
+#include <poll.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace errorflow {
+namespace net {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+int RemainingMs(SteadyClock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - SteadyClock::now());
+  if (left.count() <= 0) return 0;
+  if (left.count() > 60'000) return 60'000;
+  return static_cast<int>(left.count());
+}
+
+}  // namespace
+
+Result<NetClient> NetClient::Connect(const std::string& host, uint16_t port,
+                                     std::chrono::milliseconds timeout,
+                                     util::DecodeLimits limits) {
+  NetClient client;
+  EF_ASSIGN_OR_RETURN(client.fd_, ConnectTcp(host, port, timeout));
+  client.limits_ = limits;
+  return client;
+}
+
+Result<uint64_t> NetClient::Submit(const SubmitFrame& submit) {
+  EF_RETURN_IF_ERROR(conn_error_);
+  if (!fd_.valid()) return Status::FailedPrecondition("net: not connected");
+  const uint64_t id = next_id_++;
+  EF_RETURN_IF_ERROR(SendAll(EncodeSubmit(id, submit)));
+  return id;
+}
+
+Result<ResponseFrame> NetClient::Await(uint64_t request_id,
+                                       std::chrono::milliseconds timeout) {
+  const SteadyClock::time_point deadline = SteadyClock::now() + timeout;
+  while (true) {
+    auto found = responses_.find(request_id);
+    if (found != responses_.end()) {
+      ResponseFrame out = std::move(found->second);
+      responses_.erase(found);
+      return out;
+    }
+    auto err = errors_.find(request_id);
+    if (err != errors_.end()) {
+      Status status = err->second;
+      errors_.erase(err);
+      return status;
+    }
+    EF_RETURN_IF_ERROR(conn_error_);
+    if (!fd_.valid()) {
+      return Status::FailedPrecondition("net: not connected");
+    }
+    EF_RETURN_IF_ERROR(PumpOnce(deadline));
+  }
+}
+
+Result<ResponseFrame> NetClient::Roundtrip(
+    const SubmitFrame& submit, std::chrono::milliseconds timeout) {
+  EF_ASSIGN_OR_RETURN(uint64_t id, Submit(submit));
+  return Await(id, timeout);
+}
+
+Status NetClient::Ping(std::chrono::milliseconds timeout) {
+  EF_RETURN_IF_ERROR(conn_error_);
+  if (!fd_.valid()) return Status::FailedPrecondition("net: not connected");
+  const uint64_t id = next_id_++;
+  EF_RETURN_IF_ERROR(SendAll(EncodePing(id)));
+  const SteadyClock::time_point deadline = SteadyClock::now() + timeout;
+  while (pongs_.find(id) == pongs_.end()) {
+    EF_RETURN_IF_ERROR(conn_error_);
+    EF_RETURN_IF_ERROR(PumpOnce(deadline));
+  }
+  pongs_.erase(id);
+  return Status::OK();
+}
+
+Status NetClient::SendAll(const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    IoOutcome out =
+        WriteSome(fd_.get(), bytes.data() + sent, bytes.size() - sent);
+    if (out.would_block) {
+      // Blocking socket: EAGAIN only under an injected fault cap of zero
+      // or SO_SNDTIMEO; wait for writability.
+      pollfd pfd{fd_.get(), POLLOUT, 0};
+      (void)::poll(&pfd, 1, 50);
+      continue;
+    }
+    if (out.n <= 0) {
+      conn_error_ = Status::IOError(util::StrFormat(
+          "net: send failed: %s", std::strerror(errno)));
+      return conn_error_;
+    }
+    sent += static_cast<size_t>(out.n);
+  }
+  return Status::OK();
+}
+
+Status NetClient::PumpOnce(SteadyClock::time_point deadline) {
+  const int wait_ms = RemainingMs(deadline);
+  if (wait_ms <= 0) {
+    return Status::DeadlineExceeded("net: await timed out");
+  }
+  pollfd pfd{fd_.get(), POLLIN, 0};
+  const int polled = ::poll(&pfd, 1, wait_ms);
+  if (polled < 0) {
+    if (errno == EINTR) return Status::OK();
+    conn_error_ = Status::IOError(util::StrFormat("net: poll failed: %s",
+                                                  std::strerror(errno)));
+    return conn_error_;
+  }
+  if (polled == 0) {
+    return Status::DeadlineExceeded("net: await timed out");
+  }
+
+  char buf[64 * 1024];
+  while (true) {
+    IoOutcome out = ReadSome(fd_.get(), buf, sizeof(buf));
+    if (out.would_block) break;
+    if (out.n == 0) {
+      conn_error_ =
+          Status::IOError("net: connection closed by server");
+      return conn_error_;
+    }
+    if (out.n < 0) {
+      conn_error_ = Status::IOError(util::StrFormat(
+          "net: recv failed: %s", std::strerror(errno)));
+      return conn_error_;
+    }
+    rbuf_.append(buf, static_cast<size_t>(out.n));
+    if (static_cast<size_t>(out.n) < sizeof(buf)) break;
+  }
+
+  size_t consumed = 0;
+  while (true) {
+    FrameHeader header;
+    size_t frame_size = 0;
+    auto extracted =
+        TryExtractFrame(rbuf_.data() + consumed, rbuf_.size() - consumed,
+                        limits_, &header, &frame_size);
+    if (!extracted.ok()) {
+      conn_error_ = extracted.status();
+      break;
+    }
+    if (*extracted == ExtractResult::kNeedMore) break;
+    const char* payload = rbuf_.data() + consumed + kFrameHeaderBytes;
+    switch (header.type) {
+      case FrameType::kResponse: {
+        auto resp = DecodeResponse(payload, header.payload_len, limits_);
+        if (!resp.ok()) {
+          conn_error_ = resp.status();
+        } else {
+          responses_.emplace(header.request_id, std::move(*resp));
+        }
+        break;
+      }
+      case FrameType::kError: {
+        auto err = DecodeError(payload, header.payload_len, limits_);
+        if (!err.ok()) {
+          conn_error_ = err.status();
+          break;
+        }
+        Status typed = WireErrorToStatus(*err);
+        if (header.request_id == 0) {
+          // Connection-scoped refusal (framing violation, connection
+          // cap): no request will ever complete.
+          conn_error_ = typed;
+        } else {
+          errors_.emplace(header.request_id, std::move(typed));
+        }
+        break;
+      }
+      case FrameType::kPong:
+        pongs_.insert(header.request_id);
+        break;
+      case FrameType::kPing:
+        // Be a good liveness peer even as a client.
+        EF_RETURN_IF_ERROR(SendAll(EncodePong(header.request_id)));
+        break;
+      case FrameType::kSubmit:
+        conn_error_ = Status::InvalidArgument(
+            "net: client received a Submit frame");
+        break;
+    }
+    consumed += frame_size;
+    if (!conn_error_.ok()) break;
+  }
+  if (consumed > 0) rbuf_.erase(0, consumed);
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace errorflow

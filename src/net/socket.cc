@@ -1,0 +1,211 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "util/string_util.h"
+
+namespace errorflow {
+namespace net {
+
+namespace {
+
+std::mutex g_fault_mu;
+SocketFaultHook g_fault_hook;
+// Cheap hot-path gate so production I/O never takes the hook mutex.
+std::atomic<bool> g_fault_installed{false};
+
+// Returns the hook's verdict for this transfer (default: no fault).
+SocketFault ConsultFaultHook(int fd, bool is_write, size_t len) {
+  if (!g_fault_installed.load(std::memory_order_acquire)) {
+    return SocketFault{};
+  }
+  std::lock_guard<std::mutex> lock(g_fault_mu);
+  if (!g_fault_hook) return SocketFault{};
+  return g_fault_hook(fd, is_write, len);
+}
+
+Status ErrnoStatus(const char* what) {
+  return Status::IOError(util::StrFormat("%s: %s", what,
+                                         std::strerror(errno)));
+}
+
+}  // namespace
+
+void OwnedFd::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("net: fcntl O_NONBLOCK");
+  }
+  return Status::OK();
+}
+
+Status SetNoDelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    return ErrnoStatus("net: TCP_NODELAY");
+  }
+  return Status::OK();
+}
+
+Result<OwnedFd> ListenTcp(const std::string& address, uint16_t port,
+                          int backlog, uint16_t* bound_port) {
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return ErrnoStatus("net: socket");
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    return ErrnoStatus("net: SO_REUSEADDR");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("net: bad bind address " + address);
+  }
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return ErrnoStatus("net: bind");
+  }
+  if (::listen(fd.get(), backlog) < 0) return ErrnoStatus("net: listen");
+  EF_RETURN_IF_ERROR(SetNonBlocking(fd.get()));
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&actual),
+                      &len) < 0) {
+      return ErrnoStatus("net: getsockname");
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return fd;
+}
+
+Result<OwnedFd> ConnectTcp(const std::string& host, uint16_t port,
+                           std::chrono::milliseconds timeout) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* info = nullptr;
+  const std::string service = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), service.c_str(), &hints, &info) != 0 ||
+      info == nullptr) {
+    return Status::InvalidArgument("net: cannot resolve host " + host);
+  }
+  OwnedFd fd(::socket(info->ai_family, info->ai_socktype,
+                      info->ai_protocol));
+  if (!fd.valid()) {
+    ::freeaddrinfo(info);
+    return ErrnoStatus("net: socket");
+  }
+  // Nonblocking connect + poll gives a bounded connect timeout; the socket
+  // reverts to blocking for the client's request/response exchanges.
+  Status st = SetNonBlocking(fd.get());
+  if (!st.ok()) {
+    ::freeaddrinfo(info);
+    return st;
+  }
+  int rc = ::connect(fd.get(), info->ai_addr,
+                     static_cast<socklen_t>(info->ai_addrlen));
+  ::freeaddrinfo(info);
+  if (rc < 0 && errno != EINPROGRESS) return ErrnoStatus("net: connect");
+  if (rc < 0) {
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    const int ready =
+        ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (ready <= 0) {
+      return Status::DeadlineExceeded("net: connect timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0 ||
+        err != 0) {
+      errno = err != 0 ? err : errno;
+      return ErrnoStatus("net: connect");
+    }
+  }
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0 ||
+      ::fcntl(fd.get(), F_SETFL, flags & ~O_NONBLOCK) < 0) {
+    return ErrnoStatus("net: fcntl clear O_NONBLOCK");
+  }
+  EF_RETURN_IF_ERROR(SetNoDelay(fd.get()));
+  return fd;
+}
+
+IoOutcome ReadSome(int fd, char* buf, size_t len) {
+  const SocketFault fault = ConsultFaultHook(fd, /*is_write=*/false, len);
+  if (fault.delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(fault.delay_us));
+  }
+  IoOutcome out;
+  if (fault.fail) {
+    out.n = -1;
+    return out;
+  }
+  const size_t capped = std::min(len, fault.max_bytes);
+  if (capped == 0) {
+    // Fault truncated to zero: report would-block, not EOF.
+    out.n = -1;
+    out.would_block = true;
+    return out;
+  }
+  const ssize_t n = ::recv(fd, buf, capped, 0);
+  out.n = n;
+  out.would_block = n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
+  return out;
+}
+
+IoOutcome WriteSome(int fd, const char* buf, size_t len) {
+  const SocketFault fault = ConsultFaultHook(fd, /*is_write=*/true, len);
+  if (fault.delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(fault.delay_us));
+  }
+  IoOutcome out;
+  if (fault.fail) {
+    out.n = -1;
+    return out;
+  }
+  const size_t capped = std::min(len, fault.max_bytes);
+  if (capped == 0) {
+    out.n = -1;
+    out.would_block = true;
+    return out;
+  }
+  // MSG_NOSIGNAL: a peer that vanished mid-response must surface as EPIPE,
+  // not kill the process with SIGPIPE.
+  const ssize_t n = ::send(fd, buf, capped, MSG_NOSIGNAL);
+  out.n = n;
+  out.would_block = n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
+  return out;
+}
+
+void SetSocketFaultHookForTest(SocketFaultHook hook) {
+  std::lock_guard<std::mutex> lock(g_fault_mu);
+  g_fault_hook = std::move(hook);
+  g_fault_installed.store(static_cast<bool>(g_fault_hook),
+                          std::memory_order_release);
+}
+
+}  // namespace net
+}  // namespace errorflow

@@ -85,6 +85,25 @@ Status BatchScheduler::Start() {
   return Status::OK();
 }
 
+void BatchScheduler::Deliver(Pending* pending, InferenceResponse&& response) {
+  if (pending->on_complete) {
+    pending->on_complete(std::move(response));
+  } else {
+    pending->promise.set_value(std::move(response));
+  }
+}
+
+bool BatchScheduler::TryEnqueue(Pending* pending) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_ || stopping_) return false;
+    queue_.push_back(std::move(*pending));
+    queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
+  return true;
+}
+
 std::future<InferenceResponse> BatchScheduler::Enqueue(
     InferenceRequest request, AdmissionDecision decision) {
   Pending pending;
@@ -92,20 +111,28 @@ std::future<InferenceResponse> BatchScheduler::Enqueue(
   pending.decision = decision;
   pending.enqueue_time = Clock::now();
   std::future<InferenceResponse> future = pending.promise.get_future();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!running_ || stopping_) {
-      InferenceResponse response;
-      response.status =
-          Status::FailedPrecondition("scheduler: not accepting requests");
-      pending.promise.set_value(std::move(response));
-      return future;
-    }
-    queue_.push_back(std::move(pending));
-    queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+  if (!TryEnqueue(&pending)) {
+    InferenceResponse response;
+    response.status =
+        Status::FailedPrecondition("scheduler: not accepting requests");
+    pending.promise.set_value(std::move(response));
   }
-  cv_.notify_one();
   return future;
+}
+
+Status BatchScheduler::EnqueueAsync(
+    InferenceRequest request, AdmissionDecision decision,
+    std::function<void(InferenceResponse&&)> on_complete) {
+  EF_CHECK(on_complete != nullptr);
+  Pending pending;
+  pending.request = std::move(request);
+  pending.decision = decision;
+  pending.on_complete = std::move(on_complete);
+  pending.enqueue_time = Clock::now();
+  if (!TryEnqueue(&pending)) {
+    return Status::FailedPrecondition("scheduler: not accepting requests");
+  }
+  return Status::OK();
 }
 
 int64_t BatchScheduler::queue_depth() const {
@@ -174,7 +201,7 @@ void BatchScheduler::FailGroup(std::vector<Pending>* group,
   for (Pending& p : *group) {
     InferenceResponse response;
     response.status = status;
-    p.promise.set_value(std::move(response));
+    Deliver(&p, std::move(response));
   }
   group->clear();
 }
@@ -195,7 +222,7 @@ void BatchScheduler::ExecuteGroup(std::vector<Pending> group) {
       response.queue_seconds =
           SecondsBetween(p.enqueue_time, dispatch_time);
       response.total_seconds = response.queue_seconds;
-      p.promise.set_value(std::move(response));
+      Deliver(&p, std::move(response));
     } else {
       live.push_back(std::move(p));
     }
@@ -262,7 +289,7 @@ void BatchScheduler::ExecuteGroup(std::vector<Pending> group) {
     queue_wait_hist_->Record(response.queue_seconds);
     latency_hist_->Record(response.total_seconds);
     completed_->Increment();
-    p.promise.set_value(std::move(response));
+    Deliver(&p, std::move(response));
   }
 
   // Bound-violation watchdog: responses are already delivered, so the

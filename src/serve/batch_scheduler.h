@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -76,6 +77,14 @@ class BatchScheduler {
   std::future<InferenceResponse> Enqueue(InferenceRequest request,
                                          AdmissionDecision decision);
 
+  /// Callback twin of Enqueue for event-loop callers (the net layer) that
+  /// must not park a thread per in-flight request. On OK, `on_complete`
+  /// is invoked exactly once — from a dispatcher or worker thread — when
+  /// the request executes, is shed, or fails; it must not block. On a
+  /// non-OK return the callback is never invoked.
+  Status EnqueueAsync(InferenceRequest request, AdmissionDecision decision,
+                      std::function<void(InferenceResponse&&)> on_complete);
+
   /// Admitted requests not yet dispatched (the admission backpressure
   /// signal).
   int64_t queue_depth() const;
@@ -90,14 +99,23 @@ class BatchScheduler {
   struct Pending {
     InferenceRequest request;
     AdmissionDecision decision;
+    /// Exactly one completion channel is armed: the promise (Enqueue) or
+    /// the callback (EnqueueAsync).
     std::promise<InferenceResponse> promise;
+    std::function<void(InferenceResponse&&)> on_complete;
     Clock::time_point enqueue_time;
   };
+
+  /// Fulfills a request through whichever completion channel it carries.
+  static void Deliver(Pending* pending, InferenceResponse&& response);
+  /// Queues `*pending` if accepting; returns false (leaving `*pending`
+  /// untouched, nothing delivered) when stopped.
+  bool TryEnqueue(Pending* pending);
 
   void DispatchLoop();
   /// Runs on a pool worker: executes one fused group.
   void ExecuteGroup(std::vector<Pending> group);
-  /// Fulfills every promise in `group` with `status`.
+  /// Fulfills every request in `group` with `status`.
   static void FailGroup(std::vector<Pending>* group, const Status& status);
   /// Deterministic audit sampling: true for exactly ceil/floor-alternating
   /// audit_fraction of calls (every call when the fraction is >= 1).

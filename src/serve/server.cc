@@ -65,18 +65,18 @@ Status InferenceServer::Start() {
   return Status::OK();
 }
 
-Result<std::future<InferenceResponse>> InferenceServer::Submit(
-    InferenceRequest request) {
+Result<AdmissionDecision> InferenceServer::AdmitRequest(
+    InferenceRequest* request) {
   if (!scheduler_.running()) {
     return Status::FailedPrecondition("serve: server not running");
   }
   EF_ASSIGN_OR_RETURN(const ModelRegistry::Entry* entry,
-                      registry_.Lookup(request.model));
+                      registry_.Lookup(request->model));
 
   // Validate the input layout against the registered shape before any
   // queuing: a malformed request must not poison a fused batch.
   const tensor::Shape& expect = entry->single_input_shape;
-  const tensor::Tensor& in = request.input;
+  const tensor::Tensor& in = request->input;
   bool shape_ok =
       in.ndim() == static_cast<int64_t>(expect.size()) && in.dim(0) >= 1;
   for (size_t i = 1; shape_ok && i < expect.size(); ++i) {
@@ -90,15 +90,28 @@ Result<std::future<InferenceResponse>> InferenceServer::Submit(
   }
 
   const Clock::time_point now = Clock::now();
-  if (request.deadline == Clock::time_point{}) {
-    request.deadline = now + config_.default_timeout;
+  if (request->deadline == Clock::time_point{}) {
+    request->deadline = now + config_.default_timeout;
   }
-  EF_ASSIGN_OR_RETURN(
-      AdmissionDecision decision,
-      admission_.Admit(entry->analysis, entry->flops_per_sample,
-                       entry->bytes_per_sample, request.qoi_tolerance,
-                       request.deadline, now, scheduler_.queue_depth()));
+  return admission_.Admit(entry->analysis, entry->flops_per_sample,
+                          entry->bytes_per_sample, request->qoi_tolerance,
+                          request->deadline, now,
+                          scheduler_.queue_depth());
+}
+
+Result<std::future<InferenceResponse>> InferenceServer::Submit(
+    InferenceRequest request) {
+  EF_ASSIGN_OR_RETURN(AdmissionDecision decision, AdmitRequest(&request));
   return scheduler_.Enqueue(std::move(request), decision);
+}
+
+Status InferenceServer::SubmitAsync(
+    InferenceRequest request,
+    std::function<void(InferenceResponse&&)> on_complete) {
+  auto decision = AdmitRequest(&request);
+  if (!decision.ok()) return decision.status();
+  return scheduler_.EnqueueAsync(std::move(request), *decision,
+                                 std::move(on_complete));
 }
 
 Status InferenceServer::Shutdown() {

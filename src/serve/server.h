@@ -1,6 +1,7 @@
 #ifndef ERRORFLOW_SERVE_SERVER_H_
 #define ERRORFLOW_SERVE_SERVER_H_
 
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
@@ -71,6 +72,14 @@ class InferenceServer {
   /// future completes with the response.
   Result<std::future<InferenceResponse>> Submit(InferenceRequest request);
 
+  /// Callback twin of Submit for event-loop callers (the `net` wire
+  /// layer): same typed admission rejections, returned synchronously
+  /// without invoking the callback. On OK, `on_complete` fires exactly
+  /// once from a scheduler thread — completion, queue shed, or execution
+  /// failure — and must not block.
+  Status SubmitAsync(InferenceRequest request,
+                     std::function<void(InferenceResponse&&)> on_complete);
+
   /// Drains the queue and stops workers. Idempotent.
   Status Shutdown();
 
@@ -80,6 +89,10 @@ class InferenceServer {
   const ServerConfig& config() const { return config_; }
 
  private:
+  /// Shared Submit/SubmitAsync front half: lookup, shape validation,
+  /// default-deadline stamping (mutates `request`), and admission.
+  Result<AdmissionDecision> AdmitRequest(InferenceRequest* request);
+
   ServerConfig config_;
   ModelRegistry registry_;
   AdmissionController admission_;

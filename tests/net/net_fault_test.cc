@@ -1,0 +1,256 @@
+// Socket-layer fault injection: the server must survive mid-frame
+// disconnects, byte-at-a-time (short) reads and writes, injected I/O
+// failures, and slow-loris connections — without leaking connections or
+// in-flight requests. Faults are injected through the global hook under
+// ReadSome/WriteSome, which both the server loop and the client library
+// use exclusively.
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "gtest/gtest.h"
+#include "net/net_client.h"
+#include "net/net_server.h"
+#include "net/socket.h"
+#include "nn/builders.h"
+#include "obs/metrics.h"
+#include "testing/test_util.h"
+
+namespace errorflow {
+namespace net {
+namespace {
+
+using std::chrono::milliseconds;
+
+nn::Model SmallMlp() {
+  nn::MlpConfig cfg;
+  cfg.name = "m";
+  cfg.input_dim = 6;
+  cfg.hidden_dims = {8};
+  cfg.output_dim = 4;
+  cfg.seed = 7;
+  return nn::BuildMlp(cfg);
+}
+
+SubmitFrame MakeSubmit(uint64_t seed = 5) {
+  SubmitFrame s;
+  s.model = "mlp";
+  s.qoi_tolerance = 1e-2;
+  s.deadline_ms = 2000;
+  s.input = testing::RandomTensor({2, 6}, seed);
+  return s;
+}
+
+struct Harness {
+  explicit Harness(NetServerConfig net_cfg = {})
+      : net(&inference, net_cfg) {
+    EXPECT_TRUE(inference.RegisterModel("mlp", SmallMlp(), {1, 6}).ok());
+    EXPECT_TRUE(inference.Start().ok());
+    EXPECT_TRUE(net.Start().ok());
+  }
+  ~Harness() {
+    SetSocketFaultHookForTest(nullptr);
+    EXPECT_TRUE(inference.Shutdown().ok());
+    EXPECT_TRUE(net.Shutdown().ok());
+  }
+
+  serve::InferenceServer inference;
+  NetServer net;
+};
+
+/// Spin-waits (bounded) until `cond` holds; the loop thread needs a few
+/// ticks to observe closes and sweep idle connections.
+template <typename Cond>
+bool WaitFor(Cond cond, milliseconds limit = milliseconds(3000)) {
+  const auto deadline = std::chrono::steady_clock::now() + limit;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(milliseconds(10));
+  }
+  return cond();
+}
+
+// Short reads and writes on BOTH sides of the wire: every transfer is
+// capped at 3 bytes, so the 18-byte header itself arrives in pieces and
+// every frame crosses several partial reads and partial writes. The
+// request must still complete byte-identically.
+TEST(NetFaultTest, ShortReadsAndWritesStillDeliver) {
+  Harness h;
+  auto client = NetClient::Connect("127.0.0.1", h.net.port(),
+                                   milliseconds(2000));
+  ASSERT_TRUE(client.ok());
+  SetSocketFaultHookForTest([](int, bool, size_t) {
+    SocketFault fault;
+    fault.max_bytes = 3;
+    return fault;
+  });
+  auto resp = client->Roundtrip(MakeSubmit(), milliseconds(5000));
+  SetSocketFaultHookForTest(nullptr);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->output.dim(0), 2);
+}
+
+// A connection that dies halfway through a Submit frame: the server must
+// reclaim it on EOF without waiting for the never-arriving payload.
+TEST(NetFaultTest, MidFrameDisconnectDoesNotLeakConnections) {
+  Harness h;
+  const int64_t active_before = h.net.active_connections();
+  {
+    auto fd = ConnectTcp("127.0.0.1", h.net.port(), milliseconds(2000));
+    ASSERT_TRUE(fd.ok());
+    const std::string wire = EncodeSubmit(9, MakeSubmit());
+    // Half the frame, then an abrupt close (OwnedFd destructor).
+    const std::string half = wire.substr(0, wire.size() / 2);
+    ASSERT_GT(WriteSome(fd->get(), half.data(), half.size()).n, 0);
+    ASSERT_TRUE(WaitFor([&] {
+      return h.net.active_connections() == active_before + 1;
+    }));
+  }
+  EXPECT_TRUE(WaitFor(
+      [&] { return h.net.active_connections() == active_before; }));
+  // The half-submitted request never dispatched: nothing in flight.
+  EXPECT_EQ(h.net.in_flight_requests(), 0);
+}
+
+// A connection that disconnects after a COMPLETE Submit, before the
+// response: the scheduler's callback still fires; the net layer counts
+// the undeliverable response instead of leaking the request.
+TEST(NetFaultTest, DisconnectBeforeResponseCountsDroppedResponse) {
+  Harness h;
+  auto* dropped = obs::MetricsRegistry::Global().GetCounter(
+      "errorflow.net.dropped_responses");
+  const uint64_t before = dropped->value();
+  {
+    auto fd = ConnectTcp("127.0.0.1", h.net.port(), milliseconds(2000));
+    ASSERT_TRUE(fd.ok());
+    const std::string wire = EncodeSubmit(9, MakeSubmit());
+    size_t sent = 0;
+    while (sent < wire.size()) {
+      auto out = WriteSome(fd->get(), wire.data() + sent,
+                           wire.size() - sent);
+      ASSERT_GT(out.n, 0);
+      sent += static_cast<size_t>(out.n);
+    }
+    // Close immediately: the response races the disconnect, but must
+    // either flush before the close lands or be counted as dropped.
+  }
+  EXPECT_TRUE(WaitFor([&] { return h.net.in_flight_requests() == 0; }));
+  EXPECT_TRUE(WaitFor([&] { return h.net.active_connections() == 0; }));
+  // Whichever way the race went, no counter imbalance: the request is
+  // either answered (frames.out) or dropped — never stuck in flight.
+  (void)before;
+}
+
+// Slow loris: connections that trickle bytes (or none at all) without
+// ever completing a frame are idle-closed and do not accumulate.
+TEST(NetFaultTest, SlowLorisConnectionsAreIdleClosed) {
+  NetServerConfig net_cfg;
+  net_cfg.idle_timeout = milliseconds(200);
+  Harness h(net_cfg);
+  auto* idle_closed = obs::MetricsRegistry::Global().GetCounter(
+      "errorflow.net.connections.idle_closed");
+  const uint64_t before = idle_closed->value();
+
+  auto mute = ConnectTcp("127.0.0.1", h.net.port(), milliseconds(2000));
+  auto trickle = ConnectTcp("127.0.0.1", h.net.port(), milliseconds(2000));
+  ASSERT_TRUE(mute.ok() && trickle.ok());
+  // The TCP handshake completes in the listen backlog; wait until the
+  // loop has actually accepted both before watching for idle closes.
+  ASSERT_TRUE(WaitFor([&] { return h.net.active_connections() == 2; }));
+  // The trickler sends one header byte and stalls mid-frame forever.
+  const std::string wire = EncodePing(1);
+  ASSERT_GT(WriteSome(trickle->get(), wire.data(), 1).n, 0);
+
+  // Generous bound: the idle sweep needs CPU time, and this suite shares
+  // one core with the rest of a parallel ctest run.
+  EXPECT_TRUE(WaitFor([&] { return h.net.active_connections() == 0; },
+                      milliseconds(15000)));
+  EXPECT_GE(idle_closed->value(), before + 2);
+  EXPECT_EQ(h.net.in_flight_requests(), 0);
+}
+
+// An active client is NOT idle-closed while its request is in flight or
+// while it keeps making byte progress.
+TEST(NetFaultTest, ActiveConnectionSurvivesShortIdleTimeout) {
+  NetServerConfig net_cfg;
+  net_cfg.idle_timeout = milliseconds(300);
+  Harness h(net_cfg);
+  auto client = NetClient::Connect("127.0.0.1", h.net.port(),
+                                   milliseconds(2000));
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 4; ++i) {
+    std::this_thread::sleep_for(milliseconds(150));
+    ASSERT_TRUE(client->Ping(milliseconds(1000)).ok()) << "ping " << i;
+  }
+}
+
+// Injected hard failure on the server side of the wire: the affected
+// connection dies, the server does not, and new connections work.
+TEST(NetFaultTest, InjectedServerIoFailureOnlyKillsThatConnection) {
+  Harness h;
+  auto victim = NetClient::Connect("127.0.0.1", h.net.port(),
+                                   milliseconds(2000));
+  ASSERT_TRUE(victim.ok());
+  ASSERT_TRUE(victim->Ping(milliseconds(1000)).ok());
+
+  const int victim_fd = victim->fd();
+  SetSocketFaultHookForTest([victim_fd](int fd, bool, size_t) {
+    SocketFault fault;
+    // Fail only the server's side (every fd except the client's own).
+    fault.fail = fd != victim_fd;
+    return fault;
+  });
+  auto resp = victim->Roundtrip(MakeSubmit(), milliseconds(2000));
+  SetSocketFaultHookForTest(nullptr);
+  EXPECT_FALSE(resp.ok());
+
+  EXPECT_TRUE(WaitFor([&] { return h.net.active_connections() == 0; }));
+  EXPECT_EQ(h.net.in_flight_requests(), 0);
+  auto fresh = NetClient::Connect("127.0.0.1", h.net.port(),
+                                  milliseconds(2000));
+  ASSERT_TRUE(fresh.ok());
+  auto ok = fresh->Roundtrip(MakeSubmit(), milliseconds(2000));
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+// Delay injection: a slow but live peer is not misclassified as dead.
+TEST(NetFaultTest, DelayedTransfersStillComplete) {
+  Harness h;
+  auto client = NetClient::Connect("127.0.0.1", h.net.port(),
+                                   milliseconds(2000));
+  ASSERT_TRUE(client.ok());
+  SetSocketFaultHookForTest([](int, bool, size_t) {
+    SocketFault fault;
+    fault.delay_us = 2000;
+    fault.max_bytes = 64;
+    return fault;
+  });
+  auto resp = client->Roundtrip(MakeSubmit(), milliseconds(10000));
+  SetSocketFaultHookForTest(nullptr);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+}
+
+// Frame-level garbage (bad magic) after valid traffic: typed id-0 error,
+// connection closed, nothing leaked.
+TEST(NetFaultTest, GarbageBytesGetTypedRefusalThenClose) {
+  Harness h;
+  auto* decode_failures = obs::MetricsRegistry::Global().GetCounter(
+      "errorflow.net.decode_failures");
+  const uint64_t before = decode_failures->value();
+  auto client = NetClient::Connect("127.0.0.1", h.net.port(),
+                                   milliseconds(2000));
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Ping(milliseconds(1000)).ok());
+  const std::string junk = "GET / HTTP/1.1\r\n\r\n";
+  ASSERT_GT(WriteSome(client->fd(), junk.data(), junk.size()).n, 0);
+  // The refusal is a kCorruption error frame with request id 0, which the
+  // client library treats as connection-fatal.
+  auto resp = client->Roundtrip(MakeSubmit(), milliseconds(2000));
+  EXPECT_FALSE(resp.ok());
+  EXPECT_GE(decode_failures->value(), before + 1);
+  EXPECT_TRUE(WaitFor([&] { return h.net.active_connections() == 0; }));
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace errorflow

@@ -15,8 +15,14 @@
 //   errorflow serve-bench [--task h2|borghesi|eurosat] [--concurrency 8]
 //                       [--duration 5] [--workers 4] [--max-batch 64]
 //                       [--queue-cap 1024] [--tolerances 1e-3,1e-2,1e-1]
-//                       [--timeout-ms 1000] [--rows 8] [--strict]
-//                       [--audit 0.1] [--evict-on-violation]
+//                       [--timeout-ms <ServerConfig default>] [--rows 8]
+//                       [--strict] [--audit 0.1] [--evict-on-violation]
+//   errorflow net-bench [--task h2|borghesi|eurosat] [--rates 200,4000]
+//                       [--phase-seconds 2] [--connections 32]
+//                       [--workers 4] [--max-batch 64] [--queue-cap 256]
+//                       [--rows 8] [--tol 1e-2] [--deadline-ms 0]
+//                       [--timeout-ms <ServerConfig default>]
+//                       [--json BENCH_net.json]
 //
 // Global flags, valid with every subcommand:
 //   --model-cache-dir <dir>     model artifact cache (default:
@@ -50,6 +56,8 @@
 #include "core/pipeline.h"
 #include "core/report.h"
 #include "data/combustion.h"
+#include "net/load_rig.h"
+#include "net/net_server.h"
 #include "nn/serialize.h"
 #include "obs/exporter.h"
 #include "obs/log.h"
@@ -419,8 +427,14 @@ int CmdServeBench(const Args& args) {
   cfg.max_queue_depth =
       static_cast<int64_t>(args.GetDouble("queue-cap", 1024));
   cfg.norm = *norm;
-  cfg.default_timeout = std::chrono::milliseconds(
-      static_cast<int64_t>(args.GetDouble("timeout-ms", 1000)));
+  // One shared knob: --timeout-ms defaults to the library's
+  // ServerConfig::default_timeout, and (in net-bench) also seeds the
+  // wire layer's idle timeout, so the in-process deadline, the wire
+  // deadline, and the slow-loris reclamation horizon never drift apart.
+  cfg.default_timeout = std::chrono::milliseconds(static_cast<int64_t>(
+      args.GetDouble("timeout-ms",
+                     static_cast<double>(
+                         serve::ServerConfig{}.default_timeout.count()))));
   if (args.Has("strict")) {
     // No FP32 fallback: tolerances below the tightest reduced-precision
     // bound are rejected instead of served at full precision.
@@ -479,6 +493,166 @@ int CmdServeBench(const Args& args) {
   return 0;
 }
 
+bool WriteFileOrWarn(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+// Open-loop Poisson load against the TCP wire stack: brings up an
+// InferenceServer + NetServer pair on an ephemeral loopback port, then
+// runs `net::RunNetLoad` once per offered rate and appends one JSON
+// record per rate to a BENCH_conv.json-style file. Rates above the
+// server's saturation point surface shed/backpressure counts instead of
+// silently inflating latency (open loop — arrivals do not wait).
+int CmdNetBench(const Args& args) {
+  auto kind = ParseTask(args.Get("task", "h2"));
+  if (!kind.ok()) return Fail(kind.status().ToString().c_str());
+  auto rates = ParseDoubleList(args.Get("rates", "200,4000"));
+  if (!rates.ok()) return Fail(rates.status().ToString().c_str());
+  const double phase_seconds = args.GetDouble("phase-seconds", 2.0);
+  const int connections = static_cast<int>(args.GetDouble("connections", 32));
+  const int workers = static_cast<int>(args.GetDouble("workers", 4));
+  const int rows = static_cast<int>(args.GetDouble("rows", 8));
+  const double tol = args.GetDouble("tol", 1e-2);
+  const int deadline_ms = static_cast<int>(args.GetDouble("deadline-ms", 0));
+  if (phase_seconds <= 0.0 || connections < 1 || workers < 1 || rows < 1 ||
+      tol <= 0.0 || deadline_ms < 0) {
+    return Fail("bad --phase-seconds/--connections/--workers/--rows/--tol");
+  }
+
+  tasks::TrainedTask task =
+      tasks::GetTask(*kind, tasks::Regularization::kPsn, 1, CacheDir(args));
+  const std::string model_name = tasks::TaskKindToString(*kind);
+
+  serve::ServerConfig cfg;
+  cfg.num_workers = workers;
+  cfg.max_batch_rows =
+      static_cast<int64_t>(args.GetDouble("max-batch", 64));
+  cfg.max_queue_depth =
+      static_cast<int64_t>(args.GetDouble("queue-cap", 256));
+  // Shared knob (see CmdServeBench): the in-process request deadline and
+  // the wire idle timeout both come from --timeout-ms.
+  cfg.default_timeout = std::chrono::milliseconds(static_cast<int64_t>(
+      args.GetDouble("timeout-ms",
+                     static_cast<double>(
+                         serve::ServerConfig{}.default_timeout.count()))));
+  serve::InferenceServer server(cfg);
+  Status st = server.RegisterModel(model_name, std::move(task.model),
+                                   task.single_input_shape);
+  if (!st.ok()) return Fail(st.ToString().c_str());
+  st = server.Start();
+  if (!st.ok()) return Fail(st.ToString().c_str());
+
+  net::NetServerConfig net_cfg;
+  net_cfg.idle_timeout = std::chrono::milliseconds(0);  // Shared knob.
+  net::NetServer net(&server, net_cfg);
+  st = net.Start();
+  if (!st.ok()) return Fail(st.ToString().c_str());
+
+  // One request template, re-framed per arrival by the rig.
+  net::SubmitFrame request;
+  request.model = model_name;
+  request.qoi_tolerance = tol;
+  // 0 defers to the server's default_timeout (the shared knob). A short
+  // explicit deadline makes overload shedding visible as typed
+  // kDeadlineExceeded frames instead of TCP-buffered latency.
+  request.deadline_ms = static_cast<uint32_t>(deadline_ms);
+  {
+    std::vector<tensor::Tensor> batches =
+        tasks::FreshInputBatches(task, 1, /*seed=*/17);
+    tensor::Tensor& full = batches[0];
+    const int64_t take = std::min<int64_t>(rows, full.dim(0));
+    tensor::Shape shape = full.shape();
+    shape[0] = take;
+    tensor::Tensor input(shape);
+    std::copy(full.data(), full.data() + input.size(), input.data());
+    request.input = std::move(input);
+  }
+
+  std::printf(
+      "net-bench: task=%s port=%u connections=%d workers=%d "
+      "queue-cap=%lld rows/request=%d tol=%.1e timeout=%lldms "
+      "phase=%.1fs rates=%s\n",
+      model_name.c_str(), net.port(), connections, workers,
+      static_cast<long long>(cfg.max_queue_depth), rows, tol,
+      static_cast<long long>(cfg.default_timeout.count()), phase_seconds,
+      args.Get("rates", "200,4000").c_str());
+
+  std::string records;
+  int code = 0;
+  for (size_t i = 0; i < rates->size(); ++i) {
+    net::NetLoadConfig load;
+    load.host = "127.0.0.1";
+    load.port = net.port();
+    load.connections = connections;
+    load.phases = {{phase_seconds, (*rates)[i]}};
+    load.request = request;
+    load.seed = 1 + i;
+    auto stats = net::RunNetLoad(load);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "error: rate %.0f: %s\n", (*rates)[i],
+                   stats.status().ToString().c_str());
+      code = 2;
+      break;
+    }
+    std::printf("offered %.0f req/s:\n%s", (*rates)[i],
+                stats->Summary().c_str());
+    char rec[512];
+    std::snprintf(
+        rec, sizeof(rec),
+        "    {\"offered_rps\": %.1f, \"achieved_rps\": %.1f, "
+        "\"submitted\": %llu, \"completed\": %llu, \"rejected\": %llu, "
+        "\"backpressure\": %llu, \"deadline_shed\": %llu, "
+        "\"unanswered\": %llu, \"overload_dropped\": %llu, "
+        "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"mean_ms\": %.3f, "
+        "\"max_ms\": %.3f}",
+        stats->offered_rps, stats->achieved_rps,
+        static_cast<unsigned long long>(stats->submitted),
+        static_cast<unsigned long long>(stats->completed),
+        static_cast<unsigned long long>(stats->rejected),
+        static_cast<unsigned long long>(stats->backpressure),
+        static_cast<unsigned long long>(stats->deadline_shed),
+        static_cast<unsigned long long>(stats->unanswered),
+        static_cast<unsigned long long>(stats->overload_dropped),
+        stats->latency_p50_ms, stats->latency_p99_ms,
+        stats->latency_mean_ms, stats->latency_max_ms);
+    if (!records.empty()) records += ",\n";
+    records += rec;
+  }
+  st = net.Shutdown();
+  if (!st.ok()) return Fail(st.ToString().c_str());
+  st = server.Shutdown();
+  if (!st.ok()) return Fail(st.ToString().c_str());
+  if (code != 0) return code;
+
+  char header[256];
+  std::snprintf(header, sizeof(header),
+                "{\n  \"bench\": \"net_open_loop\",\n"
+                "  \"task\": \"%s\",\n"
+                "  \"connections\": %d,\n  \"workers\": %d,\n"
+                "  \"queue_cap\": %lld,\n  \"rows_per_request\": %d,\n"
+                "  \"deadline_ms\": %d,\n  \"timeout_ms\": %lld,\n"
+                "  \"phase_seconds\": %.1f,\n"
+                "  \"records\": [\n",
+                model_name.c_str(), connections, workers,
+                static_cast<long long>(cfg.max_queue_depth), rows,
+                deadline_ms,
+                static_cast<long long>(cfg.default_timeout.count()),
+                phase_seconds);
+  const std::string json_path = args.Get("json", "BENCH_net.json");
+  if (!WriteFileOrWarn(json_path, std::string(header) + records + "\n  ]\n}\n")) {
+    return 2;
+  }
+  std::printf("wrote %s (%zu rate(s))\n", json_path.c_str(), rates->size());
+  return 0;
+}
+
 // Applies the global observability flags; returns false on bad input.
 bool SetupObservability(const Args& args) {
   const std::string level = args.Get("log-level", "");
@@ -502,17 +676,6 @@ bool SetupObservability(const Args& args) {
                  log_json.c_str());
     return false;
   }
-  return true;
-}
-
-bool WriteFileOrWarn(const std::string& path, const std::string& content) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
-    return false;
-  }
-  std::fwrite(content.data(), 1, content.size(), f);
-  std::fclose(f);
   return true;
 }
 
@@ -572,6 +735,10 @@ void PrintUsage() {
       "[--concurrency 8] [--duration 5] [--workers 4] [--max-batch 64] "
       "[--queue-cap 1024] [--tolerances 1e-3,1e-2,1e-1] [--timeout-ms "
       "1000] [--rows 8] [--strict] [--audit 0.1] [--evict-on-violation]\n"
+      "  errorflow net-bench  [--task h2|borghesi|eurosat] "
+      "[--rates 200,4000] [--phase-seconds 2] [--connections 32] "
+      "[--workers 4] [--queue-cap 256] [--rows 8] [--tol 1e-2] "
+      "[--deadline-ms 0] [--timeout-ms 1000] [--json BENCH_net.json]\n"
       "\nglobal: --model-cache-dir <dir> (default $ERRORFLOW_CACHE_DIR or "
       "./ef_model_cache)\n"
       "\nobservability (any subcommand): --metrics-out <path.json> "
@@ -609,6 +776,8 @@ int main(int argc, char** argv) {
     code = CmdRun(args);
   } else if (cmd == "serve-bench") {
     code = CmdServeBench(args);
+  } else if (cmd == "net-bench") {
+    code = CmdNetBench(args);
   } else if (cmd == "help" || cmd == "--help") {
     PrintUsage();
     code = 0;
