@@ -1,10 +1,15 @@
-// Serving-layer scaling sweep: closed-loop throughput and tail latency of
-// serve::InferenceServer as client concurrency grows. The model and the
-// tolerance mix stay fixed, so the curve isolates the scheduler (batch
-// fusion) and the worker pool. Expect throughput to rise with concurrency
-// until batches saturate the workers, with p95 growing as queueing starts.
+// Serving-layer scaling sweeps: (1) closed-loop throughput and tail
+// latency of serve::InferenceServer as client concurrency grows — the
+// model and tolerance mix stay fixed, so the curve isolates the scheduler
+// (batch fusion) and the worker pool; (2) registry sharding — a
+// multi-model mix at fixed concurrency as the variant cache goes from one
+// shard (the old single-lock registry) to many. Expect (1) to rise until
+// batches saturate the workers and (2) to show lease convoying easing as
+// shards grow, with the caveat that a single-core host flattens both.
 #include <cstdio>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "common/figures.h"
 #include "obs/metrics.h"
@@ -63,5 +68,43 @@ int main() {
                 mean_batch);
   }
   EF_CHECK_OK(server.Shutdown());
+
+  // Registry shard sweep: 4 model clones, checksum verification on (the
+  // worst case for the old single-lock registry, where every hit held the
+  // global lock through a full serialization pass).
+  bench::PrintHeader("Serving - registry shard scaling (4-model mix)");
+  const std::vector<std::string> model_names = {"h2_0", "h2_1", "h2_2",
+                                                "h2_3"};
+  std::printf("%-12s %12s %12s %12s %12s %14s\n", "shards", "req/s",
+              "p50(ms)", "p95(ms)", "p99(ms)", "reg hits");
+  for (int shards : {1, 2, 4, 8}) {
+    obs::MetricsRegistry::Global().Reset();
+    serve::ServerConfig shard_cfg;
+    shard_cfg.num_workers = 4;
+    shard_cfg.registry_shards = shards;
+    shard_cfg.verify_variants = true;
+    serve::InferenceServer shard_server(shard_cfg);
+    for (const std::string& name : model_names) {
+      EF_CHECK_OK(shard_server.RegisterModel(name, task.model.Clone(),
+                                             task.single_input_shape));
+    }
+    EF_CHECK_OK(shard_server.Start());
+    serve::LoadGenConfig lg;
+    lg.model = model_names[0];
+    lg.models = model_names;
+    lg.concurrency = 8;
+    lg.duration_seconds = 2.0;
+    lg.seed = static_cast<uint64_t>(shards);
+    serve::LoadGenStats stats =
+        serve::RunClosedLoop(shard_server, lg, input_factory);
+    std::printf(
+        "%-12d %12.0f %12.3f %12.3f %12.3f %14llu\n", shards,
+        stats.throughput_rps, stats.latency.p50() * 1e3,
+        stats.latency.p95() * 1e3, stats.latency.p99() * 1e3,
+        static_cast<unsigned long long>(
+            obs::MetricsRegistry::Global().CounterValue(
+                "errorflow.serve.registry.hits")));
+    EF_CHECK_OK(shard_server.Shutdown());
+  }
   return 0;
 }

@@ -96,6 +96,33 @@ double HistogramSnapshot::Percentile(double p) const {
   return max;
 }
 
+HistogramSnapshot HistogramSnapshot::DeltaSince(
+    const HistogramSnapshot& earlier) const {
+  if (earlier.count == 0) return *this;
+  if (earlier.bounds != bounds || earlier.counts.size() != counts.size() ||
+      earlier.count > count) {
+    return *this;
+  }
+  HistogramSnapshot window;
+  window.bounds = bounds;
+  window.counts.resize(counts.size());
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (earlier.counts[b] > counts[b]) return *this;  // Reset in between.
+    window.counts[b] = counts[b] - earlier.counts[b];
+  }
+  window.count = count - earlier.count;
+  window.sum = sum - earlier.sum;
+  if (window.count == 0) {
+    window.min = std::numeric_limits<double>::quiet_NaN();
+    window.max = std::numeric_limits<double>::quiet_NaN();
+  } else {
+    // Cumulative envelope: per-window extrema are not tracked.
+    window.min = min;
+    window.max = max;
+  }
+  return window;
+}
+
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   counts_.assign(bounds_.size() + 1, 0);
 }

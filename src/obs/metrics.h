@@ -66,6 +66,17 @@ struct HistogramSnapshot {
   double p50() const { return Percentile(50.0); }
   double p95() const { return Percentile(95.0); }
   double p99() const { return Percentile(99.0); }
+
+  /// The window of samples recorded between `earlier` and this snapshot:
+  /// per-bucket counts, count, and sum are exact differences, so
+  /// Percentile() describes only the window — the signal an adaptive
+  /// controller needs, where the cumulative histogram would blend in
+  /// ancient history. min/max keep this snapshot's cumulative envelope
+  /// (per-window extrema are not tracked), which is conservative for the
+  /// percentile clamp. If `earlier` is not an older snapshot of the same
+  /// histogram (bucket mismatch, or counts that went backwards across a
+  /// Reset), returns *this unchanged.
+  HistogramSnapshot DeltaSince(const HistogramSnapshot& earlier) const;
 };
 
 /// \brief Fixed-bucket histogram. Recording takes a short per-histogram

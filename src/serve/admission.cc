@@ -1,5 +1,6 @@
 #include "serve/admission.h"
 
+#include <algorithm>
 #include <limits>
 #include <string>
 
@@ -47,8 +48,8 @@ AdmissionController::AdmissionController(AdmissionConfig config)
 Result<AdmissionDecision> AdmissionController::Admit(
     const core::ErrorFlowAnalysis& analysis, int64_t flops_per_sample,
     int64_t bytes_per_sample, double qoi_tolerance,
-    Clock::time_point deadline, Clock::time_point now,
-    int64_t queue_depth) const {
+    Clock::time_point deadline, Clock::time_point now, int64_t queue_depth,
+    bool overloaded) const {
   if (!(qoi_tolerance > 0.0)) {
     rejected_invalid_->Increment();
     return Status::InvalidArgument(
@@ -60,12 +61,16 @@ Result<AdmissionDecision> AdmissionController::Admit(
     return Status::DeadlineExceeded(
         "admission: deadline already expired at submit");
   }
-  if (queue_depth >= config_.max_queue_depth) {
+  const int64_t effective_depth =
+      overloaded ? std::max<int64_t>(1, config_.max_queue_depth / 2)
+                 : config_.max_queue_depth;
+  if (queue_depth >= effective_depth) {
     rejected_overload_->Increment();
-    return Status::ResourceExhausted(
-        util::StrFormat("admission: queue full (%lld/%lld)",
-                        static_cast<long long>(queue_depth),
-                        static_cast<long long>(config_.max_queue_depth)));
+    return Status::ResourceExhausted(util::StrFormat(
+        "admission: queue full (%lld/%lld%s)",
+        static_cast<long long>(queue_depth),
+        static_cast<long long>(effective_depth),
+        overloaded ? ", bound halved under SLO overload" : ""));
   }
 
   // Fastest format whose error-flow bound (at zero input error — served

@@ -55,14 +55,17 @@ class AdmissionController {
 
   /// Decides one request. `now` is injected for testability; production
   /// callers pass Clock::now(). `queue_depth` is the number of admitted,
-  /// not-yet-dispatched requests.
+  /// not-yet-dispatched requests. `overloaded` is the scheduler's
+  /// SLO-overload signal: while set, the effective queue bound is halved,
+  /// so backpressure engages before the queue grows into latency the
+  /// adaptive batcher can no longer shed its way out of.
   Result<AdmissionDecision> Admit(const core::ErrorFlowAnalysis& analysis,
                                   int64_t flops_per_sample,
                                   int64_t bytes_per_sample,
                                   double qoi_tolerance,
                                   Clock::time_point deadline,
-                                  Clock::time_point now,
-                                  int64_t queue_depth) const;
+                                  Clock::time_point now, int64_t queue_depth,
+                                  bool overloaded = false) const;
 
   const AdmissionConfig& config() const { return config_; }
 

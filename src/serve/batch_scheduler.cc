@@ -18,6 +18,17 @@ double SecondsBetween(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
 
+// Fusion compatibility: every dimension but the leading (row) one must
+// match, or the fused gather/scatter memcpys would misalign rows — and,
+// for a larger trailing shape, write past the fused buffer.
+bool SameTrailingDims(const tensor::Tensor& a, const tensor::Tensor& b) {
+  if (a.ndim() != b.ndim()) return false;
+  for (int d = 1; d < static_cast<int>(a.ndim()); ++d) {
+    if (a.dim(d) != b.dim(d)) return false;
+  }
+  return true;
+}
+
 // Max per-sample error over `n` samples of `per` elements each, in the
 // given norm (the serving twin of the pipeline's achieved-QoI measure).
 double MaxPerSampleError(const float* ref, const float* got, int64_t n,
@@ -45,6 +56,24 @@ double MaxPerSampleError(const float* ref, const float* got, int64_t n,
 
 }  // namespace
 
+AuditSampler::AuditSampler(double fraction, uint64_t initial_accumulator)
+    : accumulator_(initial_accumulator) {
+  fraction = std::min(1.0, std::max(0.0, fraction));
+  numerator_ = static_cast<uint64_t>(
+      std::llround(fraction * static_cast<double>(kScale)));
+}
+
+bool AuditSampler::Tick() {
+  if (numerator_ == 0) return false;
+  if (numerator_ >= kScale) return true;
+  const uint64_t prev =
+      accumulator_.fetch_add(numerator_, std::memory_order_relaxed);
+  // Fires exactly when the integer accumulator rolls over a kScale
+  // boundary. prev wraps mod 2^64 and kScale divides 2^64, so the
+  // pattern is exact at any sequence length.
+  return (prev % kScale) + numerator_ >= kScale;
+}
+
 BatchScheduler::BatchScheduler(ModelRegistry* registry,
                                SchedulerConfig config)
     : registry_(registry),
@@ -68,9 +97,29 @@ BatchScheduler::BatchScheduler(ModelRegistry* registry,
       queue_wait_hist_(obs::MetricsRegistry::Global().GetHistogram(
           "errorflow.serve.queue_wait_seconds")),
       exec_hist_(obs::MetricsRegistry::Global().GetHistogram(
-          "errorflow.serve.exec_seconds")) {
+          "errorflow.serve.exec_seconds")),
+      batch_limit_gauge_(obs::MetricsRegistry::Global().GetGauge(
+          "errorflow.serve.adaptive.batch_rows_limit")),
+      grows_(obs::MetricsRegistry::Global().GetCounter(
+          "errorflow.serve.adaptive.grows")),
+      shrinks_(obs::MetricsRegistry::Global().GetCounter(
+          "errorflow.serve.adaptive.shrinks")),
+      early_sheds_(obs::MetricsRegistry::Global().GetCounter(
+          "errorflow.serve.adaptive.early_sheds")),
+      audit_sampler_(config.audit_fraction) {
   EF_CHECK(registry_ != nullptr);
   EF_CHECK(config_.max_batch_rows >= 1);
+  EF_CHECK(config_.min_batch_rows >= 1 &&
+           config_.min_batch_rows <= config_.max_batch_rows);
+  EF_CHECK(config_.adapt_interval_batches >= 1);
+  // Adaptive runs start at the floor and earn their way up while the SLO
+  // has headroom; fixed runs use the full budget from the first batch.
+  batch_rows_limit_.store(config_.slo_p99_seconds > 0.0
+                              ? config_.min_batch_rows
+                              : config_.max_batch_rows,
+                          std::memory_order_relaxed);
+  batch_limit_gauge_->Set(
+      static_cast<double>(batch_rows_limit_.load(std::memory_order_relaxed)));
 }
 
 BatchScheduler::~BatchScheduler() { Shutdown(); }
@@ -146,19 +195,26 @@ bool BatchScheduler::running() const {
 }
 
 Status BatchScheduler::Shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!running_) return Status::OK();
-    stopping_ = true;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!running_) return Status::OK();
+  if (stopping_) {
+    // Another thread owns the drain; joining the dispatcher twice is UB,
+    // so wait for that thread to finish instead.
+    shutdown_cv_.wait(lock, [this] { return !running_; });
+    return Status::OK();
   }
+  stopping_ = true;
+  lock.unlock();
+
   cv_.notify_all();
   dispatcher_.join();  // Exits only once the queue is drained.
   pool_.reset();       // ThreadPool dtor drains in-flight batches.
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    running_ = false;
-    stopping_ = false;
-  }
+
+  lock.lock();
+  running_ = false;
+  stopping_ = false;
+  lock.unlock();
+  shutdown_cv_.notify_all();
   return Status::OK();
 }
 
@@ -170,6 +226,8 @@ void BatchScheduler::DispatchLoop() {
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ with a drained queue.
 
+      const int64_t max_rows =
+          batch_rows_limit_.load(std::memory_order_relaxed);
       group.push_back(std::move(queue_.front()));
       queue_.pop_front();
       // Copied, not referenced: push_back below reallocates `group`.
@@ -177,10 +235,13 @@ void BatchScheduler::DispatchLoop() {
       const quant::NumericFormat format = group[0].decision.format;
       int64_t rows = group[0].request.input.dim(0);
       // Sweep the queue (FIFO order) for compatible requests to fuse.
+      // The fuse key is (model, format, per-row shape): rows of a
+      // different trailing shape cannot share one gather/scatter layout.
       for (auto it = queue_.begin();
-           it != queue_.end() && rows < config_.max_batch_rows;) {
+           it != queue_.end() && rows < max_rows;) {
         if (it->request.model == model && it->decision.format == format &&
-            rows + it->request.input.dim(0) <= config_.max_batch_rows) {
+            SameTrailingDims(it->request.input, group[0].request.input) &&
+            rows + it->request.input.dim(0) <= max_rows) {
           rows += it->request.input.dim(0);
           group.push_back(std::move(*it));
           it = queue_.erase(it);
@@ -193,7 +254,48 @@ void BatchScheduler::DispatchLoop() {
     // std::function needs copyable callables; box the move-only group.
     auto boxed = std::make_shared<std::vector<Pending>>(std::move(group));
     pool_->Submit([this, boxed] { ExecuteGroup(std::move(*boxed)); });
+
+    if (config_.slo_p99_seconds > 0.0 &&
+        ++batches_since_adapt_ >= config_.adapt_interval_batches) {
+      AdaptStep();
+    }
   }
+}
+
+void BatchScheduler::AdaptStep() {
+  batches_since_adapt_ = 0;
+  obs::HistogramSnapshot now = latency_hist_->Snapshot();
+  obs::HistogramSnapshot window = now.DeltaSince(adapt_baseline_);
+  // No completions since the last step: keep the budget and the baseline,
+  // and decide again once the window has signal.
+  if (window.count == 0) return;
+  adapt_baseline_ = std::move(now);
+
+  const double p99 = window.Percentile(99.0);
+  int64_t limit = batch_rows_limit_.load(std::memory_order_relaxed);
+  if (p99 > config_.slo_p99_seconds) {
+    const int64_t next = std::max(config_.min_batch_rows, limit / 2);
+    if (next != limit) {
+      shrinks_->Increment();
+      obs::Logf(obs::LogLevel::kDebug,
+                "scheduler: windowed p99 %.3fms over SLO %.3fms; fuse "
+                "budget %lld -> %lld rows",
+                p99 * 1e3, config_.slo_p99_seconds * 1e3,
+                static_cast<long long>(limit),
+                static_cast<long long>(next));
+    }
+    limit = next;
+    overloaded_.store(true, std::memory_order_relaxed);
+  } else {
+    overloaded_.store(false, std::memory_order_relaxed);
+    if (p99 < config_.slo_headroom * config_.slo_p99_seconds) {
+      const int64_t next = std::min(config_.max_batch_rows, limit * 2);
+      if (next != limit) grows_->Increment();
+      limit = next;
+    }
+  }
+  batch_rows_limit_.store(limit, std::memory_order_relaxed);
+  batch_limit_gauge_->Set(static_cast<double>(limit));
 }
 
 void BatchScheduler::FailGroup(std::vector<Pending>* group,
@@ -208,20 +310,37 @@ void BatchScheduler::FailGroup(std::vector<Pending>* group,
 
 void BatchScheduler::ExecuteGroup(std::vector<Pending> group) {
   obs::TraceSpan span("serve.batch");
-  // Shed requests whose deadline passed while they queued.
+  // Shed requests whose deadline passed while they queued — and, under
+  // SLO overload, those that cannot finish before their deadline anyway
+  // (remaining budget below the execution-time EWMA): executing them
+  // would spend worker time on a response the caller already counts as
+  // dead. Shed requests record queue_wait_seconds (they did queue) but
+  // not latency_seconds, which covers completed requests only
+  // (docs/OBSERVABILITY.md).
   const Clock::time_point dispatch_time = Clock::now();
+  const bool overloaded = overloaded_.load(std::memory_order_relaxed);
+  const double exec_ewma =
+      exec_ewma_seconds_.load(std::memory_order_relaxed);
   std::vector<Pending> live;
   live.reserve(group.size());
   for (Pending& p : group) {
-    if (p.request.deadline != Clock::time_point{} &&
-        p.request.deadline <= dispatch_time) {
+    const bool has_deadline = p.request.deadline != Clock::time_point{};
+    const bool expired = has_deadline && p.request.deadline <= dispatch_time;
+    const bool doomed =
+        !expired && overloaded && has_deadline &&
+        SecondsBetween(dispatch_time, p.request.deadline) < exec_ewma;
+    if (expired || doomed) {
       timeouts_->Increment();
+      if (doomed) early_sheds_->Increment();
       InferenceResponse response;
-      response.status =
-          Status::DeadlineExceeded("scheduler: deadline expired in queue");
+      response.status = Status::DeadlineExceeded(
+          doomed ? "scheduler: shed under SLO overload (deadline budget "
+                   "below execution horizon)"
+                 : "scheduler: deadline expired in queue");
       response.queue_seconds =
           SecondsBetween(p.enqueue_time, dispatch_time);
       response.total_seconds = response.queue_seconds;
+      queue_wait_hist_->Record(response.queue_seconds);
       Deliver(&p, std::move(response));
     } else {
       live.push_back(std::move(p));
@@ -261,9 +380,18 @@ void BatchScheduler::ExecuteGroup(std::vector<Pending> group) {
     output = (*variant)->model.Predict(fused);
   }
   const Clock::time_point done_time = Clock::now();
-  exec_hist_->Record(SecondsBetween(dispatch_time, done_time));
+  const double exec_seconds = SecondsBetween(dispatch_time, done_time);
+  exec_hist_->Record(exec_seconds);
   batch_requests_hist_->Record(static_cast<double>(live.size()));
   batch_rows_hist_->Record(static_cast<double>(rows));
+  // Early-shed horizon: EWMA of batch execution time. A stale-read race
+  // between workers only smudges the smoothing, never correctness.
+  const double prev_ewma =
+      exec_ewma_seconds_.load(std::memory_order_relaxed);
+  exec_ewma_seconds_.store(
+      prev_ewma == 0.0 ? exec_seconds
+                       : 0.8 * prev_ewma + 0.2 * exec_seconds,
+      std::memory_order_relaxed);
 
   // Scatter output rows back to the per-request promises.
   const int64_t out_row_elems = output.size() / rows;
@@ -296,20 +424,9 @@ void BatchScheduler::ExecuteGroup(std::vector<Pending> group) {
   // FP32 reference re-execution never sits on the request latency path.
   // FP32 batches are the reference and are never audited.
   if (live[0].decision.format != quant::NumericFormat::kFP32 &&
-      ShouldAudit()) {
+      audit_sampler_.Tick()) {
     AuditGroup(live, fused, output, rows);
   }
-}
-
-bool BatchScheduler::ShouldAudit() {
-  const double fraction = config_.audit_fraction;
-  if (fraction <= 0.0) return false;
-  if (fraction >= 1.0) return true;
-  // floor((k+1)f) > floor(kf) fires on exactly a `fraction` share of the
-  // batch sequence, deterministically and without per-call RNG state.
-  const double k =
-      static_cast<double>(audit_seq_.fetch_add(1, std::memory_order_relaxed));
-  return std::floor((k + 1.0) * fraction) > std::floor(k * fraction);
 }
 
 void BatchScheduler::AuditGroup(const std::vector<Pending>& live,

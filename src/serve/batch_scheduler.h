@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -25,8 +26,38 @@ namespace serve {
 struct SchedulerConfig {
   /// util::ThreadPool workers executing fused batches.
   int num_workers = 4;
-  /// Cap on sample rows fused into one execution batch.
+  /// Cap on sample rows fused into one execution batch. With an SLO set
+  /// this is the adaptive controller's upper limit; without one it is the
+  /// fixed fuse budget.
   int64_t max_batch_rows = 64;
+
+  /// \name SLO-aware adaptive batching.
+  ///
+  /// With `slo_p99_seconds > 0`, the dispatcher resizes the fuse budget
+  /// between `min_batch_rows` and `max_batch_rows` against the observed
+  /// request-latency p99 (a windowed read of the existing
+  /// errorflow.serve.latency_seconds histogram): the budget doubles while
+  /// the windowed p99 sits below `slo_headroom * slo_p99_seconds` and
+  /// halves when it exceeds the SLO. An over-SLO window also marks the
+  /// scheduler overloaded, which (a) sheds queued requests that cannot
+  /// finish before their deadline anyway (remaining budget below the
+  /// execution-time EWMA) and (b) tightens admission backpressure through
+  /// `overloaded()`. Batch composition never changes outputs: fused
+  /// execution is bit-identical to per-request execution, so the adaptive
+  /// budget trades latency against throughput only.
+  /// @{
+  /// Target p99 request latency; 0 disables adaptation (fixed
+  /// max_batch_rows budget).
+  double slo_p99_seconds = 0.0;
+  /// Lower limit of the adaptive fuse budget (also its starting value, so
+  /// the controller ramps up only while the SLO has headroom).
+  int64_t min_batch_rows = 1;
+  /// Dispatched batches between controller steps.
+  int adapt_interval_batches = 16;
+  /// Grow only while windowed p99 < slo_headroom * slo_p99_seconds; the
+  /// band between headroom and the SLO holds the budget steady.
+  double slo_headroom = 0.7;
+  /// @}
 
   /// \name Error-budget audit (the bound-violation watchdog).
   ///
@@ -48,17 +79,48 @@ struct SchedulerConfig {
   /// @}
 };
 
+/// \brief Deterministic fractional sampler: over any window of N ticks,
+/// fires on floor-pattern-exact `fraction * N` of them, with no RNG and no
+/// floating-point accumulation.
+///
+/// The fraction is fixed to a 32-bit numerator at construction and
+/// accumulated in integers (Bresenham-style), so the firing pattern stays
+/// exact forever: the old floating-point formula
+/// `floor((k+1)f) > floor(kf)` silently stops firing once `k * f` crosses
+/// 2^53 (consecutive doubles there are 2 apart, so the products collapse
+/// onto the same value). Because 2^32 divides 2^64, the accumulator even
+/// wraps seamlessly. Thread-safe.
+class AuditSampler {
+ public:
+  /// `fraction` is clamped to [0, 1]; 0 never fires, 1 always fires.
+  /// `initial_accumulator` seeds the phase (test hook for pinning
+  /// behavior at arbitrary points in the sequence).
+  explicit AuditSampler(double fraction, uint64_t initial_accumulator = 0);
+
+  /// Advances the sequence one tick; true on the sampled ticks.
+  bool Tick();
+
+  static constexpr uint64_t kScale = 1ull << 32;
+
+ private:
+  uint64_t numerator_;
+  std::atomic<uint64_t> accumulator_;
+};
+
 /// \brief FIFO request queue plus a dispatcher that fuses compatible
-/// requests — same (model, format) — into batches and executes them on a
-/// worker pool.
+/// requests — same (model, format, per-row shape) — into batches and
+/// executes them on a worker pool.
 ///
 /// The dispatcher thread pops the oldest admitted request, sweeps the
-/// queue for others with the same key until `max_batch_rows`, and hands
-/// the group to the pool. Workers lease the quantized variant from the
-/// registry (a cache hit after the first batch), run one fused Predict
-/// under the variant's execution lock, then scatter output rows back to
-/// the per-request promises. Requests whose deadline passed while queued
-/// are shed with kDeadlineExceeded at dispatch time, before any execution.
+/// queue for others with the same fuse key until the current fuse budget
+/// (fixed `max_batch_rows`, or the adaptive controller's limit when an
+/// SLO is configured), and hands the group to the pool. Workers lease the
+/// quantized variant from the registry (a cache hit after the first
+/// batch), run one fused Predict, then scatter output rows back to the
+/// per-request promises. Requests whose deadline passed while queued are
+/// shed with kDeadlineExceeded at dispatch time, before any execution;
+/// under SLO overload, requests whose remaining deadline budget is below
+/// the execution-time EWMA are shed early for the same reason.
 class BatchScheduler {
  public:
   BatchScheduler(ModelRegistry* registry, SchedulerConfig config);
@@ -90,10 +152,30 @@ class BatchScheduler {
   int64_t queue_depth() const;
 
   /// Drains the queue (every queued request still executes or is shed),
-  /// then stops the dispatcher and joins the workers. Idempotent.
+  /// then stops the dispatcher and joins the workers. Idempotent AND
+  /// thread-safe: concurrent callers all block until the drain completes,
+  /// and exactly one of them joins the dispatcher.
   Status Shutdown();
 
   bool running() const;
+
+  /// Current fuse budget in rows (== max_batch_rows when no SLO is set).
+  int64_t batch_rows_limit() const {
+    return batch_rows_limit_.load(std::memory_order_relaxed);
+  }
+
+  /// True while the adaptive controller's last latency window exceeded
+  /// the SLO — the signal admission uses to tighten backpressure.
+  bool overloaded() const {
+    return overloaded_.load(std::memory_order_relaxed);
+  }
+
+  /// Forces the overload flag and the execution-time EWMA, so tests can
+  /// pin the early-shed path without racing the controller. Test-only.
+  void SetOverloadForTest(bool overloaded, double exec_ewma_seconds) {
+    overloaded_.store(overloaded, std::memory_order_relaxed);
+    exec_ewma_seconds_.store(exec_ewma_seconds, std::memory_order_relaxed);
+  }
 
  private:
   struct Pending {
@@ -113,13 +195,13 @@ class BatchScheduler {
   bool TryEnqueue(Pending* pending);
 
   void DispatchLoop();
+  /// One adaptive-controller step: reads the latency histogram's windowed
+  /// p99 and resizes the fuse budget. Dispatcher thread only.
+  void AdaptStep();
   /// Runs on a pool worker: executes one fused group.
   void ExecuteGroup(std::vector<Pending> group);
   /// Fulfills every request in `group` with `status`.
   static void FailGroup(std::vector<Pending>* group, const Status& status);
-  /// Deterministic audit sampling: true for exactly ceil/floor-alternating
-  /// audit_fraction of calls (every call when the fraction is >= 1).
-  bool ShouldAudit();
   /// Re-executes `fused` on the FP32 base, records one ledger per request
   /// in `live` against `output`, and (when configured) invalidates the
   /// violating variant. `rows` is the fused row count.
@@ -132,11 +214,23 @@ class BatchScheduler {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  /// Signals shutdown completion to concurrent Shutdown() callers.
+  std::condition_variable shutdown_cv_;
   std::deque<Pending> queue_;
   bool running_ = false;
   bool stopping_ = false;
   std::thread dispatcher_;
   std::unique_ptr<util::ThreadPool> pool_;
+
+  /// Adaptive fuse budget; fixed at max_batch_rows when no SLO is set.
+  std::atomic<int64_t> batch_rows_limit_;
+  std::atomic<bool> overloaded_{false};
+  /// EWMA of fused-batch execution seconds (the early-shed horizon).
+  std::atomic<double> exec_ewma_seconds_{0.0};
+  /// Dispatcher-thread state for the controller cadence and its windowed
+  /// histogram read.
+  int batches_since_adapt_ = 0;
+  obs::HistogramSnapshot adapt_baseline_;
 
   // docs/SERVING.md metric conventions.
   obs::Gauge* queue_depth_gauge_;
@@ -148,9 +242,13 @@ class BatchScheduler {
   obs::Histogram* latency_hist_;
   obs::Histogram* queue_wait_hist_;
   obs::Histogram* exec_hist_;
+  obs::Gauge* batch_limit_gauge_;
+  obs::Counter* grows_;
+  obs::Counter* shrinks_;
+  obs::Counter* early_sheds_;
 
-  /// Monotonic batch sequence for audit sampling.
-  std::atomic<uint64_t> audit_seq_{0};
+  /// Deterministic audit sampling over the fused-batch sequence.
+  AuditSampler audit_sampler_;
 };
 
 }  // namespace serve

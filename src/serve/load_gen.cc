@@ -52,7 +52,9 @@ LoadGenStats RunClosedLoop(
       uint64_t i = 0;
       while (Clock::now() < stop_at) {
         InferenceRequest request;
-        request.model = config.model;
+        request.model = config.models.empty()
+                            ? config.model
+                            : config.models[i % config.models.size()];
         request.input = pool[(i * static_cast<uint64_t>(
                                       config.concurrency) +
                               static_cast<uint64_t>(c)) %
@@ -155,6 +157,21 @@ std::string LoadGenStats::Summary(
     first_format = false;
   }
   out += "\n";
+  const double batch_limit = registry.GaugeValue(
+      "errorflow.serve.adaptive.batch_rows_limit");
+  const uint64_t grows =
+      registry.CounterValue("errorflow.serve.adaptive.grows");
+  const uint64_t shrinks =
+      registry.CounterValue("errorflow.serve.adaptive.shrinks");
+  if (grows > 0 || shrinks > 0 || batch_limit > 0.0) {
+    out += util::StrFormat(
+        "  adaptive batcher    : limit %.0f rows, %llu grows, %llu "
+        "shrinks, %llu early sheds\n",
+        batch_limit, static_cast<unsigned long long>(grows),
+        static_cast<unsigned long long>(shrinks),
+        static_cast<unsigned long long>(registry.CounterValue(
+            "errorflow.serve.adaptive.early_sheds")));
+  }
   out += util::StrFormat(
       "  registry            : %llu quantizations, %llu hits, %llu misses, "
       "%llu evictions\n",

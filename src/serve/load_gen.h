@@ -19,6 +19,10 @@ namespace serve {
 /// `duration_seconds`, cycling through `tolerance_mix`.
 struct LoadGenConfig {
   std::string model;
+  /// When non-empty, clients cycle requests across these models instead of
+  /// `model` — the multi-model mix that spreads variant leases across
+  /// registry shards. All listed models must accept the same input shape.
+  std::vector<std::string> models;
   int concurrency = 8;
   double duration_seconds = 5.0;
   /// QoI tolerances cycled per request (the request "mix"); must be

@@ -1,6 +1,7 @@
 #include "serve/model_registry.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "core/spectral_profile.h"
 #include "nn/serialize.h"
@@ -47,7 +48,46 @@ ModelRegistry::ModelRegistry(RegistryConfig config)
       bytes_gauge_(obs::MetricsRegistry::Global().GetGauge(
           "errorflow.serve.registry.variant_bytes")),
       models_gauge_(obs::MetricsRegistry::Global().GetGauge(
-          "errorflow.serve.registry.models")) {}
+          "errorflow.serve.registry.models")) {
+  config_.num_shards = std::max(1, config_.num_shards);
+  shard_byte_budget_ =
+      std::max<int64_t>(1, config_.max_variant_bytes / config_.num_shards);
+  shards_ = std::vector<Shard>(static_cast<size_t>(config_.num_shards));
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const std::string prefix =
+        "errorflow.serve.registry.shard." + std::to_string(i);
+    shards_[i].hits =
+        obs::MetricsRegistry::Global().GetCounter(prefix + ".hits");
+    shards_[i].misses =
+        obs::MetricsRegistry::Global().GetCounter(prefix + ".misses");
+    shards_[i].evictions =
+        obs::MetricsRegistry::Global().GetCounter(prefix + ".evictions");
+    shards_[i].bytes_gauge =
+        obs::MetricsRegistry::Global().GetGauge(prefix + ".variant_bytes");
+  }
+}
+
+ModelRegistry::Shard& ModelRegistry::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+const ModelRegistry::Shard& ModelRegistry::ShardFor(
+    const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+int ModelRegistry::ShardOf(const std::string& name,
+                           quant::NumericFormat format) const {
+  return static_cast<int>(std::hash<std::string>{}(VariantKey(name, format)) %
+                          shards_.size());
+}
+
+void ModelRegistry::AddVariantBytes(int64_t delta) {
+  const int64_t total =
+      total_variant_bytes_.fetch_add(delta, std::memory_order_relaxed) +
+      delta;
+  bytes_gauge_->Set(static_cast<double>(total));
+}
 
 Status ModelRegistry::Register(std::string name, nn::Model model,
                                tensor::Shape single_input_shape) {
@@ -69,7 +109,7 @@ Status ModelRegistry::Register(std::string name, nn::Model model,
   }
   entry->bytes_per_sample = elems * static_cast<int64_t>(sizeof(float));
 
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(entries_mu_);
   if (entries_.count(name) != 0) {
     return Status::AlreadyExists("registry: model already registered: " +
                                  name);
@@ -81,7 +121,7 @@ Status ModelRegistry::Register(std::string name, nn::Model model,
 
 Result<const ModelRegistry::Entry*> ModelRegistry::Lookup(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(entries_mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     return Status::NotFound("registry: no such model: " + name);
@@ -92,35 +132,74 @@ Result<const ModelRegistry::Entry*> ModelRegistry::Lookup(
 Result<std::shared_ptr<ModelRegistry::Variant>> ModelRegistry::GetVariant(
     const std::string& name, quant::NumericFormat format) {
   const std::string key = VariantKey(name, format);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto hit = variants_.find(key);
-  if (hit != variants_.end()) {
-    if (!config_.verify_variants ||
-        ChecksumModel(hit->second.variant->model) ==
-            hit->second.variant->checksum) {
-      hit->second.last_used_tick = ++tick_;
+  Shard& shard = ShardFor(key);
+
+  std::shared_ptr<Variant> cached;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto hit = shard.variants.find(key);
+    if (hit != shard.variants.end()) {
+      hit->second.last_used_tick = ++shard.tick;
+      cached = hit->second.variant;
+    }
+  }
+  if (cached != nullptr) {
+    bool verified = true;
+    if (config_.verify_variants) {
+      VerifyHook verify_hook;
+      {
+        std::lock_guard<std::mutex> lock(hook_mu_);
+        verify_hook = verify_hook_;
+      }
+      if (verify_hook) verify_hook(name, format);
+      // The serialization pass runs off the shard lock: a slow checksum
+      // never convoys other leases (or other workers re-verifying the
+      // same variant) behind this one.
+      verified = ChecksumModel(cached->model) == cached->checksum;
+    }
+    if (verified) {
       hits_->Increment();
-      return hit->second.variant;
+      shard.hits->Increment();
+      return cached;
     }
     // Corrupt cached variant: count it, drop it, and fall through to the
     // miss path so the lease is served by re-quantizing from the (trusted)
-    // FP32 base instead of crashing or handing out bad weights.
+    // FP32 base instead of crashing or handing out bad weights. The drop
+    // is CAS-style: only the exact variant we verified is erased, so a
+    // racing thread that already replaced the slot is left alone.
     decode_failures_->Increment();
     obs::Logf(obs::LogLevel::kWarn,
               "registry: checksum mismatch on cached variant %s/%s; "
               "re-quantizing from base",
               name.c_str(), quant::FormatToString(format));
-    variant_bytes_ -= hit->second.variant->resident_bytes;
-    variants_.erase(hit);
-    bytes_gauge_->Set(static_cast<double>(variant_bytes_));
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.variants.find(key);
+    if (it != shard.variants.end() && it->second.variant == cached) {
+      shard.bytes -= it->second.variant->resident_bytes;
+      AddVariantBytes(-it->second.variant->resident_bytes);
+      shard.variants.erase(it);
+      shard.bytes_gauge->Set(static_cast<double>(shard.bytes));
+    }
   }
-  auto entry_it = entries_.find(name);
-  if (entry_it == entries_.end()) {
-    return Status::NotFound("registry: no such model: " + name);
+
+  const Entry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(entries_mu_);
+    auto entry_it = entries_.find(name);
+    if (entry_it == entries_.end()) {
+      return Status::NotFound("registry: no such model: " + name);
+    }
+    entry = entry_it->second.get();
   }
   misses_->Increment();
-  if (materialize_fault_hook_) {
-    Status fault = materialize_fault_hook_(name, format);
+  shard.misses->Increment();
+  MaterializeFaultHook fault_hook;
+  {
+    std::lock_guard<std::mutex> lock(hook_mu_);
+    fault_hook = materialize_fault_hook_;
+  }
+  if (fault_hook) {
+    Status fault = fault_hook(name, format);
     if (!fault.ok()) {
       decode_failures_->Increment();
       return Status(fault.code(),
@@ -131,13 +210,16 @@ Result<std::shared_ptr<ModelRegistry::Variant>> ModelRegistry::GetVariant(
   }
   quantize_count_->Increment();
 
+  // Quantize outside the shard lock: materializing one variant must not
+  // stall every lease that hashes to the same shard. Concurrent misses on
+  // the same key may duplicate this work; the insert below reconciles.
   obs::TraceSpan span("serve.registry.quantize");
   auto variant = std::make_shared<Variant>();
   variant->format = format;
   // kFP32 clones (QuantizeWeights is an identity clone there); reduced
   // formats round every Dense/Conv weight tensor.
   variant->model =
-      std::move(quant::QuantizeWeights(entry_it->second->base, format).model);
+      std::move(quant::QuantizeWeights(entry->base, format).model);
   // The base was folded at Register; folding the clone again is a no-op
   // that keeps the "serving never runs power iteration" invariant robust
   // to future base-model sources.
@@ -148,58 +230,73 @@ Result<std::shared_ptr<ModelRegistry::Variant>> ModelRegistry::GetVariant(
       quant::ModelStorageBytes(variant->model, quant::NumericFormat::kFP32);
   variant->checksum = ChecksumModel(variant->model);
   obs::Logf(obs::LogLevel::kDebug,
-            "registry: materialized %s/%s (%lld bytes)", name.c_str(),
-            quant::FormatToString(format),
-            static_cast<long long>(variant->resident_bytes));
+            "registry: materialized %s/%s (%lld bytes, shard %d)",
+            name.c_str(), quant::FormatToString(format),
+            static_cast<long long>(variant->resident_bytes),
+            ShardOf(name, format));
 
-  CachedVariant cached;
-  cached.variant = variant;
-  cached.last_used_tick = ++tick_;
-  variant_bytes_ += variant->resident_bytes;
-  variants_.emplace(key, std::move(cached));
-  EvictLocked(key);
-  bytes_gauge_->Set(static_cast<double>(variant_bytes_));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto raced = shard.variants.find(key);
+  if (raced != shard.variants.end()) {
+    // Another materializer inserted while we quantized; lease theirs so
+    // the shard keeps exactly one resident copy per key.
+    raced->second.last_used_tick = ++shard.tick;
+    return raced->second.variant;
+  }
+  CachedVariant entry_to_cache;
+  entry_to_cache.variant = variant;
+  entry_to_cache.last_used_tick = ++shard.tick;
+  shard.bytes += variant->resident_bytes;
+  AddVariantBytes(variant->resident_bytes);
+  shard.variants.emplace(key, std::move(entry_to_cache));
+  EvictShardLocked(&shard, key);
+  shard.bytes_gauge->Set(static_cast<double>(shard.bytes));
   return variant;
 }
 
 bool ModelRegistry::InvalidateVariant(const std::string& name,
                                       quant::NumericFormat format) {
   const std::string key = VariantKey(name, format);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = variants_.find(key);
-  if (it == variants_.end()) return false;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.variants.find(key);
+  if (it == shard.variants.end()) return false;
   invalidations_->Increment();
   obs::Logf(obs::LogLevel::kWarn,
             "registry: invalidated variant %s/%s; next lease re-quantizes "
             "from base",
             name.c_str(), quant::FormatToString(format));
-  variant_bytes_ -= it->second.variant->resident_bytes;
-  variants_.erase(it);
-  bytes_gauge_->Set(static_cast<double>(variant_bytes_));
+  shard.bytes -= it->second.variant->resident_bytes;
+  AddVariantBytes(-it->second.variant->resident_bytes);
+  shard.variants.erase(it);
+  shard.bytes_gauge->Set(static_cast<double>(shard.bytes));
   return true;
 }
 
-void ModelRegistry::EvictLocked(const std::string& keep) {
-  while (variant_bytes_ > config_.max_variant_bytes && variants_.size() > 1) {
-    auto victim = variants_.end();
-    for (auto it = variants_.begin(); it != variants_.end(); ++it) {
+void ModelRegistry::EvictShardLocked(Shard* shard, const std::string& keep) {
+  while (shard->bytes > shard_byte_budget_ && shard->variants.size() > 1) {
+    auto victim = shard->variants.end();
+    for (auto it = shard->variants.begin(); it != shard->variants.end();
+         ++it) {
       if (it->first == keep) continue;
-      if (victim == variants_.end() ||
+      if (victim == shard->variants.end() ||
           it->second.last_used_tick < victim->second.last_used_tick) {
         victim = it;
       }
     }
-    if (victim == variants_.end()) return;
-    variant_bytes_ -= victim->second.variant->resident_bytes;
+    if (victim == shard->variants.end()) return;
+    shard->bytes -= victim->second.variant->resident_bytes;
+    AddVariantBytes(-victim->second.variant->resident_bytes);
     evictions_->Increment();
+    shard->evictions->Increment();
     obs::Logf(obs::LogLevel::kDebug, "registry: evicted variant %s",
               victim->first.c_str());
-    variants_.erase(victim);
+    shard->variants.erase(victim);
   }
 }
 
 std::vector<std::string> ModelRegistry::ModelNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(entries_mu_);
   std::vector<std::string> names;
   names.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) names.push_back(name);
@@ -207,13 +304,27 @@ std::vector<std::string> ModelRegistry::ModelNames() const {
 }
 
 int64_t ModelRegistry::variant_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int64_t>(variants_.size());
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += static_cast<int64_t>(shard.variants.size());
+  }
+  return total;
 }
 
 int64_t ModelRegistry::variant_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return variant_bytes_;
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.bytes;
+  }
+  return total;
+}
+
+int64_t ModelRegistry::shard_variant_count(int shard) const {
+  const Shard& s = shards_[static_cast<size_t>(shard)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return static_cast<int64_t>(s.variants.size());
 }
 
 }  // namespace serve

@@ -13,6 +13,8 @@ namespace {
 RegistryConfig MakeRegistryConfig(const ServerConfig& config) {
   RegistryConfig rc;
   rc.max_variant_bytes = config.max_variant_bytes;
+  rc.num_shards = config.registry_shards;
+  rc.verify_variants = config.verify_variants;
   return rc;
 }
 
@@ -29,6 +31,9 @@ SchedulerConfig MakeSchedulerConfig(const ServerConfig& config) {
   SchedulerConfig sc;
   sc.num_workers = config.num_workers;
   sc.max_batch_rows = config.max_batch_rows;
+  sc.slo_p99_seconds = config.slo_p99_seconds;
+  sc.min_batch_rows = config.min_batch_rows;
+  sc.adapt_interval_batches = config.adapt_interval_batches;
   sc.audit_fraction = config.audit_fraction;
   // Tightness must compare achieved error to the bound in the norm the
   // bound was admitted in.
@@ -58,10 +63,13 @@ Status InferenceServer::RegisterModel(std::string name, nn::Model model,
 Status InferenceServer::Start() {
   EF_RETURN_IF_ERROR(scheduler_.Start());
   obs::Logf(obs::LogLevel::kInfo,
-            "serve: started (%d workers, max batch %lld rows, queue %lld)",
+            "serve: started (%d workers, max batch %lld rows, queue %lld, "
+            "%d registry shards, slo p99 %.1fms%s)",
             config_.num_workers,
             static_cast<long long>(config_.max_batch_rows),
-            static_cast<long long>(config_.max_queue_depth));
+            static_cast<long long>(config_.max_queue_depth),
+            registry_.num_shards(), config_.slo_p99_seconds * 1e3,
+            config_.slo_p99_seconds > 0.0 ? " [adaptive]" : " [fixed]");
   return Status::OK();
 }
 
@@ -95,8 +103,8 @@ Result<AdmissionDecision> InferenceServer::AdmitRequest(
   }
   return admission_.Admit(entry->analysis, entry->flops_per_sample,
                           entry->bytes_per_sample, request->qoi_tolerance,
-                          request->deadline, now,
-                          scheduler_.queue_depth());
+                          request->deadline, now, scheduler_.queue_depth(),
+                          scheduler_.overloaded());
 }
 
 Result<std::future<InferenceResponse>> InferenceServer::Submit(

@@ -25,6 +25,18 @@ struct ServerConfig {
   int64_t max_queue_depth = 1024;
   /// LRU budget for cached quantized variants.
   int64_t max_variant_bytes = 256ll << 20;
+  /// Variant-cache shards (see RegistryConfig::num_shards).
+  int registry_shards = 8;
+  /// Re-verify variant checksums on every cache hit (off the shard lock;
+  /// see RegistryConfig::verify_variants).
+  bool verify_variants = false;
+  /// Target p99 request latency for the adaptive batcher; 0 keeps the
+  /// fixed max_batch_rows fuse budget (see SchedulerConfig).
+  double slo_p99_seconds = 0.0;
+  /// Adaptive fuse-budget floor and starting value (SLO mode only).
+  int64_t min_batch_rows = 1;
+  /// Dispatched batches between adaptive-controller steps.
+  int adapt_interval_batches = 16;
   /// Norm of request tolerances.
   tensor::Norm norm = tensor::Norm::kLinf;
   quant::HardwareProfile hardware;

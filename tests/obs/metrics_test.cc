@@ -94,6 +94,57 @@ TEST(MetricsTest, EmptyHistogramSnapshotHasNoRange) {
   EXPECT_TRUE(std::isnan(snap.Percentile(100.0)));
 }
 
+TEST(MetricsTest, DeltaSinceIsolatesTheWindow) {
+  Histogram hist({1.0, 10.0, 100.0});
+  for (int i = 0; i < 50; ++i) hist.Record(0.5);  // Old history: fast.
+  const HistogramSnapshot baseline = hist.Snapshot();
+  for (int i = 0; i < 10; ++i) hist.Record(50.0);  // Window: slow.
+
+  const HistogramSnapshot now = hist.Snapshot();
+  const HistogramSnapshot window = now.DeltaSince(baseline);
+  EXPECT_EQ(window.count, 10u);
+  EXPECT_DOUBLE_EQ(window.sum, 500.0);
+  // The cumulative p50 is dragged down by the 50 old fast samples; the
+  // window's is not — that is the point of the delta.
+  EXPECT_LT(now.p50(), 1.0);
+  EXPECT_GT(window.p50(), 10.0);
+  // min/max carry the cumulative envelope (Percentile interpolation
+  // clamps to [min, max]; NaN there would poison it).
+  EXPECT_DOUBLE_EQ(window.min, now.min);
+  EXPECT_DOUBLE_EQ(window.max, now.max);
+}
+
+TEST(MetricsTest, DeltaSinceEmptyBaselineIsIdentity) {
+  Histogram hist({1.0});
+  hist.Record(0.5);
+  const HistogramSnapshot empty;
+  const HistogramSnapshot now = hist.Snapshot();
+  const HistogramSnapshot window = now.DeltaSince(empty);
+  EXPECT_EQ(window.count, now.count);
+  EXPECT_DOUBLE_EQ(window.sum, now.sum);
+}
+
+TEST(MetricsTest, DeltaSinceGuardsAgainstResetAndMismatch) {
+  Histogram hist({1.0, 10.0});
+  for (int i = 0; i < 5; ++i) hist.Record(5.0);
+  const HistogramSnapshot before = hist.Snapshot();
+  hist.Reset();
+  hist.Record(0.5);
+  // Counts went backwards across the Reset: the delta is meaningless, so
+  // DeltaSince degrades to the cumulative (post-reset) snapshot.
+  const HistogramSnapshot after = hist.Snapshot();
+  const HistogramSnapshot window = after.DeltaSince(before);
+  EXPECT_EQ(window.count, after.count);
+  EXPECT_DOUBLE_EQ(window.sum, after.sum);
+
+  // Bucket-layout mismatch likewise degrades instead of mixing layouts.
+  Histogram other({2.0, 20.0, 200.0});
+  other.Record(1.0);
+  const HistogramSnapshot mismatched =
+      hist.Snapshot().DeltaSince(other.Snapshot());
+  EXPECT_EQ(mismatched.count, hist.Snapshot().count);
+}
+
 TEST(MetricsTest, EmptyHistogramStaysValidJson) {
   MetricsRegistry registry;
   registry.GetHistogram("empty.hist");

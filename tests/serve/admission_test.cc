@@ -82,6 +82,24 @@ TEST_F(AdmissionTest, FullQueueIsResourceExhausted) {
                   .ok());
 }
 
+TEST_F(AdmissionTest, OverloadHalvesTheQueueBound) {
+  AdmissionConfig cfg;
+  cfg.max_queue_depth = 8;
+  AdmissionController controller(cfg);
+  // Depth 4 admits normally but is shed while the scheduler reports SLO
+  // overload (effective bound 8/2 = 4).
+  EXPECT_TRUE(controller.Admit(analysis_, 100, 100, 1e-2, later_, now_, 4)
+                  .ok());
+  auto overloaded = controller.Admit(analysis_, 100, 100, 1e-2, later_,
+                                     now_, 4, /*overloaded=*/true);
+  EXPECT_EQ(overloaded.status().code(), StatusCode::kResourceExhausted);
+  // Below the halved bound still admits under overload.
+  EXPECT_TRUE(controller
+                  .Admit(analysis_, 100, 100, 1e-2, later_, now_, 3,
+                         /*overloaded=*/true)
+                  .ok());
+}
+
 TEST_F(AdmissionTest, ToleranceBelowTightestBoundIsFailedPrecondition) {
   AdmissionConfig cfg;
   cfg.allowed_formats = quant::ReducedFormats();  // Exclude lossless FP32.

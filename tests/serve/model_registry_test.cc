@@ -109,8 +109,10 @@ TEST(ModelRegistryTest, Fp32VariantMatchesBaseModel) {
 TEST(ModelRegistryTest, LruEvictsLeastRecentlyUsedVariant) {
   RegistryConfig cfg;
   // The small MLP has 6*8+8 + 8*4+4 = 92 parameters -> 368 resident bytes
-  // per variant; a 400-byte budget holds exactly one.
+  // per variant; a 400-byte budget holds exactly one. One shard, so the
+  // whole budget backs a single LRU (the byte budget is split per shard).
   cfg.max_variant_bytes = 400;
+  cfg.num_shards = 1;
   ModelRegistry registry(cfg);
   ASSERT_TRUE(registry.Register("mlp", SmallMlp(), {1, 6}).ok());
 

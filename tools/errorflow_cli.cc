@@ -17,6 +17,9 @@
 //                       [--queue-cap 1024] [--tolerances 1e-3,1e-2,1e-1]
 //                       [--timeout-ms <ServerConfig default>] [--rows 8]
 //                       [--strict] [--audit 0.1] [--evict-on-violation]
+//                       [--models 1] [--slo-ms 0] [--min-batch 1]
+//                       [--verify-variants] [--shards 1,2,4,8]
+//                       [--json BENCH_serve.json]
 //   errorflow net-bench [--task h2|borghesi|eurosat] [--rates 200,4000]
 //                       [--phase-seconds 2] [--connections 32]
 //                       [--workers 4] [--max-batch 64] [--queue-cap 256]
@@ -401,6 +404,26 @@ Result<std::vector<double>> ParseDoubleList(const std::string& spec) {
   return values;
 }
 
+// Comma-separated list of positive ints, e.g. "1,2,4,8".
+Result<std::vector<int>> ParseIntList(const std::string& spec) {
+  EF_ASSIGN_OR_RETURN(std::vector<double> values, ParseDoubleList(spec));
+  std::vector<int> ints;
+  ints.reserve(values.size());
+  for (double v : values) ints.push_back(static_cast<int>(v));
+  return ints;
+}
+
+bool WriteFileOrWarn(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
 int CmdServeBench(const Args& args) {
   auto kind = ParseTask(args.Get("task", "h2"));
   if (!kind.ok()) return Fail(kind.status().ToString().c_str());
@@ -412,13 +435,39 @@ int CmdServeBench(const Args& args) {
   const double duration = args.GetDouble("duration", 5.0);
   const int workers = static_cast<int>(args.GetDouble("workers", 4));
   const int rows = static_cast<int>(args.GetDouble("rows", 8));
-  if (concurrency < 1 || duration <= 0.0 || workers < 1 || rows < 1) {
-    return Fail("bad --concurrency/--duration/--workers/--rows");
+  const int num_models = static_cast<int>(args.GetDouble("models", 1));
+  const double slo_ms = args.GetDouble("slo-ms", 0.0);
+  const int min_batch = static_cast<int>(args.GetDouble("min-batch", 1));
+  if (concurrency < 1 || duration <= 0.0 || workers < 1 || rows < 1 ||
+      num_models < 1 || slo_ms < 0.0 || min_batch < 1) {
+    return Fail(
+        "bad --concurrency/--duration/--workers/--rows/--models/"
+        "--slo-ms/--min-batch");
+  }
+  // Sweep mode: run the closed loop once per shard count and emit one
+  // BENCH_serve.json record per point. Without --shards: one run at the
+  // ServerConfig default, text output only.
+  std::vector<int> shard_points;
+  if (args.Has("shards")) {
+    auto parsed = ParseIntList(args.Get("shards"));
+    if (!parsed.ok()) return Fail(parsed.status().ToString().c_str());
+    shard_points = *parsed;
+  } else {
+    shard_points = {serve::ServerConfig{}.registry_shards};
   }
 
   tasks::TrainedTask task =
       tasks::GetTask(*kind, tasks::Regularization::kPsn, 1, CacheDir(args));
-  const std::string model_name = tasks::TaskKindToString(*kind);
+  const std::string base_name = tasks::TaskKindToString(*kind);
+  // --models M registers M clones of the task model; the load generator
+  // cycles requests across them so variant leases spread over registry
+  // shards instead of convoying on one key.
+  std::vector<std::string> model_names;
+  for (int m = 0; m < num_models; ++m) {
+    model_names.push_back(num_models == 1
+                              ? base_name
+                              : base_name + "_" + std::to_string(m));
+  }
 
   serve::ServerConfig cfg;
   cfg.num_workers = workers;
@@ -427,6 +476,9 @@ int CmdServeBench(const Args& args) {
   cfg.max_queue_depth =
       static_cast<int64_t>(args.GetDouble("queue-cap", 1024));
   cfg.norm = *norm;
+  cfg.slo_p99_seconds = slo_ms * 1e-3;
+  cfg.min_batch_rows = min_batch;
+  cfg.verify_variants = args.Has("verify-variants");
   // One shared knob: --timeout-ms defaults to the library's
   // ServerConfig::default_timeout, and (in net-bench) also seeds the
   // wire layer's idle timeout, so the in-process deadline, the wire
@@ -447,61 +499,113 @@ int CmdServeBench(const Args& args) {
     return Fail("bad --audit (use a fraction in [0, 1])");
   }
   cfg.evict_on_violation = args.Has("evict-on-violation");
-  serve::InferenceServer server(cfg);
-  Status st = server.RegisterModel(model_name, std::move(task.model),
-                                   task.single_input_shape);
-  if (!st.ok()) return Fail(st.ToString().c_str());
-  st = server.Start();
-  if (!st.ok()) return Fail(st.ToString().c_str());
 
-  serve::LoadGenConfig load;
-  load.model = model_name;
-  load.concurrency = concurrency;
-  load.duration_seconds = duration;
-  load.tolerance_mix = *tolerances;
-  load.request_timeout = cfg.default_timeout;
   std::printf(
-      "serve-bench: task=%s concurrency=%d duration=%.1fs workers=%d "
-      "max-batch=%lld rows/request=%d tolerances=%s%s audit=%.2f%s\n",
-      model_name.c_str(), concurrency, duration, workers,
+      "serve-bench: task=%s models=%d concurrency=%d duration=%.1fs "
+      "workers=%d max-batch=%lld rows/request=%d tolerances=%s%s "
+      "audit=%.2f%s slo=%.1fms min-batch=%d%s shards=%s\n",
+      base_name.c_str(), num_models, concurrency, duration, workers,
       static_cast<long long>(cfg.max_batch_rows), rows,
       args.Get("tolerances", "1e-3,1e-2,1e-1").c_str(),
       args.Has("strict") ? " (strict)" : "", cfg.audit_fraction,
-      cfg.evict_on_violation ? " (evict-on-violation)" : "");
-  const serve::LoadGenStats stats = serve::RunClosedLoop(
-      server, load, [&task, rows](uint64_t seed) {
-        std::vector<tensor::Tensor> batches =
-            tasks::FreshInputBatches(task, 1, seed);
-        tensor::Tensor& full = batches[0];
-        const int64_t take =
-            std::min<int64_t>(rows, full.dim(0));
-        tensor::Shape shape = full.shape();
-        shape[0] = take;
-        tensor::Tensor out(shape);
-        std::copy(full.data(), full.data() + out.size(), out.data());
-        return out;
-      });
-  st = server.Shutdown();
-  if (!st.ok()) return Fail(st.ToString().c_str());
-  std::printf("%s", stats.Summary().c_str());
-  std::printf(
-      "  variants resident   : %lld (%s)\n",
-      static_cast<long long>(server.registry().variant_count()),
-      util::HumanBytes(
-          static_cast<double>(server.registry().variant_bytes()))
-          .c_str());
-  return 0;
-}
+      cfg.evict_on_violation ? " (evict-on-violation)" : "", slo_ms,
+      min_batch, cfg.verify_variants ? " (verify-variants)" : "",
+      args.Get("shards", "default").c_str());
 
-bool WriteFileOrWarn(const std::string& path, const std::string& content) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
-    return false;
+  const auto input_factory = [&task, rows](uint64_t seed) {
+    std::vector<tensor::Tensor> batches =
+        tasks::FreshInputBatches(task, 1, seed);
+    tensor::Tensor& full = batches[0];
+    const int64_t take = std::min<int64_t>(rows, full.dim(0));
+    tensor::Shape shape = full.shape();
+    shape[0] = take;
+    tensor::Tensor out(shape);
+    std::copy(full.data(), full.data() + out.size(), out.data());
+    return out;
+  };
+
+  std::string records;
+  for (size_t p = 0; p < shard_points.size(); ++p) {
+    const int shards = shard_points[p];
+    if (shards < 1) return Fail("bad --shards (counts must be >= 1)");
+    // Per-point metrics window: histograms and counters start at zero for
+    // every shard count, so the summary and JSON record cover one point.
+    obs::MetricsRegistry::Global().Reset();
+    cfg.registry_shards = shards;
+    serve::InferenceServer server(cfg);
+    for (const std::string& name : model_names) {
+      Status st = server.RegisterModel(name, task.model.Clone(),
+                                       task.single_input_shape);
+      if (!st.ok()) return Fail(st.ToString().c_str());
+    }
+    Status st = server.Start();
+    if (!st.ok()) return Fail(st.ToString().c_str());
+
+    serve::LoadGenConfig load;
+    load.model = model_names[0];
+    load.models = model_names;
+    load.concurrency = concurrency;
+    load.duration_seconds = duration;
+    load.tolerance_mix = *tolerances;
+    load.request_timeout = cfg.default_timeout;
+    load.seed = 1 + static_cast<uint64_t>(p);
+    const serve::LoadGenStats stats =
+        serve::RunClosedLoop(server, load, input_factory);
+    st = server.Shutdown();
+    if (!st.ok()) return Fail(st.ToString().c_str());
+
+    std::printf("--- %d shard(s) ---\n%s", shards,
+                stats.Summary().c_str());
+    std::printf(
+        "  variants resident   : %lld (%s) across %d shard(s)\n",
+        static_cast<long long>(server.registry().variant_count()),
+        util::HumanBytes(
+            static_cast<double>(server.registry().variant_bytes()))
+            .c_str(),
+        server.registry().num_shards());
+
+    char rec[384];
+    std::snprintf(
+        rec, sizeof(rec),
+        "    {\"shards\": %d, \"req_per_s\": %.1f, \"p50_ms\": %.3f, "
+        "\"p99_ms\": %.3f, \"submitted\": %llu, \"completed\": %llu, "
+        "\"timed_out\": %llu, \"rejected\": %llu, "
+        "\"batch_rows_limit\": %.0f}",
+        shards, stats.throughput_rps, stats.latency.p50() * 1e3,
+        stats.latency.p99() * 1e3,
+        static_cast<unsigned long long>(stats.submitted),
+        static_cast<unsigned long long>(stats.completed),
+        static_cast<unsigned long long>(stats.timed_out),
+        static_cast<unsigned long long>(stats.rejected),
+        obs::MetricsRegistry::Global().GaugeValue(
+            "errorflow.serve.adaptive.batch_rows_limit"));
+    if (!records.empty()) records += ",\n";
+    records += rec;
   }
-  std::fwrite(content.data(), 1, content.size(), f);
-  std::fclose(f);
-  return true;
+
+  if (args.Has("shards")) {
+    char header[384];
+    std::snprintf(header, sizeof(header),
+                  "{\n  \"bench\": \"serve_shard_sweep\",\n"
+                  "  \"task\": \"%s\",\n  \"models\": %d,\n"
+                  "  \"concurrency\": %d,\n  \"workers\": %d,\n"
+                  "  \"rows_per_request\": %d,\n"
+                  "  \"duration_seconds\": %.1f,\n"
+                  "  \"slo_ms\": %.1f,\n  \"min_batch_rows\": %d,\n"
+                  "  \"verify_variants\": %s,\n"
+                  "  \"records\": [\n",
+                  base_name.c_str(), num_models, concurrency, workers,
+                  rows, duration, slo_ms, min_batch,
+                  cfg.verify_variants ? "true" : "false");
+    const std::string json_path = args.Get("json", "BENCH_serve.json");
+    if (!WriteFileOrWarn(json_path,
+                         std::string(header) + records + "\n  ]\n}\n")) {
+      return 2;
+    }
+    std::printf("wrote %s (%zu shard point(s))\n", json_path.c_str(),
+                shard_points.size());
+  }
+  return 0;
 }
 
 // Open-loop Poisson load against the TCP wire stack: brings up an
@@ -734,7 +838,9 @@ void PrintUsage() {
       "  errorflow serve-bench [--task h2|borghesi|eurosat] "
       "[--concurrency 8] [--duration 5] [--workers 4] [--max-batch 64] "
       "[--queue-cap 1024] [--tolerances 1e-3,1e-2,1e-1] [--timeout-ms "
-      "1000] [--rows 8] [--strict] [--audit 0.1] [--evict-on-violation]\n"
+      "1000] [--rows 8] [--strict] [--audit 0.1] [--evict-on-violation] "
+      "[--models 1] [--slo-ms 0] [--min-batch 1] [--verify-variants] "
+      "[--shards 1,2,4,8] [--json BENCH_serve.json]\n"
       "  errorflow net-bench  [--task h2|borghesi|eurosat] "
       "[--rates 200,4000] [--phase-seconds 2] [--connections 32] "
       "[--workers 4] [--queue-cap 256] [--rows 8] [--tol 1e-2] "
