@@ -1,0 +1,212 @@
+// Entropy-codec sweep: plain canonical Huffman vs the DEFLATE-class
+// LZ77+Huffman codec on the three scientific datasets (H2 combustion,
+// Borghesi HPC telemetry, EuroSAT imagery) at the Fig. 3/4 relative
+// tolerances. Reports achieved ratio and single-thread encode/decode
+// throughput per codec through the SZ-like backend (whose quantization
+// codes the codec compresses), and writes a machine-readable
+// BENCH_codec.json so the ratio trajectory is diffable across PRs.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "compress/codec/codec.h"
+#include "compress/compressor.h"
+#include "data/borghesi.h"
+#include "data/combustion.h"
+#include "data/eurosat.h"
+#include "tensor/norms.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+using errorflow::tensor::Tensor;
+namespace compress = errorflow::compress;
+
+double BestOf(int reps, const std::function<void()>& fn) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct Record {
+  std::string dataset;
+  double tol_rel = 0.0;
+  compress::CodecId codec = compress::CodecId::kHuffman;
+  double ratio = 0.0;
+  double compress_mb_s = 0.0;
+  double decompress_mb_s = 0.0;
+  double codec_decode_mb_s = 0.0;
+};
+
+// Quantization-code-shaped symbol stream for codec-level throughput: the
+// field's first differences quantized at the tolerance and zigzag-folded,
+// mirroring what the predictors hand the entropy stage (the full
+// Compress/Decompress numbers above are Lorenzo-dominated and nearly
+// codec-independent).
+std::vector<uint32_t> QuantStream(const Tensor& field, double eb) {
+  std::vector<uint32_t> codes;
+  codes.reserve(static_cast<size_t>(field.size()));
+  double prev = 0.0;
+  for (int64_t i = 0; i < field.size(); ++i) {
+    const double q = std::nearbyint((field[i] - prev) / (2.0 * eb));
+    const int32_t qi =
+        static_cast<int32_t>(std::max(-1048576.0, std::min(1048576.0, q)));
+    codes.push_back((static_cast<uint32_t>(qi) << 1) ^
+                    static_cast<uint32_t>(qi >> 31));
+    prev = field[i];
+  }
+  return codes;
+}
+
+struct DatasetCase {
+  std::string name;
+  Tensor field;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_codec.json";
+
+  std::vector<DatasetCase> datasets;
+  datasets.push_back({"h2", errorflow::data::GenerateH2SpeciesField(
+                                /*height=*/256, /*width=*/256, /*seed=*/3)});
+  datasets.push_back({"borghesi", errorflow::data::GenerateBorghesiField(
+                                      256, 256, /*seed=*/3)});
+  {
+    errorflow::data::EuroSatConfig config;
+    config.n_images = 64;
+    config.seed = 3;
+    datasets.push_back(
+        {"eurosat", errorflow::data::GenerateEuroSat(config).inputs});
+  }
+
+  // Fig. 3/4 sweep the input tolerance over 1e-7..1e-3 of the input Linf
+  // norm; the codec matters most where quantization codes dominate the
+  // stream, so bench the upper decades.
+  const std::vector<double> tolerances = {1e-6, 1e-5, 1e-4, 1e-3};
+
+  std::vector<Record> records;
+  std::printf("%-10s %-8s %-9s %10s %14s %14s %14s\n", "dataset", "tol_rel",
+              "codec", "ratio", "compress MB/s", "decomp MB/s",
+              "codec dec MB/s");
+  for (const DatasetCase& ds : datasets) {
+    const double in_norm = errorflow::tensor::LinfNorm(ds.field);
+    const double mb = static_cast<double>(ds.field.size()) * sizeof(float) /
+                      (1024.0 * 1024.0);
+    for (double tol_rel : tolerances) {
+      for (compress::CodecId codec : compress::AllCodecs()) {
+        auto compressor = compress::MakeCompressor(
+            compress::Backend::kSz, codec);
+        compress::ErrorBound bound =
+            compress::ErrorBound::AbsLinf(tol_rel * in_norm);
+        auto comp = compressor->Compress(ds.field, bound);
+        if (!comp.ok()) {
+          std::printf("FATAL: compress failed: %s\n",
+                      comp.status().ToString().c_str());
+          return 1;
+        }
+        auto dec = compressor->Decompress(comp->blob);
+        if (!dec.ok()) {
+          std::printf("FATAL: decompress failed: %s\n",
+                      dec.status().ToString().c_str());
+          return 1;
+        }
+        for (int64_t i = 0; i < ds.field.size(); ++i) {
+          if (std::fabs(static_cast<double>(dec->data[i]) - ds.field[i]) >
+              tol_rel * in_norm * (1.0 + 1e-12)) {
+            std::printf("FATAL: bound violated on %s\n", ds.name.c_str());
+            return 1;
+          }
+        }
+
+        Record rec;
+        rec.dataset = ds.name;
+        rec.tol_rel = tol_rel;
+        rec.codec = codec;
+        rec.ratio = static_cast<double>(ds.field.size()) * sizeof(float) /
+                    static_cast<double>(comp->blob.size());
+        const double t_comp = BestOf(3, [&] {
+          auto c = compressor->Compress(ds.field, bound);
+          if (!c.ok()) std::abort();
+        });
+        const double t_dec = BestOf(3, [&] {
+          auto d = compressor->Decompress(comp->blob);
+          if (!d.ok()) std::abort();
+        });
+        rec.compress_mb_s = mb / t_comp;
+        rec.decompress_mb_s = mb / t_dec;
+
+        // Codec-level decode throughput on the symbol stream itself.
+        const auto codes = QuantStream(ds.field, tol_rel * in_norm);
+        const compress::EntropyCodec* entropy = compress::GetCodec(codec);
+        errorflow::util::BitWriter bits;
+        if (!entropy->Encode(codes, &bits).ok()) std::abort();
+        const std::string stream = bits.Finish();
+        const double code_mb = static_cast<double>(codes.size()) *
+                               sizeof(uint32_t) / (1024.0 * 1024.0);
+        const double t_codec_dec = BestOf(3, [&] {
+          errorflow::util::BitReader reader(stream.data(), stream.size());
+          auto d = entropy->Decode(&reader, codes.size());
+          if (!d.ok()) std::abort();
+        });
+        rec.codec_decode_mb_s = code_mb / t_codec_dec;
+
+        records.push_back(rec);
+        std::printf("%-10s %-8.0e %-9s %10.2f %14.1f %14.1f %14.1f\n",
+                    ds.name.c_str(), tol_rel,
+                    compress::CodecIdToString(codec), rec.ratio,
+                    rec.compress_mb_s, rec.decompress_mb_s,
+                    rec.codec_decode_mb_s);
+      }
+    }
+  }
+
+  // Headline: per dataset/tolerance, lz77's ratio gain over Huffman.
+  std::printf("\nratio gain (lz77 / huffman):\n");
+  for (const DatasetCase& ds : datasets) {
+    for (double tol_rel : tolerances) {
+      double huff = 0.0, lz = 0.0;
+      for (const Record& r : records) {
+        if (r.dataset != ds.name || r.tol_rel != tol_rel) continue;
+        (r.codec == compress::CodecId::kHuffman ? huff : lz) = r.ratio;
+      }
+      std::printf("  %-10s tol=%-8.0e %.2fx\n", ds.name.c_str(), tol_rel,
+                  lz / huff);
+    }
+  }
+
+  FILE* f = std::fopen(json_path, "w");
+  if (f == nullptr) {
+    std::printf("FATAL: cannot open %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"codec_sweep\",\n");
+  std::fprintf(f,
+               "  \"backend\": \"sz\", \"threads\": 1,\n  \"records\": [\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    std::fprintf(f,
+                 "    {\"dataset\": \"%s\", \"tol_rel\": %.0e, \"codec\": "
+                 "\"%s\", \"ratio\": %.2f, \"compress_mb_s\": %.1f, "
+                 "\"decompress_mb_s\": %.1f, \"codec_decode_mb_s\": "
+                 "%.1f}%s\n",
+                 r.dataset.c_str(), r.tol_rel,
+                 compress::CodecIdToString(r.codec), r.ratio,
+                 r.compress_mb_s, r.decompress_mb_s, r.codec_decode_mb_s,
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", json_path);
+  return 0;
+}

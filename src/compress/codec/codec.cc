@@ -1,0 +1,114 @@
+#include "compress/codec/codec.h"
+
+#include "compress/codec/huffman.h"
+#include "compress/codec/lz77.h"
+#include "obs/metrics.h"
+
+namespace errorflow {
+namespace compress {
+
+namespace {
+
+/// Adapts the static HuffmanCodec stage to the EntropyCodec interface,
+/// adding the CompressBound/Reserve and DecodeLimits parts of the
+/// contract (the static stage predates both).
+class HuffmanEntropyCodec final : public EntropyCodec {
+ public:
+  CodecId id() const override { return CodecId::kHuffman; }
+  const char* name() const override { return "huffman"; }
+
+  size_t CompressBound(size_t n_symbols) const override {
+    // Table: a 32-bit count plus 38 bits per distinct symbol (<= n).
+    // Payload: Huffman is optimal among prefix codes, so total payload
+    // bits never exceed a flat 32-bit code's 32n. Ceil(70n + 32 bits).
+    return 9 * n_symbols + 16;
+  }
+
+  Status Encode(const std::vector<uint32_t>& symbols,
+                util::BitWriter* writer,
+                EncodeStats* stats) const override {
+    writer->Reserve(CompressBound(symbols.size()));
+    return HuffmanCodec::Encode(symbols, writer, stats);
+  }
+
+  Result<std::vector<uint32_t>> Decode(
+      util::BitReader* reader, uint64_t count,
+      const util::DecodeLimits& limits) const override {
+    EF_RETURN_IF_ERROR(limits.CheckElements(count, "Huffman"));
+    uint64_t bytes = 0;
+    if (!util::CheckedMul(count, sizeof(uint32_t), &bytes)) {
+      return Status::Corruption("Huffman: symbol count overflows");
+    }
+    EF_RETURN_IF_ERROR(limits.CheckAlloc(bytes, "Huffman"));
+    return HuffmanCodec::Decode(reader, count);
+  }
+};
+
+}  // namespace
+
+const EntropyCodec* GetCodec(CodecId id) {
+  static const HuffmanEntropyCodec kHuffmanInstance;
+  static const Lz77HuffmanCodec kLz77Instance;
+  switch (id) {
+    case CodecId::kHuffman:
+      return &kHuffmanInstance;
+    case CodecId::kLz77Huffman:
+      return &kLz77Instance;
+  }
+  return &kHuffmanInstance;  // Unreachable for valid CodecId values.
+}
+
+Result<const EntropyCodec*> CodecFromByte(uint8_t byte) {
+  switch (byte) {
+    case static_cast<uint8_t>(CodecId::kHuffman):
+      return GetCodec(CodecId::kHuffman);
+    case static_cast<uint8_t>(CodecId::kLz77Huffman):
+      return GetCodec(CodecId::kLz77Huffman);
+    default:
+      return Status::Corruption("unknown codec byte");
+  }
+}
+
+Result<CodecId> ParseCodecName(const std::string& name) {
+  if (name == "huffman") return CodecId::kHuffman;
+  if (name == "lz77") return CodecId::kLz77Huffman;
+  return Status::InvalidArgument("unknown codec: " + name +
+                                 " (expected huffman|lz77)");
+}
+
+const char* CodecIdToString(CodecId id) { return GetCodec(id)->name(); }
+
+const std::vector<CodecId>& AllCodecs() {
+  static const std::vector<CodecId> kAll = {CodecId::kHuffman,
+                                            CodecId::kLz77Huffman};
+  return kAll;
+}
+
+void RecordCodecEncode(const EntropyCodec& codec, uint64_t symbols,
+                       const EncodeStats& stats) {
+  auto& reg = obs::MetricsRegistry::Global();
+  const std::string prefix =
+      std::string("errorflow.compress.codec.") + codec.name();
+  reg.GetCounter(prefix + ".encode_calls")->Increment();
+  reg.GetCounter(prefix + ".encode_symbols")->Increment(symbols);
+  reg.GetCounter(prefix + ".encode_overhead_bits")
+      ->Increment(stats.overhead_bits);
+  reg.GetCounter(prefix + ".encode_payload_bits")
+      ->Increment(stats.payload_bits);
+  if (codec.id() == CodecId::kLz77Huffman) {
+    reg.GetCounter(prefix + ".literal_tokens")->Increment(stats.literals);
+    reg.GetCounter(prefix + ".match_tokens")->Increment(stats.matches);
+    reg.GetCounter(prefix + ".match_symbols")->Increment(stats.match_symbols);
+  }
+}
+
+void RecordCodecDecode(const EntropyCodec& codec, uint64_t symbols) {
+  auto& reg = obs::MetricsRegistry::Global();
+  const std::string prefix =
+      std::string("errorflow.compress.codec.") + codec.name();
+  reg.GetCounter(prefix + ".decode_calls")->Increment();
+  reg.GetCounter(prefix + ".decode_symbols")->Increment(symbols);
+}
+
+}  // namespace compress
+}  // namespace errorflow

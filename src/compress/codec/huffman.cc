@@ -84,9 +84,15 @@ void AssignCanonical(std::vector<SymbolCode>* codes) {
 }  // namespace
 
 Status HuffmanCodec::Encode(const std::vector<uint32_t>& symbols,
-                            util::BitWriter* writer) {
+                            util::BitWriter* writer,
+                            EncodeStats* stats) {
   if (symbols.empty()) {
-    return Status::InvalidArgument("Huffman: empty symbol stream");
+    // A zero-symbol stream is just a zero-count table: all-escape (or
+    // all-raw) chunks in the chunked path encode without caller
+    // special-casing and decode back to an empty vector.
+    writer->WriteBits(0, 32);
+    if (stats != nullptr) stats->overhead_bits += 32;
+    return Status::OK();
   }
   std::unordered_map<uint32_t, uint64_t> freq_map;
   for (uint32_t s : symbols) ++freq_map[s];
@@ -102,11 +108,13 @@ Status HuffmanCodec::Encode(const std::vector<uint32_t>& symbols,
   AssignCanonical(&codes);
 
   // Table: count, then (symbol: 32 bits, length: 6 bits) in canonical order.
+  const size_t table_start = writer->bit_count();
   writer->WriteBits(codes.size(), 32);
   for (const SymbolCode& sc : codes) {
     writer->WriteBits(sc.symbol, 32);
     writer->WriteBits(static_cast<uint64_t>(sc.length), 6);
   }
+  const size_t payload_start = writer->bit_count();
   // Payload.
   std::unordered_map<uint32_t, const SymbolCode*> lookup;
   lookup.reserve(codes.size());
@@ -115,14 +123,25 @@ Status HuffmanCodec::Encode(const std::vector<uint32_t>& symbols,
     const SymbolCode* sc = lookup[s];
     writer->WriteBits(sc->code, sc->length);
   }
+  if (stats != nullptr) {
+    stats->overhead_bits += payload_start - table_start;
+    stats->payload_bits += writer->bit_count() - payload_start;
+  }
   return Status::OK();
 }
 
 Result<std::vector<uint32_t>> HuffmanCodec::Decode(util::BitReader* reader,
                                                    uint64_t count) {
   EF_ASSIGN_OR_RETURN(uint64_t table_size, reader->ReadBits(32));
-  if (table_size == 0 || table_size > (1ull << 28)) {
+  if (table_size > (1ull << 28)) {
     return Status::Corruption("Huffman: bad table size");
+  }
+  if (table_size == 0) {
+    // The empty-stream encoding: valid only for a zero-symbol request.
+    if (count != 0) {
+      return Status::Corruption("Huffman: empty table with nonzero count");
+    }
+    return std::vector<uint32_t>{};
   }
   // Each table entry costs 38 bits (32-bit symbol + 6-bit length) in the
   // stream, so a count the remaining payload cannot cover is corruption.

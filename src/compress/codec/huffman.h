@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "compress/codec/codec.h"
 #include "util/bitstream.h"
 #include "util/result.h"
 
@@ -12,17 +13,21 @@ namespace compress {
 
 /// \brief Canonical Huffman codec over 32-bit symbols.
 ///
-/// Shared entropy-coding stage of the SZ-like and MGARD-like backends. The
-/// code table is serialized as (symbol, code length) pairs and rebuilt
-/// canonically on decode, so streams are self-describing. Single-symbol
-/// alphabets are handled (length-1 codes). Symbol values are arbitrary
+/// Shared entropy-coding stage of the SZ-like and MGARD-like backends (and
+/// the sub-streams of the LZ77 codec, see codec/lz77.h). The code table is
+/// serialized as (symbol, code length) pairs and rebuilt canonically on
+/// decode, so streams are self-describing. Single-symbol alphabets are
+/// handled (length-1 codes), and an empty input encodes as a valid
+/// zero-symbol stream (a bare zero-count table) — all-escape chunks in the
+/// chunked path need no caller special-casing. Symbol values are arbitrary
 /// uint32 (quantization codes are zigzag-encoded by callers first).
 class HuffmanCodec {
  public:
-  /// Writes `symbols` to `writer` preceded by the code table.
-  /// Returns InvalidArgument on an empty input.
+  /// Writes `symbols` to `writer` preceded by the code table. `stats`,
+  /// when given, receives the table/payload bit split.
   static Status Encode(const std::vector<uint32_t>& symbols,
-                       util::BitWriter* writer);
+                       util::BitWriter* writer,
+                       EncodeStats* stats = nullptr);
 
   /// Reads `count` symbols from `reader` (table first).
   static Result<std::vector<uint32_t>> Decode(util::BitReader* reader,

@@ -21,13 +21,17 @@ const char* BackendToString(Backend backend) {
 }
 
 std::unique_ptr<Compressor> MakeCompressor(Backend backend) {
+  return MakeCompressor(backend, kDefaultCodec);
+}
+
+std::unique_ptr<Compressor> MakeCompressor(Backend backend, CodecId codec) {
   switch (backend) {
     case Backend::kSz:
-      return std::make_unique<SzCompressor>();
+      return std::make_unique<SzCompressor>(codec);
     case Backend::kZfp:
       return std::make_unique<ZfpCompressor>();
     case Backend::kMgard:
-      return std::make_unique<MgardCompressor>();
+      return std::make_unique<MgardCompressor>(codec);
   }
   EF_CHECK(false);
   return nullptr;

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "compress/codec/codec.h"
 #include "tensor/norms.h"
 #include "tensor/tensor.h"
 #include "util/result.h"
@@ -44,6 +45,12 @@ struct Compressed {
   /// The absolute per-element (Linf) or total (L2) error bound actually
   /// enforced, after resolving relative tolerances.
   double resolved_abs_tolerance = 0.0;
+  /// Fixed per-stream bytes (container header plus entropy-code tables)
+  /// that do NOT scale with the element count. `ratio_model` subtracts
+  /// this before extrapolating a sampled ratio, so per-chunk overhead is
+  /// not multiplied into the size estimate. Zero for backends that do not
+  /// report it (e.g. zfp's bit-plane coder has no tables).
+  int64_t overhead_bytes = 0;
 
   double ratio() const {
     return blob.empty() ? 0.0
@@ -94,8 +101,15 @@ enum class Backend {
 
 const char* BackendToString(Backend backend);
 
-/// Factory for the built-in backends.
+/// Factory for the built-in backends, writing new streams with
+/// `kDefaultCodec` as the entropy stage.
 std::unique_ptr<Compressor> MakeCompressor(Backend backend);
+
+/// Factory selecting the entropy codec explicitly. ZFP's bit-plane coder
+/// has no entropy stage; it ignores `codec`. Every backend decodes
+/// streams of *any* codec (the blob carries a codec byte), so the choice
+/// only affects what gets written.
+std::unique_ptr<Compressor> MakeCompressor(Backend backend, CodecId codec);
 
 /// All built-in backends, in the paper's plotting order.
 const std::vector<Backend>& AllBackends();

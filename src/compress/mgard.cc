@@ -13,7 +13,8 @@ namespace compress {
 
 namespace {
 
-constexpr uint32_t kMagic = 0x454D4732;  // "EMG2"
+constexpr uint32_t kMagic = 0x454D4732;    // "EMG2" (legacy: no codec byte)
+constexpr uint32_t kMagicV2 = 0x454D4733;  // "EMG3" (codec byte after magic)
 // Codes at or beyond this magnitude take the escape path (raw doubles).
 constexpr int64_t kEscapeThreshold = 1ll << 28;
 constexpr uint32_t kEscapeSymbol = 0xFFFFFFFFu;
@@ -324,11 +325,16 @@ Result<Compressed> MgardCompressor::Compress(const Tensor& data,
   }
 
   util::ByteWriter header;
-  header.PutU32(kMagic);
+  header.PutU32(kMagicV2);
+  header.PutU8(static_cast<uint8_t>(codec_));
   header.PutShape(data.shape());
   header.PutF64(delta);
   header.PutU32(static_cast<uint32_t>(levels));
   header.PutU64(cand.escapes.size());
+  // Everything up to here is fixed framing; escapes and patches scale
+  // with the data and are not overhead in the ratio-model sense.
+  const int64_t fixed_header_bytes =
+      static_cast<int64_t>(header.buffer().size());
   header.Raw(cand.escapes.data(), cand.escapes.size() * sizeof(double));
   header.PutU64(patches.size());
   int64_t prev = -1;
@@ -338,8 +344,11 @@ Result<Compressed> MgardCompressor::Compress(const Tensor& data,
     prev = idx;
   }
 
+  const EntropyCodec* codec = GetCodec(codec_);
   util::BitWriter bits;
-  EF_RETURN_IF_ERROR(HuffmanCodec::Encode(cand.symbols, &bits));
+  EncodeStats stats;
+  EF_RETURN_IF_ERROR(codec->Encode(cand.symbols, &bits, &stats));
+  RecordCodecEncode(*codec, cand.symbols.size(), stats);
   std::string blob = header.Finish();
   blob += bits.Finish();
 
@@ -347,6 +356,8 @@ Result<Compressed> MgardCompressor::Compress(const Tensor& data,
   out.blob = std::move(blob);
   out.original_bytes = n * static_cast<int64_t>(sizeof(float));
   out.resolved_abs_tolerance = resolved;
+  out.overhead_bytes = fixed_header_bytes +
+                       static_cast<int64_t>((stats.overhead_bits + 7) / 8);
   out.seconds = timer.ElapsedSeconds();
   return out;
 }
@@ -355,7 +366,15 @@ Result<Decompressed> MgardCompressor::Decompress(const std::string& blob) {
   util::Stopwatch timer;
   util::ByteReader reader(blob);
   EF_ASSIGN_OR_RETURN(uint32_t magic, reader.GetU32());
-  if (magic != kMagic) return Status::Corruption("mgard: bad magic");
+  // EMG3 carries a codec-negotiation byte; legacy EMG2 streams are
+  // implicitly Huffman and decode bit-exactly through the same path.
+  const EntropyCodec* codec = GetCodec(CodecId::kHuffman);
+  if (magic == kMagicV2) {
+    EF_ASSIGN_OR_RETURN(uint8_t codec_byte, reader.GetU8());
+    EF_ASSIGN_OR_RETURN(codec, CodecFromByte(codec_byte));
+  } else if (magic != kMagic) {
+    return Status::Corruption("mgard: bad magic");
+  }
   EF_ASSIGN_OR_RETURN(auto shape, reader.GetShape());
   EF_RETURN_IF_ERROR(ValidateBlobShape(shape, blob.size()));
   EF_ASSIGN_OR_RETURN(double delta, reader.GetF64());
@@ -427,7 +446,8 @@ Result<Decompressed> MgardCompressor::Decompress(const std::string& blob) {
   EF_ASSIGN_OR_RETURN(auto rest, reader.Rest());
   util::BitReader bits(rest.first, rest.second);
   EF_ASSIGN_OR_RETURN(auto symbols,
-                      HuffmanCodec::Decode(&bits, static_cast<uint64_t>(n)));
+                      codec->Decode(&bits, static_cast<uint64_t>(n)));
+  RecordCodecDecode(*codec, static_cast<uint64_t>(n));
 
   size_t sym_pos = 0, esc_pos = 0;
   auto fill_vec = [&](std::vector<double>* vec) -> Status {

@@ -31,6 +31,11 @@ namespace compress {
 ///    tight tolerances, matching the paper's Fig. 7/8 throughput shape.
 class MgardCompressor : public Compressor {
  public:
+  /// `codec` selects the entropy stage for newly written streams (EMG3
+  /// blobs carry a codec byte); decoding accepts every codec, plus the
+  /// legacy EMG2 layout as implicit Huffman.
+  explicit MgardCompressor(CodecId codec = kDefaultCodec) : codec_(codec) {}
+
   std::string name() const override { return "mgard"; }
   bool SupportsNorm(Norm norm) const override {
     (void)norm;
@@ -39,6 +44,9 @@ class MgardCompressor : public Compressor {
   Result<Compressed> Compress(const Tensor& data,
                               const ErrorBound& bound) override;
   Result<Decompressed> Decompress(const std::string& blob) override;
+
+ private:
+  CodecId codec_;
 };
 
 }  // namespace compress

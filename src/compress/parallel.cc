@@ -17,8 +17,11 @@ constexpr uint32_t kMagic = 0x45504152;  // "EPAR"
 
 ParallelCompressor::ParallelCompressor(Backend backend,
                                        util::ThreadPool* pool,
-                                       int64_t min_chunk_rows)
-    : backend_(backend), pool_(pool), min_chunk_rows_(min_chunk_rows) {
+                                       int64_t min_chunk_rows, CodecId codec)
+    : backend_(backend),
+      pool_(pool),
+      min_chunk_rows_(min_chunk_rows),
+      codec_(codec) {
   EF_CHECK(pool != nullptr && min_chunk_rows >= 1);
 }
 
@@ -64,6 +67,7 @@ Result<Compressed> ParallelCompressor::Compress(const Tensor& data,
 
   std::vector<std::string> blobs(static_cast<size_t>(num_chunks));
   std::vector<int64_t> chunk_rows(static_cast<size_t>(num_chunks));
+  std::vector<int64_t> chunk_overheads(static_cast<size_t>(num_chunks));
   std::vector<Status> statuses(static_cast<size_t>(num_chunks));
 
   pool_->ParallelFor(num_chunks, [&](int64_t c) {
@@ -86,12 +90,13 @@ Result<Compressed> ParallelCompressor::Compress(const Tensor& data,
           l2_total * std::sqrt(static_cast<double>(chunk.size()) /
                                static_cast<double>(n));
     }
-    auto inner = MakeCompressor(backend_);
+    auto inner = MakeCompressor(backend_, codec_);
     auto result = inner->Compress(chunk, chunk_bound);
     if (!result.ok()) {
       statuses[static_cast<size_t>(c)] = result.status();
       return;
     }
+    chunk_overheads[static_cast<size_t>(c)] = result->overhead_bytes;
     blobs[static_cast<size_t>(c)] = std::move(result->blob);
   });
   for (const Status& st : statuses) {
@@ -115,6 +120,13 @@ Result<Compressed> ParallelCompressor::Compress(const Tensor& data,
   out.original_bytes = n * static_cast<int64_t>(sizeof(float));
   out.resolved_abs_tolerance =
       bound.norm == Norm::kLinf ? linf_eb : l2_total;
+  // Container framing plus every chunk's 16-byte table entry and inner
+  // fixed overhead: the duplicated-per-chunk bytes the ratio model must
+  // not scale with the element count.
+  out.overhead_bytes = static_cast<int64_t>(4 + 1 + 4 + 8 * data.ndim() + 8);
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    out.overhead_bytes += 16 + chunk_overheads[static_cast<size_t>(c)];
+  }
   out.seconds = timer.ElapsedSeconds();
   return out;
 }

@@ -30,9 +30,13 @@ namespace compress {
 class ParallelCompressor : public Compressor {
  public:
   /// `pool` must outlive this object. `factory` creates inner compressor
-  /// instances (one per concurrent chunk; they may be stateful).
+  /// instances (one per concurrent chunk; they may be stateful). `codec`
+  /// selects the entropy stage the inner compressors write; each chunk
+  /// blob is self-describing (it carries its own codec byte), so decoding
+  /// handles containers whose chunks were written with any codec.
   ParallelCompressor(Backend backend, util::ThreadPool* pool,
-                     int64_t min_chunk_rows = 64);
+                     int64_t min_chunk_rows = 64,
+                     CodecId codec = kDefaultCodec);
 
   std::string name() const override;
   bool SupportsNorm(Norm norm) const override;
@@ -44,6 +48,7 @@ class ParallelCompressor : public Compressor {
   Backend backend_;
   util::ThreadPool* pool_;
   int64_t min_chunk_rows_;
+  CodecId codec_;
 };
 
 }  // namespace compress

@@ -12,12 +12,16 @@ namespace compress {
 Result<RatioEstimate> EstimateRatio(Compressor* compressor,
                                     const Tensor& data,
                                     const ErrorBound& bound,
-                                    double fraction, int64_t min_rows) {
+                                    double fraction, int64_t min_rows,
+                                    int64_t num_chunks) {
   if (data.size() == 0 || data.ndim() < 1) {
     return Status::InvalidArgument("ratio model: non-empty tensor required");
   }
   if (fraction <= 0.0 || fraction > 1.0) {
     return Status::InvalidArgument("ratio model: fraction in (0, 1]");
+  }
+  if (num_chunks < 1) {
+    return Status::InvalidArgument("ratio model: num_chunks >= 1");
   }
   const int64_t rows = data.dim(0);
   const int64_t per_row = data.size() / rows;
@@ -55,9 +59,29 @@ Result<RatioEstimate> EstimateRatio(Compressor* compressor,
   EF_ASSIGN_OR_RETURN(Compressed comp,
                       compressor->Compress(sample, abs_bound));
   RatioEstimate est;
-  est.ratio = comp.ratio();
   est.sampled_rows = sample_rows;
   est.seconds = comp.seconds;
+  est.sample_overhead_bytes = comp.overhead_bytes;
+
+  // Deduplicate fixed per-stream overhead: only the variable bytes scale
+  // with the element count; the header/table bytes are charged once per
+  // projected stream instead of once per extrapolation factor.
+  const double sample_bytes = static_cast<double>(comp.blob.size());
+  if (sample_rows == rows) {
+    // The sample IS the full compression; report its size exactly.
+    est.predicted_bytes = sample_bytes;
+  } else {
+    double overhead = static_cast<double>(comp.overhead_bytes);
+    if (overhead < 0.0 || overhead > sample_bytes) overhead = 0.0;
+    const double variable_rate =
+        (sample_bytes - overhead) / static_cast<double>(sample.size());
+    est.predicted_bytes = variable_rate * static_cast<double>(data.size()) +
+                          overhead * static_cast<double>(num_chunks);
+  }
+  est.ratio = est.predicted_bytes > 0.0
+                  ? static_cast<double>(data.size()) * sizeof(float) /
+                        est.predicted_bytes
+                  : 0.0;
   return est;
 }
 

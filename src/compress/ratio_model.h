@@ -23,13 +23,31 @@ struct RatioEstimate {
   int64_t sampled_rows = 0;
   /// Seconds spent compressing the sample (cost of the estimate).
   double seconds = 0.0;
+  /// Fixed per-stream bytes the sample compression reported (header +
+  /// entropy-code tables) — subtracted before extrapolating, then re-added
+  /// once per projected stream.
+  int64_t sample_overhead_bytes = 0;
+  /// Projected size of the full compression, in bytes.
+  double predicted_bytes = 0.0;
 };
 
+/// Estimates the full-compression ratio from a row sample.
+///
+/// The sample's size splits into fixed per-stream overhead (reported by
+/// the compressor in `Compressed::overhead_bytes`: container header plus
+/// entropy-code tables) and a variable part that scales with the element
+/// count. Only the variable part is extrapolated; the overhead is added
+/// back `num_chunks` times — once per independent stream the projected
+/// full compression will write (1 for a plain backend; the chunk count
+/// for a `ParallelCompressor` target). Without this split a small sample
+/// multiplies its table bytes by the extrapolation factor and the
+/// estimate collapses well below the achieved ratio.
 Result<RatioEstimate> EstimateRatio(Compressor* compressor,
                                     const Tensor& data,
                                     const ErrorBound& bound,
                                     double fraction = 0.05,
-                                    int64_t min_rows = 32);
+                                    int64_t min_rows = 32,
+                                    int64_t num_chunks = 1);
 
 }  // namespace compress
 }  // namespace errorflow

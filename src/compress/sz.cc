@@ -13,7 +13,8 @@ namespace compress {
 
 namespace {
 
-constexpr uint32_t kMagic = 0x455A5331;  // "EZS1"
+constexpr uint32_t kMagic = 0x455A5331;    // "EZS1" (legacy: no codec byte)
+constexpr uint32_t kMagicV2 = 0x455A5332;  // "EZS2" (codec byte after magic)
 // Residuals quantizing to codes beyond this magnitude take the
 // unpredictable escape path (raw float stored losslessly).
 constexpr int64_t kMaxCode = (1 << 20);
@@ -89,11 +90,17 @@ Result<Compressed> SzCompressor::Compress(const Tensor& data,
   }
 
   util::ByteWriter header;
-  header.PutU32(kMagic);
+  header.PutU32(kMagicV2);
+  header.PutU8(static_cast<uint8_t>(codec_));
   header.PutShape(data.shape());
   header.PutF64(eb);
   header.PutU64(raw_values.size());
   header.PutU64(codes.size());
+  // Fixed framing so far plus the escape-mode byte below; the escape
+  // locations and raw floats that follow scale with the data and are NOT
+  // overhead in the ratio-model sense.
+  const int64_t fixed_header_bytes =
+      static_cast<int64_t>(header.buffer().size()) + 1;
 
   // Escape locations: sparse delta-varints when rare, bitmap otherwise.
   const size_t bitmap_bytes = (static_cast<size_t>(n) + 7) / 8;
@@ -115,10 +122,13 @@ Result<Compressed> SzCompressor::Compress(const Tensor& data,
   }
   header.Raw(raw_values.data(), raw_values.size() * sizeof(float));
 
+  // The entropy stage always runs — an empty code vector (every element
+  // escaped) encodes as a valid zero-symbol stream.
+  const EntropyCodec* codec = GetCodec(codec_);
   util::BitWriter bits;
-  if (!codes.empty()) {
-    EF_RETURN_IF_ERROR(HuffmanCodec::Encode(codes, &bits));
-  }
+  EncodeStats stats;
+  EF_RETURN_IF_ERROR(codec->Encode(codes, &bits, &stats));
+  RecordCodecEncode(*codec, codes.size(), stats);
   std::string blob = header.Finish();
   blob += bits.Finish();
 
@@ -126,6 +136,8 @@ Result<Compressed> SzCompressor::Compress(const Tensor& data,
   out.blob = std::move(blob);
   out.original_bytes = n * static_cast<int64_t>(sizeof(float));
   out.resolved_abs_tolerance = eb;
+  out.overhead_bytes = fixed_header_bytes +
+                       static_cast<int64_t>((stats.overhead_bits + 7) / 8);
   out.seconds = timer.ElapsedSeconds();
   return out;
 }
@@ -134,7 +146,15 @@ Result<Decompressed> SzCompressor::Decompress(const std::string& blob) {
   util::Stopwatch timer;
   util::ByteReader reader(blob);
   EF_ASSIGN_OR_RETURN(uint32_t magic, reader.GetU32());
-  if (magic != kMagic) return Status::Corruption("sz: bad magic");
+  // EZS2 carries a codec-negotiation byte; legacy EZS1 streams are
+  // implicitly Huffman and decode bit-exactly through the same path.
+  const EntropyCodec* codec = GetCodec(CodecId::kHuffman);
+  if (magic == kMagicV2) {
+    EF_ASSIGN_OR_RETURN(uint8_t codec_byte, reader.GetU8());
+    EF_ASSIGN_OR_RETURN(codec, CodecFromByte(codec_byte));
+  } else if (magic != kMagic) {
+    return Status::Corruption("sz: bad magic");
+  }
   EF_ASSIGN_OR_RETURN(auto shape, reader.GetShape());
   EF_RETURN_IF_ERROR(ValidateBlobShape(shape, blob.size()));
   EF_ASSIGN_OR_RETURN(double eb, reader.GetF64());
@@ -195,9 +215,12 @@ Result<Decompressed> SzCompressor::Decompress(const std::string& blob) {
   const size_t huff_size = rest.second - n_raw * sizeof(float);
 
   std::vector<uint32_t> codes;
-  if (n_codes > 0) {
+  if (magic == kMagicV2 || n_codes > 0) {
+    // V2 always carries an entropy stream (possibly the zero-symbol
+    // encoding); legacy V1 omitted it entirely when every element escaped.
     util::BitReader bits(huff_start, huff_size);
-    EF_ASSIGN_OR_RETURN(codes, HuffmanCodec::Decode(&bits, n_codes));
+    EF_ASSIGN_OR_RETURN(codes, codec->Decode(&bits, n_codes));
+    RecordCodecDecode(*codec, n_codes);
   }
 
   int64_t slices, rows, cols;

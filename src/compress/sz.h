@@ -21,6 +21,11 @@ namespace compress {
 /// for both Linf and L2 tolerances (L2 is enforced via eb = tol/sqrt(n)).
 class SzCompressor : public Compressor {
  public:
+  /// `codec` selects the entropy stage for newly written streams (EZS2
+  /// blobs carry a codec byte); decoding accepts every codec, plus the
+  /// legacy EZS1 layout as implicit Huffman.
+  explicit SzCompressor(CodecId codec = kDefaultCodec) : codec_(codec) {}
+
   std::string name() const override { return "sz"; }
   bool SupportsNorm(Norm norm) const override {
     (void)norm;
@@ -29,6 +34,9 @@ class SzCompressor : public Compressor {
   Result<Compressed> Compress(const Tensor& data,
                               const ErrorBound& bound) override;
   Result<Decompressed> Decompress(const std::string& blob) override;
+
+ private:
+  CodecId codec_;
 };
 
 }  // namespace compress

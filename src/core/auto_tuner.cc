@@ -18,7 +18,7 @@ Result<AutoTuneResult> AutoTune(const ErrorFlowAnalysis& analysis,
   if (sample_batch.ndim() < 2) {
     return Status::InvalidArgument("auto-tune: batch tensor required");
   }
-  auto compressor = compress::MakeCompressor(config.backend);
+  auto compressor = compress::MakeCompressor(config.backend, config.codec);
   if (!compressor->SupportsNorm(config.norm)) {
     return Status::InvalidArgument(
         "auto-tune: backend does not support the requested norm");

@@ -27,6 +27,8 @@ namespace core {
 /// end-to-end throughput.
 struct AutoTuneConfig {
   compress::Backend backend = compress::Backend::kSz;
+  /// Entropy codec for newly written compressed streams.
+  compress::CodecId codec = compress::kDefaultCodec;
   tensor::Norm norm = tensor::Norm::kLinf;
   io::StorageConfig storage;
   quant::HardwareProfile hardware;

@@ -84,7 +84,7 @@ InferencePipeline::InferencePipeline(nn::Model model,
       single_input_shape_(std::move(single_input_shape)),
       config_(config),
       analysis_(ProfileModel(model_, single_input_shape_)),
-      compressor_(compress::MakeCompressor(config.backend)),
+      compressor_(compress::MakeCompressor(config.backend, config.codec)),
       storage_(config.storage) {
   model_.FoldPsn();
   flops_per_sample_ = model_.FlopsPerSample(single_input_shape_);

@@ -21,6 +21,8 @@ using tensor::Tensor;
 /// \brief Configuration of an error-bounded inference pipeline (Fig. 1).
 struct PipelineConfig {
   compress::Backend backend = compress::Backend::kSz;
+  /// Entropy codec for newly written compressed streams.
+  compress::CodecId codec = compress::kDefaultCodec;
   Norm norm = Norm::kLinf;
   /// Fraction of the QoI tolerance offered to quantization.
   double quant_fraction = 0.5;

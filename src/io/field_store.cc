@@ -11,8 +11,9 @@ std::string KeyFor(int64_t step) {
 }
 }  // namespace
 
-FieldStore::FieldStore(compress::Backend backend, StorageConfig storage)
-    : compressor_(compress::MakeCompressor(backend)),
+FieldStore::FieldStore(compress::Backend backend, StorageConfig storage,
+                       compress::CodecId codec)
+    : compressor_(compress::MakeCompressor(backend, codec)),
       storage_(storage),
       decode_failures_(obs::MetricsRegistry::Global().GetCounter(
           "errorflow.io.field_store.decode_failures")) {}

@@ -46,8 +46,10 @@ class FieldStore {
   using ReadFaultHook =
       std::function<void(const std::string& key, std::string* blob)>;
 
-  /// `backend` compresses every stored field; `storage` models transfer.
-  FieldStore(compress::Backend backend, StorageConfig storage = {});
+  /// `backend` compresses every stored field (with `codec` as its
+  /// entropy stage); `storage` models transfer.
+  FieldStore(compress::Backend backend, StorageConfig storage = {},
+             compress::CodecId codec = compress::kDefaultCodec);
 
   /// Installs (or clears, with nullptr) the read-fault hook. Test-only.
   void SetReadFaultHookForTest(ReadFaultHook hook) {

@@ -27,6 +27,19 @@ class BitWriter {
   /// Pads to a byte boundary with zero bits (idempotent on aligned streams).
   void AlignToByte();
 
+  /// Grows the underlying buffer's capacity to hold `additional_bytes`
+  /// more output beyond what has been written so far. Codecs call this
+  /// with their `CompressBound` before encoding, so the append loop
+  /// performs zero reallocations on the hot path.
+  void Reserve(size_t additional_bytes) {
+    bytes_.reserve(bytes_.size() + additional_bytes);
+  }
+
+  /// Current capacity of the underlying buffer, in bytes. Exposed so
+  /// tests can pin the zero-realloc contract (capacity unchanged across
+  /// an Encode that was preceded by a sufficient Reserve).
+  size_t capacity_bytes() const { return bytes_.capacity(); }
+
   /// Number of bits written so far.
   size_t bit_count() const { return bit_count_; }
 

@@ -38,9 +38,25 @@ TEST(HuffmanTest, LargeSymbolValues) {
   EXPECT_EQ(RoundTrip(syms), syms);
 }
 
-TEST(HuffmanTest, EmptyStreamRejected) {
+TEST(HuffmanTest, EmptyStreamRoundTrips) {
+  // An empty input is a valid zero-symbol stream (a bare zero-count
+  // table), so all-escape chunks need no caller special-casing.
   util::BitWriter w;
-  EXPECT_FALSE(HuffmanCodec::Encode({}, &w).ok());
+  ASSERT_TRUE(HuffmanCodec::Encode({}, &w).ok());
+  const std::string blob = w.Finish();
+  EXPECT_EQ(blob.size(), 4u);  // Just the 32-bit table count.
+  util::BitReader r(blob.data(), blob.size());
+  auto decoded = HuffmanCodec::Decode(&r, 0);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(HuffmanTest, EmptyTableWithNonzeroCountRejected) {
+  util::BitWriter w;
+  ASSERT_TRUE(HuffmanCodec::Encode({}, &w).ok());
+  const std::string blob = w.Finish();
+  util::BitReader r(blob.data(), blob.size());
+  EXPECT_FALSE(HuffmanCodec::Decode(&r, 1).ok());
 }
 
 TEST(HuffmanTest, SkewedDistributionCompresses) {

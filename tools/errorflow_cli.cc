@@ -266,6 +266,9 @@ int CmdPlan(const Args& args) {
 int CmdCompress(const Args& args) {
   auto backend = ParseBackend(args.Get("backend", "sz"));
   if (!backend.ok()) return Fail(backend.status().ToString().c_str());
+  auto codec = compress::ParseCodecName(args.Get(
+      "codec", compress::CodecIdToString(compress::kDefaultCodec)));
+  if (!codec.ok()) return Fail(codec.status().ToString().c_str());
   auto norm = ParseNorm(args.Get("norm", "linf"));
   if (!norm.ok()) return Fail(norm.status().ToString().c_str());
 
@@ -287,13 +290,14 @@ int CmdCompress(const Args& args) {
   eb.norm = *norm;
   eb.relative = args.Has("rel");
   eb.tolerance = args.GetDouble("tol", 1e-3);
-  auto compressor = compress::MakeCompressor(*backend);
+  auto compressor = compress::MakeCompressor(*backend, *codec);
   auto comp = compressor->Compress(slice, eb);
   if (!comp.ok()) return Fail(comp.status().ToString().c_str());
   auto dec = compressor->Decompress(comp->blob);
   if (!dec.ok()) return Fail(dec.status().ToString().c_str());
 
   std::printf("backend      : %s\n", compressor->name().c_str());
+  std::printf("codec        : %s\n", compress::CodecIdToString(*codec));
   std::printf("field        : %lld x %lld (%s)\n",
               static_cast<long long>(rows), static_cast<long long>(cols),
               util::HumanBytes(static_cast<double>(slice.byte_size()))
@@ -349,6 +353,9 @@ int CmdRun(const Args& args) {
   if (!kind.ok()) return Fail(kind.status().ToString().c_str());
   auto backend = ParseBackend(args.Get("backend", "sz"));
   if (!backend.ok()) return Fail(backend.status().ToString().c_str());
+  auto codec = compress::ParseCodecName(args.Get(
+      "codec", compress::CodecIdToString(compress::kDefaultCodec)));
+  if (!codec.ok()) return Fail(codec.status().ToString().c_str());
   auto norm = ParseNorm(args.Get("norm", "linf"));
   if (!norm.ok()) return Fail(norm.status().ToString().c_str());
   const double tol = args.GetDouble("tol", 1e-3);
@@ -359,6 +366,7 @@ int CmdRun(const Args& args) {
       tasks::GetTask(*kind, tasks::Regularization::kPsn, 1, CacheDir(args));
   core::PipelineConfig cfg;
   cfg.backend = *backend;
+  cfg.codec = *codec;
   cfg.norm = *norm;
   cfg.quant_fraction = args.GetDouble("frac", 0.5);
   core::InferencePipeline pipeline(std::move(task.model),
@@ -830,11 +838,11 @@ void PrintUsage() {
       "  errorflow plan       <model.efm> --input-shape 1,9 --tol 1e-3 "
       "[--frac 0.5] [--norm linf|l2]\n"
       "  errorflow compress   --backend sz|zfp|mgard --tol 1e-3 [--norm "
-      "linf|l2] [--rel] [--size 512x512]\n"
+      "linf|l2] [--rel] [--size 512x512] [--codec huffman|lz77]\n"
       "  errorflow demo-train <out.efm> [--task h2|borghesi|eurosat]\n"
       "  errorflow run        [--task h2|borghesi|eurosat] [--tol 1e-3] "
       "[--backend sz|zfp|mgard] [--norm linf|l2] [--frac 0.5] "
-      "[--batches 3]\n"
+      "[--batches 3] [--codec huffman|lz77]\n"
       "  errorflow serve-bench [--task h2|borghesi|eurosat] "
       "[--concurrency 8] [--duration 5] [--workers 4] [--max-batch 64] "
       "[--queue-cap 1024] [--tolerances 1e-3,1e-2,1e-1] [--timeout-ms "
