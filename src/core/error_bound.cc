@@ -52,6 +52,13 @@ ErrorFlowAnalysis::StepFn FormatStepFn(NumericFormat format) {
   };
 }
 
+ErrorFlowAnalysis::StepFn VectorStepFn(std::vector<double> steps) {
+  return [steps = std::move(steps)](const LayerProfile&, int64_t index) {
+    EF_CHECK(index >= 0 && index < static_cast<int64_t>(steps.size()));
+    return steps[static_cast<size_t>(index)];
+  };
+}
+
 ErrorFlowAnalysis::FlowState ErrorFlowAnalysis::FlowBlock(
     const BlockProfile& block, FlowState in, const StepFn& step_fn,
     int64_t* layer_counter, double final_sigma_override,

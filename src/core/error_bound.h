@@ -205,6 +205,12 @@ class ErrorFlowAnalysis {
 /// StepFn for a fixed numerical format (the Table-I step of each layer).
 ErrorFlowAnalysis::StepFn FormatStepFn(NumericFormat format);
 
+/// StepFn from measured per-layer steps in traversal order (e.g. the
+/// effective steps of a data-driven quantizer — quant::OptqEffectiveSteps).
+/// The vector length must equal LinearLayerCount(); out-of-range indices
+/// trip EF_CHECK inside the returned function.
+ErrorFlowAnalysis::StepFn VectorStepFn(std::vector<double> steps);
+
 /// Convenience: Table-I step size of a profiled layer under `format`.
 double LayerStepSize(const LayerProfile& layer, NumericFormat format);
 

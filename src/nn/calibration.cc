@@ -1,0 +1,21 @@
+#include "nn/calibration.h"
+
+#include <atomic>
+
+namespace errorflow {
+namespace nn {
+
+namespace {
+std::atomic<CalibrationObserver*> g_observer{nullptr};
+}  // namespace
+
+CalibrationObserver* SetCalibrationObserver(CalibrationObserver* observer) {
+  return g_observer.exchange(observer, std::memory_order_acq_rel);
+}
+
+CalibrationObserver* GetCalibrationObserver() {
+  return g_observer.load(std::memory_order_acquire);
+}
+
+}  // namespace nn
+}  // namespace errorflow

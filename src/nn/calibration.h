@@ -1,0 +1,43 @@
+#ifndef ERRORFLOW_NN_CALIBRATION_H_
+#define ERRORFLOW_NN_CALIBRATION_H_
+
+#include <cstdint>
+
+namespace errorflow {
+namespace nn {
+
+class Layer;
+
+/// \brief Observer of the exact matrices linear layers feed their GEMMs,
+/// used by calibration-based quantizers (src/quant/optq.h) to accumulate
+/// per-layer input Grams without re-implementing the forward pass.
+///
+/// DenseLayer reports its input batch: `data` is row-major (n, d) with
+/// features in columns (`features_are_rows == false`, d = in_features).
+/// Conv2dLayer reports the batched im2col column matrix its GEMM consumes:
+/// row-major (d, n) with features in rows (`features_are_rows == true`,
+/// d = in_channels * k * k, n = batch * oh * ow). In both layouts the
+/// layer's input Gram is the d x d matrix summing outer products of the
+/// feature vectors.
+class CalibrationObserver {
+ public:
+  virtual ~CalibrationObserver() = default;
+  virtual void OnLinearInput(const Layer* layer, const float* data,
+                             int64_t d, int64_t n,
+                             bool features_are_rows) = 0;
+};
+
+/// Installs a process-global observer (nullptr clears); returns the
+/// previous one. Calibration is a single-threaded offline pass: install,
+/// run Forward on the calibration batch, clear. The observer must not be
+/// swapped while any Forward is in flight. The inference hot path pays one
+/// relaxed atomic load when no observer is installed.
+CalibrationObserver* SetCalibrationObserver(CalibrationObserver* observer);
+
+/// The currently installed observer, or nullptr.
+CalibrationObserver* GetCalibrationObserver();
+
+}  // namespace nn
+}  // namespace errorflow
+
+#endif  // ERRORFLOW_NN_CALIBRATION_H_

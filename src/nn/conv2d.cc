@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "nn/calibration.h"
 #include "tensor/kernels.h"
 #include "tensor/norms.h"
 #include "tensor/ops.h"
@@ -340,6 +341,11 @@ void Conv2dLayer::Forward(const Tensor& input, Tensor* output,
   }
   Im2ColBatch(input.data(), n, in_channels_, h, w, kernel_, stride_,
               padding_, oh, ow, gemm_flops, cols);
+  if (CalibrationObserver* obs = GetCalibrationObserver()) {
+    // The column matrix is exactly what the GEMM multiplies the kernel
+    // matrix against — the right Gram basis for data-driven quantization.
+    obs->OnLinearInput(this, cols, ckk, cols_n, /*features_are_rows=*/true);
+  }
   float* out_mat = GrowBuffer(&scratch.mat, out_channels_ * cols_n);
   tensor::GemmKernel(eff->data(), cols, out_mat, out_channels_, cols_n, ckk);
   // Row oc of out_mat holds channel oc for the whole batch; each (img, oc)

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nn/calibration.h"
 #include "tensor/norms.h"
 #include "tensor/ops.h"
 #include "util/random.h"
@@ -88,6 +89,10 @@ double DenseLayer::SpectralNorm() const {
 void DenseLayer::Forward(const Tensor& input, Tensor* output,
                          bool training) {
   EF_CHECK(input.ndim() == 2 && input.dim(1) == in_features_);
+  if (CalibrationObserver* obs = GetCalibrationObserver()) {
+    obs->OnLinearInput(this, input.data(), in_features_, input.dim(0),
+                       /*features_are_rows=*/false);
+  }
   if (!use_psn_) {
     // Hot path: the stored weight is the effective weight; no copy, no
     // shared-state mutation, safe under concurrent execution.

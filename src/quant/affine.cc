@@ -16,6 +16,17 @@ namespace quant {
 
 namespace {
 
+// NaN policy: a NaN weight quantizes to the (clamped) zero point, i.e. it
+// dequantizes to 0.0 — the least-surprising value for a poisoned weight,
+// and one both SIMD and scalar paths can produce bit-exactly. Without an
+// explicit policy the two paths disagreed: the scalar min/max chain clamped
+// NaN to -128 while AVX2's max_ps/min_ps propagated NaN into cvtps_epi32
+// (INT_MIN, truncated to code 0).
+int8_t NanCode(float zero_point) {
+  return static_cast<int8_t>(
+      std::min(127.0f, std::max(-128.0f, zero_point)));
+}
+
 // Scalar single-precision path: round-to-nearest-even in float, clamp in
 // float *before* the integer conversion (branchless min/max), then one
 // narrowing cast. The old implementation did all of this per element in
@@ -24,10 +35,11 @@ namespace {
 // integer range).
 void QuantizeScalar(const float* in, int64_t n, float inv_scale,
                     float zero_point, int8_t* codes) {
+  const int8_t nan_code = NanCode(zero_point);
   for (int64_t i = 0; i < n; ++i) {
     float q = std::nearbyintf(in[i] * inv_scale) + zero_point;
     q = std::min(127.0f, std::max(-128.0f, q));
-    codes[i] = static_cast<int8_t>(q);
+    codes[i] = std::isnan(in[i]) ? nan_code : static_cast<int8_t>(q);
   }
 }
 
@@ -52,16 +64,21 @@ void QuantizeAvx2(const float* in, int64_t n, float inv_scale,
   const __m256 vzp = _mm256_set1_ps(zero_point);
   const __m256 vlo = _mm256_set1_ps(-128.0f);
   const __m256 vhi = _mm256_set1_ps(127.0f);
+  const __m256i vnan = _mm256_set1_epi32(NanCode(zero_point));
   int64_t i = 0;
   for (; i + 8 <= n; i += 8) {
-    __m256 v = _mm256_loadu_ps(in + i);
+    const __m256 raw = _mm256_loadu_ps(in + i);
     // CUR_DIRECTION = round-to-nearest-even in the default FP environment,
     // matching nearbyintf.
-    v = _mm256_round_ps(_mm256_mul_ps(v, vinv),
-                        _MM_FROUND_CUR_DIRECTION | _MM_FROUND_NO_EXC);
+    __m256 v = _mm256_round_ps(_mm256_mul_ps(raw, vinv),
+                               _MM_FROUND_CUR_DIRECTION | _MM_FROUND_NO_EXC);
     v = _mm256_add_ps(v, vzp);
     v = _mm256_min_ps(vhi, _mm256_max_ps(vlo, v));
-    const __m256i q = _mm256_cvtps_epi32(v);
+    // Unordered self-compare marks the NaN lanes (Inf clamps to an
+    // endpoint in min/max above, exactly as the scalar path does).
+    const __m256 nan_mask = _mm256_cmp_ps(raw, raw, _CMP_UNORD_Q);
+    __m256i q = _mm256_cvtps_epi32(v);
+    q = _mm256_blendv_epi8(q, vnan, _mm256_castps_si256(nan_mask));
     alignas(32) int32_t lane[8];
     _mm256_store_si256(reinterpret_cast<__m256i*>(lane), q);
     for (int j = 0; j < 8; ++j) {
@@ -122,6 +139,14 @@ std::vector<int8_t> QuantizeAffine(const Tensor& t, const AffineParams& p) {
   }
 #endif
   QuantizeScalar(t.data(), t.size(), inv_scale, zero_point, codes.data());
+  return codes;
+}
+
+std::vector<int8_t> QuantizeAffineScalar(const Tensor& t,
+                                         const AffineParams& p) {
+  std::vector<int8_t> codes(static_cast<size_t>(t.size()));
+  QuantizeScalar(t.data(), t.size(), 1.0f / p.scale,
+                 static_cast<float>(p.zero_point), codes.data());
   return codes;
 }
 

@@ -24,6 +24,18 @@ const char* FormatToString(NumericFormat format) {
   return "unknown";
 }
 
+const char* QuantizerToString(WeightQuantizer quantizer) {
+  switch (quantizer) {
+    case WeightQuantizer::kMaxAffine:
+      return "max-affine";
+    case WeightQuantizer::kOptq:
+      return "optq";
+    case WeightQuantizer::kSpfq:
+      return "spfq";
+  }
+  return "unknown";
+}
+
 int MantissaBits(NumericFormat format) {
   switch (format) {
     case NumericFormat::kFP32:

@@ -32,6 +32,26 @@ inline const std::vector<NumericFormat>& ReducedFormats() {
 /// Lowercase canonical name: "fp32", "tf32", "fp16", "bf16", "int8".
 const char* FormatToString(NumericFormat format);
 
+/// \brief Weight-quantizer family applied when a model variant is
+/// materialized at a reduced format.
+///
+/// kMaxAffine is the paper's Table-I family: bit-exact mantissa rounding
+/// for the float formats, per-tensor max-calibration affine for INT8.
+/// kOptq / kSpfq are the data-driven INT8 quantizers (src/quant/optq.h):
+/// greedy error-feedback rounding against a calibration-activation Gram,
+/// with per-output-channel scales; kSpfq replaces the greedy nearest
+/// rounding with SPFQ-style stochastic rounding (fixed seed, still
+/// deterministic). Both only apply to kINT8 — float formats have no
+/// calibration degree of freedom.
+enum class WeightQuantizer : uint8_t {
+  kMaxAffine = 0,
+  kOptq = 1,
+  kSpfq = 2,
+};
+
+/// Lowercase canonical name: "max-affine", "optq", "spfq".
+const char* QuantizerToString(WeightQuantizer quantizer);
+
 /// Number of explicit mantissa (fraction) bits: 23/10/10/7; 0 for INT8.
 int MantissaBits(NumericFormat format);
 

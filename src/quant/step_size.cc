@@ -9,17 +9,42 @@ namespace quant {
 
 namespace {
 
-// RMS of 2^floor(log2 |w|) over elements, with optional exponent floor
-// (FP16 subnormal clamp). Zeros contribute zero.
-double RmsExponentStep(const tensor::Tensor& w, bool clamp_fp16) {
+// RMS of 2^floor(log2 |w|) over elements. Zeros contribute zero.
+double RmsExponentStep(const tensor::Tensor& w) {
   if (w.size() == 0) return 0.0;
   double acc = 0.0;
   for (int64_t i = 0; i < w.size(); ++i) {
     const double a = std::fabs(static_cast<double>(w[i]));
     if (a == 0.0) continue;
-    double e = std::floor(std::log2(a));
-    if (clamp_fp16) e = std::max(-14.0, e);
-    acc += std::exp2(2.0 * e);
+    acc += std::exp2(2.0 * std::floor(std::log2(a)));
+  }
+  return std::sqrt(acc / static_cast<double>(w.size()));
+}
+
+// FP16 RMS step with the 2^-10 mantissa multiplier folded in, the -14
+// exponent floor (subnormal clamp), and saturation accounting: |w| beyond
+// the largest finite half (65504) rounds to exactly 65504, a deterministic
+// error of d = |w| - 65504 that the exponent model would silently
+// understate. Such an element contributes the uniform-step equivalent of
+// that error (12 d^2 — a step q has RMS error q/sqrt(12)), never less than
+// the top-binade step it would contribute if it were in range. Bit-exact
+// with the old 2^-10 * RMS(2^e) formula for all-in-range tensors (every
+// per-element term is rescaled by the exact power 2^-20).
+double Fp16Step(const tensor::Tensor& w) {
+  if (w.size() == 0) return 0.0;
+  double acc = 0.0;
+  for (int64_t i = 0; i < w.size(); ++i) {
+    const double a = std::fabs(static_cast<double>(w[i]));
+    if (a == 0.0) continue;
+    if (a > 65504.0) {
+      const double d = a - 65504.0;
+      // Top-binade in-range step is 2^(15-10); saturated elements never
+      // contribute less than that.
+      acc += std::max(12.0 * d * d, std::exp2(2.0 * 5.0));
+      continue;
+    }
+    const double e = std::max(-14.0, std::floor(std::log2(a)));
+    acc += std::exp2(2.0 * (e - 10.0));
   }
   return std::sqrt(acc / static_cast<double>(w.size()));
 }
@@ -29,15 +54,19 @@ double RmsExponentStep(const tensor::Tensor& w, bool clamp_fp16) {
 double AverageStepSize(const tensor::Tensor& w, NumericFormat format) {
   switch (format) {
     case NumericFormat::kFP32:
-      return std::exp2(-23.0) * RmsExponentStep(w, /*clamp_fp16=*/false);
+      return std::exp2(-23.0) * RmsExponentStep(w);
     case NumericFormat::kTF32:
-      return std::exp2(-10.0) * RmsExponentStep(w, /*clamp_fp16=*/false);
+      return std::exp2(-10.0) * RmsExponentStep(w);
     case NumericFormat::kFP16:
-      return std::exp2(-10.0) * RmsExponentStep(w, /*clamp_fp16=*/true);
+      return Fp16Step(w);
     case NumericFormat::kBF16:
-      return std::exp2(-7.0) * RmsExponentStep(w, /*clamp_fp16=*/false);
+      return std::exp2(-7.0) * RmsExponentStep(w);
     case NumericFormat::kINT8:
-      return std::exp2(-8.0) * tensor::ValueRange(w);
+      // Matches the achieved max-calibration scale (CalibrateMax spreads
+      // the value range over 255 steps, not 256): a bound computed from
+      // range/256 would be tighter than the error the quantizer can
+      // actually achieve.
+      return tensor::ValueRange(w) / 255.0;
   }
   return 0.0;
 }

@@ -13,13 +13,24 @@ namespace quant {
 ///   TF32: q = 2^-10 * sqrt( E[ 2^(2*floor(log2 |W_ij|)) ] )
 ///   FP16: q = 2^-10 * sqrt( E[ 2^(2*max(-14, floor(log2 |W_ij|))) ] )
 ///   BF16: q = 2^-7  * sqrt( E[ 2^(2*floor(log2 |W_ij|)) ] )
-///   INT8: q = 2^-8  * (max(W_ij) - min(W_ij))
+///   INT8: q = (max(W_ij) - min(W_ij)) / 255
 ///
 /// The square root of the mean of squared per-element steps (an RMS
 /// average) matches the role q plays in the variance s_l^2 = q^2/12 * ||h||^2
 /// of the quantization-noise inner product (Sec. III-B). Zero-valued
 /// weights contribute zero step. FP32 returns the machine-epsilon-scaled
 /// RMS step (2^-23 multiplier) for completeness.
+///
+/// Two deviations from the table as printed:
+///  - INT8 divides by 255 rather than 2^8: CalibrateMax spreads the value
+///    range over the 255 steps between codes -128 and 127, so range/255 is
+///    the scale the affine quantizer actually achieves — a range/256 step
+///    would claim a bound tighter than the quantizer's own error.
+///  - FP16 also accounts for saturation: elements with |W| > 65504 round
+///    to exactly +-65504 (RoundToFormat), a deterministic error d that
+///    contributes its uniform-step equivalent 12 d^2 to the mean of
+///    squared steps (floored at the top-binade in-range step 2^5), where
+///    the plain exponent formula would silently understate the step.
 double AverageStepSize(const tensor::Tensor& w, NumericFormat format);
 
 }  // namespace quant

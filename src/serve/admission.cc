@@ -43,13 +43,15 @@ AdmissionController::AdmissionController(AdmissionConfig config)
       rejected_overload_(obs::MetricsRegistry::Global().GetCounter(
           "errorflow.serve.admission.rejected_overload")),
       rejected_infeasible_(obs::MetricsRegistry::Global().GetCounter(
-          "errorflow.serve.admission.rejected_infeasible")) {}
+          "errorflow.serve.admission.rejected_infeasible")),
+      admitted_data_driven_(obs::MetricsRegistry::Global().GetCounter(
+          "errorflow.serve.admission.admitted.data_driven")) {}
 
 Result<AdmissionDecision> AdmissionController::Admit(
     const core::ErrorFlowAnalysis& analysis, int64_t flops_per_sample,
     int64_t bytes_per_sample, double qoi_tolerance,
     Clock::time_point deadline, Clock::time_point now, int64_t queue_depth,
-    bool overloaded) const {
+    bool overloaded, const std::vector<double>* int8_data_steps) const {
   if (!(qoi_tolerance > 0.0)) {
     rejected_invalid_->Increment();
     return Status::InvalidArgument(
@@ -84,6 +86,11 @@ Result<AdmissionDecision> AdmissionController::Admit(
   double tightest = std::numeric_limits<double>::infinity();
   AdmissionDecision best;
   double best_seconds = 0.0;
+  // Candidate order matters on speed ties: the strict `<` below keeps the
+  // earlier winner, so evaluating every max-affine format first means the
+  // data-driven INT8 candidate only takes the slot when it admits a
+  // tolerance max-affine INT8 cannot (or INT8 beats the fastest feasible
+  // wide format outright).
   for (quant::NumericFormat f : formats) {
     const double bound = analysis.Bound(0.0, config_.norm, f);
     tightest = std::min(tightest, bound);
@@ -93,8 +100,32 @@ Result<AdmissionDecision> AdmissionController::Admit(
       found = true;
       best_seconds = seconds;
       best.format = f;
+      best.quantizer = quant::WeightQuantizer::kMaxAffine;
       best.quant_bound = bound;
       best.slack = qoi_tolerance - bound;
+    }
+  }
+  if (config_.data_driven_quantizer != quant::WeightQuantizer::kMaxAffine &&
+      int8_data_steps != nullptr && !int8_data_steps->empty() &&
+      std::find(formats.begin(), formats.end(),
+                quant::NumericFormat::kINT8) != formats.end()) {
+    // Data-driven INT8: same execution profile as max-affine INT8, but a
+    // bound measured on the calibration distribution instead of the
+    // worst-case Table-I step.
+    const double bound = analysis.BoundWithSteps(
+        0.0, config_.norm, core::VectorStepFn(*int8_data_steps));
+    tightest = std::min(tightest, bound);
+    if (bound <= qoi_tolerance) {
+      const double seconds =
+          exec.SecondsPerSample(quant::NumericFormat::kINT8);
+      if (!found || seconds < best_seconds) {
+        found = true;
+        best_seconds = seconds;
+        best.format = quant::NumericFormat::kINT8;
+        best.quantizer = config_.data_driven_quantizer;
+        best.quant_bound = bound;
+        best.slack = qoi_tolerance - bound;
+      }
     }
   }
   if (!found) {
@@ -105,6 +136,9 @@ Result<AdmissionDecision> AdmissionController::Admit(
   }
   admitted_->Increment();
   admitted_by_format_[static_cast<size_t>(best.format)]->Increment();
+  if (best.quantizer != quant::WeightQuantizer::kMaxAffine) {
+    admitted_data_driven_->Increment();
+  }
   return best;
 }
 

@@ -26,11 +26,22 @@ struct AdmissionConfig {
   /// Backpressure bound: requests arriving while this many admitted
   /// requests are still queued are shed with kResourceExhausted.
   int64_t max_queue_depth = 1024;
+  /// Data-driven INT8 quantizer offered alongside the Table-I max-affine
+  /// INT8 variant (kMaxAffine disables it). When enabled and the caller
+  /// passes the model's priced effective steps, the controller also
+  /// evaluates a data-driven INT8 candidate whose tighter measured bound
+  /// can admit tolerances the worst-case max-affine bound cannot — i.e.
+  /// requests that would otherwise route to a slower wide format.
+  quant::WeightQuantizer data_driven_quantizer =
+      quant::WeightQuantizer::kMaxAffine;
 };
 
 /// \brief The controller's verdict for an admitted request.
 struct AdmissionDecision {
   quant::NumericFormat format = quant::NumericFormat::kFP32;
+  /// Weight quantizer of the chosen variant: kMaxAffine for the Table-I
+  /// family, kOptq/kSpfq when the data-driven INT8 candidate won.
+  quant::WeightQuantizer quantizer = quant::WeightQuantizer::kMaxAffine;
   /// Predicted QoI bound of the chosen format (quantization term only).
   double quant_bound = 0.0;
   /// Tolerance left unused by the chosen format.
@@ -59,13 +70,20 @@ class AdmissionController {
   /// SLO-overload signal: while set, the effective queue bound is halved,
   /// so backpressure engages before the queue grows into latency the
   /// adaptive batcher can no longer shed its way out of.
-  Result<AdmissionDecision> Admit(const core::ErrorFlowAnalysis& analysis,
-                                  int64_t flops_per_sample,
-                                  int64_t bytes_per_sample,
-                                  double qoi_tolerance,
-                                  Clock::time_point deadline,
-                                  Clock::time_point now, int64_t queue_depth,
-                                  bool overloaded = false) const;
+  ///
+  /// `int8_data_steps` (optional) are the model's priced data-driven
+  /// effective steps in StepFn traversal order
+  /// (ModelRegistry::Entry::optq_steps). Consulted only when
+  /// `config.data_driven_quantizer` is enabled and INT8 is an allowed
+  /// format; on a speed tie with an admitted max-affine INT8 the
+  /// max-affine variant wins (no reason to pay the calibration variant
+  /// when the worst-case one already fits).
+  Result<AdmissionDecision> Admit(
+      const core::ErrorFlowAnalysis& analysis, int64_t flops_per_sample,
+      int64_t bytes_per_sample, double qoi_tolerance,
+      Clock::time_point deadline, Clock::time_point now, int64_t queue_depth,
+      bool overloaded = false,
+      const std::vector<double>* int8_data_steps = nullptr) const;
 
   const AdmissionConfig& config() const { return config_; }
 
@@ -79,6 +97,9 @@ class AdmissionController {
   obs::Counter* rejected_expired_;
   obs::Counter* rejected_overload_;
   obs::Counter* rejected_infeasible_;
+  /// Admissions won by the data-driven INT8 candidate:
+  /// errorflow.serve.admission.admitted.data_driven.
+  obs::Counter* admitted_data_driven_;
 };
 
 }  // namespace serve

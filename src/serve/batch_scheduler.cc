@@ -233,13 +233,17 @@ void BatchScheduler::DispatchLoop() {
       // Copied, not referenced: push_back below reallocates `group`.
       const std::string model = group[0].request.model;
       const quant::NumericFormat format = group[0].decision.format;
+      const quant::WeightQuantizer quantizer = group[0].decision.quantizer;
       int64_t rows = group[0].request.input.dim(0);
       // Sweep the queue (FIFO order) for compatible requests to fuse.
-      // The fuse key is (model, format, per-row shape): rows of a
-      // different trailing shape cannot share one gather/scatter layout.
+      // The fuse key is (model, format, quantizer, per-row shape): rows of
+      // a different trailing shape cannot share one gather/scatter layout,
+      // and a max-affine INT8 row must not execute on a data-driven
+      // variant (or vice versa) — each was admitted against its own bound.
       for (auto it = queue_.begin();
            it != queue_.end() && rows < max_rows;) {
         if (it->request.model == model && it->decision.format == format &&
+            it->decision.quantizer == quantizer &&
             SameTrailingDims(it->request.input, group[0].request.input) &&
             rows + it->request.input.dim(0) <= max_rows) {
           rows += it->request.input.dim(0);
@@ -349,7 +353,8 @@ void BatchScheduler::ExecuteGroup(std::vector<Pending> group) {
   if (live.empty()) return;
 
   auto variant =
-      registry_->GetVariant(live[0].request.model, live[0].decision.format);
+      registry_->GetVariant(live[0].request.model, live[0].decision.format,
+                            live[0].decision.quantizer);
   if (!variant.ok()) {
     exec_failures_->Increment(static_cast<uint64_t>(live.size()));
     FailGroup(&live, variant.status());
@@ -409,6 +414,7 @@ void BatchScheduler::ExecuteGroup(std::vector<Pending> group) {
     response.status = Status::OK();
     response.output = std::move(slice);
     response.format = p.decision.format;
+    response.quantizer = p.decision.quantizer;
     response.predicted_qoi_bound = p.decision.quant_bound;
     response.batch_requests = static_cast<int64_t>(live.size());
     response.batch_rows = rows;
@@ -449,6 +455,12 @@ void BatchScheduler::AuditGroup(const std::vector<Pending>& live,
     obs::ErrorBudgetLedger ledger;
     ledger.model = p.request.model;
     ledger.format = quant::FormatToString(p.decision.format);
+    if (p.decision.quantizer != quant::WeightQuantizer::kMaxAffine) {
+      // Distinguish data-driven INT8 ledgers from max-affine INT8 ones:
+      // their admitted bounds come from different step derivations.
+      ledger.format +=
+          std::string("+") + quant::QuantizerToString(p.decision.quantizer);
+    }
     // Served inputs are not compressed: the admitted bound is all
     // quantization term, with no compression-input share.
     ledger.admitted_bound = p.decision.quant_bound;
@@ -469,7 +481,8 @@ void BatchScheduler::AuditGroup(const std::vector<Pending>& live,
     // Recovery lever: drop the suspect variant so the next batch
     // re-quantizes it from the FP32 base (PR 5 machinery).
     registry_->InvalidateVariant(live[0].request.model,
-                                 live[0].decision.format);
+                                 live[0].decision.format,
+                                 live[0].decision.quantizer);
   }
 }
 

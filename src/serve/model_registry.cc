@@ -7,16 +7,25 @@
 #include "nn/serialize.h"
 #include "obs/log.h"
 #include "obs/trace.h"
+#include "quant/optq.h"
 #include "quant/quantize_model.h"
+#include "util/random.h"
 
 namespace errorflow {
 namespace serve {
 
 namespace {
 
-std::string VariantKey(const std::string& name,
-                       quant::NumericFormat format) {
-  return name + "\n" + quant::FormatToString(format);
+std::string VariantKey(const std::string& name, quant::NumericFormat format,
+                       quant::WeightQuantizer quantizer) {
+  std::string key = name + "\n" + quant::FormatToString(format);
+  // Max-affine keys keep their legacy shape (and shard assignment); only
+  // data-driven variants grow a suffix.
+  if (quantizer != quant::WeightQuantizer::kMaxAffine) {
+    key += "\n";
+    key += quant::QuantizerToString(quantizer);
+  }
+  return key;
 }
 
 }  // namespace
@@ -77,9 +86,11 @@ const ModelRegistry::Shard& ModelRegistry::ShardFor(
 }
 
 int ModelRegistry::ShardOf(const std::string& name,
-                           quant::NumericFormat format) const {
-  return static_cast<int>(std::hash<std::string>{}(VariantKey(name, format)) %
-                          shards_.size());
+                           quant::NumericFormat format,
+                           quant::WeightQuantizer quantizer) const {
+  return static_cast<int>(
+      std::hash<std::string>{}(VariantKey(name, format, quantizer)) %
+      shards_.size());
 }
 
 void ModelRegistry::AddVariantBytes(int64_t delta) {
@@ -91,6 +102,29 @@ void ModelRegistry::AddVariantBytes(int64_t delta) {
 
 Status ModelRegistry::Register(std::string name, nn::Model model,
                                tensor::Shape single_input_shape) {
+  tensor::Tensor calibration;
+  if (config_.data_driven_quantizer != quant::WeightQuantizer::kMaxAffine) {
+    // Synthesize the calibration batch: uniform [-1, 1] matches the
+    // normalized serving inputs, and the fixed seed keeps every later
+    // materialization bit-identical to the steps priced here.
+    tensor::Shape calib_shape = single_input_shape;
+    if (calib_shape.empty()) {
+      return Status::InvalidArgument("registry: bad input shape");
+    }
+    calib_shape[0] = std::max<int64_t>(1, config_.calibration_samples);
+    calibration = tensor::Tensor(calib_shape);
+    util::Rng rng(config_.calibration_seed);
+    for (int64_t i = 0; i < calibration.size(); ++i) {
+      calibration[i] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    }
+  }
+  return Register(std::move(name), std::move(model),
+                  std::move(single_input_shape), std::move(calibration));
+}
+
+Status ModelRegistry::Register(std::string name, nn::Model model,
+                               tensor::Shape single_input_shape,
+                               tensor::Tensor calibration) {
   if (name.empty() || name.find('\n') != std::string::npos) {
     return Status::InvalidArgument("registry: bad model name");
   }
@@ -108,6 +142,25 @@ Status ModelRegistry::Register(std::string name, nn::Model model,
     elems *= single_input_shape[i];
   }
   entry->bytes_per_sample = elems * static_cast<int64_t>(sizeof(float));
+
+  if (config_.data_driven_quantizer != quant::WeightQuantizer::kMaxAffine &&
+      calibration.size() > 0) {
+    // Price the data-driven variant's effective steps once, up front:
+    // admission consults them on every request, and the deterministic
+    // quantizer guarantees any later materialization reproduces exactly
+    // the weights these steps were measured on. The quantized clone is
+    // discarded here — GetVariant materializes lazily, like every other
+    // variant.
+    entry->calibration = std::move(calibration);
+    quant::OptqQuantizedModel priced = quant::OptqQuantizeWeights(
+        entry->base, entry->calibration, config_.data_driven_quantizer);
+    entry->optq_steps = quant::OptqEffectiveSteps(priced);
+    if (static_cast<int64_t>(entry->optq_steps.size()) !=
+        entry->analysis.LinearLayerCount()) {
+      return Status::Internal(
+          "registry: data-driven step count does not match profile");
+    }
+  }
 
   std::lock_guard<std::mutex> lock(entries_mu_);
   if (entries_.count(name) != 0) {
@@ -130,8 +183,16 @@ Result<const ModelRegistry::Entry*> ModelRegistry::Lookup(
 }
 
 Result<std::shared_ptr<ModelRegistry::Variant>> ModelRegistry::GetVariant(
-    const std::string& name, quant::NumericFormat format) {
-  const std::string key = VariantKey(name, format);
+    const std::string& name, quant::NumericFormat format,
+    quant::WeightQuantizer quantizer) {
+  if (quantizer != quant::WeightQuantizer::kMaxAffine &&
+      format != quant::NumericFormat::kINT8) {
+    return Status::InvalidArgument(
+        std::string("registry: quantizer ") +
+        quant::QuantizerToString(quantizer) +
+        " only applies to int8 variants");
+  }
+  const std::string key = VariantKey(name, format, quantizer);
   Shard& shard = ShardFor(key);
 
   std::shared_ptr<Variant> cached;
@@ -216,10 +277,25 @@ Result<std::shared_ptr<ModelRegistry::Variant>> ModelRegistry::GetVariant(
   obs::TraceSpan span("serve.registry.quantize");
   auto variant = std::make_shared<Variant>();
   variant->format = format;
-  // kFP32 clones (QuantizeWeights is an identity clone there); reduced
-  // formats round every Dense/Conv weight tensor.
-  variant->model =
-      std::move(quant::QuantizeWeights(entry->base, format).model);
+  variant->quantizer = quantizer;
+  if (quantizer != quant::WeightQuantizer::kMaxAffine) {
+    if (entry->calibration.size() == 0) {
+      decode_failures_->Increment();
+      return Status::FailedPrecondition(
+          std::string("registry: model ") + name +
+          " was not registered with data-driven calibration");
+    }
+    // Deterministic: bit-identical to the clone whose effective steps
+    // Register priced, however many evictions later.
+    variant->model = std::move(
+        quant::OptqQuantizeWeights(entry->base, entry->calibration, quantizer)
+            .model);
+  } else {
+    // kFP32 clones (QuantizeWeights is an identity clone there); reduced
+    // formats round every Dense/Conv weight tensor.
+    variant->model =
+        std::move(quant::QuantizeWeights(entry->base, format).model);
+  }
   // The base was folded at Register; folding the clone again is a no-op
   // that keeps the "serving never runs power iteration" invariant robust
   // to future base-model sources.
@@ -233,7 +309,7 @@ Result<std::shared_ptr<ModelRegistry::Variant>> ModelRegistry::GetVariant(
             "registry: materialized %s/%s (%lld bytes, shard %d)",
             name.c_str(), quant::FormatToString(format),
             static_cast<long long>(variant->resident_bytes),
-            ShardOf(name, format));
+            ShardOf(name, format, quantizer));
 
   std::lock_guard<std::mutex> lock(shard.mu);
   auto raced = shard.variants.find(key);
@@ -255,8 +331,9 @@ Result<std::shared_ptr<ModelRegistry::Variant>> ModelRegistry::GetVariant(
 }
 
 bool ModelRegistry::InvalidateVariant(const std::string& name,
-                                      quant::NumericFormat format) {
-  const std::string key = VariantKey(name, format);
+                                      quant::NumericFormat format,
+                                      quant::WeightQuantizer quantizer) {
+  const std::string key = VariantKey(name, format, quantizer);
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.variants.find(key);

@@ -41,6 +41,21 @@ struct RegistryConfig {
   /// share, so leases for different variants proceed in parallel instead
   /// of convoying on one registry-wide lock. Clamped to >= 1.
   int num_shards = 8;
+  /// Data-driven INT8 weight quantizer offered alongside the Table-I
+  /// max-affine variants. kMaxAffine (the default) disables the feature
+  /// entirely: no calibration pass at Register, no extra variant keys.
+  /// kOptq/kSpfq makes Register run one calibration forward pass and
+  /// cache the per-layer effective steps, so admission can price the
+  /// tighter data-driven INT8 bound without materializing the variant.
+  quant::WeightQuantizer data_driven_quantizer =
+      quant::WeightQuantizer::kMaxAffine;
+  /// Rows of the synthesized uniform [-1, 1] calibration batch used when
+  /// Register is not handed one explicitly (served inputs are normalized
+  /// to [-1, 1], so the synthetic batch matches the serving distribution).
+  int64_t calibration_samples = 64;
+  /// Seed of the synthesized calibration batch; fixed so the cached steps
+  /// and every later materialization agree bit-exactly.
+  uint64_t calibration_seed = 0xca11b8a7c4ull;
 };
 
 /// \brief Owns the served models, their error-flow analyses, and a
@@ -84,6 +99,14 @@ class ModelRegistry {
     tensor::Shape single_input_shape;
     int64_t flops_per_sample = 0;
     int64_t bytes_per_sample = 0;
+    /// Calibration batch for the data-driven quantizer (empty when the
+    /// registry runs max-affine only). Kept so GetVariant can rematerialize
+    /// the variant bit-identically after an eviction or invalidation.
+    tensor::Tensor calibration;
+    /// Per-layer effective steps of the data-driven INT8 variant, in StepFn
+    /// traversal order (quant::OptqEffectiveSteps), priced once at
+    /// Register. Empty when data-driven quantization is disabled.
+    std::vector<double> optq_steps;
 
     Entry(nn::Model base_model, core::ErrorFlowAnalysis model_analysis,
           tensor::Shape shape)
@@ -97,6 +120,9 @@ class ModelRegistry {
   /// lock-free.
   struct Variant {
     quant::NumericFormat format = quant::NumericFormat::kFP32;
+    /// Weight quantizer that produced the variant: kMaxAffine for the
+    /// Table-I family, kOptq/kSpfq for the data-driven INT8 variants.
+    quant::WeightQuantizer quantizer = quant::WeightQuantizer::kMaxAffine;
     nn::Model model;
     int64_t resident_bytes = 0;
     /// FNV-1a over the serialized model, taken at materialization; consulted
@@ -124,27 +150,43 @@ class ModelRegistry {
 
   /// Profiles `model` (folding PSN afterwards) and takes ownership.
   /// `single_input_shape` as in core::ProfileModel. Fails with
-  /// kAlreadyExists on duplicate names.
+  /// kAlreadyExists on duplicate names. When the registry is configured
+  /// with a data-driven quantizer, a uniform [-1, 1] calibration batch is
+  /// synthesized (RegistryConfig::calibration_samples/seed) and the
+  /// variant's effective steps are priced here, once.
   Status Register(std::string name, nn::Model model,
                   tensor::Shape single_input_shape);
+
+  /// Register with an explicit calibration batch (first dimension is the
+  /// sample count; trailing dimensions must match `single_input_shape`).
+  /// Only consulted when a data-driven quantizer is configured.
+  Status Register(std::string name, nn::Model model,
+                  tensor::Shape single_input_shape,
+                  tensor::Tensor calibration);
 
   /// The registered record, or kNotFound. The pointer stays valid for the
   /// registry's lifetime (entries are never removed).
   Result<const Entry*> Lookup(const std::string& name) const;
 
-  /// Returns the cached variant for (name, format), materializing it on
-  /// first use. kFP32 yields a plain clone of the base so execution always
-  /// goes through a variant lease.
-  Result<std::shared_ptr<Variant>> GetVariant(const std::string& name,
-                                              quant::NumericFormat format);
+  /// Returns the cached variant for (name, format, quantizer),
+  /// materializing it on first use. kFP32 yields a plain clone of the base
+  /// so execution always goes through a variant lease. A non-kMaxAffine
+  /// `quantizer` is only meaningful with kINT8 (data-driven INT8) and
+  /// requires the model to have been registered under a data-driven
+  /// registry config; materialization is deterministic, so a
+  /// rematerialized variant is bit-identical to the one admission priced.
+  Result<std::shared_ptr<Variant>> GetVariant(
+      const std::string& name, quant::NumericFormat format,
+      quant::WeightQuantizer quantizer = quant::WeightQuantizer::kMaxAffine);
 
-  /// Drops the cached variant for (name, format) so the next lease
-  /// re-quantizes it from the FP32 base — the bound-violation watchdog's
-  /// recovery lever. In-flight leases stay alive through their shared_ptr.
-  /// Counts under errorflow.serve.registry.invalidations. Returns true when
-  /// a cached variant was actually dropped.
-  bool InvalidateVariant(const std::string& name,
-                         quant::NumericFormat format);
+  /// Drops the cached variant for (name, format, quantizer) so the next
+  /// lease re-quantizes it from the FP32 base — the bound-violation
+  /// watchdog's recovery lever. In-flight leases stay alive through their
+  /// shared_ptr. Counts under errorflow.serve.registry.invalidations.
+  /// Returns true when a cached variant was actually dropped.
+  bool InvalidateVariant(
+      const std::string& name, quant::NumericFormat format,
+      quant::WeightQuantizer quantizer = quant::WeightQuantizer::kMaxAffine);
 
   std::vector<std::string> ModelNames() const;
   int64_t variant_count() const;
@@ -152,10 +194,12 @@ class ModelRegistry {
   const RegistryConfig& config() const { return config_; }
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
-  /// The shard the (name, format) variant key hashes to. Stable for the
-  /// registry's lifetime; exposed so tests and ops tooling can attribute
-  /// per-shard metrics to keys.
-  int ShardOf(const std::string& name, quant::NumericFormat format) const;
+  /// The shard the (name, format, quantizer) variant key hashes to. Stable
+  /// for the registry's lifetime; exposed so tests and ops tooling can
+  /// attribute per-shard metrics to keys.
+  int ShardOf(const std::string& name, quant::NumericFormat format,
+              quant::WeightQuantizer quantizer =
+                  quant::WeightQuantizer::kMaxAffine) const;
   /// Cached variants resident on one shard.
   int64_t shard_variant_count(int shard) const;
 
@@ -180,7 +224,9 @@ class ModelRegistry {
   /// One independently locked slice of the variant cache.
   struct Shard {
     mutable std::mutex mu;
-    /// Key: "<model>\n<format>" (model names cannot contain newlines).
+    /// Key: "<model>\n<format>" (model names cannot contain newlines),
+    /// with a "\n<quantizer>" suffix for data-driven variants only — the
+    /// max-affine keys, and their shard assignment, are unchanged.
     std::map<std::string, CachedVariant> variants;
     int64_t bytes = 0;
     uint64_t tick = 0;

@@ -40,6 +40,8 @@ struct InferenceResponse {
   tensor::Tensor output;
   /// Variant the request executed on.
   quant::NumericFormat format = quant::NumericFormat::kFP32;
+  /// Weight quantizer of that variant (kOptq/kSpfq for data-driven INT8).
+  quant::WeightQuantizer quantizer = quant::WeightQuantizer::kMaxAffine;
   /// Predicted QoI bound of that variant (quantization term only; served
   /// inputs are not compressed).
   double predicted_qoi_bound = 0.0;

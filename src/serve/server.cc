@@ -15,6 +15,8 @@ RegistryConfig MakeRegistryConfig(const ServerConfig& config) {
   rc.max_variant_bytes = config.max_variant_bytes;
   rc.num_shards = config.registry_shards;
   rc.verify_variants = config.verify_variants;
+  rc.data_driven_quantizer = config.data_driven_quantizer;
+  rc.calibration_samples = config.calibration_samples;
   return rc;
 }
 
@@ -24,6 +26,7 @@ AdmissionConfig MakeAdmissionConfig(const ServerConfig& config) {
   ac.hardware = config.hardware;
   ac.allowed_formats = config.allowed_formats;
   ac.max_queue_depth = config.max_queue_depth;
+  ac.data_driven_quantizer = config.data_driven_quantizer;
   return ac;
 }
 
@@ -58,6 +61,19 @@ Status InferenceServer::RegisterModel(std::string name, nn::Model model,
             name.c_str());
   return registry_.Register(std::move(name), std::move(model),
                             std::move(single_input_shape));
+}
+
+Status InferenceServer::RegisterModel(std::string name, nn::Model model,
+                                      tensor::Shape single_input_shape,
+                                      tensor::Tensor calibration) {
+  obs::Logf(obs::LogLevel::kInfo,
+            "serve: registering model %s (explicit calibration, %lld rows)",
+            name.c_str(),
+            static_cast<long long>(
+                calibration.size() > 0 ? calibration.dim(0) : 0));
+  return registry_.Register(std::move(name), std::move(model),
+                            std::move(single_input_shape),
+                            std::move(calibration));
 }
 
 Status InferenceServer::Start() {
@@ -104,7 +120,9 @@ Result<AdmissionDecision> InferenceServer::AdmitRequest(
   return admission_.Admit(entry->analysis, entry->flops_per_sample,
                           entry->bytes_per_sample, request->qoi_tolerance,
                           request->deadline, now, scheduler_.queue_depth(),
-                          scheduler_.overloaded());
+                          scheduler_.overloaded(),
+                          entry->optq_steps.empty() ? nullptr
+                                                    : &entry->optq_steps);
 }
 
 Result<std::future<InferenceResponse>> InferenceServer::Submit(

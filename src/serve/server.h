@@ -51,6 +51,17 @@ struct ServerConfig {
   /// When true, a bound violation evicts the offending variant so the
   /// next batch re-quantizes it from the FP32 base.
   bool evict_on_violation = false;
+  /// Data-driven INT8 weight quantizer offered alongside the Table-I
+  /// max-affine variants (kMaxAffine disables it; see
+  /// RegistryConfig::data_driven_quantizer and
+  /// AdmissionConfig::data_driven_quantizer). With kOptq/kSpfq,
+  /// RegisterModel runs one calibration pass, admission prices the tighter
+  /// measured INT8 bound, and the watchdog audits the new variants like
+  /// any other.
+  quant::WeightQuantizer data_driven_quantizer =
+      quant::WeightQuantizer::kMaxAffine;
+  /// Rows of the synthesized calibration batch (data-driven mode only).
+  int64_t calibration_samples = 64;
 };
 
 /// \brief Concurrent inference service: tolerance-based admission, request
@@ -72,9 +83,17 @@ class InferenceServer {
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
 
-  /// Profiles and registers a trained model under `name`.
+  /// Profiles and registers a trained model under `name`. In data-driven
+  /// mode the registry synthesizes a calibration batch; use the overload
+  /// to calibrate on real data instead.
   Status RegisterModel(std::string name, nn::Model model,
                        tensor::Shape single_input_shape);
+
+  /// RegisterModel with an explicit calibration batch for the data-driven
+  /// quantizer (ignored when data_driven_quantizer is kMaxAffine).
+  Status RegisterModel(std::string name, nn::Model model,
+                       tensor::Shape single_input_shape,
+                       tensor::Tensor calibration);
 
   Status Start();
 

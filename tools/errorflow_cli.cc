@@ -6,6 +6,9 @@
 //                       [--attribution]
 //   errorflow plan      <model.efm> --input-shape 1,9 --tol 1e-3
 //                       [--frac 0.5] [--norm linf|l2]
+//   errorflow quantize  <model.efm> --input-shape 1,9
+//                       [--quantizer optq|spfq] [--calib-rows 64]
+//                       [--calib-seed 1] [--norm linf|l2]
 //   errorflow compress  --backend sz|zfp|mgard --tol 1e-3
 //                       [--norm linf|l2] [--rel] [--size 512x512]
 //   errorflow demo-train <out.efm> [--task h2|borghesi|eurosat]
@@ -18,7 +21,8 @@
 //                       [--timeout-ms <ServerConfig default>] [--rows 8]
 //                       [--strict] [--audit 0.1] [--evict-on-violation]
 //                       [--models 1] [--slo-ms 0] [--min-batch 1]
-//                       [--verify-variants] [--shards 1,2,4,8]
+//                       [--verify-variants] [--quantizer optq|spfq]
+//                       [--shards 1,2,4,8]
 //                       [--json BENCH_serve.json]
 //   errorflow net-bench [--task h2|borghesi|eurosat] [--rates 200,4000]
 //                       [--phase-seconds 2] [--connections 32]
@@ -66,10 +70,12 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "quant/optq.h"
 #include "serve/load_gen.h"
 #include "serve/server.h"
 #include "tasks/tasks.h"
 #include "tensor/stats.h"
+#include "util/random.h"
 #include "util/string_util.h"
 
 using namespace errorflow;
@@ -152,6 +158,16 @@ Result<quant::NumericFormat> ParseFormat(const std::string& name) {
     if (name == quant::FormatToString(f)) return f;
   }
   return Status::InvalidArgument("unknown format: " + name);
+}
+
+Result<quant::WeightQuantizer> ParseQuantizer(const std::string& name) {
+  for (quant::WeightQuantizer q :
+       {quant::WeightQuantizer::kMaxAffine, quant::WeightQuantizer::kOptq,
+        quant::WeightQuantizer::kSpfq}) {
+    if (name == quant::QuantizerToString(q)) return q;
+  }
+  return Status::InvalidArgument("unknown quantizer: " + name +
+                                 " (use max-affine|optq|spfq)");
 }
 
 Result<compress::Backend> ParseBackend(const std::string& name) {
@@ -261,6 +277,87 @@ int CmdPlan(const Args& args) {
   std::printf("compression tolerance  : %.3e\n", plan.input_tolerance);
   std::printf("predicted total bound  : %.3e\n", plan.predicted_total_bound);
   return 0;
+}
+
+// Data-driven INT8 weight quantization (src/quant/optq.h): calibrate on a
+// synthesized uniform [-1, 1] batch, print the per-layer effective steps,
+// and compare the measured-step bound against the worst-case Table-I INT8
+// bound, verifying both against the achieved error on a probe batch.
+int CmdQuantize(const Args& args) {
+  if (args.positional.empty()) return Fail("quantize: model path required");
+  auto model = nn::LoadModel(args.positional[0]);
+  if (!model.ok()) return Fail(model.status().ToString().c_str());
+  auto shape = ParseShape(args.Get("input-shape", "1,9"));
+  if (!shape.ok()) return Fail(shape.status().ToString().c_str());
+  auto norm = ParseNorm(args.Get("norm", "linf"));
+  if (!norm.ok()) return Fail(norm.status().ToString().c_str());
+  auto quantizer = ParseQuantizer(args.Get("quantizer", "optq"));
+  if (!quantizer.ok()) return Fail(quantizer.status().ToString().c_str());
+  if (*quantizer == quant::WeightQuantizer::kMaxAffine) {
+    return Fail("quantize: pick a data-driven quantizer (optq|spfq); "
+                "max-affine is the default serving path");
+  }
+  const int64_t calib_rows =
+      static_cast<int64_t>(args.GetDouble("calib-rows", 64));
+  if (calib_rows < 1) return Fail("bad --calib-rows");
+
+  core::ErrorFlowAnalysis analysis(core::ProfileModel(*model, *shape));
+  tensor::Shape batch_shape = *shape;
+  batch_shape[0] = calib_rows;
+  tensor::Tensor calibration(batch_shape);
+  util::Rng rng(static_cast<uint64_t>(args.GetDouble("calib-seed", 1)));
+  for (int64_t i = 0; i < calibration.size(); ++i) {
+    calibration[i] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+
+  quant::OptqQuantizedModel q =
+      quant::OptqQuantizeWeights(*model, calibration, *quantizer);
+  std::printf("quantizer     : %s (%lld calibration rows)\n",
+              quant::QuantizerToString(*quantizer),
+              static_cast<long long>(calib_rows));
+  std::printf("%-26s %12s %10s %12s %12s\n", "layer", "shape", "calib",
+              "table_step", "eff_step");
+  for (const quant::OptqLayerRecord& r : q.layers) {
+    char dims[32];
+    std::snprintf(dims, sizeof(dims), "%lldx%lld",
+                  static_cast<long long>(r.rows),
+                  static_cast<long long>(r.cols));
+    std::printf("%-26s %12s %10lld %12.3e %12.3e\n",
+                r.layer.substr(0, 26).c_str(), dims,
+                static_cast<long long>(r.calib_columns), r.table_step,
+                r.effective_step);
+  }
+
+  const std::vector<double> steps = quant::OptqEffectiveSteps(q);
+  const double table_bound =
+      analysis.Bound(0.0, *norm, quant::NumericFormat::kINT8);
+  const double data_bound =
+      analysis.BoundWithSteps(0.0, *norm, core::VectorStepFn(steps));
+  // Probe on a fresh batch from the same distribution: both bounds must
+  // cover what the quantized model actually does.
+  tensor::Tensor probe(batch_shape);
+  util::Rng probe_rng(0xbeefull);
+  for (int64_t i = 0; i < probe.size(); ++i) {
+    probe[i] = static_cast<float>(probe_rng.Uniform(-1.0, 1.0));
+  }
+  const tensor::Tensor ref = model->Predict(probe);
+  const tensor::Tensor got = q.model.Predict(probe);
+  double achieved = 0.0;
+  for (int64_t r = 0; r < ref.dim(0); ++r) {
+    const int64_t w = ref.size() / ref.dim(0);
+    tensor::Tensor a({1, w}), b({1, w});
+    std::copy(ref.data() + r * w, ref.data() + (r + 1) * w, a.data());
+    std::copy(got.data() + r * w, got.data() + (r + 1) * w, b.data());
+    achieved = std::max(achieved, tensor::DiffNorm(a, b, *norm));
+  }
+
+  std::printf("\ntable-I int8 bound    : %.6e (%s)\n", table_bound,
+              args.Get("norm", "linf").c_str());
+  std::printf("data-driven bound     : %.6e (%.2fx tighter)\n", data_bound,
+              data_bound > 0.0 ? table_bound / data_bound : 0.0);
+  std::printf("achieved probe error  : %.6e  %s\n", achieved,
+              achieved <= data_bound ? "(covered)" : "(VIOLATED)");
+  return achieved <= data_bound ? 0 : 2;
 }
 
 int CmdCompress(const Args& args) {
@@ -507,6 +604,12 @@ int CmdServeBench(const Args& args) {
     return Fail("bad --audit (use a fraction in [0, 1])");
   }
   cfg.evict_on_violation = args.Has("evict-on-violation");
+  // --quantizer optq|spfq turns on the data-driven INT8 path: register
+  // prices the calibrated bound, admission offers the extra INT8
+  // candidate, and the watchdog audits it like any other variant.
+  auto quantizer = ParseQuantizer(args.Get("quantizer", "max-affine"));
+  if (!quantizer.ok()) return Fail(quantizer.status().ToString().c_str());
+  cfg.data_driven_quantizer = *quantizer;
 
   std::printf(
       "serve-bench: task=%s models=%d concurrency=%d duration=%.1fs "
@@ -519,6 +622,10 @@ int CmdServeBench(const Args& args) {
       cfg.evict_on_violation ? " (evict-on-violation)" : "", slo_ms,
       min_batch, cfg.verify_variants ? " (verify-variants)" : "",
       args.Get("shards", "default").c_str());
+  if (cfg.data_driven_quantizer != quant::WeightQuantizer::kMaxAffine) {
+    std::printf("  data-driven int8: %s\n",
+                quant::QuantizerToString(cfg.data_driven_quantizer));
+  }
 
   const auto input_factory = [&task, rows](uint64_t seed) {
     std::vector<tensor::Tensor> batches =
@@ -837,6 +944,9 @@ void PrintUsage() {
       "[--attribution]\n"
       "  errorflow plan       <model.efm> --input-shape 1,9 --tol 1e-3 "
       "[--frac 0.5] [--norm linf|l2]\n"
+      "  errorflow quantize   <model.efm> --input-shape 1,9 "
+      "[--quantizer optq|spfq] [--calib-rows 64] [--calib-seed 1] "
+      "[--norm linf|l2]\n"
       "  errorflow compress   --backend sz|zfp|mgard --tol 1e-3 [--norm "
       "linf|l2] [--rel] [--size 512x512] [--codec huffman|lz77]\n"
       "  errorflow demo-train <out.efm> [--task h2|borghesi|eurosat]\n"
@@ -848,7 +958,8 @@ void PrintUsage() {
       "[--queue-cap 1024] [--tolerances 1e-3,1e-2,1e-1] [--timeout-ms "
       "1000] [--rows 8] [--strict] [--audit 0.1] [--evict-on-violation] "
       "[--models 1] [--slo-ms 0] [--min-batch 1] [--verify-variants] "
-      "[--shards 1,2,4,8] [--json BENCH_serve.json]\n"
+      "[--quantizer optq|spfq] [--shards 1,2,4,8] "
+      "[--json BENCH_serve.json]\n"
       "  errorflow net-bench  [--task h2|borghesi|eurosat] "
       "[--rates 200,4000] [--phase-seconds 2] [--connections 32] "
       "[--workers 4] [--queue-cap 256] [--rows 8] [--tol 1e-2] "
@@ -882,6 +993,8 @@ int main(int argc, char** argv) {
     code = CmdBound(args);
   } else if (cmd == "plan") {
     code = CmdPlan(args);
+  } else if (cmd == "quantize") {
+    code = CmdQuantize(args);
   } else if (cmd == "compress") {
     code = CmdCompress(args);
   } else if (cmd == "demo-train") {
