@@ -1,20 +1,27 @@
 #include "nn/calibration.h"
 
-#include <atomic>
-
 namespace errorflow {
 namespace nn {
 
 namespace {
-std::atomic<CalibrationObserver*> g_observer{nullptr};
+// Thread-local on purpose: calibration instruments exactly the Forward
+// calls the installing thread makes. A process-global slot would leak the
+// observer into concurrent serving Forwards on other threads (racing the
+// collector's accumulation state) and let two overlapping calibrations
+// interleave their install/restore pairs, leaving a dangling pointer
+// behind — both real hazards when the registry materializes data-driven
+// variants on scheduler workers.
+thread_local CalibrationObserver* t_observer = nullptr;
 }  // namespace
 
 CalibrationObserver* SetCalibrationObserver(CalibrationObserver* observer) {
-  return g_observer.exchange(observer, std::memory_order_acq_rel);
+  CalibrationObserver* prev = t_observer;
+  t_observer = observer;
+  return prev;
 }
 
 CalibrationObserver* GetCalibrationObserver() {
-  return g_observer.load(std::memory_order_acquire);
+  return t_observer;
 }
 
 }  // namespace nn

@@ -27,14 +27,19 @@ class CalibrationObserver {
                              bool features_are_rows) = 0;
 };
 
-/// Installs a process-global observer (nullptr clears); returns the
-/// previous one. Calibration is a single-threaded offline pass: install,
-/// run Forward on the calibration batch, clear. The observer must not be
-/// swapped while any Forward is in flight. The inference hot path pays one
-/// relaxed atomic load when no observer is installed.
+/// Installs a *thread-local* observer (nullptr clears); returns the
+/// previous one. Calibration instruments only the Forward calls made by
+/// the installing thread: install, run Forward on the calibration batch
+/// on the same thread, restore. Forwards running concurrently on other
+/// threads (live serving batches, a second calibration) never see this
+/// observer, so calibrating on a scheduler worker while peers serve
+/// traffic is safe by construction. Layers invoke the observer from the
+/// thread that called Forward — internal kernel parallelism never
+/// re-enters it. The inference hot path pays one thread-local load when
+/// no observer is installed.
 CalibrationObserver* SetCalibrationObserver(CalibrationObserver* observer);
 
-/// The currently installed observer, or nullptr.
+/// The observer installed on the calling thread, or nullptr.
 CalibrationObserver* GetCalibrationObserver();
 
 }  // namespace nn

@@ -252,6 +252,20 @@ void QuantizeLayer(const std::string& name, Tensor* w, const GramAccum* gram,
     for (int64_t r = 0; r < rows; ++r) {
       const RowGrid& g = grids[r];
       const double wv = work[r * d + j];
+      if (!std::isfinite(wv)) {
+        // Affine NaN policy (affine.cc): NaN quantizes to the clamped
+        // zero point (dequantizes to 0), ±Inf clamps to the grid
+        // endpoint. Either way the error feedback is skipped — a
+        // non-finite residual would poison every remaining column of the
+        // row, turning one bad weight into a NaN effective step that
+        // silently disables the data-driven variant at admission.
+        double q = std::isnan(wv) ? g.zero_point
+                                  : (wv > 0.0 ? 127.0 : -128.0);
+        q = std::min(127.0, std::max(-128.0, q));
+        (*w)[r * d + j] = static_cast<float>(g.scale * (q - g.zero_point));
+        err[r] = 0.0;
+        continue;
+      }
       const double z = wv / g.scale + g.zero_point;
       double q = stochastic ? std::floor(z + rng.UniformDouble())
                             : std::nearbyint(z);
@@ -271,10 +285,14 @@ void QuantizeLayer(const std::string& name, Tensor* w, const GramAccum* gram,
   }
 
   // Measured perturbation statistics against the *original* weights.
+  // Non-finite originals are excluded: their quantized value is pinned by
+  // the NaN policy above, and a NaN delta would otherwise ride through
+  // rms_delta into a NaN effective step (and a never-admitting bound).
   double sum_sq = 0.0, max_abs = 0.0;
   for (int64_t i = 0; i < rows * d; ++i) {
     const double delta =
         static_cast<double>((*w)[i]) - static_cast<double>(original[i]);
+    if (!std::isfinite(delta)) continue;
     sum_sq += delta * delta;
     max_abs = std::max(max_abs, std::fabs(delta));
   }
@@ -296,6 +314,8 @@ void QuantizeLayer(const std::string& name, Tensor* w, const GramAccum* gram,
       for (int64_t k = 0; k < d; ++k) {
         delta[k] = static_cast<double>((*w)[r * d + k]) -
                    static_cast<double>(original[r * d + k]);
+        // Same exclusion as the RMS statistics above.
+        if (!std::isfinite(delta[k])) delta[k] = 0.0;
       }
       for (int64_t i = 0; i < d; ++i) {
         if (delta[i] == 0.0) continue;
@@ -338,8 +358,11 @@ OptqQuantizedModel OptqQuantizeWeights(const nn::Model& model,
   out.model.FoldPsn();
 
   // Single calibration forward pass with the Gram collector installed.
-  // The observer is process-global, so swap it in scoped fashion; nested
-  // calibrations are not supported (the previous observer is restored).
+  // The observer is thread-local, so only *this thread's* Forward calls
+  // feed the collector: serving Forwards running concurrently on other
+  // threads — or a second materialization racing on another worker —
+  // never touch it, and the scoped install/restore below cannot interact
+  // with theirs.
   GramCollector collector(config.max_gram_columns);
   if (calibration.size() > 0) {
     nn::CalibrationObserver* prev = nn::SetCalibrationObserver(&collector);

@@ -128,6 +128,23 @@ Status ModelRegistry::Register(std::string name, nn::Model model,
   if (name.empty() || name.find('\n') != std::string::npos) {
     return Status::InvalidArgument("registry: bad model name");
   }
+  if (calibration.size() > 0) {
+    // A mis-shaped batch would otherwise reach DenseLayer::Forward's
+    // EF_CHECK during the calibration pass and abort the process; reject
+    // it here like every other bad-input path in this API.
+    if (calibration.ndim() !=
+        static_cast<int64_t>(single_input_shape.size())) {
+      return Status::InvalidArgument(
+          "registry: calibration batch rank does not match input shape");
+    }
+    for (size_t i = 1; i < single_input_shape.size(); ++i) {
+      if (calibration.dim(static_cast<int>(i)) != single_input_shape[i]) {
+        return Status::InvalidArgument(
+            "registry: calibration batch trailing dims do not match input "
+            "shape");
+      }
+    }
+  }
   obs::TraceSpan span("serve.registry.register");
   // Profile before folding, as the pipeline does: the profiler reads PSN
   // scales through the layer API.

@@ -51,7 +51,13 @@ struct RegistryConfig {
       quant::WeightQuantizer::kMaxAffine;
   /// Rows of the synthesized uniform [-1, 1] calibration batch used when
   /// Register is not handed one explicitly (served inputs are normalized
-  /// to [-1, 1], so the synthetic batch matches the serving distribution).
+  /// to [-1, 1], so the synthetic batch approximates the serving
+  /// distribution). Note the caveat this implies: the data-driven bound
+  /// is conditional on serving inputs resembling the calibration data —
+  /// weaker than the worst-case Table-I admission guarantee. Prefer the
+  /// explicit-calibration Register overload with representative data;
+  /// the FP32 watchdog audits the residual risk either way
+  /// (docs/QUANTIZATION.md).
   int64_t calibration_samples = 64;
   /// Seed of the synthesized calibration batch; fixed so the cached steps
   /// and every later materialization agree bit-exactly.
@@ -158,8 +164,13 @@ class ModelRegistry {
                   tensor::Shape single_input_shape);
 
   /// Register with an explicit calibration batch (first dimension is the
-  /// sample count; trailing dimensions must match `single_input_shape`).
-  /// Only consulted when a data-driven quantizer is configured.
+  /// sample count; trailing dimensions must match `single_input_shape` —
+  /// a non-empty mismatched batch is rejected with kInvalidArgument).
+  /// Only consulted when a data-driven quantizer is configured. Prefer
+  /// this overload with representative serving data: the data-driven
+  /// bound is conditional on the calibration distribution (see
+  /// docs/QUANTIZATION.md), so the closer the batch is to real traffic,
+  /// the more the admitted bound means.
   Status Register(std::string name, nn::Model model,
                   tensor::Shape single_input_shape,
                   tensor::Tensor calibration);

@@ -7,10 +7,12 @@
 // exactly — the invariants the admission controller and the watchdog
 // audit rely on.
 #include <cmath>
+#include <limits>
 
 #include "core/error_bound.h"
 #include "gtest/gtest.h"
 #include "nn/builders.h"
+#include "nn/dense.h"
 #include "quant/optq.h"
 #include "quant/quantize_model.h"
 #include "tensor/tensor.h"
@@ -262,6 +264,58 @@ TEST(OptqTest, ConvAndResidualModelsQuantize) {
       0.0, Norm::kLinf, core::VectorStepFn(OptqEffectiveSteps(q)));
   EXPECT_GT(bound, 0.0);
   EXPECT_LT(bound, analysis.Bound(0.0, Norm::kLinf, NumericFormat::kINT8));
+}
+
+TEST(OptqTest, NonFiniteWeightsFollowAffineNanPolicy) {
+  // Mirror of the affine-path policy (affine.cc): NaN quantizes to the
+  // clamped zero point, ±Inf to a grid endpoint, and neither enters the
+  // error feedback — without this, one NaN weight rides the residual
+  // update into every remaining column of the row and the layer's
+  // effective step (hence the priced data-driven bound) becomes NaN,
+  // silently disabling the variant at admission.
+  nn::Model model = CalibMlp(61);
+  bool poisoned = false;
+  model.VisitLayers([&](nn::Layer* layer) {
+    if (poisoned) return;
+    if (auto* dl = dynamic_cast<nn::DenseLayer*>(layer)) {
+      Tensor& w = dl->mutable_weight();
+      ASSERT_GE(w.size(), 3);
+      w[0] = std::numeric_limits<float>::quiet_NaN();
+      w[1] = std::numeric_limits<float>::infinity();
+      w[2] = -std::numeric_limits<float>::infinity();
+      poisoned = true;
+    }
+  });
+  ASSERT_TRUE(poisoned);
+  const Tensor calib = UniformBatch(64, 12, 77);
+
+  for (WeightQuantizer wq :
+       {WeightQuantizer::kOptq, WeightQuantizer::kSpfq}) {
+    OptqQuantizedModel q = OptqQuantizeWeights(model, calib, wq);
+    q.model.VisitLayers([&](nn::Layer* layer) {
+      if (auto* dl = dynamic_cast<nn::DenseLayer*>(layer)) {
+        const Tensor& w = dl->mutable_weight();
+        for (int64_t i = 0; i < w.size(); ++i) {
+          EXPECT_TRUE(std::isfinite(w[i])) << QuantizerToString(wq);
+        }
+      }
+    });
+    for (const OptqLayerRecord& rec : q.layers) {
+      EXPECT_TRUE(std::isfinite(rec.effective_step)) << rec.layer;
+      EXPECT_GT(rec.effective_step, 0.0) << rec.layer;
+      EXPECT_TRUE(std::isfinite(rec.rms_delta)) << rec.layer;
+      EXPECT_TRUE(std::isfinite(rec.max_abs_delta)) << rec.layer;
+      EXPECT_TRUE(std::isfinite(rec.calib_rms_error)) << rec.layer;
+    }
+    // Still deterministic under poisoned weights: the admission-priced
+    // steps and any later rematerialization must keep agreeing.
+    OptqQuantizedModel again = OptqQuantizeWeights(model, calib, wq);
+    ASSERT_EQ(q.layers.size(), again.layers.size());
+    for (size_t l = 0; l < q.layers.size(); ++l) {
+      EXPECT_DOUBLE_EQ(q.layers[l].effective_step,
+                       again.layers[l].effective_step);
+    }
+  }
 }
 
 }  // namespace

@@ -6,8 +6,11 @@
 // audits the new variants with zero bound violations. Also pins the
 // admission boundary semantics (tolerance == bound admits) across every
 // format, max-affine and data-driven alike.
+#include <atomic>
 #include <chrono>
 #include <limits>
+#include <thread>
+#include <vector>
 
 #include "core/spectral_profile.h"
 #include "gtest/gtest.h"
@@ -115,6 +118,109 @@ TEST(PtqServeTest, DataDrivenVariantIsDistinctAndDeterministic) {
   auto bad = registry.GetVariant("m", NumericFormat::kFP16,
                                  WeightQuantizer::kOptq);
   EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PtqServeTest, MisshapedCalibrationIsRejected) {
+  RegistryConfig rc;
+  rc.data_driven_quantizer = WeightQuantizer::kOptq;
+  ModelRegistry registry(rc);
+  // Wrong trailing dim: the model takes {n, 6}, the batch is {n, 5}. Must
+  // surface as a typed error at Register, not an EF_CHECK abort inside the
+  // calibration forward pass.
+  Tensor bad_width({4, 5});
+  bad_width.Fill(0.25f);
+  auto status = registry.Register("m", BuildModel(), {1, 6}, bad_width);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // Wrong rank.
+  Tensor bad_rank({4, 6, 1});
+  bad_rank.Fill(0.25f);
+  status = registry.Register("m", BuildModel(), {1, 6}, bad_rank);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // A well-shaped batch (any sample count) still registers.
+  Tensor good({4, 6});
+  good.Fill(0.25f);
+  EXPECT_TRUE(registry.Register("m", BuildModel(), {1, 6}, good).ok());
+}
+
+TEST(PtqServeTest, ConcurrentMaterializationAndServingIsRaceFree) {
+  // Data-driven materialization runs a calibration forward pass on a
+  // scheduler worker while peers execute live Forwards. The calibration
+  // observer is thread-local, so those serving Forwards must never feed
+  // the materializer's Gram collector (a data race, and Grams the priced
+  // steps were not measured on), and overlapping materializations must
+  // not interleave their install/restore pairs. Pinned here by racing
+  // invalidate/rematerialize cycles against FP32 leases under TSan and
+  // checking every rematerialized variant still matches the checksum the
+  // registry priced at Register.
+  RegistryConfig rc;
+  rc.data_driven_quantizer = WeightQuantizer::kOptq;
+  rc.num_shards = 2;
+  // A large calibration batch keeps each materialization's forward pass —
+  // the window in which an observer is installed — wide enough that the
+  // racing serving Forwards below reliably overlap it, even on one core.
+  rc.calibration_samples = 4096;
+  ModelRegistry registry(rc);
+  RegisterDataDriven(&registry);
+
+  uint64_t priced_checksum = 0;
+  {
+    auto primed = registry.GetVariant("m", NumericFormat::kINT8,
+                                      WeightQuantizer::kOptq);
+    ASSERT_TRUE(primed.ok());
+    priced_checksum = (*primed)->checksum;
+  }
+
+  const Tensor probe = UniformInput(64, 42);
+  Tensor reference;
+  {
+    auto fp32 = registry.GetVariant("m", NumericFormat::kFP32);
+    ASSERT_TRUE(fp32.ok());
+    reference = (*fp32)->model.Predict(probe);
+  }
+
+  constexpr int kRounds = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  // Two materializer threads force overlapping calibration passes.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kRounds; ++i) {
+        registry.InvalidateVariant("m", NumericFormat::kINT8,
+                                   WeightQuantizer::kOptq);
+        auto variant = registry.GetVariant("m", NumericFormat::kINT8,
+                                           WeightQuantizer::kOptq);
+        if (!variant.ok() ||
+            (*variant)->checksum != priced_checksum) {
+          ++failures;
+        }
+      }
+    });
+  }
+  // Two serving threads keep Forwards in flight the whole time.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kRounds * 4; ++i) {
+        auto fp32 = registry.GetVariant("m", NumericFormat::kFP32);
+        if (!fp32.ok()) {
+          ++failures;
+          continue;
+        }
+        Tensor out = (*fp32)->model.Predict(probe);
+        if (out.size() != reference.size()) {
+          ++failures;
+          continue;
+        }
+        for (int64_t j = 0; j < out.size(); ++j) {
+          if (out[j] != reference[j]) {
+            ++failures;
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
 }
 
 TEST(PtqServeTest, ToleranceEqualToBoundAdmitsAcrossAllFormats) {
